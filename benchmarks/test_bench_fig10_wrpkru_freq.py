@@ -1,0 +1,36 @@
+"""Fig. 10 — WRPKRU frequency in the dynamic instruction stream.
+
+Paper: performance enhancement aligns with WRPKRU density; omnetpp
+dominates, while mcf/xz/exchange2/bzip2/hmmer have very few WRPKRUs.
+"""
+
+from repro.harness import fig10_wrpkru_frequency, render_bars
+
+
+def test_fig10_wrpkru_frequency(benchmark, save_result):
+    rows = benchmark.pedantic(fig10_wrpkru_frequency, rounds=1, iterations=1)
+    save_result(
+        "fig10_wrpkru_frequency",
+        render_bars(
+            [(row["workload"], row["wrpkru_per_kilo"]) for row in rows],
+            title="Fig. 10: WRPKRU per kilo-instruction",
+        ),
+    )
+
+    density = {row["workload"]: row["wrpkru_per_kilo"] for row in rows}
+
+    # omnetpp (SS) tops the chart; its CPI twin leads the CPI group.
+    assert density["520.omnetpp_r (SS)"] == max(density.values())
+    cpi_group = {l: d for l, d in density.items() if "(CPI)" in l}
+    assert max(cpi_group, key=cpi_group.get) == "471.omnetpp (CPI)"
+
+    # The paper's "very few WRPKRU" group sits near zero.
+    for label in (
+        "505.mcf_r (SS)", "548.exchange2_r (SS)", "557.xz_r (SS)",
+        "401.bzip2 (CPI)", "429.mcf (CPI)", "456.hmmer (CPI)",
+    ):
+        assert density[label] < 1.5, label
+
+    # Mid-tier call-heavy workloads are clearly separated from both.
+    for label in ("500.perlbench_r (SS)", "531.deepsjeng_r (SS)"):
+        assert 3.0 < density[label] < density["520.omnetpp_r (SS)"], label

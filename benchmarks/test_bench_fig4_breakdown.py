@@ -1,0 +1,60 @@
+"""Fig. 4 — overhead breakdown: compiler transformation vs serialization.
+
+Paper methodology: replace WRPKRU with NOP to isolate the compiler
+transformation; the WRPKRU serialization adds substantially more
+overhead than the transformation itself on the protected workloads.
+"""
+
+from repro.harness import fig4_overhead_breakdown, render_table
+
+#: Protection-heavy workloads where the breakdown is meaningful.
+LABELS = [
+    "500.perlbench_r (SS)",
+    "502.gcc_r (SS)",
+    "520.omnetpp_r (SS)",
+    "531.deepsjeng_r (SS)",
+    "541.leela_r (SS)",
+    "453.povray (CPI)",
+    "471.omnetpp (CPI)",
+    "403.gcc (CPI)",
+]
+
+
+def test_fig4_overhead_breakdown(benchmark, save_result):
+    rows = benchmark.pedantic(
+        fig4_overhead_breakdown, args=(LABELS,), rounds=1, iterations=1
+    )
+    save_result(
+        "fig4_breakdown",
+        render_table(
+            [
+                {
+                    "workload": row["workload"],
+                    "compiler": f"{row['compiler_overhead']:+.1%}",
+                    "serialization": f"{row['serialization_overhead']:+.1%}",
+                    "total": f"{row['total_overhead']:+.1%}",
+                }
+                for row in rows
+            ],
+            title="Fig. 4: protection overhead breakdown vs non-secure",
+        ),
+    )
+
+    average = rows[-1]
+    assert average["workload"] == "average"
+    # The paper's claim: serialization dominates the compiler
+    # transformation overhead on these workloads.
+    assert (
+        average["serialization_overhead"]
+        > 1.5 * average["compiler_overhead"]
+    )
+    assert average["serialization_overhead"] > 0.08
+    assert 0.0 <= average["compiler_overhead"] < 0.15
+    # Totals decompose multiplicatively.
+    for row in rows[:-1]:
+        reconstructed = (
+            (1 + row["compiler_overhead"])
+            * (1 + row["serialization_overhead"])
+            - 1
+        )
+        assert abs(reconstructed - row["total_overhead"]) < 1e-9

@@ -1,0 +1,29 @@
+"""SSVIII — hardware overhead: ~93 B of state, 0.19% of the L1D."""
+
+import pytest
+
+from repro.harness import render_table, section8_hardware_overhead
+
+
+def test_hardware_overhead(benchmark, save_result):
+    data = benchmark.pedantic(
+        section8_hardware_overhead, rounds=1, iterations=1
+    )
+    rows = [
+        {"component": name, "bits": bits}
+        for name, bits in data["breakdown_bits"].items()
+    ]
+    rows.append({"component": "TOTAL", "bits": data["total_bits"]})
+    save_result(
+        "section8_hw_overhead",
+        render_table(rows, title="SSVIII: SpecMPK sequential state")
+        + f"\ntotal: {data['total_bytes']:.1f} B "
+        f"({data['l1d_fraction']:.2%} of L1D); "
+        f"{data['area_um2']:.0f} um^2, {data['logic_cells']} cells, "
+        f"+{data['dynamic_power_pct']:.2f}% dyn / "
+        f"+{data['leakage_power_pct']:.2f}% leak",
+    )
+    assert data["total_bytes"] == pytest.approx(93, abs=2)
+    assert data["l1d_fraction"] == pytest.approx(0.0019, abs=0.0002)
+    assert data["area_um2"] == pytest.approx(5887.91, rel=0.01)
+    assert data["logic_cells"] == 3103

@@ -1,0 +1,44 @@
+"""SSIII-A motivation: MPK vs mprotect-based in-process isolation.
+
+Not a numbered paper figure, but the motivating claim of SSIII: MPK's
+user-space permission switch is far cheaper than the mprotect syscall +
+TLB-shootdown path, especially under frequent domain switching.
+"""
+
+from repro.harness import motivation_mprotect_vs_mpk, render_table
+
+
+def test_motivation_mprotect_vs_mpk(benchmark, save_result):
+    rows = benchmark.pedantic(
+        motivation_mprotect_vs_mpk, rounds=1, iterations=1
+    )
+    save_result(
+        "motivation_mprotect",
+        render_table(
+            [
+                {
+                    "workload": row["workload"],
+                    "switches": row["switches"],
+                    "MPK cycles": row["mpk_cycles"],
+                    "mprotect cycles": row["mprotect_cycles"],
+                    "mprotect slowdown": f"{row['mprotect_slowdown']:.2f}x",
+                }
+                for row in rows
+            ],
+            title="SSIII motivation: mprotect-based isolation vs MPK "
+                  "(modelled syscall + shootdown costs)",
+        ),
+    )
+    by_label = {row["workload"]: row for row in rows}
+    # Frequent switching makes mprotect catastrophically slower.
+    assert by_label["520.omnetpp_r (SS)"]["mprotect_slowdown"] > 3.0
+    # Rare switching keeps the variants much closer.
+    assert by_label["557.xz_r (SS)"]["mprotect_slowdown"] < 2.5
+    assert (
+        by_label["557.xz_r (SS)"]["mprotect_slowdown"]
+        < by_label["520.omnetpp_r (SS)"]["mprotect_slowdown"] / 3
+    )
+    # Slowdown grows with switch count.
+    dense = by_label["520.omnetpp_r (SS)"]
+    sparse = by_label["557.xz_r (SS)"]
+    assert dense["switches"] > sparse["switches"]

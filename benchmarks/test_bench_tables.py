@@ -1,0 +1,51 @@
+"""Tables I, II, III — taxonomy, new source operands, configuration."""
+
+from repro.harness import (
+    render_table,
+    table1_isolation_properties,
+    table2_source_operands,
+    table3_configuration,
+)
+
+
+def test_table1_isolation_properties(benchmark, save_result):
+    data = benchmark.pedantic(
+        table1_isolation_properties, rounds=1, iterations=1
+    )
+    save_result(
+        "table1_isolation",
+        render_table(data["rows"], title="Table I: isolation techniques")
+        + "\nprobe verdicts: "
+        + ", ".join(f"{k}={v}" for k, v in data["probes"].items()),
+    )
+    rows = {row["Isolation Method"]: row for row in data["rows"]}
+    assert rows["MPK"]["Secure"] == "yes"
+    assert rows["MPK"]["Fast Interleaved Access"] == "yes"
+    assert rows["MPK"]["Least-Privilege Capability"] == "yes"
+    assert all(data["probes"].values())
+
+
+def test_table2_source_operands(benchmark, save_result):
+    rows = benchmark.pedantic(table2_source_operands, rounds=1, iterations=1)
+    save_result(
+        "table2_operands",
+        render_table(rows, title="Table II: additional source operands"),
+    )
+    by_type = {row["Instruction Type"]: row for row in rows}
+    assert "AccessDisableCounter" in by_type["Load"]["New Source Operands"]
+    assert "WriteDisableCounter" in by_type["Store"]["New Source Operands"]
+    assert "WriteDisableCounter" not in by_type["Load"]["New Source Operands"]
+
+
+def test_table3_configuration(benchmark, save_result):
+    rows = benchmark.pedantic(table3_configuration, rounds=1, iterations=1)
+    save_result(
+        "table3_configuration",
+        render_table(rows, title="Table III: simulated configuration"),
+    )
+    values = {row["Parameter"]: row["Value"] for row in rows}
+    assert values["AL/LQ/SQ/IQ/PRF Size"] == "352/128/72/160/280"
+    assert values["ROB_pkru size"] == "8"
+    assert values["BTB"] == "4096 entries"
+    assert "48kB, 12-way, 5-cycle" in values["L1 Data Cache"]
+    assert "2MB, 16-way, 40-cycle" in values["L3 Cache"]

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Kard-style data-race detection over MPK (paper SSIX-D).
+
+A non-security use of MPK: each shared object is coloured with a
+protection key that every thread's PKRU keeps Access-Disabled, so the
+first access in a critical section traps.  The trap handler associates
+the object with the held lock; an access under a *different* lock is
+flagged as inconsistent lock usage — a potential data race.
+
+Also demonstrates libmpk-style domain virtualisation: more shared
+objects than the 16 hardware pKeys.
+"""
+
+from repro.func import KardRuntime
+
+
+def main() -> None:
+    print("=== Correctly synchronised program ===")
+    kard = KardRuntime(num_threads=2)
+    kard.register_object("balance", initial=100)
+    for tid, delta in ((0, +30), (1, -20)):
+        kard.lock(tid, "account_lock")
+        value = kard.read(tid, "balance")
+        kard.write(tid, "balance", value + delta)
+        kard.unlock(tid, "account_lock")
+    balance = kard.space.peek(kard.objects["balance"].address)
+    print(f"final balance: {balance} (faults trapped: {kard.faults_trapped})")
+    print(kard.report())
+
+    print("\n=== Inconsistent lock usage (the race) ===")
+    kard = KardRuntime(num_threads=2)
+    kard.register_object("shared_list")
+    kard.lock(0, "list_lock")
+    kard.write(0, "shared_list", 1)
+    # Thread 1 uses the WRONG lock while thread 0 is still inside.
+    kard.lock(1, "iterator_lock")
+    kard.write(1, "shared_list", 2)
+    kard.unlock(1, "iterator_lock")
+    kard.unlock(0, "list_lock")
+    print(kard.report())
+
+    print("\n=== Unsynchronised access ===")
+    kard = KardRuntime()
+    kard.register_object("counter")
+    kard.write(0, "counter", 1)  # no lock held at all
+    print(kard.report())
+
+    print("\n=== 30 objects through 14 physical pKeys (libmpk-style) ===")
+    kard = KardRuntime(num_threads=2)
+    for i in range(30):
+        kard.register_object(f"obj{i}")
+    for i in range(30):
+        tid = i % 2
+        kard.lock(tid, f"lock{i}")
+        kard.write(tid, f"obj{i}", i * i)
+        kard.unlock(tid, f"lock{i}")
+    print(
+        f"objects: 30, physical keys: {kard.domains.capacity}, "
+        f"domain evictions: {kard.domains.evictions}, "
+        f"races: {kard.race_count}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""MiniC: writing protected programs in a real (tiny) language.
+
+The paper's protection schemes are applied by instrumenting compilers.
+This example writes an ERIM-style session-key service in MiniC: the key
+material lives in a ``secure`` array (its pages coloured with a
+dedicated pKey, every access sandwiched between WRPKRUs), and the
+shadow-stack pass protects every return address.  The compiled binary
+runs on the cycle-level core under all three WRPKRU microarchitectures.
+"""
+
+from repro.core import CoreConfig, Simulator, WrpkruPolicy
+from repro.lang import CompileOptions, compile_module, interpret
+
+SOURCE = """
+// An ERIM-style session-key vault: keys are MPK-protected, accesses
+// happen only inside narrow permission windows.
+secure session_keys[16] = {4242, 1717, 9999};
+array message[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+array ciphertext[8];
+
+fn derive_key(slot, nonce) {
+    // Touch the vault: instrumented with a WRPKRU sandwich.
+    return session_keys[slot & 15] ^ (nonce * 2654435761);
+}
+
+fn encrypt_block(i, key) {
+    return (message[i & 7] + key) ^ (key >> 7);
+}
+
+fn main() {
+    var i = 0;
+    var checksum = 0;
+    while (i < 8) {
+        var key = derive_key(i % 3, i + 1);
+        var block = encrypt_block(i, key);
+        ciphertext[i] = block;
+        checksum = checksum ^ block;
+        i = i + 1;
+    }
+    session_keys[15] = checksum & 65535;   // vault write-back
+    return checksum;
+}
+"""
+
+
+def main() -> None:
+    expected = interpret(SOURCE)
+    print(f"reference interpreter: checksum = {expected:#x}\n")
+
+    compiled = compile_module(
+        SOURCE, CompileOptions(shadow_stack=True)
+    )
+    wrpkrus = sum(
+        1 for inst in compiled.program.instructions if inst.is_wrpkru
+    )
+    print(
+        f"compiled: {len(compiled.program)} instructions, "
+        f"{wrpkrus} WRPKRU sites, initial PKRU = "
+        f"{compiled.initial_pkru:#06x}"
+    )
+
+    from repro.analysis import scan_program
+
+    assert scan_program(compiled.program) == []
+    print("WRPKRU binary discipline: verified by the SSIX-B scanner\n")
+
+    baseline = None
+    for policy in WrpkruPolicy:
+        sim = Simulator(
+            compiled.program,
+            CoreConfig(wrpkru_policy=policy),
+            initial_pkru=compiled.initial_pkru,
+        )
+        sim.prewarm_tlb()
+        result = sim.run(max_cycles=1_000_000)
+        assert result.halted and result.fault is None
+        actual = sim.prf.read(
+            sim.rename_tables.amt[compiled.result_register()]
+        )
+        assert actual == expected
+        if baseline is None:
+            baseline = sim.stats.cycles
+        print(
+            f"{policy.value:15s}: checksum {actual:#x} in "
+            f"{sim.stats.cycles:5d} cycles "
+            f"({baseline / sim.stats.cycles:.2f}x vs serialized, "
+            f"{sim.stats.wrpkru_retired} WRPKRUs retired)"
+        )
+
+    # The vault is inaccessible outside the instrumented windows.
+    from repro.mpk import ProtectionFault
+
+    vault = compiled.array_regions["session_keys"]
+    try:
+        sim.memory.load(vault.base, compiled.initial_pkru)
+    except ProtectionFault as fault:
+        print(f"\ndirect vault access under the locked PKRU: {fault}")
+
+
+if __name__ == "__main__":
+    main()

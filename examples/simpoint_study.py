@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""SimPoint methodology + ROB_pkru sensitivity (Figs. 9/11 workflow).
+
+Reproduces the paper's evaluation flow on one workload:
+
+1. Profile basic-block vectors functionally and select representative
+   intervals by k-means clustering (SimPoint [48]).
+2. Detailed-simulate only those intervals and combine IPCs by weight.
+3. Sweep the ROB_pkru size to show the Fig. 11 sensitivity.
+"""
+
+from repro.core import CoreConfig, Simulator, WrpkruPolicy
+from repro.simpoint import collect_bbv, select_simpoints, weighted_ipc
+from repro.workloads import build_workload, profile_by_label
+
+LABEL = "520.omnetpp_r (SS)"
+
+
+def main() -> None:
+    workload = build_workload(profile_by_label(LABEL))
+    print(f"workload: {LABEL} ({len(workload.program)} static instructions)")
+
+    print("\n=== 1. BBV profiling + SimPoint selection ===")
+    profile = collect_bbv(
+        workload.program, interval_length=3000,
+        max_instructions=60_000, pkru=workload.initial_pkru,
+    )
+    selection = select_simpoints(profile, top_n=4)
+    print(f"profiled {profile.total_instructions} instructions "
+          f"in {profile.num_intervals} intervals")
+    for point in selection.points:
+        print(f"  simpoint: interval {point.interval_index:3d} "
+              f"(cluster {point.cluster}, weight {point.weight:.2f})")
+
+    print("\n=== 2. Weighted IPC from detailed simpoint simulation ===")
+    for policy in (WrpkruPolicy.SERIALIZED, WrpkruPolicy.SPECMPK):
+        ipc = weighted_ipc(
+            workload.program, selection,
+            config=CoreConfig(wrpkru_policy=policy),
+            initial_pkru=workload.initial_pkru,
+        )
+        print(f"  {policy.value:15s}: weighted IPC {ipc:.3f}")
+
+    print("\n=== 3. ROB_pkru sensitivity (Fig. 11) ===")
+    base = None
+    for size in (2, 4, 8):
+        config = CoreConfig(
+            wrpkru_policy=WrpkruPolicy.SPECMPK, rob_pkru_size=size
+        )
+        sim = Simulator(workload.program, config,
+                        initial_pkru=workload.initial_pkru)
+        sim.prewarm_tlb()
+        sim.run(max_instructions=10_000, warmup_instructions=3_000,
+                max_cycles=5_000_000)
+        if base is None:
+            base = sim.stats.ipc
+        ratio = f"1/{config.active_list_size // size}"
+        print(f"  ROB_pkru={size} (AL ratio {ratio}): "
+              f"IPC {sim.stats.ipc:.3f} "
+              f"({sim.stats.rename_stall_rob_pkru_full} full-window stalls)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""SpecMPK reproduction: speculative and secure MPK permission updates.
+
+A full-system Python reproduction of *SpecMPK: Efficient In-Process
+Isolation with Speculative and Secure Permission Update Instruction*
+(HPCA 2025): a cycle-level out-of-order core with MPK semantics, the
+SpecMPK microarchitecture, synthetic SPEC-like workloads with
+shadow-stack/CPI instrumentation, Spectre-style attack PoCs, and a
+harness regenerating every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import CoreConfig, Simulator, WrpkruPolicy, assemble
+
+    program = assemble('''
+        .region secret 4096 pkey=1
+        main:
+            li   eax, 0b0100   # access-disable pKey 1
+            wrpkru
+            halt
+    ''')
+    sim = Simulator(program, CoreConfig(wrpkru_policy=WrpkruPolicy.SPECMPK))
+    result = sim.run()
+    print(sim.stats.report())
+"""
+
+from .core import (
+    CoreConfig,
+    CosimMismatch,
+    SimResult,
+    SimStats,
+    Simulator,
+    SpecMpkUnit,
+    WrpkruPolicy,
+    table_iii_config,
+)
+from .isa import (
+    DataRegion,
+    Emulator,
+    Instruction,
+    Opcode,
+    Program,
+    ProgramBuilder,
+    assemble,
+    run_program,
+)
+from .memory import AddressSpace
+from .lang import CompileOptions, compile_module, interpret
+from .mpk import (
+    NUM_PKEYS,
+    PKeyAllocator,
+    ProtectionFault,
+    make_pkru,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressSpace",
+    "CoreConfig",
+    "CosimMismatch",
+    "DataRegion",
+    "Emulator",
+    "Instruction",
+    "NUM_PKEYS",
+    "Opcode",
+    "PKeyAllocator",
+    "Program",
+    "ProgramBuilder",
+    "ProtectionFault",
+    "SimResult",
+    "SimStats",
+    "Simulator",
+    "SpecMpkUnit",
+    "WrpkruPolicy",
+    "CompileOptions",
+    "assemble",
+    "compile_module",
+    "interpret",
+    "make_pkru",
+    "run_program",
+    "table_iii_config",
+    "__version__",
+]

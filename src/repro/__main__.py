@@ -1,0 +1,286 @@
+"""Command-line driver: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — version, Table III configuration, workload list.
+* ``run`` — simulate one workload under one (or every) WRPKRU policy.
+* ``attack`` — run a transient-execution PoC across policies.
+* ``reproduce`` — regenerate paper tables/figures into a directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SpecMPK reproduction driver",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show configuration and workloads")
+
+    run_parser = sub.add_parser("run", help="simulate one workload")
+    run_parser.add_argument("label", help='e.g. "520.omnetpp_r (SS)"')
+    run_parser.add_argument(
+        "--policy", choices=["serialized", "nonsecure_spec", "specmpk",
+                             "all"],
+        default="all",
+    )
+    run_parser.add_argument("--instructions", type=int, default=None)
+    run_parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable statistics instead of the report",
+    )
+
+    attack_parser = sub.add_parser("attack", help="run a PoC attack")
+    attack_parser.add_argument(
+        "name", choices=["v1", "bti", "overflow", "chosen"],
+    )
+
+    compile_parser = sub.add_parser(
+        "compile", help="compile a MiniC file and run it"
+    )
+    compile_parser.add_argument("path", type=pathlib.Path)
+    compile_parser.add_argument(
+        "--policy", choices=["serialized", "nonsecure_spec", "specmpk",
+                             "all"],
+        default="specmpk",
+    )
+    compile_parser.add_argument("--shadow-stack", action="store_true")
+    compile_parser.add_argument(
+        "--no-secure-arrays", action="store_true",
+        help="ignore `secure` declarations (unprotected baseline build)",
+    )
+    compile_parser.add_argument(
+        "--emit-asm", action="store_true",
+        help="print the generated assembly listing and exit",
+    )
+
+    repro_parser = sub.add_parser(
+        "reproduce", help="regenerate paper tables/figures"
+    )
+    repro_parser.add_argument(
+        "--experiments",
+        default="all",
+        help="comma-separated subset: fig3,fig4,fig9,fig10,fig11,fig13,"
+             "table1,table2,table3,hw,mprotect (default: all)",
+    )
+    repro_parser.add_argument(
+        "--out", type=pathlib.Path, default=pathlib.Path("results"),
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "attack":
+        return _cmd_attack(args)
+    if args.command == "compile":
+        return _cmd_compile(args)
+    if args.command == "reproduce":
+        return _cmd_reproduce(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _cmd_info() -> int:
+    import repro
+    from repro.harness import render_table, table3_configuration
+    from repro.workloads import ALL_PROFILES
+
+    print(f"SpecMPK reproduction v{repro.__version__}")
+    print()
+    print(render_table(table3_configuration(), title="Core configuration"))
+    print()
+    print("Workloads:")
+    for profile in ALL_PROFILES:
+        print(f"  {profile.label:26s} ({profile.suite}, "
+              f"{profile.working_set_kib} KiB working set)")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    import json
+
+    from repro.core import WrpkruPolicy
+    from repro.harness import run_workload
+
+    policies = (
+        list(WrpkruPolicy)
+        if args.policy == "all"
+        else [WrpkruPolicy(args.policy)]
+    )
+    baseline = None
+    json_out = {}
+    for policy in policies:
+        stats = run_workload(args.label, policy,
+                             instructions=args.instructions)
+        if baseline is None:
+            baseline = stats.ipc
+        if args.json:
+            json_out[policy.value] = stats.as_dict()
+            continue
+        print(f"=== {args.label} under {policy.value} ===")
+        print(stats.report())
+        if policy is not policies[0]:
+            print(f"normalized IPC vs {policies[0].value}: "
+                  f"{stats.ipc / baseline:.3f}")
+        print()
+    if args.json:
+        print(json.dumps({"workload": args.label, "runs": json_out},
+                         indent=2))
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    from repro.attacks import (
+        build_chosen_code_poc,
+        build_spectre_bti_poc,
+        build_spectre_v1_poc,
+        build_speculative_overflow_poc,
+        run_attack,
+    )
+    from repro.core import WrpkruPolicy
+
+    builders = {
+        "v1": (build_spectre_v1_poc, False),
+        "bti": (build_spectre_bti_poc, False),
+        "overflow": (build_speculative_overflow_poc, False),
+        "chosen": (build_chosen_code_poc, True),
+    }
+    builder, expect_fault = builders[args.name]
+    attack = builder()
+    leaked_anywhere = False
+    for policy in WrpkruPolicy:
+        result = run_attack(attack, policy, expect_fault=expect_fault)
+        verdict = "LEAKED" if result.leaked else "mitigated"
+        leaked_anywhere |= result.leaked
+        print(f"{policy.value:15s}: {verdict} "
+              f"(hot probe values: {result.hot_values or '-'})")
+    return 0 if leaked_anywhere else 1  # v1 must leak somewhere
+
+
+def _cmd_compile(args) -> int:
+    from repro.core import CoreConfig, Simulator, WrpkruPolicy
+    from repro.lang import CompileOptions, compile_module
+
+    source = args.path.read_text()
+    options = CompileOptions(
+        shadow_stack=args.shadow_stack,
+        protect_secure_arrays=not args.no_secure_arrays,
+    )
+    compiled = compile_module(source, options)
+    wrpkrus = sum(
+        1 for inst in compiled.program.instructions if inst.is_wrpkru
+    )
+    print(f"compiled {args.path}: {len(compiled.program)} instructions, "
+          f"{wrpkrus} WRPKRU sites")
+    if args.emit_asm:
+        print(compiled.program.listing())
+        return 0
+    policies = (
+        list(WrpkruPolicy)
+        if args.policy == "all"
+        else [WrpkruPolicy(args.policy)]
+    )
+    for policy in policies:
+        sim = Simulator(
+            compiled.program, CoreConfig(wrpkru_policy=policy),
+            initial_pkru=compiled.initial_pkru,
+        )
+        sim.prewarm_tlb()
+        result = sim.run(max_cycles=10_000_000)
+        if result.fault is not None:
+            print(f"{policy.value}: FAULT: {result.fault}")
+            return 1
+        value = sim.prf.read(
+            sim.rename_tables.amt[compiled.result_register()]
+        )
+        print(f"{policy.value:15s}: main() = {value} "
+              f"({sim.stats.cycles} cycles, IPC {sim.stats.ipc:.2f})")
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.harness import (
+        fig3_serialization_study,
+        fig4_overhead_breakdown,
+        fig9_normalized_ipc,
+        fig10_wrpkru_frequency,
+        fig11_rob_pkru_sensitivity,
+        fig13_flush_reload,
+        motivation_mprotect_vs_mpk,
+        render_bars,
+        render_latency_series,
+        render_table,
+        section8_hardware_overhead,
+        table1_isolation_properties,
+        table2_source_operands,
+        table3_configuration,
+    )
+
+    out: pathlib.Path = args.out
+    out.mkdir(parents=True, exist_ok=True)
+    wanted = (
+        None if args.experiments == "all"
+        else set(args.experiments.split(","))
+    )
+
+    def selected(name: str) -> bool:
+        return wanted is None or name in wanted
+
+    def save(name: str, text: str) -> None:
+        (out / f"{name}.txt").write_text(text + "\n")
+        print(f"[{name}] written to {out / (name + '.txt')}")
+
+    if selected("table1"):
+        data = table1_isolation_properties()
+        save("table1", render_table(data["rows"], title="Table I"))
+    if selected("table2"):
+        save("table2", render_table(table2_source_operands(),
+                                    title="Table II"))
+    if selected("table3"):
+        save("table3", render_table(table3_configuration(),
+                                    title="Table III"))
+    if selected("hw"):
+        data = section8_hardware_overhead()
+        save("hw_overhead",
+             f"total: {data['total_bytes']:.1f} B "
+             f"({data['l1d_fraction']:.2%} of L1D)")
+    if selected("fig13"):
+        data = fig13_flush_reload()
+        save("fig13", render_latency_series(
+            data["nonsecure_latencies"], title="NonSecure:")
+            + "\n" + render_latency_series(
+                data["specmpk_latencies"], title="SpecMPK:"))
+    if selected("fig3"):
+        rows = fig3_serialization_study()
+        save("fig3", render_table(rows, title="Fig. 3"))
+    if selected("fig4"):
+        rows = fig4_overhead_breakdown()
+        save("fig4", render_table(rows, title="Fig. 4"))
+    if selected("fig9"):
+        rows = fig9_normalized_ipc()
+        save("fig9", render_table(rows, title="Fig. 9"))
+    if selected("fig10"):
+        rows = fig10_wrpkru_frequency()
+        save("fig10", render_bars(
+            [(r["workload"], r["wrpkru_per_kilo"]) for r in rows],
+            title="Fig. 10"))
+    if selected("fig11"):
+        rows = fig11_rob_pkru_sensitivity()
+        save("fig11", render_table(rows, title="Fig. 11"))
+    if selected("mprotect"):
+        rows = motivation_mprotect_vs_mpk()
+        save("mprotect", render_table(rows, title="mprotect vs MPK"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Analysis models: the isolation taxonomy and the hardware cost model."""
+
+from .hardware_cost import HardwareCost
+from .mprotect_model import (
+    MprotectEstimate,
+    estimate_mprotect_cost,
+)
+from .window_analysis import (
+    WindowViolation,
+    analyze_windows,
+    assert_windows_balanced,
+)
+from .wrpkru_scanner import (
+    WrpkruViolation,
+    assert_safe,
+    scan_program,
+)
+from .isolation_taxonomy import (
+    TECHNIQUES,
+    IsolationTechnique,
+    render_table_i,
+    table_i,
+    verify_probes,
+)
+
+__all__ = [
+    "HardwareCost",
+    "MprotectEstimate",
+    "estimate_mprotect_cost",
+    "IsolationTechnique",
+    "TECHNIQUES",
+    "render_table_i",
+    "table_i",
+    "verify_probes",
+    "WrpkruViolation",
+    "assert_safe",
+    "scan_program",
+    "WindowViolation",
+    "analyze_windows",
+    "assert_windows_balanced",
+]

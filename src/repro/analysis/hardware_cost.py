@@ -1,0 +1,151 @@
+"""Hardware overhead model for SpecMPK (paper SSVIII).
+
+Bit-exact accounting of the new sequential state:
+
+* ``ROB_pkru`` — per entry: a 32-bit PKRU value plus two 16-pKey
+  decrement bitmaps (which counters this entry incremented).
+* ``ROBHead/ROBTail`` pointers, ``ARF_pkru``, ``RMT_pkru`` (valid+tag).
+* ``AccessDisableCounter`` / ``WriteDisableCounter`` — one counter per
+  pKey, each floor(log2(ROB_pkru size)) + 1 bits wide (SSV-C1).
+* One forwarding-disable bit per Store Queue entry.
+
+For the Table III configuration this comes to ~93 bytes, matching the
+paper's "93B of sequential logic, approximately 0.19% of the L1 data
+cache".  The area/power figures are anchored to the paper's reported
+synthesis results and scale with the state bits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from ..core.config import CoreConfig
+from ..mpk.pkru import NUM_PKEYS, PKRU_BITS
+
+
+class HardwareCost:
+    """Sequential-state and area/power estimates for one configuration."""
+
+    #: Paper's 45 nm synthesis results for the Table III configuration.
+    _REF_AREA_UM2 = 5887.91
+    _REF_CELLS = 3103
+    _REF_DYNAMIC_POWER_PCT = 2.02
+    _REF_LEAKAGE_POWER_PCT = 0.39
+
+    def __init__(self, config: CoreConfig) -> None:
+        self.config = config
+
+    # -- sequential state ------------------------------------------------
+
+    @property
+    def counter_width_bits(self) -> int:
+        """Per-pKey counter width: floor(log2(ROB_pkru size)) + 1."""
+        return int(math.floor(math.log2(self.config.rob_pkru_size))) + 1
+
+    @property
+    def rob_pkru_entry_bits(self) -> int:
+        """PKRU value + AD and WD decrement bitmaps."""
+        return PKRU_BITS + 2 * NUM_PKEYS
+
+    @property
+    def rob_pkru_bits(self) -> int:
+        return self.config.rob_pkru_size * self.rob_pkru_entry_bits
+
+    @property
+    def rob_pointer_bits(self) -> int:
+        """Head + tail pointers into ROB_pkru."""
+        width = max(1, math.ceil(math.log2(self.config.rob_pkru_size)))
+        return 2 * width
+
+    @property
+    def arf_pkru_bits(self) -> int:
+        return PKRU_BITS
+
+    @property
+    def rmt_pkru_bits(self) -> int:
+        """Valid bit + ROB_pkru tag."""
+        tag = max(1, math.ceil(math.log2(self.config.rob_pkru_size)))
+        return 1 + tag
+
+    @property
+    def counter_bits(self) -> int:
+        """Both Disabling Counter files."""
+        return 2 * NUM_PKEYS * self.counter_width_bits
+
+    @property
+    def store_queue_bits(self) -> int:
+        """One forwarding-disable bit per SQ entry."""
+        return self.config.store_queue_size
+
+    @property
+    def total_bits(self) -> int:
+        return (
+            self.rob_pkru_bits
+            + self.rob_pointer_bits
+            + self.arf_pkru_bits
+            + self.rmt_pkru_bits
+            + self.counter_bits
+            + self.store_queue_bits
+        )
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8.0
+
+    @property
+    def l1d_fraction(self) -> float:
+        """Sequential state relative to the L1 data cache capacity."""
+        return self.total_bytes / self.config.l1d.size
+
+    # -- area / power (anchored to the paper's synthesis) ------------------
+
+    def _scale(self) -> float:
+        reference = HardwareCost(CoreConfig())
+        return self.total_bits / reference.total_bits
+
+    @property
+    def area_um2(self) -> float:
+        """45 nm area estimate, scaled from the paper's synthesis."""
+        return self._REF_AREA_UM2 * self._scale()
+
+    @property
+    def logic_cells(self) -> int:
+        return round(self._REF_CELLS * self._scale())
+
+    @property
+    def dynamic_power_vs_l1d_pct(self) -> float:
+        return self._REF_DYNAMIC_POWER_PCT * self._scale()
+
+    @property
+    def leakage_power_vs_l1d_pct(self) -> float:
+        return self._REF_LEAKAGE_POWER_PCT * self._scale()
+
+    # -- reporting ---------------------------------------------------------
+
+    def breakdown(self) -> Dict[str, int]:
+        return {
+            "ROB_pkru (values + bitmaps)": self.rob_pkru_bits,
+            "ROB_pkru head/tail pointers": self.rob_pointer_bits,
+            "ARF_pkru": self.arf_pkru_bits,
+            "RMT_pkru (valid + tag)": self.rmt_pkru_bits,
+            "Disabling counters (AD + WD)": self.counter_bits,
+            "Store Queue forwarding bits": self.store_queue_bits,
+        }
+
+    def report(self) -> str:
+        lines = ["SpecMPK sequential state:"]
+        for component, bits in self.breakdown().items():
+            lines.append(f"  {component:32s} {bits:5d} bits")
+        lines.append(
+            f"  {'TOTAL':32s} {self.total_bits:5d} bits "
+            f"= {self.total_bytes:.1f} B "
+            f"({self.l1d_fraction:.2%} of the L1D)"
+        )
+        lines.append(
+            f"  45nm estimate: {self.area_um2:.0f} um^2, "
+            f"{self.logic_cells} cells, "
+            f"+{self.dynamic_power_vs_l1d_pct:.2f}% dynamic / "
+            f"+{self.leakage_power_vs_l1d_pct:.2f}% leakage vs L1D access"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Isolation-technique taxonomy (paper Table I, SSIII-A).
+
+Each technique is modelled with the three properties the paper uses to
+compare them — fast interleaved access, secure isolation, and
+least-privilege capability — together with the mechanism and the
+citation-backed reason for each verdict.  Where the verdict rests on a
+dynamic argument, an executable probe demonstrates it on this repo's
+own substrates (e.g. mprotect's TLB shootdowns, MPK's shootdown-free
+permission switch, MPX's speculative bypass).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+from ..memory.address_space import AddressSpace
+from ..memory.page_table import PAGE_SIZE
+from ..memory.tlb import Tlb
+from ..mpk.pkru import NUM_PKEYS, make_pkru
+
+
+class IsolationTechnique(NamedTuple):
+    """One Table I row plus its justification."""
+
+    name: str
+    fast_interleaved_access: bool
+    secure: bool
+    least_privilege: bool
+    mechanism: str
+    notes: str
+    #: Optional executable demonstration returning True when the
+    #: claimed property is observed on this repo's substrates.
+    probe: Optional[Callable[[], bool]] = None
+
+
+def _probe_mprotect_shootdowns() -> bool:
+    """mprotect-style domain switches flush the TLB; MPK's do not."""
+    space = AddressSpace()
+    space.page_table.map_range(0x10000, 4 * PAGE_SIZE)
+    tlb = Tlb(space.page_table, entries=16)
+    for page in range(4):
+        address = 0x10000 + page * PAGE_SIZE
+        tlb.fill(address, tlb.walk(address))
+    space.mprotect(0x10000, PAGE_SIZE, readable=True, writable=False)
+    mprotect_flushed = tlb.lookup(0x13000) is None  # everything gone
+    # Refill, then switch domains the MPK way: PKRU write, no PTE touch.
+    for page in range(4):
+        address = 0x10000 + page * PAGE_SIZE
+        tlb.fill(address, tlb.walk(address))
+    _ = make_pkru(disabled=[3])  # the "domain switch"
+    mpk_kept = tlb.lookup(0x13000) is not None
+    return mprotect_flushed and mpk_kept
+
+
+def _probe_mpk_16_domains() -> bool:
+    """MPK distinguishes 16 mutually isolated domains."""
+    pkru = make_pkru(disabled=[k for k in range(1, NUM_PKEYS)])
+    from ..mpk.pkru import access_disabled
+
+    return not access_disabled(pkru, 0) and all(
+        access_disabled(pkru, k) for k in range(1, NUM_PKEYS)
+    )
+
+
+def _probe_mpx_speculative_bypass() -> bool:
+    """Bound checks are conditional branches: a mispredict transiently
+    skips them, exactly how our Spectre-v1 PoC bypasses its branch."""
+    from ..attacks import build_spectre_v1_poc, run_attack
+    from ..core.config import WrpkruPolicy
+
+    # An address-based check degenerates to a branch; the v1 PoC's
+    # branch bypass under the unprotected microarchitecture stands in.
+    result = run_attack(build_spectre_v1_poc(num_values=110),
+                        WrpkruPolicy.NONSECURE_SPEC)
+    return result.leaked
+
+
+TECHNIQUES: List[IsolationTechnique] = [
+    IsolationTechnique(
+        "MPK", True, True, True,
+        mechanism="pKey per PTE + user-space PKRU permission register",
+        notes="WRPKRU switches domains without TLB shootdown; 16 keys "
+              "give mutually isolated least-privilege domains; accesses "
+              "are blocked in hardware both ways.",
+        probe=_probe_mpk_16_domains,
+    ),
+    IsolationTechnique(
+        "Mprotect", False, True, True,
+        mechanism="page-table RW bits rewritten per domain switch",
+        notes="Secure, but every switch rewrites PTEs and forces TLB "
+              "shootdowns, so interleaved access is slow.",
+        probe=_probe_mprotect_shootdowns,
+    ),
+    IsolationTechnique(
+        "MPX", True, False, True,
+        mechanism="per-access bound-check instructions",
+        notes="Bound checks can be bypassed speculatively [16],[37] and "
+              "uninstrumented (third-party) code is unconstrained.",
+        probe=_probe_mpx_speculative_bypass,
+    ),
+    IsolationTechnique(
+        "ASLR", True, False, True,
+        mechanism="randomised memory layout",
+        notes="Layout is recoverable through side channels and "
+              "speculative probing [15],[19],[22],[24],[65].",
+    ),
+    IsolationTechnique(
+        "IMIX [20]", True, True, False,
+        mechanism="protected pages accessible only via the smov opcode",
+        notes="A single protected class: cannot distinguish isolated "
+              "regions from one another, so no least privilege.",
+    ),
+    IsolationTechnique(
+        "SEIMI [54]", True, True, False,
+        mechanism="SMAP-based user/supervisor split (needs "
+                  "virtualisation)",
+        notes="Two worlds only: no per-region least privilege.",
+    ),
+    IsolationTechnique(
+        "SFI [46]", True, False, True,
+        mechanism="address masking on every access",
+        notes="Masking silently redirects rather than detects invalid "
+              "accesses, and uninstrumented code escapes it [20],[31].",
+    ),
+]
+
+
+def table_i() -> List[Dict[str, str]]:
+    """Table I as render-ready rows."""
+    def mark(flag: bool) -> str:
+        return "yes" if flag else "NO"
+
+    return [
+        {
+            "Isolation Method": t.name,
+            "Fast Interleaved Access": mark(t.fast_interleaved_access),
+            "Secure": mark(t.secure),
+            "Least-Privilege Capability": mark(t.least_privilege),
+        }
+        for t in TECHNIQUES
+    ]
+
+
+def verify_probes() -> Dict[str, bool]:
+    """Run every executable probe; all should return True."""
+    return {
+        technique.name: technique.probe()
+        for technique in TECHNIQUES
+        if technique.probe is not None
+    }
+
+
+def render_table_i() -> str:
+    rows = table_i()
+    headers = list(rows[0])
+    widths = [
+        max(len(h), *(len(r[h]) for r in rows)) for h in headers
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(row[h].ljust(w) for h, w in zip(headers, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""mprotect-based isolation cost model (paper SSIII-A motivation).
+
+The paper motivates MPK by contrasting it with ``mprotect``-based
+domain switching: every switch is a syscall that rewrites PTE
+permission bits and forces a TLB shootdown, after which the working
+set's translations refill through page walks.  This module prices an
+mprotect-based variant of a measured MPK run:
+
+* the measured pipeline cycles stay as the compute baseline;
+* every permission switch (one per WRPKRU retired) additionally pays
+  the syscall round trip and the PTE rewrite;
+* every switch flushes the TLB, so the pages touched before the next
+  switch each pay a page walk.
+
+The syscall cost default follows the ERIM paper's measurements
+(~1 000 cycles per mprotect round trip on contemporary x86); the walk
+cost is the core's configured TLB walk latency.  The model is
+deliberately favourable to mprotect (no kernel lock contention, no
+IPI costs for multi-core shootdowns), so the reported gap is a lower
+bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+from ..core.stats import SimStats
+
+#: Cycles per mprotect syscall round trip (ERIM reports ~1000).
+DEFAULT_SYSCALL_CYCLES = 1000
+#: Pages whose translations refill after each shootdown (hot set).
+DEFAULT_REFILL_PAGES = 8
+
+
+class MprotectEstimate(NamedTuple):
+    """Projected cost of an mprotect-based variant of one MPK run."""
+
+    mpk_cycles: int
+    switches: int
+    syscall_cycles: int
+    refill_cycles: int
+    mprotect_cycles: int
+
+    @property
+    def slowdown_vs_mpk(self) -> float:
+        """How much slower the mprotect variant is than the MPK run."""
+        if not self.mpk_cycles:
+            return 1.0
+        return self.mprotect_cycles / self.mpk_cycles
+
+
+def estimate_mprotect_cost(
+    stats: SimStats,
+    syscall_cycles: int = DEFAULT_SYSCALL_CYCLES,
+    walk_cycles: int = 30,
+    refill_pages: int = DEFAULT_REFILL_PAGES,
+) -> MprotectEstimate:
+    """Price an mprotect-based variant of the measured MPK run."""
+    switches = stats.wrpkru_retired
+    syscall_total = switches * syscall_cycles
+    refill_total = switches * refill_pages * walk_cycles
+    return MprotectEstimate(
+        mpk_cycles=stats.cycles,
+        switches=switches,
+        syscall_cycles=syscall_total,
+        refill_cycles=refill_total,
+        mprotect_cycles=stats.cycles + syscall_total + refill_total,
+    )
+
+
+def summarize(estimate: MprotectEstimate) -> Dict[str, float]:
+    return {
+        "switches": estimate.switches,
+        "mpk_cycles": estimate.mpk_cycles,
+        "mprotect_cycles": estimate.mprotect_cycles,
+        "slowdown_vs_mpk": estimate.slowdown_vs_mpk,
+    }

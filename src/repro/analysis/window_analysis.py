@@ -1,0 +1,136 @@
+"""Permission-window dataflow analysis (ERIM-style call-gate check).
+
+The scanner (:mod:`repro.analysis.wrpkru_scanner`) checks each WRPKRU
+*site*; this module checks *paths*: a forward dataflow over the
+program's CFG propagating the set of possible PKRU values, verifying
+that no control-flow path leaves a permissive window open — i.e. every
+``ret``/``halt`` (and, optionally, every call site) executes with the
+PKRU locked.  This is the property ERIM [51] enforces by binary
+inspection so a hijacked control flow cannot *inherit* an open window.
+
+WRPKRU values are read syntactically from the preceding
+``li eax, <imm>`` (run :func:`~repro.analysis.wrpkru_scanner.assert_safe`
+first; a computed WRPKRU makes the value unknown and is reported).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, NamedTuple, Optional, Set
+
+from ..isa.opcodes import Opcode
+from ..isa.program import Program
+from ..isa.registers import EAX
+
+#: Abstract PKRU value for "no WRPKRU executed yet".
+INITIAL = "initial"
+#: Abstract PKRU value for "written from a non-immediate EAX".
+UNKNOWN = "unknown"
+
+
+class WindowViolation(NamedTuple):
+    pc: int
+    kind: str
+    detail: str
+
+
+def _successors(program: Program, pc: int) -> List[int]:
+    inst = program.fetch(pc)
+    if inst is None or inst.is_halt or inst.opcode is Opcode.RET:
+        return []
+    if inst.opcode is Opcode.JMP:
+        return [inst.imm]
+    if inst.is_conditional_branch:
+        return [inst.imm, pc + 1]
+    if inst.opcode is Opcode.JR:
+        return []  # unknown target; treated as an exit (reported)
+    # CALL/CALLR: assume the callee is itself balanced and returns.
+    return [pc + 1]
+
+
+def analyze_windows(
+    program: Program,
+    locked_values: Set[int],
+    check_calls: bool = True,
+) -> List[WindowViolation]:
+    """Return violations of the "exits happen locked" property.
+
+    Args:
+        program: The binary to analyse.
+        locked_values: PKRU values considered safe at exits/calls
+            (the build's lock constant(s)).
+        check_calls: Also require call sites to execute locked, so a
+            callee never inherits an open window.
+    """
+    safe = set(locked_values) | {INITIAL}
+    states: Dict[int, FrozenSet] = {program.entry: frozenset({INITIAL})}
+    worklist = [program.entry]
+    violations: List[WindowViolation] = []
+    reported: Set[tuple] = set()
+
+    def report(pc: int, kind: str, detail: str) -> None:
+        if (pc, kind) not in reported:
+            reported.add((pc, kind))
+            violations.append(WindowViolation(pc, kind, detail))
+
+    while worklist:
+        pc = worklist.pop()
+        state = states[pc]
+        inst = program.fetch(pc)
+        if inst is None:
+            continue
+
+        # Transfer function.
+        if inst.is_wrpkru:
+            previous = program.fetch(pc - 1) if pc > 0 else None
+            if (
+                previous is not None
+                and previous.opcode is Opcode.LI
+                and previous.dst == EAX
+            ):
+                out_state: FrozenSet = frozenset({previous.imm})
+            else:
+                report(pc, "unknown-wrpkru",
+                       "WRPKRU value is not a preceding load-immediate")
+                out_state = frozenset({UNKNOWN})
+        else:
+            out_state = state
+
+        # Property checks at this pc.
+        permissive = {v for v in state if v not in safe}
+        if inst.is_halt or inst.opcode is Opcode.RET:
+            if permissive:
+                report(
+                    pc, "open-window-at-exit",
+                    f"{inst.opcode.value} reachable with PKRU in "
+                    f"{sorted(map(str, permissive))}",
+                )
+        elif inst.opcode is Opcode.JR:
+            report(pc, "indirect-jump",
+                   "jr target unknown to the window analysis")
+        elif check_calls and inst.is_call and permissive:
+            report(
+                pc, "open-window-at-call",
+                f"call executes with PKRU in "
+                f"{sorted(map(str, permissive))}",
+            )
+
+        # Propagate.
+        for successor in _successors(program, pc):
+            merged = states.get(successor, frozenset()) | out_state
+            if len(merged) > 8:
+                merged = frozenset({UNKNOWN})
+            if merged != states.get(successor):
+                states[successor] = merged
+                worklist.append(successor)
+
+    return violations
+
+
+def assert_windows_balanced(
+    program: Program, locked_values: Set[int], check_calls: bool = True
+) -> None:
+    """Raise ``ValueError`` listing any open-window paths."""
+    violations = analyze_windows(program, locked_values, check_calls)
+    if violations:
+        lines = [f"  pc {v.pc}: [{v.kind}] {v.detail}" for v in violations]
+        raise ValueError("unbalanced permission windows:\n" + "\n".join(lines))

@@ -1,0 +1,95 @@
+"""Static WRPKRU safety scanner (the paper's SSIX-B compiler assumption).
+
+SpecMPK's security argument assumes "WRPKRU instructions have their
+values to be written to PKRU independent of the control flow ...
+achieved through compiler support by using load-immediate for the EAX
+register ... and eliminating branch instructions between load-immediate
+and the subsequent WRPKRU".  ERIM [51] enforces the analogous property
+by binary inspection; this module does the same for repro programs:
+
+* every WRPKRU must be immediately preceded by ``li eax, <imm>``;
+* no control transfer may target the WRPKRU itself (which would skip
+  the load-immediate and execute it with attacker-influenced EAX);
+* EAX must not be written between the load-immediate and the WRPKRU
+  (trivially true with immediate adjacency, kept for clarity).
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Set
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode
+from ..isa.program import Program
+from ..isa.registers import EAX
+
+
+class WrpkruViolation(NamedTuple):
+    """One unsafe WRPKRU occurrence."""
+
+    pc: int
+    kind: str
+    detail: str
+
+
+def _branch_targets(program: Program) -> Set[int]:
+    """Every PC that some direct control transfer can land on."""
+    targets: Set[int] = set()
+    for inst in program.instructions:
+        if inst.is_control and inst.imm is not None:
+            targets.add(inst.imm)
+        if inst.is_call:
+            targets.add(inst.pc + 1)  # return site
+    return targets
+
+
+def scan_program(program: Program) -> List[WrpkruViolation]:
+    """Return all WRPKRU safety violations in *program* (empty = safe)."""
+    violations: List[WrpkruViolation] = []
+    targets = _branch_targets(program)
+    # Indirect control flow can land on any CPI dispatch-table entry;
+    # conservatively treat every label as a potential landing site for
+    # the "jump into the middle" check.
+    label_pcs = set(program.labels.values())
+    landing_sites = targets | label_pcs
+
+    for inst in program.instructions:
+        if not inst.is_wrpkru:
+            continue
+        pc = inst.pc
+        previous = program.fetch(pc - 1) if pc > 0 else None
+        if previous is None or previous.opcode is not Opcode.LI or (
+            previous.dst != EAX
+        ):
+            violations.append(
+                WrpkruViolation(
+                    pc, "no-load-immediate",
+                    "WRPKRU not immediately preceded by `li eax, <imm>`",
+                )
+            )
+            continue
+        if pc in landing_sites:
+            violations.append(
+                WrpkruViolation(
+                    pc, "branch-into-sequence",
+                    "a control transfer can reach the WRPKRU while "
+                    "skipping its load-immediate",
+                )
+            )
+    return violations
+
+
+def assert_safe(program: Program) -> None:
+    """Raise ``ValueError`` listing violations when the binary is unsafe."""
+    violations = scan_program(program)
+    if violations:
+        lines = [
+            f"  pc {v.pc}: [{v.kind}] {v.detail}" for v in violations
+        ]
+        raise ValueError(
+            "unsafe WRPKRU occurrences:\n" + "\n".join(lines)
+        )
+
+
+def count_wrpkru_sites(program: Program) -> int:
+    return sum(1 for inst in program.instructions if inst.is_wrpkru)

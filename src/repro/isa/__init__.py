@@ -1,0 +1,34 @@
+"""The repro ISA: instructions, programs, assembler, golden emulator."""
+
+from .assembler import AssemblerError, assemble
+from .builder import ProgramBuilder
+from .emulator import ArchState, Emulator, EmulatorLimitExceeded, run_program
+from .instruction import Instruction
+from .opcodes import Opcode
+from .program import PAGE_SIZE, DataRegion, Program, ProgramError
+from .registers import EAX, NUM_REGS, RA, SP, SSP, ZERO
+from .trace import Trace, record_trace
+
+__all__ = [
+    "AssemblerError",
+    "ArchState",
+    "DataRegion",
+    "Emulator",
+    "EmulatorLimitExceeded",
+    "EAX",
+    "Instruction",
+    "NUM_REGS",
+    "Opcode",
+    "PAGE_SIZE",
+    "Program",
+    "ProgramBuilder",
+    "ProgramError",
+    "RA",
+    "SP",
+    "SSP",
+    "ZERO",
+    "assemble",
+    "run_program",
+    "Trace",
+    "record_trace",
+]

@@ -1,0 +1,208 @@
+"""Two-pass text assembler for the repro ISA.
+
+Syntax (one instruction or directive per line, ``#`` comments)::
+
+    .region stack 4096 pkey=0
+    .region secret 4096 pkey=1 init=0:0xdeadbeef
+
+    main:
+        li   r2, 10
+        addi r2, r2, -1
+        st   r2, 8(sp)
+        ld   r3, 8(sp)
+        bne  r2, zero, main
+        call leaf
+        halt
+    leaf:
+        ret
+
+Memory operands use the familiar ``disp(base)`` form.  Stores are written
+``st value_reg, disp(base)``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from .instruction import Instruction
+from .opcodes import Opcode
+from .program import DataRegion, Program, ProgramError
+from .registers import parse_register
+
+_MEM_OPERAND = re.compile(r"^(-?\w+)\((\w+)\)$")
+_LABEL = re.compile(r"^([A-Za-z_][A-Za-z0-9_.$]*):$")
+
+_RRR = {
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.SLL, Opcode.SRL, Opcode.SLT, Opcode.MUL, Opcode.DIV,
+}
+_RRI = {
+    Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+    Opcode.SLLI, Opcode.SRLI,
+}
+_BRANCH = {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE}
+_NOARG = {Opcode.WRPKRU, Opcode.RDPKRU, Opcode.LFENCE, Opcode.NOP,
+          Opcode.HALT, Opcode.RET}
+
+
+class AssemblerError(ProgramError):
+    """Raised with the offending line number on parse failure."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def _parse_int(text: str) -> int:
+    return int(text, 0)
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [part.strip() for part in rest.split(",")] if rest else []
+
+
+def assemble(source: str, entry: str = "main") -> Program:
+    """Assemble *source* text into a :class:`Program`."""
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    regions: List[DataRegion] = []
+    next_base = 0x0001_0000
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        if line.startswith(".region"):
+            regions.append(_parse_region(line, lineno, next_base))
+            next_base = regions[-1].base + regions[-1].size + 4096
+            continue
+
+        match = _LABEL.match(line)
+        if match:
+            name = match.group(1)
+            if name in labels:
+                raise AssemblerError(lineno, f"duplicate label {name!r}")
+            labels[name] = len(instructions)
+            continue
+
+        instructions.append(_parse_instruction(line, lineno))
+
+    entry_pc = labels.get(entry, 0)
+    return Program(instructions, labels=labels, regions=regions, entry=entry_pc)
+
+
+def _parse_region(line: str, lineno: int, default_base: int) -> DataRegion:
+    parts = line.split()
+    if len(parts) < 3:
+        raise AssemblerError(lineno, ".region needs a name and a size")
+    name = parts[1]
+    try:
+        size = _parse_int(parts[2])
+    except ValueError:
+        raise AssemblerError(lineno, f"bad region size {parts[2]!r}") from None
+    pkey = 0
+    base = default_base
+    init: Dict[int, int] = {}
+    for option in parts[3:]:
+        if "=" not in option:
+            raise AssemblerError(lineno, f"bad region option {option!r}")
+        key, value = option.split("=", 1)
+        if key == "pkey":
+            pkey = _parse_int(value)
+        elif key == "base":
+            base = _parse_int(value)
+        elif key == "init":
+            for pair in value.split(";"):
+                offset, word = pair.split(":", 1)
+                init[_parse_int(offset)] = _parse_int(word)
+        else:
+            raise AssemblerError(lineno, f"unknown region option {key!r}")
+    pages = max(1, -(-size // 4096))
+    try:
+        return DataRegion(name, base, pages * 4096, pkey=pkey, init=init)
+    except ProgramError as exc:
+        raise AssemblerError(lineno, str(exc)) from None
+
+
+def _parse_instruction(line: str, lineno: int) -> Instruction:
+    mnemonic, _, rest = line.partition(" ")
+    try:
+        opcode = Opcode(mnemonic.lower())
+    except ValueError:
+        raise AssemblerError(lineno, f"unknown opcode {mnemonic!r}") from None
+    ops = _split_operands(rest.strip())
+
+    try:
+        return _build(opcode, ops)
+    except (ValueError, IndexError) as exc:
+        raise AssemblerError(lineno, f"bad operands for {mnemonic}: {exc}") from None
+
+
+def _build(opcode: Opcode, ops: List[str]) -> Instruction:
+    if opcode in _NOARG:
+        _expect(ops, 0)
+        return Instruction(opcode)
+    if opcode in _RRR:
+        _expect(ops, 3)
+        return Instruction(
+            opcode,
+            dst=parse_register(ops[0]),
+            src1=parse_register(ops[1]),
+            src2=parse_register(ops[2]),
+        )
+    if opcode in _RRI:
+        _expect(ops, 3)
+        return Instruction(
+            opcode,
+            dst=parse_register(ops[0]),
+            src1=parse_register(ops[1]),
+            imm=_parse_int(ops[2]),
+        )
+    if opcode in (Opcode.LI, Opcode.LUI):
+        _expect(ops, 2)
+        return Instruction(opcode, dst=parse_register(ops[0]), imm=_parse_int(ops[1]))
+    if opcode is Opcode.MOV:
+        _expect(ops, 2)
+        return Instruction(opcode, dst=parse_register(ops[0]), src1=parse_register(ops[1]))
+    if opcode is Opcode.LD:
+        _expect(ops, 2)
+        disp, base = _parse_mem(ops[1])
+        return Instruction(opcode, dst=parse_register(ops[0]), src1=base, imm=disp)
+    if opcode is Opcode.ST:
+        _expect(ops, 2)
+        disp, base = _parse_mem(ops[1])
+        return Instruction(opcode, src1=base, src2=parse_register(ops[0]), imm=disp)
+    if opcode is Opcode.CLFLUSH:
+        _expect(ops, 1)
+        disp, base = _parse_mem(ops[0])
+        return Instruction(opcode, src1=base, imm=disp)
+    if opcode in _BRANCH:
+        _expect(ops, 3)
+        return Instruction(
+            opcode,
+            src1=parse_register(ops[0]),
+            src2=parse_register(ops[1]),
+            target_label=ops[2],
+        )
+    if opcode in (Opcode.JMP, Opcode.CALL):
+        _expect(ops, 1)
+        return Instruction(opcode, target_label=ops[0])
+    if opcode in (Opcode.JR, Opcode.CALLR):
+        _expect(ops, 1)
+        return Instruction(opcode, src1=parse_register(ops[0]))
+    raise ValueError(f"no encoding rule for {opcode}")
+
+
+def _expect(ops: List[str], count: int) -> None:
+    if len(ops) != count:
+        raise ValueError(f"expected {count} operands, got {len(ops)}")
+
+
+def _parse_mem(text: str):
+    match = _MEM_OPERAND.match(text.strip())
+    if match:
+        return _parse_int(match.group(1)), parse_register(match.group(2))
+    # Bare register means zero displacement.
+    return 0, parse_register(text)

@@ -1,0 +1,226 @@
+"""Programmatic program construction.
+
+:class:`ProgramBuilder` is the API used by the synthetic workload
+generators and the attack PoCs.  It offers one method per opcode plus
+label management and page-aligned data-region allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .instruction import Instruction
+from .opcodes import Opcode
+from .program import PAGE_SIZE, DataRegion, Program, ProgramError
+
+#: First byte address handed out to data regions.
+DATA_BASE = 0x0001_0000
+
+
+class ProgramBuilder:
+    """Incrementally build a :class:`Program`.
+
+    Example::
+
+        b = ProgramBuilder()
+        stack = b.region("stack", 4096)
+        b.label("main")
+        b.li(2, 41)
+        b.addi(2, 2, 1)
+        b.halt()
+        program = b.build(entry="main")
+    """
+
+    def __init__(self, data_base: int = DATA_BASE) -> None:
+        self._instructions = []
+        self._labels: Dict[str, int] = {}
+        self._regions = []
+        self._next_base = data_base
+
+    # -- structure -------------------------------------------------------
+
+    @property
+    def pc(self) -> int:
+        """PC of the next instruction to be emitted."""
+        return len(self._instructions)
+
+    def label(self, name: str) -> int:
+        """Bind *name* to the current PC."""
+        if name in self._labels:
+            raise ProgramError(f"duplicate label: {name!r}")
+        self._labels[name] = self.pc
+        return self.pc
+
+    def fresh_label(self, stem: str) -> str:
+        """Return an unused label name derived from *stem*."""
+        index = 0
+        while f"{stem}_{index}" in self._labels:
+            index += 1
+        return f"{stem}_{index}"
+
+    def region(
+        self,
+        name: str,
+        size: int,
+        pkey: int = 0,
+        init: Optional[Dict[int, int]] = None,
+        base: Optional[int] = None,
+    ) -> DataRegion:
+        """Allocate a page-aligned data region and return it.
+
+        Bases are handed out sequentially with a guard page between
+        regions so out-of-bounds accesses fault instead of silently
+        hitting a neighbour.
+        """
+        pages = max(1, -(-size // PAGE_SIZE))
+        if base is None:
+            base = self._next_base
+        aligned_size = pages * PAGE_SIZE
+        region = DataRegion(name, base, aligned_size, pkey=pkey, init=init)
+        self._regions.append(region)
+        self._next_base = max(self._next_base, base + aligned_size + PAGE_SIZE)
+        return region
+
+    def emit(self, inst: Instruction) -> Instruction:
+        self._instructions.append(inst)
+        return inst
+
+    def build(self, entry: str = "main") -> Program:
+        entry_pc = self._labels.get(entry, 0) if isinstance(entry, str) else entry
+        return Program(
+            self._instructions,
+            labels=self._labels,
+            regions=self._regions,
+            entry=entry_pc,
+        )
+
+    # -- ALU --------------------------------------------------------------
+
+    def _rrr(self, opcode: Opcode, dst: int, src1: int, src2: int) -> Instruction:
+        return self.emit(Instruction(opcode, dst=dst, src1=src1, src2=src2))
+
+    def _rri(self, opcode: Opcode, dst: int, src1: int, imm: int) -> Instruction:
+        return self.emit(Instruction(opcode, dst=dst, src1=src1, imm=imm))
+
+    def add(self, dst: int, src1: int, src2: int) -> Instruction:
+        return self._rrr(Opcode.ADD, dst, src1, src2)
+
+    def sub(self, dst: int, src1: int, src2: int) -> Instruction:
+        return self._rrr(Opcode.SUB, dst, src1, src2)
+
+    def and_(self, dst: int, src1: int, src2: int) -> Instruction:
+        return self._rrr(Opcode.AND, dst, src1, src2)
+
+    def or_(self, dst: int, src1: int, src2: int) -> Instruction:
+        return self._rrr(Opcode.OR, dst, src1, src2)
+
+    def xor(self, dst: int, src1: int, src2: int) -> Instruction:
+        return self._rrr(Opcode.XOR, dst, src1, src2)
+
+    def sll(self, dst: int, src1: int, src2: int) -> Instruction:
+        return self._rrr(Opcode.SLL, dst, src1, src2)
+
+    def srl(self, dst: int, src1: int, src2: int) -> Instruction:
+        return self._rrr(Opcode.SRL, dst, src1, src2)
+
+    def slt(self, dst: int, src1: int, src2: int) -> Instruction:
+        return self._rrr(Opcode.SLT, dst, src1, src2)
+
+    def mul(self, dst: int, src1: int, src2: int) -> Instruction:
+        return self._rrr(Opcode.MUL, dst, src1, src2)
+
+    def div(self, dst: int, src1: int, src2: int) -> Instruction:
+        return self._rrr(Opcode.DIV, dst, src1, src2)
+
+    def addi(self, dst: int, src1: int, imm: int) -> Instruction:
+        return self._rri(Opcode.ADDI, dst, src1, imm)
+
+    def andi(self, dst: int, src1: int, imm: int) -> Instruction:
+        return self._rri(Opcode.ANDI, dst, src1, imm)
+
+    def ori(self, dst: int, src1: int, imm: int) -> Instruction:
+        return self._rri(Opcode.ORI, dst, src1, imm)
+
+    def xori(self, dst: int, src1: int, imm: int) -> Instruction:
+        return self._rri(Opcode.XORI, dst, src1, imm)
+
+    def slli(self, dst: int, src1: int, imm: int) -> Instruction:
+        return self._rri(Opcode.SLLI, dst, src1, imm)
+
+    def srli(self, dst: int, src1: int, imm: int) -> Instruction:
+        return self._rri(Opcode.SRLI, dst, src1, imm)
+
+    def lui(self, dst: int, imm: int) -> Instruction:
+        return self.emit(Instruction(Opcode.LUI, dst=dst, imm=imm))
+
+    def li(self, dst: int, imm: int) -> Instruction:
+        return self.emit(Instruction(Opcode.LI, dst=dst, imm=imm))
+
+    def mov(self, dst: int, src: int) -> Instruction:
+        return self.emit(Instruction(Opcode.MOV, dst=dst, src1=src))
+
+    # -- memory -----------------------------------------------------------
+
+    def ld(self, dst: int, base: int, disp: int = 0) -> Instruction:
+        """``dst <- mem[reg[base] + disp]``"""
+        return self.emit(Instruction(Opcode.LD, dst=dst, src1=base, imm=disp))
+
+    def st(self, src: int, base: int, disp: int = 0) -> Instruction:
+        """``mem[reg[base] + disp] <- reg[src]``"""
+        return self.emit(Instruction(Opcode.ST, src1=base, src2=src, imm=disp))
+
+    # -- control flow -----------------------------------------------------
+
+    def _branch(self, opcode: Opcode, src1: int, src2: int, target: str) -> Instruction:
+        return self.emit(
+            Instruction(opcode, src1=src1, src2=src2, target_label=target)
+        )
+
+    def beq(self, src1: int, src2: int, target: str) -> Instruction:
+        return self._branch(Opcode.BEQ, src1, src2, target)
+
+    def bne(self, src1: int, src2: int, target: str) -> Instruction:
+        return self._branch(Opcode.BNE, src1, src2, target)
+
+    def blt(self, src1: int, src2: int, target: str) -> Instruction:
+        return self._branch(Opcode.BLT, src1, src2, target)
+
+    def bge(self, src1: int, src2: int, target: str) -> Instruction:
+        return self._branch(Opcode.BGE, src1, src2, target)
+
+    def jmp(self, target: str) -> Instruction:
+        return self.emit(Instruction(Opcode.JMP, target_label=target))
+
+    def jr(self, src: int) -> Instruction:
+        return self.emit(Instruction(Opcode.JR, src1=src))
+
+    def call(self, target: str) -> Instruction:
+        return self.emit(Instruction(Opcode.CALL, target_label=target))
+
+    def callr(self, src: int) -> Instruction:
+        return self.emit(Instruction(Opcode.CALLR, src1=src))
+
+    def ret(self) -> Instruction:
+        return self.emit(Instruction(Opcode.RET))
+
+    # -- MPK / system -----------------------------------------------------
+
+    def wrpkru(self) -> Instruction:
+        """PKRU <- EAX (implicit operands, as on x86)."""
+        return self.emit(Instruction(Opcode.WRPKRU))
+
+    def rdpkru(self) -> Instruction:
+        """EAX <- PKRU."""
+        return self.emit(Instruction(Opcode.RDPKRU))
+
+    def clflush(self, base: int, disp: int = 0) -> Instruction:
+        return self.emit(Instruction(Opcode.CLFLUSH, src1=base, imm=disp))
+
+    def lfence(self) -> Instruction:
+        return self.emit(Instruction(Opcode.LFENCE))
+
+    def nop(self) -> Instruction:
+        return self.emit(Instruction(Opcode.NOP))
+
+    def halt(self) -> Instruction:
+        return self.emit(Instruction(Opcode.HALT))

@@ -1,0 +1,218 @@
+"""Golden functional emulator.
+
+Executes programs architecturally (no pipeline, no speculation) with
+full MPK semantics.  The out-of-order core in :mod:`repro.core` is
+validated against this model: any committed-state divergence is a
+simulator bug, a property the test suite checks with hypothesis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..memory.address_space import AddressSpace
+from ..mpk.faults import MemoryFault
+from ..mpk.pkru import PKRU_MASK
+from .instruction import Instruction
+from .opcodes import Opcode
+from .program import Program
+from .registers import EAX, MASK64, NUM_REGS, RA, to_s64, to_u64
+
+
+class EmulatorLimitExceeded(Exception):
+    """The instruction budget ran out before HALT."""
+
+
+class ArchState:
+    """Architectural machine state: registers, PC, PKRU, memory."""
+
+    def __init__(self, address_space: AddressSpace, pkru: int = 0) -> None:
+        self.regs = [0] * NUM_REGS
+        self.pc = 0
+        self.pkru = pkru & PKRU_MASK
+        self.memory = address_space
+        self.halted = False
+
+    def read_reg(self, index: int) -> int:
+        return self.regs[index]
+
+    def write_reg(self, index: int, value: int) -> None:
+        if index != 0:  # r0 is hardwired zero
+            self.regs[index] = to_u64(value)
+
+
+class Emulator:
+    """Single-stepping architectural interpreter.
+
+    Args:
+        program: The resolved program to run.
+        address_space: Pre-built memory image; when None one is created
+            from the program's data regions.
+        pkru: Initial PKRU value.
+        fault_handler: Optional callback invoked with the raised
+            :class:`MemoryFault`; returning True means "handled,
+            retry/skip": the faulting instruction is *skipped* and
+            execution continues (this models a user trap handler that
+            fixes permissions, as Kard does).  Returning False or
+            raising propagates the fault.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        address_space: Optional[AddressSpace] = None,
+        pkru: int = 0,
+        fault_handler: Optional[Callable[[MemoryFault, "ArchState"], bool]] = None,
+    ) -> None:
+        self.program = program
+        if address_space is None:
+            address_space = AddressSpace()
+            address_space.map_regions(program.regions)
+        self.state = ArchState(address_space, pkru=pkru)
+        self.state.pc = program.entry
+        self.fault_handler = fault_handler
+        self.instructions_executed = 0
+        self.wrpkru_executed = 0
+        self.faults_handled = 0
+
+    # -- public API -------------------------------------------------------
+
+    def run(
+        self,
+        max_instructions: int = 1_000_000,
+        observer: Optional[Callable[[int, Instruction], None]] = None,
+    ) -> "ArchState":
+        """Run to HALT; raise :class:`EmulatorLimitExceeded` on budget."""
+        while not self.state.halted:
+            if self.instructions_executed >= max_instructions:
+                raise EmulatorLimitExceeded(
+                    f"no HALT within {max_instructions} instructions"
+                )
+            pc = self.state.pc
+            inst = self.step()
+            if observer is not None and inst is not None:
+                observer(pc, inst)
+        return self.state
+
+    def step(self) -> Optional[Instruction]:
+        """Execute one instruction; return it (None when already halted)."""
+        state = self.state
+        if state.halted:
+            return None
+        inst = self.program.fetch(state.pc)
+        if inst is None:
+            # Running off the end of the program is an implicit halt.
+            state.halted = True
+            return None
+        try:
+            self._execute(inst)
+        except MemoryFault as fault:
+            if self.fault_handler is not None and self.fault_handler(fault, state):
+                self.faults_handled += 1
+                state.pc = inst.pc + 1  # skip the faulting instruction
+            else:
+                raise
+        self.instructions_executed += 1
+        return inst
+
+    # -- execution --------------------------------------------------------
+
+    def _execute(self, inst: Instruction) -> None:
+        state = self.state
+        op = inst.opcode
+        next_pc = inst.pc + 1
+
+        if op in _ALU_EVAL:
+            a = state.read_reg(inst.src1) if inst.src1 is not None else 0
+            b = (
+                state.read_reg(inst.src2)
+                if inst.src2 is not None
+                else (inst.imm or 0)
+            )
+            state.write_reg(inst.dst, _ALU_EVAL[op](a, b))
+        elif op is Opcode.LI:
+            state.write_reg(inst.dst, inst.imm)
+        elif op is Opcode.LUI:
+            state.write_reg(inst.dst, (inst.imm or 0) << 16)
+        elif op is Opcode.MOV:
+            state.write_reg(inst.dst, state.read_reg(inst.src1))
+        elif op is Opcode.LD:
+            address = to_u64(state.read_reg(inst.src1) + (inst.imm or 0))
+            state.write_reg(inst.dst, state.memory.load(address, state.pkru))
+        elif op is Opcode.ST:
+            address = to_u64(state.read_reg(inst.src1) + (inst.imm or 0))
+            state.memory.store(address, state.read_reg(inst.src2), state.pkru)
+        elif op in _BRANCH_EVAL:
+            taken = _BRANCH_EVAL[op](
+                state.read_reg(inst.src1), state.read_reg(inst.src2)
+            )
+            if taken:
+                next_pc = inst.imm
+        elif op is Opcode.JMP:
+            next_pc = inst.imm
+        elif op is Opcode.JR:
+            next_pc = state.read_reg(inst.src1)
+        elif op is Opcode.CALL:
+            state.write_reg(RA, inst.pc + 1)
+            next_pc = inst.imm
+        elif op is Opcode.CALLR:
+            state.write_reg(RA, inst.pc + 1)
+            next_pc = state.read_reg(inst.src1)
+        elif op is Opcode.RET:
+            next_pc = state.read_reg(RA)
+        elif op is Opcode.WRPKRU:
+            state.pkru = state.read_reg(EAX) & PKRU_MASK
+            self.wrpkru_executed += 1
+        elif op is Opcode.RDPKRU:
+            state.write_reg(EAX, state.pkru)
+        elif op is Opcode.CLFLUSH:
+            pass  # cache maintenance: architecturally a no-op
+        elif op is Opcode.LFENCE:
+            pass  # ordering fence: architecturally a no-op
+        elif op is Opcode.NOP:
+            pass
+        elif op is Opcode.HALT:
+            state.halted = True
+        else:  # pragma: no cover - exhaustive over Opcode
+            raise NotImplementedError(f"opcode {op}")
+
+        state.pc = next_pc
+
+
+def _div(a: int, b: int) -> int:
+    return MASK64 if b == 0 else a // b
+
+
+_ALU_EVAL = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.ADDI: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.ANDI: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.ORI: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.XORI: lambda a, b: a ^ b,
+    Opcode.SLL: lambda a, b: a << (b % 64),
+    Opcode.SLLI: lambda a, b: a << (b % 64),
+    Opcode.SRL: lambda a, b: to_u64(a) >> (b % 64),
+    Opcode.SRLI: lambda a, b: to_u64(a) >> (b % 64),
+    Opcode.SLT: lambda a, b: int(to_s64(a) < to_s64(b)),
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: _div,
+}
+
+_BRANCH_EVAL = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLT: lambda a, b: to_s64(a) < to_s64(b),
+    Opcode.BGE: lambda a, b: to_s64(a) >= to_s64(b),
+}
+
+
+def run_program(
+    program: Program, pkru: int = 0, max_instructions: int = 1_000_000
+) -> ArchState:
+    """Convenience wrapper: build memory, run to HALT, return final state."""
+    emulator = Emulator(program, pkru=pkru)
+    return emulator.run(max_instructions=max_instructions)

@@ -1,0 +1,140 @@
+"""Instruction representation.
+
+An :class:`Instruction` is the static (decoded) form shared by the
+functional emulator and the out-of-order core.  The dynamic, in-flight
+form lives in :mod:`repro.core.dynamic` and wraps one of these.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .opcodes import (
+    Opcode,
+    is_call,
+    is_conditional_branch,
+    is_control,
+    is_indirect,
+    is_load,
+    is_memory,
+    is_return,
+    is_store,
+)
+from .registers import register_name
+
+
+class Instruction:
+    """One static instruction.
+
+    Fields follow a three-operand RISC convention:
+
+    * ``dst``  — destination register index or ``None``.
+    * ``src1`` / ``src2`` — source register indices or ``None``.
+    * ``imm``  — immediate (also the displacement for LD/ST and the
+      target PC for direct control flow once labels are resolved).
+    * ``target_label`` — unresolved label name for direct control flow.
+
+    Memory operands are ``imm(src1)`` i.e. base register plus
+    displacement; stores read the value from ``src2``.
+    """
+
+    __slots__ = ("opcode", "dst", "src1", "src2", "imm", "target_label", "pc")
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        dst: Optional[int] = None,
+        src1: Optional[int] = None,
+        src2: Optional[int] = None,
+        imm: Optional[int] = None,
+        target_label: Optional[str] = None,
+    ) -> None:
+        self.opcode = opcode
+        self.dst = dst
+        self.src1 = src1
+        self.src2 = src2
+        self.imm = imm
+        self.target_label = target_label
+        self.pc: Optional[int] = None
+
+    # -- classification helpers (delegate to opcode predicates) ---------
+
+    @property
+    def is_memory(self) -> bool:
+        return is_memory(self.opcode)
+
+    @property
+    def is_load(self) -> bool:
+        return is_load(self.opcode)
+
+    @property
+    def is_store(self) -> bool:
+        return is_store(self.opcode)
+
+    @property
+    def is_control(self) -> bool:
+        return is_control(self.opcode)
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return is_conditional_branch(self.opcode)
+
+    @property
+    def is_indirect(self) -> bool:
+        return is_indirect(self.opcode)
+
+    @property
+    def is_call(self) -> bool:
+        return is_call(self.opcode)
+
+    @property
+    def is_return(self) -> bool:
+        return is_return(self.opcode)
+
+    @property
+    def is_wrpkru(self) -> bool:
+        return self.opcode is Opcode.WRPKRU
+
+    @property
+    def is_rdpkru(self) -> bool:
+        return self.opcode is Opcode.RDPKRU
+
+    @property
+    def is_halt(self) -> bool:
+        return self.opcode is Opcode.HALT
+
+    def source_registers(self) -> tuple:
+        """Explicit source register indices (no PKRU, it is implicit)."""
+        sources = []
+        if self.src1 is not None:
+            sources.append(self.src1)
+        if self.src2 is not None:
+            sources.append(self.src2)
+        return tuple(sources)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Instruction {self.render()} @pc={self.pc}>"
+
+    def render(self) -> str:
+        """Render back to assembly text."""
+        op = self.opcode.value
+        if self.opcode in (Opcode.LD,):
+            return f"{op} {register_name(self.dst)}, {self.imm}({register_name(self.src1)})"
+        if self.opcode in (Opcode.ST,):
+            return f"{op} {register_name(self.src2)}, {self.imm}({register_name(self.src1)})"
+        if self.opcode is Opcode.CLFLUSH:
+            return f"{op} {self.imm or 0}({register_name(self.src1)})"
+        parts = []
+        if self.dst is not None:
+            parts.append(register_name(self.dst))
+        if self.src1 is not None:
+            parts.append(register_name(self.src1))
+        if self.src2 is not None:
+            parts.append(register_name(self.src2))
+        if self.target_label is not None:
+            parts.append(self.target_label)
+        elif self.imm is not None:
+            parts.append(str(self.imm))
+        if parts:
+            return f"{op} " + ", ".join(parts)
+        return op

@@ -1,0 +1,154 @@
+"""Opcode definitions for the repro RISC-like ISA.
+
+The ISA is deliberately small but covers everything the SpecMPK paper
+needs: integer ALU ops, loads/stores, direct and indirect control flow,
+the MPK permission-update instructions (WRPKRU/RDPKRU), and the cache
+maintenance instruction (CLFLUSH) used by the Flush+Reload attack PoC.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.Enum):
+    """Every instruction opcode understood by the assembler and cores."""
+
+    # Integer ALU
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    SLT = "slt"
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLLI = "slli"
+    SRLI = "srli"
+    LUI = "lui"
+    MUL = "mul"
+    DIV = "div"
+    MOV = "mov"
+    LI = "li"
+
+    # Memory
+    LD = "ld"
+    ST = "st"
+
+    # Control flow
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    JMP = "jmp"
+    JR = "jr"
+    CALL = "call"
+    CALLR = "callr"
+    RET = "ret"
+
+    # MPK
+    WRPKRU = "wrpkru"
+    RDPKRU = "rdpkru"
+
+    # System / microarchitectural
+    CLFLUSH = "clflush"
+    LFENCE = "lfence"
+    NOP = "nop"
+    HALT = "halt"
+
+
+# Opcode groupings used for dispatch and functional-unit selection.
+
+ALU_OPS = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SLL,
+        Opcode.SRL,
+        Opcode.SLT,
+        Opcode.ADDI,
+        Opcode.ANDI,
+        Opcode.ORI,
+        Opcode.XORI,
+        Opcode.SLLI,
+        Opcode.SRLI,
+        Opcode.LUI,
+        Opcode.MOV,
+        Opcode.LI,
+    }
+)
+
+MUL_OPS = frozenset({Opcode.MUL})
+DIV_OPS = frozenset({Opcode.DIV})
+
+LOAD_OPS = frozenset({Opcode.LD})
+STORE_OPS = frozenset({Opcode.ST})
+MEMORY_OPS = LOAD_OPS | STORE_OPS
+
+CONDITIONAL_BRANCH_OPS = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE})
+DIRECT_JUMP_OPS = frozenset({Opcode.JMP, Opcode.CALL})
+INDIRECT_JUMP_OPS = frozenset({Opcode.JR, Opcode.CALLR, Opcode.RET})
+CALL_OPS = frozenset({Opcode.CALL, Opcode.CALLR})
+RETURN_OPS = frozenset({Opcode.RET})
+CONTROL_OPS = CONDITIONAL_BRANCH_OPS | DIRECT_JUMP_OPS | INDIRECT_JUMP_OPS
+
+MPK_OPS = frozenset({Opcode.WRPKRU, Opcode.RDPKRU})
+
+#: Execution latency (cycles spent in the functional unit) per opcode.
+#: Loads/stores additionally pay the memory-hierarchy latency.
+EXECUTION_LATENCY = {
+    Opcode.MUL: 3,
+    Opcode.DIV: 12,
+}
+DEFAULT_LATENCY = 1
+
+
+def latency_of(opcode: Opcode) -> int:
+    """Return the functional-unit latency for *opcode*."""
+    return EXECUTION_LATENCY.get(opcode, DEFAULT_LATENCY)
+
+
+def is_memory(opcode: Opcode) -> bool:
+    """True for loads and stores."""
+    return opcode in MEMORY_OPS
+
+
+def is_load(opcode: Opcode) -> bool:
+    return opcode in LOAD_OPS
+
+
+def is_store(opcode: Opcode) -> bool:
+    return opcode in STORE_OPS
+
+
+def is_control(opcode: Opcode) -> bool:
+    """True for any instruction that can redirect the program counter."""
+    return opcode in CONTROL_OPS
+
+
+def is_conditional_branch(opcode: Opcode) -> bool:
+    return opcode in CONDITIONAL_BRANCH_OPS
+
+
+def is_indirect(opcode: Opcode) -> bool:
+    """True when the target comes from a register (BTB-predicted)."""
+    return opcode in INDIRECT_JUMP_OPS
+
+
+def is_call(opcode: Opcode) -> bool:
+    return opcode in CALL_OPS
+
+
+def is_return(opcode: Opcode) -> bool:
+    return opcode in RETURN_OPS
+
+
+def is_mpk(opcode: Opcode) -> bool:
+    return opcode in MPK_OPS

@@ -1,0 +1,134 @@
+"""Program container: instructions, labels, and data regions.
+
+A :class:`Program` is the unit both the functional emulator and the
+timing simulator consume.  Instructions are indexed by PC (one slot per
+instruction); data lives in byte-addressed :class:`DataRegion` blocks,
+each of which may be coloured with an MPK protection key.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .instruction import Instruction
+
+#: Default page size used when colouring regions with pKeys.
+PAGE_SIZE = 4096
+
+
+class ProgramError(Exception):
+    """Raised for malformed programs (duplicate labels, bad targets...)."""
+
+
+class DataRegion:
+    """A named block of data memory.
+
+    Attributes:
+        name: Human-readable region name (``"stack"``, ``"shadow_stack"``).
+        base: Byte address of the first byte.
+        size: Size in bytes.  Rounded up to a whole page by the loader.
+        pkey: MPK protection key colouring every page of the region.
+        init: Mapping of byte offset -> 64-bit initial word value.
+    """
+
+    __slots__ = ("name", "base", "size", "pkey", "init")
+
+    def __init__(
+        self,
+        name: str,
+        base: int,
+        size: int,
+        pkey: int = 0,
+        init: Optional[Dict[int, int]] = None,
+    ) -> None:
+        if base % PAGE_SIZE != 0:
+            raise ProgramError(f"region {name!r} base {base:#x} is not page-aligned")
+        if size <= 0:
+            raise ProgramError(f"region {name!r} has non-positive size")
+        if not 0 <= pkey < 16:
+            raise ProgramError(f"region {name!r} pkey {pkey} out of range [0, 16)")
+        self.name = name
+        self.base = base
+        self.size = size
+        self.pkey = pkey
+        self.init = dict(init or {})
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.base + self.size
+
+    def overlaps(self, other: "DataRegion") -> bool:
+        return self.base < other.end and other.base < self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DataRegion({self.name!r}, base={self.base:#x}, "
+            f"size={self.size}, pkey={self.pkey})"
+        )
+
+
+class Program:
+    """A fully-resolved program ready for execution."""
+
+    def __init__(
+        self,
+        instructions: List[Instruction],
+        labels: Optional[Dict[str, int]] = None,
+        regions: Optional[List[DataRegion]] = None,
+        entry: int = 0,
+    ) -> None:
+        self.instructions = list(instructions)
+        self.labels = dict(labels or {})
+        self.regions = list(regions or [])
+        self.entry = entry
+        self._resolve()
+
+    def _resolve(self) -> None:
+        """Assign PCs and resolve label targets to immediates."""
+        for pc, inst in enumerate(self.instructions):
+            inst.pc = pc
+        for inst in self.instructions:
+            if inst.target_label is not None:
+                if inst.target_label not in self.labels:
+                    raise ProgramError(f"undefined label: {inst.target_label!r}")
+                inst.imm = self.labels[inst.target_label]
+        for region in self.regions:
+            for other in self.regions:
+                if region is not other and region.overlaps(other):
+                    raise ProgramError(
+                        f"regions {region.name!r} and {other.name!r} overlap"
+                    )
+        if not 0 <= self.entry <= len(self.instructions):
+            raise ProgramError(f"entry point {self.entry} outside program")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def fetch(self, pc: int) -> Optional[Instruction]:
+        """Return the instruction at *pc*, or None past the end.
+
+        Wrong-path fetch may run past program bounds; callers treat None
+        as an implicit halt bubble.
+        """
+        if 0 <= pc < len(self.instructions):
+            return self.instructions[pc]
+        return None
+
+    def region_named(self, name: str) -> DataRegion:
+        for region in self.regions:
+            if region.name == name:
+                return region
+        raise KeyError(name)
+
+    def listing(self) -> str:
+        """Render an assembly listing with labels."""
+        label_at: Dict[int, List[str]] = {}
+        for name, pc in self.labels.items():
+            label_at.setdefault(pc, []).append(name)
+        lines = []
+        for pc, inst in enumerate(self.instructions):
+            for name in label_at.get(pc, []):
+                lines.append(f"{name}:")
+            lines.append(f"  {pc:5d}: {inst.render()}")
+        return "\n".join(lines)

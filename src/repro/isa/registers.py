@@ -1,0 +1,75 @@
+"""Architectural register file layout.
+
+Thirty-two general-purpose 64-bit registers.  A handful have conventional
+roles mirroring the calling convention assumed by the instrumentation
+passes (shadow stack, CPI):
+
+* ``r0``  — hardwired zero (writes are discarded).
+* ``r1``  — ``EAX``: the implicit source of WRPKRU and destination of
+  RDPKRU, exactly as on x86 MPK.
+* ``r29`` — ``SSP``: shadow-stack pointer (the paper's R15).
+* ``r30`` — ``SP``: regular stack pointer.
+* ``r31`` — ``RA``: return-address register written by CALL/CALLR.
+
+The PKRU register is *not* part of this file: it is an implicit operand
+maintained separately, which is precisely the microarchitectural headache
+SpecMPK addresses.
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 32
+
+ZERO = 0
+EAX = 1
+SSP = 29
+SP = 30
+RA = 31
+
+#: Mapping from assembly names to register indices.
+REGISTER_ALIASES = {
+    "zero": ZERO,
+    "eax": EAX,
+    "ssp": SSP,
+    "sp": SP,
+    "ra": RA,
+}
+
+_ALIAS_BY_INDEX = {index: name for name, index in REGISTER_ALIASES.items()}
+
+MASK64 = (1 << 64) - 1
+
+
+def parse_register(name: str) -> int:
+    """Parse an assembly register name (``r7``, ``eax``, ``sp``...)."""
+    text = name.strip().lower()
+    if text in REGISTER_ALIASES:
+        return REGISTER_ALIASES[text]
+    if text.startswith("r"):
+        try:
+            index = int(text[1:])
+        except ValueError:
+            raise ValueError(f"bad register name: {name!r}") from None
+        if 0 <= index < NUM_REGS:
+            return index
+    raise ValueError(f"bad register name: {name!r}")
+
+
+def register_name(index: int) -> str:
+    """Render a register index back to its preferred assembly name."""
+    if index in _ALIAS_BY_INDEX:
+        return _ALIAS_BY_INDEX[index]
+    return f"r{index}"
+
+
+def to_u64(value: int) -> int:
+    """Wrap a Python int into unsigned 64-bit space."""
+    return value & MASK64
+
+
+def to_s64(value: int) -> int:
+    """Interpret a 64-bit pattern as a signed integer."""
+    value &= MASK64
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value

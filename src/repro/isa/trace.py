@@ -1,0 +1,131 @@
+"""Execution traces: recording, analysis, and (de)serialisation.
+
+A trace is the dynamic PC stream of one functional run.  It backs the
+workload-characterisation tooling (instruction mix, hot code, WRPKRU
+density without a timing run) and gives downstream users a compact
+artifact to share: traces serialise to a simple text format and can be
+re-analysed without re-executing.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from .emulator import Emulator, EmulatorLimitExceeded
+from .opcodes import (
+    CONTROL_OPS,
+    LOAD_OPS,
+    MPK_OPS,
+    STORE_OPS,
+)
+from .program import Program
+
+_FORMAT_HEADER = "repro-trace-v1"
+
+
+class Trace:
+    """The dynamic PC stream of one run over a static program."""
+
+    def __init__(self, program: Program, pcs: Optional[array] = None) -> None:
+        self.program = program
+        self.pcs: array = pcs if pcs is not None else array("q")
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    # -- analyses ----------------------------------------------------------
+
+    def instruction_mix(self) -> Dict[str, int]:
+        """Dynamic counts by category (loads/stores/control/mpk/other)."""
+        mix = {"load": 0, "store": 0, "control": 0, "mpk": 0, "other": 0}
+        for pc in self.pcs:
+            opcode = self.program.instructions[pc].opcode
+            if opcode in LOAD_OPS:
+                mix["load"] += 1
+            elif opcode in STORE_OPS:
+                mix["store"] += 1
+            elif opcode in CONTROL_OPS:
+                mix["control"] += 1
+            elif opcode in MPK_OPS:
+                mix["mpk"] += 1
+            else:
+                mix["other"] += 1
+        return mix
+
+    def hot_pcs(self, top: int = 10) -> List[Tuple[int, int]]:
+        """The *top* most-executed PCs as (pc, count), hottest first."""
+        return Counter(self.pcs).most_common(top)
+
+    def wrpkru_per_kilo(self) -> float:
+        """Fig.-10-style density measured purely from the trace."""
+        if not self.pcs:
+            return 0.0
+        wrpkru = sum(
+            1 for pc in self.pcs
+            if self.program.instructions[pc].is_wrpkru
+        )
+        return 1000.0 * wrpkru / len(self.pcs)
+
+    def coverage(self) -> float:
+        """Fraction of static instructions executed at least once."""
+        if not len(self.program):
+            return 0.0
+        return len(set(self.pcs)) / len(self.program)
+
+    # -- serialisation ---------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the trace as a run-length-encoded text file."""
+        with open(path, "w") as handle:
+            handle.write(f"{_FORMAT_HEADER}\n{len(self.pcs)}\n")
+            previous: Optional[int] = None
+            run = 0
+            for pc in self.pcs:
+                if pc == previous:
+                    run += 1
+                    continue
+                if previous is not None:
+                    handle.write(f"{previous} {run}\n")
+                previous, run = pc, 1
+            if previous is not None:
+                handle.write(f"{previous} {run}\n")
+
+    @classmethod
+    def load(cls, path, program: Program) -> "Trace":
+        """Read a trace written by :meth:`save`."""
+        pcs = array("q")
+        with open(path) as handle:
+            header = handle.readline().strip()
+            if header != _FORMAT_HEADER:
+                raise ValueError(f"not a repro trace file: {header!r}")
+            expected = int(handle.readline())
+            for line in handle:
+                pc_text, run_text = line.split()
+                pcs.extend([int(pc_text)] * int(run_text))
+        if len(pcs) != expected:
+            raise ValueError(
+                f"trace corrupt: header says {expected} PCs, "
+                f"file has {len(pcs)}"
+            )
+        return cls(program, pcs)
+
+
+def record_trace(
+    program: Program,
+    max_instructions: int = 100_000,
+    pkru: int = 0,
+) -> Trace:
+    """Functionally execute *program* and record its PC stream."""
+    trace = Trace(program)
+    emulator = Emulator(program, pkru=pkru)
+
+    def observe(pc, inst):
+        trace.pcs.append(pc)
+
+    try:
+        emulator.run(max_instructions=max_instructions, observer=observe)
+    except EmulatorLimitExceeded:
+        pass  # long workloads end at the budget by design
+    return trace

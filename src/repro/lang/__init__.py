@@ -1,0 +1,26 @@
+"""MiniC: a tiny instrumenting compiler targeting the repro ISA."""
+
+from .ast import Module
+from .codegen import (
+    CompileError,
+    CompileOptions,
+    CompiledProgram,
+    compile_module,
+)
+from .interp import Interpreter, InterpError, interpret
+from .lexer import LexError
+from .parser import ParseError, parse
+
+__all__ = [
+    "CompileError",
+    "CompileOptions",
+    "CompiledProgram",
+    "InterpError",
+    "Interpreter",
+    "LexError",
+    "Module",
+    "ParseError",
+    "compile_module",
+    "interpret",
+    "parse",
+]

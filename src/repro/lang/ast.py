@@ -1,0 +1,160 @@
+"""AST for MiniC, the repository's tiny imperative language.
+
+The SpecMPK paper's protection schemes are applied by *instrumenting
+compilers* (shadow stack [14], CPI [33]/[51]).  MiniC plays that role
+here: programs are written in a small C-like language, and the
+compiler (:mod:`repro.lang.codegen`) weaves MPK protection sequences
+into the generated code — shadow-stack prologues/epilogues around every
+function, and CPI-style permission sandwiches around accesses to arrays
+declared ``secure``.
+
+Grammar (see :mod:`repro.lang.parser`)::
+
+    module    := (array_decl | func_decl)*
+    array_decl:= ("array" | "secure") NAME "[" NUM "]" ("=" "{" nums "}")? ";"
+    func_decl := "fn" NAME "(" params? ")" block
+    block     := "{" stmt* "}"
+    stmt      := "var" NAME "=" expr ";"
+               | NAME "=" expr ";"
+               | NAME "[" expr "]" "=" expr ";"
+               | "if" "(" expr ")" block ("else" block)?
+               | "while" "(" expr ")" block
+               | "return" expr ";"
+               | expr ";"
+    expr      := comparison (("=="|"!="|"<"|"<="|">"|">=") comparison)?
+    ...       := the usual precedence tower down to
+    primary   := NUM | NAME | NAME "(" args ")" | NAME "[" expr "]"
+               | "(" expr ")" | "-" primary
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+
+# -- expressions -----------------------------------------------------------
+
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclasses.dataclass
+class Num(Expr):
+    value: int
+
+
+@dataclasses.dataclass
+class Var(Expr):
+    name: str
+
+
+@dataclasses.dataclass
+class BinOp(Expr):
+    op: str            # + - * / % & | ^ << >> == != < <= > >=
+    left: Expr
+    right: Expr
+
+
+@dataclasses.dataclass
+class Neg(Expr):
+    operand: Expr
+
+
+@dataclasses.dataclass
+class Call(Expr):
+    name: str
+    args: List[Expr]
+
+
+@dataclasses.dataclass
+class Index(Expr):
+    """Array element read: ``name[index]``."""
+
+    name: str
+    index: Expr
+
+
+# -- statements -------------------------------------------------------------
+
+class Stmt:
+    """Base class for statement nodes."""
+
+
+@dataclasses.dataclass
+class VarDecl(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclasses.dataclass
+class Assign(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclasses.dataclass
+class StoreIndex(Stmt):
+    """Array element write: ``name[index] = value``."""
+
+    name: str
+    index: Expr
+    value: Expr
+
+
+@dataclasses.dataclass
+class If(Stmt):
+    condition: Expr
+    then_body: List[Stmt]
+    else_body: List[Stmt]
+
+
+@dataclasses.dataclass
+class While(Stmt):
+    condition: Expr
+    body: List[Stmt]
+
+
+@dataclasses.dataclass
+class Return(Stmt):
+    value: Expr
+
+
+@dataclasses.dataclass
+class ExprStmt(Stmt):
+    value: Expr
+
+
+# -- top level -----------------------------------------------------------------
+
+@dataclasses.dataclass
+class ArrayDecl:
+    name: str
+    length: int
+    secure: bool = False
+    init: Tuple[int, ...] = ()
+
+
+@dataclasses.dataclass
+class Function:
+    name: str
+    params: List[str]
+    body: List[Stmt]
+
+
+@dataclasses.dataclass
+class Module:
+    arrays: List[ArrayDecl]
+    functions: List[Function]
+
+    def function(self, name: str) -> Function:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(name)
+
+    def array(self, name: str) -> Optional[ArrayDecl]:
+        for array in self.arrays:
+            if array.name == name:
+                return array
+        return None

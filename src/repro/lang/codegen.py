@@ -1,0 +1,433 @@
+"""MiniC -> repro ISA compiler with MPK protection instrumentation.
+
+Plays the role of the paper's instrumenting compilers: with
+``shadow_stack=True`` every function gets the SS prologue/epilogue of
+Burow et al. [14]; arrays declared ``secure`` live on pages coloured
+with a dedicated pKey, and every access is sandwiched between enabling
+and disabling WRPKRUs (the CPI/ERIM pattern [33],[51]).  The two
+protections compose: each window opens only its own permission while
+the other stays locked.
+
+Calling convention of generated code:
+
+========  =============================================
+r1        EAX (instrumentation only)
+r2-r9     expression stack (depth 8; deeper -> CompileError)
+r10-r13   argument registers (max 4 parameters)
+r14       return value
+r29-r31   SSP / SP / RA
+========  =============================================
+
+Frame layout (from SP): saved RA, 8 expression spill slots, locals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import DataRegion, Program
+from ..isa.registers import EAX, RA, SP, SSP
+from ..mpk.pkru import make_pkru
+from .ast import (
+    Assign,
+    BinOp,
+    Call,
+    Expr,
+    ExprStmt,
+    Function,
+    If,
+    Index,
+    Module,
+    Neg,
+    Num,
+    Return,
+    Stmt,
+    StoreIndex,
+    Var,
+    VarDecl,
+    While,
+)
+
+_EXPR_BASE = 2      # r2..r9
+_EXPR_DEPTH = 8
+_SPILL_SLOTS = 24   # frame slots for cross-call expression spills
+_ARG_BASE = 10      # r10..r13
+_MAX_ARGS = 4
+_RESULT = 14
+_CHECK = 26         # SS epilogue comparison scratch
+
+SHADOW_PKEY = 1
+SECURE_PKEY = 2
+
+
+class CompileError(Exception):
+    pass
+
+
+class CompileOptions(NamedTuple):
+    """Protection knobs (the "compiler flags")."""
+
+    shadow_stack: bool = False
+    #: Honour ``secure`` array declarations with pKey sandwiches; when
+    #: False, secure arrays degrade to plain arrays (the unprotected
+    #: baseline build).
+    protect_secure_arrays: bool = True
+
+
+class CompiledProgram(NamedTuple):
+    program: Program
+    module: Module
+    options: CompileOptions
+    initial_pkru: int
+    #: name -> DataRegion for every array.
+    array_regions: Dict[str, DataRegion]
+
+    def result_register(self) -> int:
+        """Architectural register holding main's return value."""
+        return _RESULT
+
+
+def compile_module(
+    module_or_source, options: CompileOptions = CompileOptions()
+) -> CompiledProgram:
+    """Compile a parsed module (or MiniC source text)."""
+    if isinstance(module_or_source, str):
+        from .parser import parse
+
+        module_or_source = parse(module_or_source)
+    return _Compiler(module_or_source, options).compile()
+
+
+class _Compiler:
+    def __init__(self, module: Module, options: CompileOptions) -> None:
+        self.module = module
+        self.options = options
+        self.b = ProgramBuilder()
+        self._label_counter = 0
+
+        self.has_secure = options.protect_secure_arrays and any(
+            array.secure for array in module.arrays
+        )
+        # Composed PKRU values: each protection window opens only its
+        # own permission.
+        ss_lock = (
+            make_pkru(write_disabled=[SHADOW_PKEY])
+            if options.shadow_stack
+            else 0
+        )
+        secure_lock = (
+            make_pkru(disabled=[SECURE_PKEY]) if self.has_secure else 0
+        )
+        self.locked_pkru = ss_lock | secure_lock
+        self.ss_window_pkru = secure_lock      # shadow stack writable
+        self.secure_window_pkru = ss_lock      # secure arrays accessible
+
+        # Regions.
+        self.array_regions: Dict[str, DataRegion] = {}
+        for array in module.arrays:
+            pkey = (
+                SECURE_PKEY
+                if array.secure and options.protect_secure_arrays
+                else 0
+            )
+            self.array_regions[array.name] = self.b.region(
+                f"array_{array.name}",
+                max(8 * array.length, 8),
+                pkey=pkey,
+                init={8 * i: v & ((1 << 64) - 1)
+                      for i, v in enumerate(array.init)},
+            )
+        self.stack = self.b.region("stack", 64 * 1024)
+        self.shadow = (
+            self.b.region("shadow_stack", 16 * 1024, pkey=SHADOW_PKEY)
+            if options.shadow_stack
+            else None
+        )
+
+        # Per-function state, reset in _compile_function.
+        self.slots: Dict[str, int] = {}
+        self.frame_size = 0
+        self.epilogue_label = ""
+        self._spill_base = 1
+
+    # -- top level ---------------------------------------------------------
+
+    def compile(self) -> CompiledProgram:
+        b = self.b
+        b.label("main")  # program entry (_start)
+        b.li(SP, self.stack.base + self.stack.size)
+        if self.shadow is not None:
+            b.li(SSP, self.shadow.base)
+        if self.locked_pkru:
+            b.li(EAX, self.locked_pkru)
+            b.wrpkru()
+        b.call("fn_main")
+        b.halt()
+
+        for function in self.module.functions:
+            self._compile_function(function)
+
+        program = b.build()
+        return CompiledProgram(
+            program, self.module, self.options, self.locked_pkru,
+            self.array_regions,
+        )
+
+    # -- functions -----------------------------------------------------------
+
+    def _collect_locals(self, function: Function) -> List[str]:
+        names: List[str] = list(function.params)
+
+        def walk(body: List[Stmt]) -> None:
+            for stmt in body:
+                if isinstance(stmt, VarDecl) and stmt.name not in names:
+                    names.append(stmt.name)
+                elif isinstance(stmt, If):
+                    walk(stmt.then_body)
+                    walk(stmt.else_body)
+                elif isinstance(stmt, While):
+                    walk(stmt.body)
+
+        walk(function.body)
+        return names
+
+    def _compile_function(self, function: Function) -> None:
+        b = self.b
+        if len(function.params) > _MAX_ARGS:
+            raise CompileError(
+                f"{function.name}: more than {_MAX_ARGS} parameters"
+            )
+        locals_ = self._collect_locals(function)
+        # Frame: [RA][spill slots][locals...]
+        self.slots = {
+            name: 8 * (1 + _SPILL_SLOTS + i) for i, name in enumerate(locals_)
+        }
+        self.frame_size = 8 * (1 + _SPILL_SLOTS + len(locals_))
+        self._spill_base = 1
+        self.epilogue_label = self._fresh(f"{function.name}_epi")
+
+        b.label(f"fn_{function.name}")
+        if self.options.shadow_stack:
+            self._emit_ss_prologue()
+        b.addi(SP, SP, -self.frame_size)
+        b.st(RA, SP, 0)
+        for i, param in enumerate(function.params):
+            b.st(_ARG_BASE + i, SP, self.slots[param])
+
+        for stmt in function.body:
+            self._emit_stmt(stmt)
+        b.li(_RESULT, 0)  # implicit `return 0`
+
+        b.label(self.epilogue_label)
+        b.ld(RA, SP, 0)
+        b.addi(SP, SP, self.frame_size)
+        if self.options.shadow_stack:
+            self._emit_ss_epilogue()
+        b.ret()
+
+    def _emit_ss_prologue(self) -> None:
+        b = self.b
+        b.li(EAX, self.ss_window_pkru)
+        b.wrpkru()
+        b.addi(SSP, SSP, 8)
+        b.st(RA, SSP, 0)
+        b.li(EAX, self.locked_pkru)
+        b.wrpkru()
+
+    def _emit_ss_epilogue(self) -> None:
+        b = self.b
+        b.ld(_CHECK, SSP, 0)       # reads allowed under WD
+        b.addi(SSP, SSP, -8)
+        violation = self._fresh("ss_ok")
+        b.beq(_CHECK, RA, violation)
+        b.li(_RESULT, 0xDEAD)      # ROP detected: poison and halt
+        b.halt()
+        b.label(violation)
+
+    # -- statements --------------------------------------------------------------
+
+    def _emit_stmt(self, stmt: Stmt) -> None:
+        b = self.b
+        if isinstance(stmt, (VarDecl, Assign)):
+            self._emit_expr(stmt.value, 0)
+            b.st(_EXPR_BASE, SP, self.slots[stmt.name])
+        elif isinstance(stmt, StoreIndex):
+            self._emit_element_address(stmt.name, stmt.index, 0)
+            self._emit_expr(stmt.value, 1)
+            secure = self._is_secure(stmt.name)
+            if secure:
+                self._open_secure_window()
+            b.st(_EXPR_BASE + 1, _EXPR_BASE, 0)
+            if secure:
+                self._close_secure_window()
+        elif isinstance(stmt, If):
+            else_label = self._fresh("else")
+            end_label = self._fresh("endif")
+            self._emit_expr(stmt.condition, 0)
+            b.beq(_EXPR_BASE, 0, else_label)
+            for inner in stmt.then_body:
+                self._emit_stmt(inner)
+            b.jmp(end_label)
+            b.label(else_label)
+            for inner in stmt.else_body:
+                self._emit_stmt(inner)
+            b.label(end_label)
+        elif isinstance(stmt, While):
+            head = self._fresh("while")
+            end_label = self._fresh("wend")
+            b.label(head)
+            self._emit_expr(stmt.condition, 0)
+            b.beq(_EXPR_BASE, 0, end_label)
+            for inner in stmt.body:
+                self._emit_stmt(inner)
+            b.jmp(head)
+            b.label(end_label)
+        elif isinstance(stmt, Return):
+            self._emit_expr(stmt.value, 0)
+            b.mov(_RESULT, _EXPR_BASE)
+            b.jmp(self.epilogue_label)
+        elif isinstance(stmt, ExprStmt):
+            self._emit_expr(stmt.value, 0)
+        else:  # pragma: no cover - exhaustive
+            raise CompileError(f"unknown statement {stmt!r}")
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _emit_expr(self, expr: Expr, depth: int) -> None:
+        """Evaluate *expr* into register ``r(2 + depth)``."""
+        if depth >= _EXPR_DEPTH:
+            raise CompileError("expression too deep (max nesting 8)")
+        b = self.b
+        reg = _EXPR_BASE + depth
+        if isinstance(expr, Num):
+            b.li(reg, expr.value)
+        elif isinstance(expr, Var):
+            if expr.name not in self.slots:
+                raise CompileError(f"undefined variable {expr.name!r}")
+            b.ld(reg, SP, self.slots[expr.name])
+        elif isinstance(expr, Neg):
+            self._emit_expr(expr.operand, depth)
+            b.sub(reg, 0, reg)
+        elif isinstance(expr, BinOp):
+            self._emit_expr(expr.left, depth)
+            self._emit_expr(expr.right, depth + 1)
+            self._emit_binop(expr.op, depth)
+        elif isinstance(expr, Index):
+            self._emit_element_address(expr.name, expr.index, depth)
+            secure = self._is_secure(expr.name)
+            if secure:
+                self._open_secure_window()
+            b.ld(reg, reg, 0)
+            if secure:
+                self._close_secure_window()
+        elif isinstance(expr, Call):
+            self._emit_call(expr, depth)
+        else:  # pragma: no cover - exhaustive
+            raise CompileError(f"unknown expression {expr!r}")
+
+    def _emit_binop(self, op: str, depth: int) -> None:
+        b = self.b
+        lhs = _EXPR_BASE + depth
+        rhs = lhs + 1
+        simple = {
+            "+": b.add, "-": b.sub, "*": b.mul, "/": b.div,
+            "&": b.and_, "|": b.or_, "^": b.xor,
+            "<<": b.sll, ">>": b.srl,
+        }
+        if op in simple:
+            simple[op](lhs, lhs, rhs)
+        elif op == "%":
+            # a % b  ==  a - (a / b) * b  (ISA has no MOD).
+            if depth + 2 >= _EXPR_DEPTH:
+                raise CompileError("expression too deep (max nesting 8)")
+            scratch = rhs + 1
+            b.div(scratch, lhs, rhs)
+            b.mul(scratch, scratch, rhs)
+            b.sub(lhs, lhs, scratch)
+        elif op == "<":
+            b.slt(lhs, lhs, rhs)
+        elif op == ">":
+            b.slt(lhs, rhs, lhs)
+        elif op == "<=":
+            b.slt(lhs, rhs, lhs)
+            b.xori(lhs, lhs, 1)
+        elif op == ">=":
+            b.slt(lhs, lhs, rhs)
+            b.xori(lhs, lhs, 1)
+        elif op in ("==", "!="):
+            true_label = self._fresh("cmp")
+            b.xor(lhs, lhs, rhs)       # zero iff equal
+            b.li(rhs, 1 if op == "==" else 0)
+            b.beq(lhs, 0, true_label)
+            b.xori(rhs, rhs, 1)
+            b.label(true_label)
+            b.mov(lhs, rhs)
+        else:  # pragma: no cover - parser limits the operator set
+            raise CompileError(f"unknown operator {op!r}")
+
+    def _emit_element_address(self, name: str, index: Expr,
+                              depth: int) -> None:
+        """Leave &name[index] in the depth register."""
+        if name not in self.array_regions:
+            raise CompileError(f"undefined array {name!r}")
+        if depth + 1 >= _EXPR_DEPTH:
+            raise CompileError("expression too deep (max nesting 8)")
+        b = self.b
+        reg = _EXPR_BASE + depth
+        self._emit_expr(index, depth)
+        b.slli(reg, reg, 3)
+        b.li(reg + 1, self.array_regions[name].base)
+        b.add(reg, reg, reg + 1)
+
+    def _emit_call(self, call: Call, depth: int) -> None:
+        b = self.b
+        function = self.module.function(call.name)  # raises on unknown
+        if len(call.args) != len(function.params):
+            raise CompileError(
+                f"{call.name}: expected {len(function.params)} args, "
+                f"got {len(call.args)}"
+            )
+        if len(call.args) > _MAX_ARGS:
+            raise CompileError(f"{call.name}: too many arguments")
+        # Spill the live expression stack (r2..r(2+depth-1)).  The
+        # spill watermark gives nested calls (inside argument
+        # expressions) their own slots.
+        base = self._spill_base
+        if base + depth > 1 + _SPILL_SLOTS:
+            raise CompileError("call nesting exhausts the spill area")
+        for live in range(depth):
+            b.st(_EXPR_BASE + live, SP, 8 * (base + live))
+        self._spill_base = base + depth
+        # Arguments evaluate on the now-free stack bottom.
+        for i, arg in enumerate(call.args):
+            self._emit_expr(arg, i)
+        self._spill_base = base
+        for i in range(len(call.args)):
+            b.mov(_ARG_BASE + i, _EXPR_BASE + i)
+        b.call(f"fn_{call.name}")
+        b.mov(_EXPR_BASE + depth, _RESULT)
+        for live in range(depth):
+            b.ld(_EXPR_BASE + live, SP, 8 * (base + live))
+
+    # -- instrumentation windows -------------------------------------------------------
+
+    def _is_secure(self, name: str) -> bool:
+        array = self.module.array(name)
+        return (
+            array is not None
+            and array.secure
+            and self.options.protect_secure_arrays
+        )
+
+    def _open_secure_window(self) -> None:
+        self.b.li(EAX, self.secure_window_pkru)
+        self.b.wrpkru()
+
+    def _close_secure_window(self) -> None:
+        self.b.li(EAX, self.locked_pkru)
+        self.b.wrpkru()
+
+    def _fresh(self, stem: str) -> str:
+        self._label_counter += 1
+        return f"_{stem}_{self._label_counter}"

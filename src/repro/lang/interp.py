@@ -1,0 +1,207 @@
+"""Reference interpreter for MiniC.
+
+Defines the language's semantics independently of the compiler; the
+test suite checks compiled code (run on the golden emulator *and* the
+out-of-order pipeline) against this.  All arithmetic is 64-bit
+wrapping, matching the ISA:
+
+* ``/`` is unsigned division; division by zero yields ``2**64 - 1``
+  (the ISA's DIV convention);
+* ``%`` is defined as ``a - (a / b) * b`` (so ``a % 0 == a``);
+* ``<``/``<=``/``>``/``>=`` compare signed; ``==``/``!=`` compare bits;
+* shifts take the amount modulo 64; ``>>`` is logical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..isa.registers import MASK64, to_s64, to_u64
+from .ast import (
+    Assign,
+    BinOp,
+    Call,
+    Expr,
+    ExprStmt,
+    If,
+    Index,
+    Module,
+    Neg,
+    Num,
+    Return,
+    Stmt,
+    StoreIndex,
+    Var,
+    VarDecl,
+    While,
+)
+
+
+class InterpError(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+
+class Interpreter:
+    """Evaluates a MiniC module; arrays persist across calls."""
+
+    def __init__(self, module: Module, step_limit: int = 2_000_000) -> None:
+        self.module = module
+        self.arrays: Dict[str, List[int]] = {}
+        for array in module.arrays:
+            cells = list(array.init) + [0] * (array.length - len(array.init))
+            self.arrays[array.name] = [to_u64(v) for v in cells]
+        self.step_limit = step_limit
+        self.steps = 0
+
+    def run(self, *args: int) -> int:
+        """Call ``main`` with *args* and return its value."""
+        return self.call("main", [to_u64(a) for a in args])
+
+    def call(self, name: str, args: List[int]) -> int:
+        function = self.module.function(name)
+        if len(args) != len(function.params):
+            raise InterpError(
+                f"{name}: expected {len(function.params)} args, "
+                f"got {len(args)}"
+            )
+        scope = dict(zip(function.params, args))
+        try:
+            self._exec_block(function.body, scope)
+        except _ReturnSignal as signal:
+            return signal.value
+        return 0
+
+    # -- statements -----------------------------------------------------------
+
+    def _exec_block(self, body: List[Stmt], scope: Dict[str, int]) -> None:
+        for stmt in body:
+            self._exec(stmt, scope)
+
+    def _exec(self, stmt: Stmt, scope: Dict[str, int]) -> None:
+        self._tick()
+        if isinstance(stmt, VarDecl):
+            # Flat function scope: `var` inside a loop body simply
+            # reassigns on later iterations (the compiler allocates one
+            # frame slot per name).
+            scope[stmt.name] = self._eval(stmt.value, scope)
+        elif isinstance(stmt, Assign):
+            if stmt.name not in scope:
+                raise InterpError(f"assignment to undeclared {stmt.name!r}")
+            scope[stmt.name] = self._eval(stmt.value, scope)
+        elif isinstance(stmt, StoreIndex):
+            cells = self._array(stmt.name)
+            index = self._eval(stmt.index, scope)
+            self._bounds(stmt.name, cells, index)
+            cells[index] = self._eval(stmt.value, scope)
+        elif isinstance(stmt, If):
+            if self._eval(stmt.condition, scope):
+                self._exec_block(stmt.then_body, scope)
+            else:
+                self._exec_block(stmt.else_body, scope)
+        elif isinstance(stmt, While):
+            while self._eval(stmt.condition, scope):
+                self._exec_block(stmt.body, scope)
+                self._tick()
+        elif isinstance(stmt, Return):
+            raise _ReturnSignal(self._eval(stmt.value, scope))
+        elif isinstance(stmt, ExprStmt):
+            self._eval(stmt.value, scope)
+        else:  # pragma: no cover - exhaustive
+            raise InterpError(f"unknown statement {stmt!r}")
+
+    # -- expressions --------------------------------------------------------------
+
+    def _eval(self, expr: Expr, scope: Dict[str, int]) -> int:
+        self._tick()
+        if isinstance(expr, Num):
+            return to_u64(expr.value)
+        if isinstance(expr, Var):
+            if expr.name not in scope:
+                raise InterpError(f"undefined variable {expr.name!r}")
+            return scope[expr.name]
+        if isinstance(expr, Neg):
+            return to_u64(-self._eval(expr.operand, scope))
+        if isinstance(expr, BinOp):
+            left = self._eval(expr.left, scope)
+            right = self._eval(expr.right, scope)
+            return _binop(expr.op, left, right)
+        if isinstance(expr, Call):
+            args = [self._eval(a, scope) for a in expr.args]
+            return self.call(expr.name, args)
+        if isinstance(expr, Index):
+            cells = self._array(expr.name)
+            index = self._eval(expr.index, scope)
+            self._bounds(expr.name, cells, index)
+            return cells[index]
+        raise InterpError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _array(self, name: str) -> List[int]:
+        if name not in self.arrays:
+            raise InterpError(f"undefined array {name!r}")
+        return self.arrays[name]
+
+    @staticmethod
+    def _bounds(name: str, cells: List[int], index: int) -> None:
+        if not 0 <= index < len(cells):
+            raise InterpError(f"{name}[{index}] out of bounds")
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.step_limit:
+            raise InterpError("step limit exceeded (infinite loop?)")
+
+
+def _div(a: int, b: int) -> int:
+    return MASK64 if b == 0 else a // b
+
+
+def _binop(op: str, a: int, b: int) -> int:
+    if op == "+":
+        return to_u64(a + b)
+    if op == "-":
+        return to_u64(a - b)
+    if op == "*":
+        return to_u64(a * b)
+    if op == "/":
+        return _div(a, b)
+    if op == "%":
+        return to_u64(a - _div(a, b) * b)
+    if op == "&":
+        return a & b
+    if op == "|":
+        return a | b
+    if op == "^":
+        return a ^ b
+    if op == "<<":
+        return to_u64(a << (b % 64))
+    if op == ">>":
+        return a >> (b % 64)
+    if op == "==":
+        return int(a == b)
+    if op == "!=":
+        return int(a != b)
+    if op == "<":
+        return int(to_s64(a) < to_s64(b))
+    if op == "<=":
+        return int(to_s64(a) <= to_s64(b))
+    if op == ">":
+        return int(to_s64(a) > to_s64(b))
+    if op == ">=":
+        return int(to_s64(a) >= to_s64(b))
+    raise InterpError(f"unknown operator {op!r}")  # pragma: no cover
+
+
+def interpret(module_or_source, *args: int) -> int:
+    """Convenience: interpret a module (or source text) and run main."""
+    if isinstance(module_or_source, str):
+        from .parser import parse
+
+        module_or_source = parse(module_or_source)
+    return Interpreter(module_or_source).run(*args)

@@ -1,0 +1,57 @@
+"""Tokenizer for MiniC."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+
+
+class LexError(Exception):
+    pass
+
+
+KEYWORDS = {"fn", "var", "if", "else", "while", "return", "array", "secure"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*)
+  | (?P<num>0x[0-9a-fA-F]+|\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><<|>>|==|!=|<=|>=|[-+*/%&|^<>=(){}\[\],;])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield tokens; raises :class:`LexError` on unknown characters."""
+    line = 1
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise LexError(
+                f"line {line}: unexpected character {source[position]!r}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        line += text.count("\n")
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "name" and text in KEYWORDS:
+            yield Token(text, text, line)
+        elif kind == "num":
+            yield Token("num", text, line)
+        elif kind == "name":
+            yield Token("name", text, line)
+        else:
+            yield Token(text, text, line)
+    yield Token("eof", "", line)

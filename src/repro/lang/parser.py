@@ -1,0 +1,242 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import (
+    ArrayDecl,
+    Assign,
+    BinOp,
+    Call,
+    Expr,
+    ExprStmt,
+    Function,
+    If,
+    Index,
+    Module,
+    Neg,
+    Num,
+    Return,
+    Stmt,
+    StoreIndex,
+    Var,
+    VarDecl,
+    While,
+)
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    pass
+
+
+#: Binary operators by descending precedence tier.
+_PRECEDENCE = [
+    ["==", "!=", "<", "<=", ">", ">="],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens: List[Token] = list(tokenize(source))
+        self.position = 0
+
+    # -- helpers ----------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.position += 1
+        return token
+
+    def accept(self, kind: str) -> bool:
+        if self.current.kind == kind:
+            self.advance()
+            return True
+        return False
+
+    def expect(self, kind: str) -> Token:
+        if self.current.kind != kind:
+            raise ParseError(
+                f"line {self.current.line}: expected {kind!r}, "
+                f"got {self.current.text!r}"
+            )
+        return self.advance()
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_module(self) -> Module:
+        arrays: List[ArrayDecl] = []
+        functions: List[Function] = []
+        while self.current.kind != "eof":
+            if self.current.kind in ("array", "secure"):
+                arrays.append(self.parse_array_decl())
+            elif self.current.kind == "fn":
+                functions.append(self.parse_function())
+            else:
+                raise ParseError(
+                    f"line {self.current.line}: expected a declaration, "
+                    f"got {self.current.text!r}"
+                )
+        if not any(func.name == "main" for func in functions):
+            raise ParseError("module has no `main` function")
+        return Module(arrays, functions)
+
+    def parse_array_decl(self) -> ArrayDecl:
+        secure = self.advance().kind == "secure"
+        name = self.expect("name").text
+        self.expect("[")
+        length = int(self.expect("num").text, 0)
+        self.expect("]")
+        init: List[int] = []
+        if self.accept("="):
+            self.expect("{")
+            if self.current.kind != "}":
+                init.append(self._signed_num())
+                while self.accept(","):
+                    init.append(self._signed_num())
+            self.expect("}")
+        self.expect(";")
+        if len(init) > length:
+            raise ParseError(f"array {name!r}: too many initialisers")
+        return ArrayDecl(name, length, secure=secure, init=tuple(init))
+
+    def _signed_num(self) -> int:
+        negative = self.accept("-")
+        value = int(self.expect("num").text, 0)
+        return -value if negative else value
+
+    def parse_function(self) -> Function:
+        self.expect("fn")
+        name = self.expect("name").text
+        self.expect("(")
+        params: List[str] = []
+        if self.current.kind == "name":
+            params.append(self.advance().text)
+            while self.accept(","):
+                params.append(self.expect("name").text)
+        self.expect(")")
+        body = self.parse_block()
+        return Function(name, params, body)
+
+    def parse_block(self) -> List[Stmt]:
+        self.expect("{")
+        statements: List[Stmt] = []
+        while not self.accept("}"):
+            statements.append(self.parse_statement())
+        return statements
+
+    def parse_statement(self) -> Stmt:
+        token = self.current
+        if token.kind == "var":
+            self.advance()
+            name = self.expect("name").text
+            self.expect("=")
+            value = self.parse_expression()
+            self.expect(";")
+            return VarDecl(name, value)
+        if token.kind == "if":
+            self.advance()
+            self.expect("(")
+            condition = self.parse_expression()
+            self.expect(")")
+            then_body = self.parse_block()
+            else_body: List[Stmt] = []
+            if self.accept("else"):
+                else_body = self.parse_block()
+            return If(condition, then_body, else_body)
+        if token.kind == "while":
+            self.advance()
+            self.expect("(")
+            condition = self.parse_expression()
+            self.expect(")")
+            return While(condition, self.parse_block())
+        if token.kind == "return":
+            self.advance()
+            value = self.parse_expression()
+            self.expect(";")
+            return Return(value)
+        if token.kind == "name":
+            # Assignment, indexed store, or expression statement.
+            next_kind = self.tokens[self.position + 1].kind
+            if next_kind == "=":
+                name = self.advance().text
+                self.advance()  # '='
+                value = self.parse_expression()
+                self.expect(";")
+                return Assign(name, value)
+            if next_kind == "[":
+                save = self.position
+                name = self.advance().text
+                self.advance()  # '['
+                index = self.parse_expression()
+                self.expect("]")
+                if self.accept("="):
+                    value = self.parse_expression()
+                    self.expect(";")
+                    return StoreIndex(name, index, value)
+                self.position = save  # it was an expression after all
+        value = self.parse_expression()
+        self.expect(";")
+        return ExprStmt(value)
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expression(self, tier: int = 0) -> Expr:
+        if tier >= len(_PRECEDENCE):
+            return self.parse_unary()
+        left = self.parse_expression(tier + 1)
+        while self.current.kind in _PRECEDENCE[tier]:
+            op = self.advance().kind
+            right = self.parse_expression(tier + 1)
+            left = BinOp(op, left, right)
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.accept("-"):
+            return Neg(self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.current
+        if token.kind == "num":
+            self.advance()
+            return Num(int(token.text, 0))
+        if token.kind == "(":
+            self.advance()
+            inner = self.parse_expression()
+            self.expect(")")
+            return inner
+        if token.kind == "name":
+            name = self.advance().text
+            if self.accept("("):
+                args: List[Expr] = []
+                if self.current.kind != ")":
+                    args.append(self.parse_expression())
+                    while self.accept(","):
+                        args.append(self.parse_expression())
+                self.expect(")")
+                return Call(name, args)
+            if self.accept("["):
+                index = self.parse_expression()
+                self.expect("]")
+                return Index(name, index)
+            return Var(name)
+        raise ParseError(
+            f"line {token.line}: unexpected token {token.text!r}"
+        )
+
+
+def parse(source: str) -> Module:
+    """Parse MiniC source text into a :class:`Module`."""
+    return Parser(source).parse_module()

@@ -1,0 +1,16 @@
+"""Memory substrate: physical memory, page tables, TLBs, caches, DRAM."""
+
+from .address_space import AddressSpace
+from .page_table import PAGE_SHIFT, PAGE_SIZE, PageTable, PageTableEntry, vpn_of
+from .physical import WORD_SIZE, PhysicalMemory
+
+__all__ = [
+    "AddressSpace",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PageTable",
+    "PageTableEntry",
+    "PhysicalMemory",
+    "WORD_SIZE",
+    "vpn_of",
+]

@@ -1,0 +1,86 @@
+"""Architectural address space: page table + physical memory + MPK checks.
+
+This is the *functional* view of memory shared by the golden emulator
+and the timing simulator.  The timing simulator layers TLBs and caches
+on top for latency; correctness (values, faults) always comes from here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..mpk.permissions import READ, WRITE, check_access
+from .page_table import PAGE_SIZE, PageTable
+from .physical import WORD_SIZE, PhysicalMemory
+
+
+class AddressSpace:
+    """One process's memory image."""
+
+    def __init__(self) -> None:
+        self.page_table = PageTable()
+        self.physical = PhysicalMemory()
+
+    # -- setup ------------------------------------------------------------
+
+    def map_region(self, region) -> None:
+        """Map and initialise one program data region.
+
+        *region* is any object with ``base``/``size``/``pkey``/``init``
+        attributes (duck-typed to avoid a circular dependency on
+        :class:`repro.isa.program.DataRegion`).
+        """
+        self.page_table.map_range(
+            region.base, region.size, readable=True, writable=True, pkey=region.pkey
+        )
+        for offset, value in region.init.items():
+            if not 0 <= offset < region.size:
+                raise ValueError(
+                    f"init offset {offset} outside region {region.name!r}"
+                )
+            self.physical.write_word(region.base + offset, value)
+
+    def map_regions(self, regions: Iterable[DataRegion]) -> None:
+        for region in regions:
+            self.map_region(region)
+
+    def pkey_mprotect(self, base: int, size: int, pkey: int) -> int:
+        """Colour an address range with *pkey* (Linux syscall analogue)."""
+        return self.page_table.set_pkey(base, size, pkey)
+
+    def mprotect(self, base: int, size: int, readable: bool, writable: bool) -> int:
+        return self.page_table.mprotect(base, size, readable, writable)
+
+    # -- architectural access ----------------------------------------------
+
+    def load(self, address: int, pkru: int) -> int:
+        """Architectural load with full MPK permission checking."""
+        self.physical.check_alignment(address, READ)
+        entry = self.page_table.lookup(address, READ)
+        check_access(address, READ, entry.pkey, entry.readable, entry.writable, pkru)
+        return self.physical.read_word(address)
+
+    def store(self, address: int, value: int, pkru: int) -> None:
+        """Architectural store with full MPK permission checking."""
+        self.physical.check_alignment(address, WRITE)
+        entry = self.page_table.lookup(address, WRITE)
+        check_access(address, WRITE, entry.pkey, entry.readable, entry.writable, pkru)
+        self.physical.write_word(address, value)
+
+    def peek(self, address: int) -> int:
+        """Read without permission checks (test/debug access)."""
+        return self.physical.read_word(address)
+
+    def poke(self, address: int, value: int) -> None:
+        """Write without permission checks (test/debug access)."""
+        self.physical.write_word(address, value)
+
+    def pkey_of(self, address: int) -> Optional[int]:
+        entry = self.page_table.try_lookup(address)
+        return entry.pkey if entry is not None else None
+
+    def snapshot(self):
+        return self.physical.snapshot()
+
+
+__all__ = ["AddressSpace", "PAGE_SIZE", "WORD_SIZE"]

@@ -1,0 +1,116 @@
+"""Set-associative cache model with LRU replacement.
+
+Tracks presence only (no data — values always come from the
+architectural :class:`~repro.memory.address_space.AddressSpace`); what
+matters for the paper is *timing*: hits vs misses are the substrate of
+the Flush+Reload side channel in Fig. 13.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    __slots__ = ("hits", "misses", "evictions", "invalidations")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One level of set-associative cache.
+
+    Args:
+        name: Label used in statistics output.
+        size: Capacity in bytes.
+        assoc: Associativity (ways per set).
+        line_size: Line size in bytes (power of two).
+        latency: Round-trip hit latency in cycles.
+    """
+
+    def __init__(
+        self, name: str, size: int, assoc: int, line_size: int = 64, latency: int = 1
+    ) -> None:
+        if size % (assoc * line_size) != 0:
+            raise ValueError(f"{name}: size not divisible by assoc*line_size")
+        if line_size & (line_size - 1):
+            raise ValueError(f"{name}: line size must be a power of two")
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.line_size = line_size
+        self.latency = latency
+        self.num_sets = size // (assoc * line_size)
+        self._line_shift = line_size.bit_length() - 1
+        # Each set is an OrderedDict tag -> True in LRU order (front = LRU).
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    # -- address helpers ----------------------------------------------------
+
+    def line_of(self, address: int) -> int:
+        return address >> self._line_shift
+
+    def _index_tag(self, address: int):
+        line = self.line_of(address)
+        return line % self.num_sets, line // self.num_sets
+
+    # -- operations ----------------------------------------------------------
+
+    def lookup(self, address: int) -> bool:
+        """Probe for *address*; refresh LRU on hit.  Counts statistics."""
+        index, tag = self._index_tag(address)
+        cache_set = self._sets[index]
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def contains(self, address: int) -> bool:
+        """Non-mutating, non-counting presence check (for assertions)."""
+        index, tag = self._index_tag(address)
+        return tag in self._sets[index]
+
+    def fill(self, address: int) -> None:
+        """Install the line holding *address*, evicting LRU if needed."""
+        index, tag = self._index_tag(address)
+        cache_set = self._sets[index]
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            return
+        if len(cache_set) >= self.assoc:
+            cache_set.popitem(last=False)
+            self.stats.evictions += 1
+        cache_set[tag] = True
+
+    def invalidate(self, address: int) -> bool:
+        """CLFLUSH one line; True when it was present."""
+        index, tag = self._index_tag(address)
+        present = self._sets[index].pop(tag, None) is not None
+        if present:
+            self.stats.invalidations += 1
+        return present
+
+    def flush_all(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

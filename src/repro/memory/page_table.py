@@ -1,0 +1,142 @@
+"""Page table with MPK protection-key bits in each PTE.
+
+PTEs carry the 4-bit pKey field described in SSII-A of the paper: the
+key is recorded at map time (``pkey_mprotect``) and returned on every
+translation so the permission check can index the PKRU register.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..mpk.faults import SegmentationFault
+from ..mpk.pkru import NUM_PKEYS
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_OFFSET_MASK = PAGE_SIZE - 1
+
+
+class PageTableEntry:
+    """One PTE: frame number, RW permission bits, and the pKey colour."""
+
+    __slots__ = ("frame", "readable", "writable", "pkey")
+
+    def __init__(
+        self, frame: int, readable: bool = True, writable: bool = True, pkey: int = 0
+    ) -> None:
+        if not 0 <= pkey < NUM_PKEYS:
+            raise ValueError(f"pkey {pkey} out of range")
+        self.frame = frame
+        self.readable = readable
+        self.writable = writable
+        self.pkey = pkey
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = ("r" if self.readable else "-") + ("w" if self.writable else "-")
+        return f"PTE(frame={self.frame:#x}, {flags}, pkey={self.pkey})"
+
+
+def vpn_of(address: int) -> int:
+    """Virtual page number containing *address*."""
+    return address >> PAGE_SHIFT
+
+
+def page_offset(address: int) -> int:
+    return address & PAGE_OFFSET_MASK
+
+
+class PageTable:
+    """Flat virtual-page-number -> PTE mapping.
+
+    Pages are identity-mapped (frame == vpn) by default; the frame field
+    exists so translation is a real lookup rather than a pass-through.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, PageTableEntry] = {}
+        #: Monotonic generation number; bumped by any PTE change so TLBs
+        #: can detect staleness in assertions (mprotect needs shootdowns,
+        #: pkey_mprotect at map time only).
+        self.generation = 0
+
+    def map_page(
+        self,
+        vpn: int,
+        readable: bool = True,
+        writable: bool = True,
+        pkey: int = 0,
+        frame: Optional[int] = None,
+    ) -> PageTableEntry:
+        entry = PageTableEntry(
+            frame if frame is not None else vpn,
+            readable=readable,
+            writable=writable,
+            pkey=pkey,
+        )
+        self._entries[vpn] = entry
+        self.generation += 1
+        return entry
+
+    def map_range(
+        self, base: int, size: int, readable=True, writable=True, pkey: int = 0
+    ) -> None:
+        """Map every page overlapping ``[base, base + size)``."""
+        first = vpn_of(base)
+        last = vpn_of(base + size - 1)
+        for vpn in range(first, last + 1):
+            self.map_page(vpn, readable=readable, writable=writable, pkey=pkey)
+
+    def unmap_page(self, vpn: int) -> None:
+        self._entries.pop(vpn, None)
+        self.generation += 1
+
+    def lookup(self, address: int, access: str = "read") -> PageTableEntry:
+        """Translate; raise :class:`SegmentationFault` when unmapped."""
+        entry = self._entries.get(vpn_of(address))
+        if entry is None:
+            raise SegmentationFault(address, access)
+        return entry
+
+    def try_lookup(self, address: int) -> Optional[PageTableEntry]:
+        return self._entries.get(vpn_of(address))
+
+    def set_pkey(self, base: int, size: int, pkey: int) -> int:
+        """``pkey_mprotect``: recolour every mapped page in the range.
+
+        Returns the number of pages recoloured.  Unlike ``mprotect``
+        this touches only the pKey field, so no TLB shootdown is needed
+        (the permission source of truth moves to PKRU).
+        """
+        first = vpn_of(base)
+        last = vpn_of(base + size - 1)
+        count = 0
+        for vpn in range(first, last + 1):
+            entry = self._entries.get(vpn)
+            if entry is None:
+                raise SegmentationFault(vpn << PAGE_SHIFT, "pkey_mprotect")
+            if not 0 <= pkey < NUM_PKEYS:
+                raise ValueError(f"pkey {pkey} out of range")
+            entry.pkey = pkey
+            count += 1
+        # Recolouring rewrites PTEs; bump generation so TLBs refill.
+        self.generation += 1
+        return count
+
+    def mprotect(self, base: int, size: int, readable: bool, writable: bool) -> int:
+        """Classic ``mprotect``: rewrite RW bits (requires TLB shootdown)."""
+        first = vpn_of(base)
+        last = vpn_of(base + size - 1)
+        count = 0
+        for vpn in range(first, last + 1):
+            entry = self._entries.get(vpn)
+            if entry is None:
+                raise SegmentationFault(vpn << PAGE_SHIFT, "mprotect")
+            entry.readable = readable
+            entry.writable = writable
+            count += 1
+        self.generation += 1
+        return count
+
+    def mapped_pages(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,41 @@
+"""Physical memory: a sparse store of aligned 64-bit words.
+
+Addresses must be 8-byte aligned; the ISA has a single LD/ST width.
+Unaligned accesses raise :class:`AlignmentFault`, which doubles as an
+invariant check on the synthetic workload generators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..mpk.faults import AlignmentFault
+
+WORD_SIZE = 8
+MASK64 = (1 << 64) - 1
+
+
+class PhysicalMemory:
+    """Sparse word-addressed backing store (zero-initialised)."""
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+
+    def check_alignment(self, address: int, access: str) -> None:
+        if address % WORD_SIZE != 0:
+            raise AlignmentFault(address, access)
+
+    def read_word(self, address: int) -> int:
+        self.check_alignment(address, "read")
+        return self._words.get(address, 0)
+
+    def write_word(self, address: int, value: int) -> None:
+        self.check_alignment(address, "write")
+        self._words[address] = value & MASK64
+
+    def snapshot(self) -> Dict[int, int]:
+        """Copy of all non-zero words (for golden-model comparison)."""
+        return {addr: value for addr, value in self._words.items() if value}
+
+    def __len__(self) -> int:
+        return len(self._words)

@@ -1,0 +1,112 @@
+"""TLB model returning the pKey alongside the translation.
+
+On every memory access the TLB hands back the page's pKey for the PKRU
+permission check (paper SSII-A).  The TLB is itself a side channel (Gras
+et al. [23]); SpecMPK therefore *defers* TLB fills for check-failing
+accesses — the core decides when to call :meth:`fill`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import NamedTuple, Optional
+
+from .page_table import PAGE_SHIFT, PageTable
+
+
+class TlbEntry(NamedTuple):
+    """Cached translation: frame, RW bits, pKey."""
+
+    frame: int
+    readable: bool
+    writable: bool
+    pkey: int
+
+
+class TlbStats:
+    __slots__ = ("hits", "misses", "fills", "deferred_fills", "flushes")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.fills = 0
+        self.deferred_fills = 0
+        self.flushes = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+
+class Tlb:
+    """Fully-associative LRU TLB over a :class:`PageTable`.
+
+    The TLB watches the page table's generation counter: any PTE change
+    (mprotect, pkey_mprotect recolouring, unmap) invalidates all cached
+    translations, modelling the required shootdown.  PKRU changes do
+    *not* touch the page table, which is exactly why MPK avoids
+    shootdowns on permission switches.
+    """
+
+    def __init__(self, page_table: PageTable, entries: int = 64,
+                 walk_latency: int = 30) -> None:
+        self.page_table = page_table
+        self.capacity = entries
+        self.walk_latency = walk_latency
+        self._entries: OrderedDict = OrderedDict()
+        self._generation = page_table.generation
+        self.stats = TlbStats()
+
+    def _check_generation(self) -> None:
+        if self._generation != self.page_table.generation:
+            self._entries.clear()
+            self._generation = self.page_table.generation
+            self.stats.flushes += 1
+
+    def lookup(self, address: int) -> Optional[TlbEntry]:
+        """Probe the TLB; None on miss.  Does NOT walk the page table."""
+        self._check_generation()
+        vpn = address >> PAGE_SHIFT
+        entry = self._entries.get(vpn)
+        if entry is not None:
+            self._entries.move_to_end(vpn)
+            self.stats.hits += 1
+            return entry
+        self.stats.misses += 1
+        return None
+
+    def walk(self, address: int) -> Optional[TlbEntry]:
+        """Page-table walk (no TLB state change).  None when unmapped."""
+        pte = self.page_table.try_lookup(address)
+        if pte is None:
+            return None
+        return TlbEntry(pte.frame, pte.readable, pte.writable, pte.pkey)
+
+    def fill(self, address: int, entry: TlbEntry) -> None:
+        """Install a translation (the microarchitectural state update
+        SpecMPK defers until the PKRU check succeeds)."""
+        self._check_generation()
+        vpn = address >> PAGE_SHIFT
+        if vpn in self._entries:
+            self._entries.move_to_end(vpn)
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[vpn] = entry
+        self.stats.fills += 1
+
+    def note_deferred_fill(self) -> None:
+        self.stats.deferred_fills += 1
+
+    def contains(self, address: int) -> bool:
+        """Non-mutating presence probe (the attack's measurement aid)."""
+        self._check_generation()
+        return (address >> PAGE_SHIFT) in self._entries
+
+    def flush(self) -> None:
+        self._entries.clear()
+        self.stats.flushes += 1
+
+    def occupancy(self) -> int:
+        self._check_generation()
+        return len(self._entries)

@@ -1,0 +1,43 @@
+"""Memory Protection Keys: PKRU, permission checks, pKey management."""
+
+from .faults import AlignmentFault, MemoryFault, ProtectionFault, SegmentationFault
+from .permissions import READ, WRITE, access_allowed, check_access
+from .pkey_allocator import PKeyAllocator, PKeyExhausted, pkey_set
+from .pkru import (
+    NUM_PKEYS,
+    PKRU_ALL_DISABLED_EXCEPT_0,
+    PKRU_ALL_ENABLED,
+    PKRU_MASK,
+    access_disabled,
+    ad_bit,
+    describe,
+    make_pkru,
+    set_permissions,
+    wd_bit,
+    write_disabled,
+)
+
+__all__ = [
+    "AlignmentFault",
+    "MemoryFault",
+    "NUM_PKEYS",
+    "PKRU_ALL_DISABLED_EXCEPT_0",
+    "PKRU_ALL_ENABLED",
+    "PKRU_MASK",
+    "PKeyAllocator",
+    "PKeyExhausted",
+    "ProtectionFault",
+    "READ",
+    "SegmentationFault",
+    "WRITE",
+    "access_allowed",
+    "access_disabled",
+    "ad_bit",
+    "check_access",
+    "describe",
+    "make_pkru",
+    "pkey_set",
+    "set_permissions",
+    "wd_bit",
+    "write_disabled",
+]

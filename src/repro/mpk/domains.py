@@ -1,0 +1,171 @@
+"""libmpk/VDom-style domain virtualisation (paper SSX-A).
+
+Hardware MPK offers 16 pKeys; applications like per-client session-key
+isolation need hundreds of domains.  This module virtualises domains
+over the physical keys: each virtual domain owns a set of pages, and a
+bounded pool of physical pKeys is multiplexed across the *active*
+domains with LRU eviction.  Evicting a domain recolours its pages to
+the reserved "parked" key whose permissions are kept Access-Disabled,
+so inactive domains stay isolated (libmpk's page-disabling approach).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..memory.address_space import AddressSpace
+from .pkru import NUM_PKEYS, set_permissions
+
+
+class DomainError(Exception):
+    """Misuse of the virtual-domain API."""
+
+
+class VirtualDomain:
+    """One virtual protection domain: a set of page ranges."""
+
+    __slots__ = ("vid", "ranges", "physical_pkey")
+
+    def __init__(self, vid: int) -> None:
+        self.vid = vid
+        self.ranges: List[Tuple[int, int]] = []
+        self.physical_pkey: Optional[int] = None
+
+    @property
+    def mapped(self) -> bool:
+        return self.physical_pkey is not None
+
+
+class DomainManager:
+    """Multiplexes virtual domains onto physical pKeys.
+
+    Args:
+        address_space: The process memory the domains colour.
+        parked_pkey: Physical key colouring every inactive domain's
+            pages; its PKRU permissions must stay Access-Disabled.
+        reserved: Physical keys not managed here (e.g. pKey 0).
+    """
+
+    def __init__(
+        self,
+        address_space: AddressSpace,
+        parked_pkey: int = 15,
+        reserved: Set[int] = frozenset({0}),
+    ) -> None:
+        if parked_pkey in reserved:
+            raise DomainError("parked pkey cannot be reserved")
+        self.space = address_space
+        self.parked_pkey = parked_pkey
+        self._pool = [
+            key
+            for key in range(NUM_PKEYS)
+            if key not in reserved and key != parked_pkey
+        ]
+        self._domains: Dict[int, VirtualDomain] = {}
+        #: Active domains in LRU order (front = least recent).
+        self._active: OrderedDict = OrderedDict()
+        self._next_vid = 0
+        self.evictions = 0
+        self.activations = 0
+
+    # -- domain lifecycle ----------------------------------------------------
+
+    def create_domain(self) -> int:
+        """Create a new (inactive) virtual domain, return its id."""
+        vid = self._next_vid
+        self._next_vid += 1
+        self._domains[vid] = VirtualDomain(vid)
+        return vid
+
+    def attach(self, vid: int, base: int, size: int) -> None:
+        """Add a page range to a domain and colour it appropriately."""
+        domain = self._domain(vid)
+        domain.ranges.append((base, size))
+        pkey = (
+            domain.physical_pkey if domain.mapped else self.parked_pkey
+        )
+        self.space.pkey_mprotect(base, size, pkey)
+
+    # -- activation / eviction --------------------------------------------------
+
+    def activate(self, vid: int) -> int:
+        """Bind *vid* to a physical pKey (evicting LRU if needed).
+
+        Returns the physical pKey the caller should enable in PKRU.
+        """
+        domain = self._domain(vid)
+        self.activations += 1
+        if domain.mapped:
+            self._active.move_to_end(vid)
+            return domain.physical_pkey
+        pkey = self._free_pkey() or self._evict_lru()
+        domain.physical_pkey = pkey
+        self._active[vid] = domain
+        for base, size in domain.ranges:
+            self.space.pkey_mprotect(base, size, pkey)
+        return pkey
+
+    def deactivate(self, vid: int) -> None:
+        """Explicitly park a domain, releasing its physical key."""
+        domain = self._domain(vid)
+        if not domain.mapped:
+            return
+        self._park(domain)
+        self._active.pop(vid, None)
+
+    def _free_pkey(self) -> Optional[int]:
+        used = {d.physical_pkey for d in self._active.values()}
+        for pkey in self._pool:
+            if pkey not in used:
+                return pkey
+        return None
+
+    def _evict_lru(self) -> int:
+        if not self._active:
+            raise DomainError("no active domains to evict")
+        _, victim = self._active.popitem(last=False)
+        pkey = victim.physical_pkey
+        self._park(victim)
+        self.evictions += 1
+        return pkey
+
+    def _park(self, domain: VirtualDomain) -> None:
+        for base, size in domain.ranges:
+            self.space.pkey_mprotect(base, size, self.parked_pkey)
+        domain.physical_pkey = None
+
+    # -- PKRU helpers --------------------------------------------------------------
+
+    def pkru_with_domain(self, pkru: int, vid: int,
+                         write: bool = True) -> int:
+        """PKRU granting access to *vid* (which must be active)."""
+        domain = self._domain(vid)
+        if not domain.mapped:
+            raise DomainError(f"domain {vid} is not active")
+        return set_permissions(
+            pkru, domain.physical_pkey,
+            access_disable=False, write_disable=not write,
+        )
+
+    def base_pkru(self) -> int:
+        """PKRU with every managed key (and the parked key) disabled."""
+        pkru = 0
+        for pkey in self._pool + [self.parked_pkey]:
+            pkru = set_permissions(pkru, pkey, True, True)
+        return pkru
+
+    # -- introspection -----------------------------------------------------------------
+
+    def _domain(self, vid: int) -> VirtualDomain:
+        if vid not in self._domains:
+            raise DomainError(f"unknown domain {vid}")
+        return self._domains[vid]
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    @property
+    def capacity(self) -> int:
+        return len(self._pool)

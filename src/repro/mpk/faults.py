@@ -1,0 +1,48 @@
+"""Fault types raised by the memory system and MPK permission checks."""
+
+from __future__ import annotations
+
+
+class MemoryFault(Exception):
+    """Base class for all architectural memory faults."""
+
+    def __init__(self, address: int, access: str, message: str) -> None:
+        super().__init__(message)
+        self.address = address
+        self.access = access
+
+
+class SegmentationFault(MemoryFault):
+    """Access to an unmapped virtual address."""
+
+    def __init__(self, address: int, access: str) -> None:
+        super().__init__(
+            address, access, f"segmentation fault: {access} at {address:#x}"
+        )
+
+
+class AlignmentFault(MemoryFault):
+    """Access not aligned to the 8-byte word size."""
+
+    def __init__(self, address: int, access: str) -> None:
+        super().__init__(
+            address, access, f"alignment fault: {access} at {address:#x}"
+        )
+
+
+class ProtectionFault(MemoryFault):
+    """MPK or page-permission violation.
+
+    Carries the pKey so trap handlers (e.g. the Kard data-race detector
+    in :mod:`repro.func.kard`) can identify the violated domain, exactly
+    like the PKU bit in the x86 page-fault error code.
+    """
+
+    def __init__(self, address: int, access: str, pkey: int, reason: str) -> None:
+        super().__init__(
+            address,
+            access,
+            f"protection fault: {access} at {address:#x} (pkey={pkey}): {reason}",
+        )
+        self.pkey = pkey
+        self.reason = reason

@@ -1,0 +1,56 @@
+"""Combined page-table + PKRU permission resolution (paper Fig. 1).
+
+The access check enforces *the most strict* of the PTE's RWX bits and
+the PKRU {AD, WD} pair selected by the page's pKey, mirroring the MPK
+protection-check step described in SSII-A.
+"""
+
+from __future__ import annotations
+
+from .faults import ProtectionFault
+from .pkru import access_disabled, write_disabled
+
+READ = "read"
+WRITE = "write"
+ACCESS_KINDS = (READ, WRITE)
+
+
+def check_access(
+    address: int,
+    access: str,
+    pkey: int,
+    pte_readable: bool,
+    pte_writable: bool,
+    pkru: int,
+) -> None:
+    """Raise :class:`ProtectionFault` unless *access* is permitted.
+
+    Arguments mirror what the TLB hands back on a hit: the page's RW
+    bits and its pKey; *pkru* is the (architectural) PKRU value.
+    """
+    if access not in ACCESS_KINDS:
+        raise ValueError(f"unknown access kind {access!r}")
+    if not pte_readable:
+        raise ProtectionFault(address, access, pkey, "page not readable")
+    if access == WRITE and not pte_writable:
+        raise ProtectionFault(address, access, pkey, "page not writable")
+    if access_disabled(pkru, pkey):
+        raise ProtectionFault(address, access, pkey, "PKRU access-disable")
+    if access == WRITE and write_disabled(pkru, pkey):
+        raise ProtectionFault(address, access, pkey, "PKRU write-disable")
+
+
+def access_allowed(
+    address: int,
+    access: str,
+    pkey: int,
+    pte_readable: bool,
+    pte_writable: bool,
+    pkru: int,
+) -> bool:
+    """Non-raising variant of :func:`check_access`."""
+    try:
+        check_access(address, access, pkey, pte_readable, pte_writable, pkru)
+    except ProtectionFault:
+        return False
+    return True

@@ -1,0 +1,62 @@
+"""User-space pKey management mirroring the Linux pkeys(7) API.
+
+``pkey_alloc`` / ``pkey_free`` hand out the 15 application-usable keys
+(pKey 0 is the default colour of every page).  ``pkey_set`` mirrors
+glibc's helper built on RDPKRU/WRPKRU (SSV-C6 of the paper).
+"""
+
+from __future__ import annotations
+
+from .pkru import NUM_PKEYS, set_permissions
+
+
+class PKeyExhausted(Exception):
+    """No free protection keys remain (the 16-key hardware limit)."""
+
+
+class PKeyAllocator:
+    """Tracks which of the 16 hardware pKeys are allocated."""
+
+    def __init__(self) -> None:
+        # pKey 0 is implicitly allocated as the default.
+        self._allocated = {0}
+
+    def alloc(self) -> int:
+        """Allocate and return the lowest free pKey.
+
+        Raises :class:`PKeyExhausted` when all 16 keys are in use,
+        the situation motivating libmpk/VDom-style virtualisation
+        (see :mod:`repro.mpk.domains`).
+        """
+        for pkey in range(NUM_PKEYS):
+            if pkey not in self._allocated:
+                self._allocated.add(pkey)
+                return pkey
+        raise PKeyExhausted("all 16 protection keys are allocated")
+
+    def free(self, pkey: int) -> None:
+        if pkey == 0:
+            raise ValueError("pkey 0 is the default key and cannot be freed")
+        if pkey not in self._allocated:
+            raise ValueError(f"pkey {pkey} is not allocated")
+        self._allocated.discard(pkey)
+
+    def is_allocated(self, pkey: int) -> bool:
+        return pkey in self._allocated
+
+    @property
+    def allocated(self) -> frozenset:
+        return frozenset(self._allocated)
+
+    @property
+    def free_count(self) -> int:
+        return NUM_PKEYS - len(self._allocated)
+
+
+def pkey_set(pkru: int, pkey: int, access_disable: bool, write_disable: bool) -> int:
+    """glibc-style read-modify-write of one pKey's permissions.
+
+    The real implementation is RDPKRU + mask + WRPKRU; here we return
+    the new PKRU value for the caller to write.
+    """
+    return set_permissions(pkru, pkey, access_disable, write_disable)

@@ -1,0 +1,77 @@
+"""The PKRU register: 16 protection keys x {Access-Disable, Write-Disable}.
+
+Bit layout follows the Intel SDM: for pKey *k*, bit ``2k`` is AD
+(Access-Disable) and bit ``2k + 1`` is WD (Write-Disable).  If access is
+allowed, read access is allowed irrespective of WD (paper SSII-A).
+"""
+
+from __future__ import annotations
+
+NUM_PKEYS = 16
+PKRU_BITS = 2 * NUM_PKEYS
+PKRU_MASK = (1 << PKRU_BITS) - 1
+
+#: PKRU value with every permission granted.
+PKRU_ALL_ENABLED = 0
+
+#: PKRU value with access disabled for every pKey except pKey 0.
+PKRU_ALL_DISABLED_EXCEPT_0 = PKRU_MASK & ~0b11
+
+
+def ad_bit(pkey: int) -> int:
+    """Bit position of the Access-Disable bit for *pkey*."""
+    _check_pkey(pkey)
+    return 2 * pkey
+
+
+def wd_bit(pkey: int) -> int:
+    """Bit position of the Write-Disable bit for *pkey*."""
+    _check_pkey(pkey)
+    return 2 * pkey + 1
+
+
+def access_disabled(pkru: int, pkey: int) -> bool:
+    """True when *pkru* forbids any access to pages coloured *pkey*."""
+    return bool(pkru >> ad_bit(pkey) & 1)
+
+
+def write_disabled(pkru: int, pkey: int) -> bool:
+    """True when *pkru* forbids writes to pages coloured *pkey*."""
+    return bool(pkru >> wd_bit(pkey) & 1)
+
+
+def set_permissions(
+    pkru: int, pkey: int, access_disable: bool, write_disable: bool
+) -> int:
+    """Return *pkru* with the {AD, WD} pair for *pkey* replaced."""
+    _check_pkey(pkey)
+    cleared = pkru & ~(0b11 << (2 * pkey))
+    bits = (int(write_disable) << 1 | int(access_disable)) << (2 * pkey)
+    return (cleared | bits) & PKRU_MASK
+
+
+def make_pkru(disabled=(), write_disabled=()) -> int:
+    """Build a PKRU value from iterables of disabled pKeys."""
+    pkru = 0
+    for pkey in disabled:
+        pkru |= 1 << ad_bit(pkey)
+    for pkey in write_disabled:
+        pkru |= 1 << wd_bit(pkey)
+    return pkru
+
+
+def describe(pkru: int) -> str:
+    """Human-readable rendering of a PKRU value."""
+    parts = []
+    for pkey in range(NUM_PKEYS):
+        ad = access_disabled(pkru, pkey)
+        wd = write_disabled(pkru, pkey)
+        if ad or wd:
+            flags = ("AD" if ad else "") + ("WD" if wd else "")
+            parts.append(f"pkey{pkey}:{flags}")
+    return "PKRU[" + (", ".join(parts) if parts else "all-enabled") + "]"
+
+
+def _check_pkey(pkey: int) -> None:
+    if not 0 <= pkey < NUM_PKEYS:
+        raise ValueError(f"pkey {pkey} out of range [0, {NUM_PKEYS})")

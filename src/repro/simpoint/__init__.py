@@ -1,0 +1,25 @@
+"""SimPoint-style interval selection: BBV profiling + k-means."""
+
+from .bbv import BbvProfile, collect_bbv
+from .kmeans import Clustering, bic_score, choose_k, kmeans
+from .simpoint import (
+    SimPoint,
+    SimPointSelection,
+    select_simpoints,
+    simpoint_ipc,
+    weighted_ipc,
+)
+
+__all__ = [
+    "BbvProfile",
+    "Clustering",
+    "SimPoint",
+    "SimPointSelection",
+    "bic_score",
+    "choose_k",
+    "collect_bbv",
+    "kmeans",
+    "select_simpoints",
+    "simpoint_ipc",
+    "weighted_ipc",
+]

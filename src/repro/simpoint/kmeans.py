@@ -1,0 +1,110 @@
+"""k-means clustering with BIC model selection, as used by SimPoint.
+
+A small, dependency-light implementation (numpy only): k-means++
+seeding, Lloyd iterations, and the Bayesian Information Criterion score
+SimPoint uses to pick the number of clusters.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+
+class Clustering(NamedTuple):
+    """Result of one k-means run."""
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    k: int
+
+
+def kmeans(
+    data: np.ndarray, k: int, seed: int = 0, max_iter: int = 100
+) -> Clustering:
+    """Lloyd's algorithm with k-means++ initialisation."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    n = data.shape[0]
+    if k > n:
+        k = n
+    rng = np.random.RandomState(seed)
+    centers = _kmeans_pp_init(data, k, rng)
+
+    labels = np.full(n, -1, dtype=int)
+    for _iteration in range(max_iter):
+        distances = _pairwise_sq(data, centers)
+        new_labels = distances.argmin(axis=1)
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+        for cluster in range(k):
+            members = data[labels == cluster]
+            if len(members):
+                centers[cluster] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster at the farthest point.
+                farthest = distances.min(axis=1).argmax()
+                centers[cluster] = data[farthest]
+    inertia = float(_pairwise_sq(data, centers)[np.arange(n), labels].sum())
+    return Clustering(centers, labels, inertia, k)
+
+
+def bic_score(data: np.ndarray, clustering: Clustering) -> float:
+    """BIC of a spherical-Gaussian mixture fit (higher is better)."""
+    n, dims = data.shape
+    k = clustering.k
+    if n <= k:
+        return float("-inf")
+    variance = clustering.inertia / max(n - k, 1) / max(dims, 1)
+    variance = max(variance, 1e-12)
+    log_likelihood = 0.0
+    for cluster in range(k):
+        size = int((clustering.labels == cluster).sum())
+        if size == 0:
+            continue
+        log_likelihood += (
+            size * np.log(size / n)
+            - 0.5 * size * dims * np.log(2 * np.pi * variance)
+            - 0.5 * (size - k if size > k else 0)
+        )
+    free_params = k * (dims + 1)
+    return float(log_likelihood - 0.5 * free_params * np.log(n))
+
+
+def choose_k(
+    data: np.ndarray, max_k: int = 10, seed: int = 0
+) -> Clustering:
+    """Cluster with k = 1..max_k, return the best clustering by BIC."""
+    best = None
+    best_score = float("-inf")
+    for k in range(1, min(max_k, len(data)) + 1):
+        clustering = kmeans(data, k, seed=seed)
+        score = bic_score(data, clustering)
+        if score > best_score:
+            best, best_score = clustering, score
+    assert best is not None
+    return best
+
+
+def _kmeans_pp_init(data: np.ndarray, k: int, rng) -> np.ndarray:
+    n = data.shape[0]
+    centers = np.empty((k, data.shape[1]))
+    centers[0] = data[rng.randint(n)]
+    for i in range(1, k):
+        distances = _pairwise_sq(data, centers[:i]).min(axis=1)
+        total = distances.sum()
+        if total <= 0:
+            centers[i] = data[rng.randint(n)]
+            continue
+        probabilities = distances / total
+        centers[i] = data[rng.choice(n, p=probabilities)]
+    return centers
+
+
+def _pairwise_sq(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, (n x k)."""
+    diffs = data[:, None, :] - centers[None, :, :]
+    return (diffs * diffs).sum(axis=2)

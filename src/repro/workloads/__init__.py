@@ -1,0 +1,31 @@
+"""Synthetic SPEC-like workloads with SS/CPI protection instrumentation."""
+
+from .cpi import SAFE_REGION_PKEY, CpiPass
+from .generator import GeneratedWorkload, build_workload
+from .instrument import InstrumentMode, emit_wrpkru
+from .profiles import (
+    ALL_PROFILES,
+    CPI_PROFILES,
+    SS_PROFILES,
+    WorkloadProfile,
+    labels,
+    profile_by_label,
+)
+from .shadow_stack import SHADOW_STACK_PKEY, ShadowStackPass
+
+__all__ = [
+    "ALL_PROFILES",
+    "CPI_PROFILES",
+    "CpiPass",
+    "GeneratedWorkload",
+    "InstrumentMode",
+    "SAFE_REGION_PKEY",
+    "SHADOW_STACK_PKEY",
+    "SS_PROFILES",
+    "ShadowStackPass",
+    "WorkloadProfile",
+    "build_workload",
+    "emit_wrpkru",
+    "labels",
+    "profile_by_label",
+]

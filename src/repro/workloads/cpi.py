@@ -1,0 +1,65 @@
+"""Code-pointer-integrity pass (Kuznetzov et al. [33], ERIM [51]).
+
+Sensitive code pointers live in an MPK-protected *safe region* whose
+pKey is Access-Disabled during normal execution.  Every access to the
+safe region is sandwiched between an enabling and a disabling WRPKRU —
+the paper's "relaxed variant ... code pointer separation".  A fraction
+of the accesses are indirect-call dispatches through the loaded pointer,
+the pattern that dominates omnetpp/perlbench-style workloads.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..mpk.pkru import make_pkru
+from .instrument import InstrumentMode, emit_wrpkru
+
+#: pKey colouring the safe-region pages.
+SAFE_REGION_PKEY = 2
+
+#: Normal-state PKRU: safe region fully inaccessible.
+PKRU_LOCKED = make_pkru(disabled=[SAFE_REGION_PKEY])
+PKRU_UNLOCKED = 0
+
+
+class CpiPass:
+    """Emits the enable/access/disable sandwich for safe-region traffic."""
+
+    protection = "CPI"
+    initial_pkru = PKRU_LOCKED
+    #: WRPKRUs each instrumented safe-region access pays.
+    wrpkru_per_access = 2
+
+    def __init__(self, mode: InstrumentMode) -> None:
+        self.mode = mode
+        #: PCs of the inserted enable/disable sequences (not the access
+        #: itself, which replaces a regular-region access).
+        self.emitted_pcs = []
+
+    def emit_prologue(self, b: ProgramBuilder) -> None:
+        """CPI adds no per-function prologue."""
+
+    def emit_epilogue(self, b: ProgramBuilder, violation_label: str) -> None:
+        """CPI adds no per-function epilogue."""
+
+    def emit_cp_load(self, b: ProgramBuilder, dst: int, base: int,
+                     disp: int) -> None:
+        """Load a code pointer from the safe region."""
+        self._sandwich(b, lambda: b.ld(dst, base, disp))
+
+    def emit_cp_store(self, b: ProgramBuilder, src: int, base: int,
+                      disp: int) -> None:
+        """Store a code pointer into the safe region."""
+        self._sandwich(b, lambda: b.st(src, base, disp))
+
+    def _sandwich(self, b: ProgramBuilder, access) -> None:
+        if self.mode.emits_protection_code:
+            start = b.pc
+            emit_wrpkru(b, self.mode, PKRU_UNLOCKED)
+            self.emitted_pcs.extend(range(start, b.pc))
+            access()
+            start = b.pc
+            emit_wrpkru(b, self.mode, PKRU_LOCKED)
+            self.emitted_pcs.extend(range(start, b.pc))
+        else:
+            access()

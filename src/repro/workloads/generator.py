@@ -1,0 +1,427 @@
+"""Synthetic SPEC-like workload generator.
+
+Builds a deterministic (seeded) program from a
+:class:`~repro.workloads.profiles.WorkloadProfile`: a tree of functions
+whose bodies mix ALU chains, strided/pseudo-random memory traffic,
+biased and data-dependent branches, nested calls, and (for CPI builds)
+safe-region code-pointer traffic with indirect-call dispatch.  An
+instrumentation pass (shadow stack or CPI) weaves the protection
+sequences in, mode-permitting.
+
+The program runs an effectively unbounded outer loop; the harness stops
+simulation at an instruction budget, so measurements are steady-state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, NamedTuple
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from .cpi import SAFE_REGION_PKEY, CpiPass
+from .instrument import InstrumentMode
+from .profiles import WorkloadProfile
+from .shadow_stack import SHADOW_STACK_PKEY, ShadowStackPass
+
+# Register conventions inside generated code (r2-r9 are the working set).
+_DATA_BASE = 20    # base of the data region
+_LCG_MULT = 21     # LCG multiplier constant
+_LCG = 22          # pseudo-random state driving addresses and branches
+_MASK = 23         # working-set address mask (word aligned)
+_SAFE_BASE = 24    # base of the CPI safe region
+_SCRATCH = 25      # address computation scratch
+_OUTER = 27        # outer loop counter
+_HOT_MASK = 19     # mask selecting the hot working-set subset
+_CP_REG = 18       # code-pointer register (feeds control flow only)
+
+_WORK_REGS = list(range(2, 10))
+
+#: Functions per call-tree level.
+_FUNCS_PER_LEVEL = 3
+#: Slots in the CPI code-pointer dispatch table.
+_TABLE_SLOTS = 8
+
+
+class GeneratedWorkload(NamedTuple):
+    """A built workload plus the metadata the harness needs."""
+
+    program: Program
+    profile: WorkloadProfile
+    mode: InstrumentMode
+    initial_pkru: int
+    #: Static count of WRPKRU instructions in the binary.
+    static_wrpkru: int
+    #: PCs of every instrumentation-inserted instruction (empty in
+    #: NONE mode), used to normalise overheads by useful work.
+    protection_pcs: frozenset = frozenset()
+
+
+def build_workload(
+    profile: WorkloadProfile, mode: InstrumentMode = InstrumentMode.PROTECTED
+) -> GeneratedWorkload:
+    """Generate the synthetic program for *profile* under *mode*."""
+    builder = _WorkloadBuilder(profile, mode)
+    return builder.build()
+
+
+class _WorkloadBuilder:
+    def __init__(self, profile: WorkloadProfile, mode: InstrumentMode) -> None:
+        self.profile = profile
+        self.mode = mode
+        self.rng = random.Random(profile.seed)
+        self.b = ProgramBuilder()
+        protected = mode is InstrumentMode.PROTECTED
+        if profile.protection == "SS":
+            self.protection = ShadowStackPass(mode)
+            shadow_pkey = SHADOW_STACK_PKEY if protected else 0
+            self.shadow = self.b.region("shadow_stack", 16 * 1024,
+                                        pkey=shadow_pkey)
+        else:
+            self.protection = CpiPass(mode)
+            safe_pkey = SAFE_REGION_PKEY if protected else 0
+            self.safe = self.b.region("safe_region", 16 * 1024,
+                                      pkey=safe_pkey)
+        self.initial_pkru = self.protection.initial_pkru if protected else 0
+        self.data = self.b.region(
+            "data", profile.working_set_kib * 1024,
+            init={8 * i: (i * 2654435761) % (1 << 32)
+                  for i in range(0, 512, 7)},
+        )
+        self.stack = self.b.region("stack", 16 * 1024)
+        #: name -> pc, filled as functions are emitted; the CPI dispatch
+        #: table init is patched afterwards.
+        self._label_counter = 0
+        self._mem_counter = 0
+        #: Countdown registers available for guarded rare sites.
+        self._guard_regs = [17, 16, 15, 14]
+        #: PCs of the one-time protection setup (initial WRPKRU).
+        self._setup_pcs = []
+
+    # -- top level ---------------------------------------------------------
+
+    def build(self) -> GeneratedWorkload:
+        b = self.b
+        profile = self.profile
+
+        b.label("main")
+        self._emit_setup()
+        b.label("outer")
+        # The main loop body carries an exact number of call and CP
+        # sites so dynamic densities follow the profile directly; a
+        # fractional remainder becomes a site guarded to fire once every
+        # 2^m outer iterations.
+        body_slots = 300
+        calls_per_iter = body_slots / profile.ops_between_calls
+        cps_per_iter = profile.cp_per_100_ops * body_slots / 100.0
+        call_sites = self._site_positions(calls_per_iter, body_slots)
+        cp_sites = self._site_positions(cps_per_iter, body_slots)
+        op = 0
+        while op < body_slots:
+            if call_sites and op >= call_sites[0]:
+                call_sites.pop(0)
+                b.call(self._func_name(0, self.rng.randrange(_FUNCS_PER_LEVEL)))
+                op += 1
+                continue
+            if cp_sites and op >= cp_sites[0]:
+                cp_sites.pop(0)
+                op += self._emit_cp_access(-1, is_leaf=False)
+                continue
+            op += self._emit_op(-1, is_leaf=True)  # no implicit calls
+        self._emit_fractional_site(
+            calls_per_iter,
+            lambda: b.call(self._func_name(0, 0)),
+        )
+        if profile.protection == "CPI":
+            self._emit_fractional_site(
+                cps_per_iter,
+                lambda: self._emit_cp_access(-1, is_leaf=True),
+            )
+        b.addi(_OUTER, _OUTER, -1)
+        b.bne(_OUTER, 0, "outer")
+        b.halt()
+
+        # Violation stub: an SS mismatch would land here.
+        b.label("__ss_violation")
+        b.li(28, 0xDEAD)
+        b.halt()
+
+        for level in range(profile.call_depth):
+            for func in range(_FUNCS_PER_LEVEL):
+                self._emit_function(level, func)
+
+        if profile.protection == "CPI":
+            self._fill_dispatch_table()
+
+        program = b.build()
+        static_wrpkru = sum(
+            1 for inst in program.instructions if inst.is_wrpkru
+        )
+        return GeneratedWorkload(
+            program, profile, self.mode, self.initial_pkru, static_wrpkru,
+            frozenset(self.protection.emitted_pcs + self._setup_pcs),
+        )
+
+    def _emit_setup(self) -> None:
+        b = self.b
+        from ..isa.registers import SP, SSP
+
+        b.li(SP, self.stack.base + self.stack.size)
+        if self.profile.protection == "SS":
+            b.li(SSP, self.shadow.base)
+        else:
+            b.li(_SAFE_BASE, self.safe.base)
+        b.li(_DATA_BASE, self.data.base)
+        b.li(_LCG, self.profile.seed | 1)
+        b.li(_LCG_MULT, 6364136223846793005)  # Knuth's MMIX multiplier
+        # Word-aligned masks: the full working set plus a hot subset
+        # (stack frames, hot objects) that gives SPEC-like locality.
+        b.li(_MASK, (self.profile.working_set_kib * 1024 - 1) & ~7)
+        hot = min(16 * 1024, self.profile.working_set_kib * 1024)
+        b.li(_HOT_MASK, (hot - 1) & ~7)
+        for reg in _WORK_REGS:
+            b.li(reg, reg * 13 + 1)
+        for reg in self._guard_regs:
+            b.li(reg, 1)  # guard countdowns fire on the first iteration
+        b.li(_OUTER, 1 << 30)  # effectively unbounded; budget-stopped
+        if self.mode.emits_protection_code:
+            from .instrument import emit_wrpkru
+
+            start = b.pc
+            emit_wrpkru(b, self.mode, self.initial_pkru)
+            self._setup_pcs.extend(range(start, b.pc))
+
+    # -- functions --------------------------------------------------------------
+
+    def _func_name(self, level: int, index: int) -> str:
+        return f"f_{level}_{index}"
+
+    def _emit_function(self, level: int, index: int) -> None:
+        b = self.b
+        profile = self.profile
+        rng = self.rng
+        is_leaf = level == profile.call_depth - 1
+        b.label(self._func_name(level, index))
+
+        self.protection.emit_prologue(b)
+        if not is_leaf:
+            from ..isa.registers import RA, SP
+
+            b.addi(SP, SP, -8)
+            b.st(RA, SP, 0)
+
+        # Non-leaf bodies make exactly one nested call, giving a regular
+        # call chain of depth `call_depth` below every main-loop call
+        # site (so the profile's call rate maps linearly to WRPKRU
+        # density).
+        body_ops = rng.randint(35, 70)
+        nested_at = rng.randint(5, body_ops - 5) if not is_leaf else None
+        op = 0
+        while op < body_ops:
+            if nested_at is not None and op >= nested_at:
+                nested_at = None
+                b.call(
+                    self._func_name(level + 1, rng.randrange(_FUNCS_PER_LEVEL))
+                )
+                op += 1
+                continue
+            op += self._emit_op(level, is_leaf)
+
+        if not is_leaf:
+            from ..isa.registers import RA, SP
+
+            b.ld(RA, SP, 0)
+            b.addi(SP, SP, 8)
+        self.protection.emit_epilogue(b, "__ss_violation")
+        b.ret()
+
+    def _emit_op(self, level: int, is_leaf: bool) -> int:
+        """Emit one plain body op (mem/branch/ALU); returns slots used.
+
+        Calls and CP accesses are placed explicitly by the callers so
+        dynamic densities are controllable; this only draws the filler
+        mix.
+        """
+        del level, is_leaf
+        profile = self.profile
+        roll = self.rng.random() * 100
+        if roll < profile.mem_per_100_ops:
+            return self._emit_mem_access()
+        if roll < profile.mem_per_100_ops + profile.branch_per_100_ops:
+            return self._emit_branch()
+        return self._emit_alu()
+
+    # -- op kinds -----------------------------------------------------------------
+
+    def _emit_alu(self) -> int:
+        b = self.b
+        rng = self.rng
+        dst = rng.choice(_WORK_REGS)
+        src1 = rng.choice(_WORK_REGS)
+        src2 = rng.choice(_WORK_REGS)
+        kind = rng.random()
+        if kind < 0.6:
+            rng.choice([b.add, b.sub, b.xor, b.or_, b.and_])(dst, src1, src2)
+        elif kind < 0.8:
+            b.addi(dst, src1, rng.randint(-64, 64))
+        elif kind < 0.95:
+            b.mul(dst, src1, src2)
+        else:
+            b.div(dst, src1, src2)
+        return 1
+
+    def _advance_lcg(self) -> None:
+        b = self.b
+        b.mul(_LCG, _LCG, _LCG_MULT)
+        b.addi(_LCG, _LCG, 0x9E3779B9)
+
+    def _emit_mem_access(self) -> int:
+        """Load or store at a pseudo-random word in the working set.
+
+        The LCG advances only every few accesses; in between, addresses
+        derive from different shifted views of the current state, so
+        consecutive accesses are independent and expose memory-level
+        parallelism (one long dependency chain would otherwise serialise
+        the whole workload).
+        """
+        b = self.b
+        rng = self.rng
+        self._mem_counter += 1
+        if self._mem_counter % 4 == 0:
+            self._advance_lcg()
+        # Most accesses hit a small hot subset (frames, hot objects);
+        # the rest sweep the full working set.
+        mask = _HOT_MASK if rng.random() < 0.85 else _MASK
+        shift = rng.choice((0, 5, 11, 17, 23))
+        if shift:
+            b.srli(_SCRATCH, _LCG, shift)
+            b.and_(_SCRATCH, _SCRATCH, mask)
+        else:
+            b.and_(_SCRATCH, _LCG, mask)
+        b.add(_SCRATCH, _DATA_BASE, _SCRATCH)
+        if rng.random() < 0.65:
+            b.ld(rng.choice(_WORK_REGS), _SCRATCH, 0)
+        else:
+            b.st(rng.choice(_WORK_REGS), _SCRATCH, 0)
+        return 3
+
+    def _emit_branch(self) -> int:
+        """A short forward branch: biased or data-dependent."""
+        b = self.b
+        rng = self.rng
+        label = self._fresh("br")
+        if rng.random() < self.profile.hard_branch_fraction:
+            # Data-dependent on a high LCG bit: ~50/50, hard to predict
+            # (low LCG bits have tiny periods and would be learnable).
+            self._advance_lcg()
+            b.srli(_SCRATCH, _LCG, rng.choice((29, 33, 37, 41)))
+            b.andi(_SCRATCH, _SCRATCH, 1)
+            b.beq(_SCRATCH, 0, label)
+        else:
+            # Heavily biased: almost never taken.
+            b.andi(_SCRATCH, _LCG, 0xFF)
+            b.beq(_SCRATCH, 0, label)
+        skipped = rng.randint(1, 3)
+        for _ in range(skipped):
+            self._emit_alu()
+        b.label(label)
+        return 2 + skipped
+
+    def _emit_cp_access(self, level: int, is_leaf: bool) -> int:
+        """CPI safe-region traffic; some accesses dispatch indirectly.
+
+        Loaded code pointers feed only control flow (an indirect call
+        the BTB predicts) or nothing at all — like real CPI, where the
+        pointer's consumers are predicted branches, so a conservatively
+        stalled safe-region load is hidden by correct speculation rather
+        than serialising the data flow.
+        """
+        b = self.b
+        rng = self.rng
+        pass_ = self.protection
+        slot = rng.randrange(_TABLE_SLOTS)
+        data_slot = _TABLE_SLOTS + rng.randrange(64)
+        kind = rng.random()
+        if kind < 0.3 and not is_leaf:
+            # Indirect-call dispatch through a protected code pointer.
+            pass_.emit_cp_load(b, _CP_REG, _SAFE_BASE, 8 * slot)
+            b.callr(_CP_REG)
+            return 3
+        if kind < 0.7:
+            pass_.emit_cp_load(b, _CP_REG, _SAFE_BASE, 8 * data_slot)
+        else:
+            pass_.emit_cp_store(b, rng.choice(_WORK_REGS), _SAFE_BASE,
+                                8 * data_slot)
+        return 2
+
+    def _fill_dispatch_table(self) -> None:
+        """Point the safe-region dispatch table at next-level functions.
+
+        Table slot *s* holds the PC of a level-1 function so indirect
+        dispatches from level 0 stay within the call-tree discipline.
+        Deeper levels dispatch to leaf functions.
+        """
+        labels = self.b._labels
+        targets = [
+            labels[self._func_name(self.profile.call_depth - 1, i)]
+            for i in range(_FUNCS_PER_LEVEL)
+        ]
+        for slot in range(_TABLE_SLOTS):
+            self.safe.init[8 * slot] = targets[slot % len(targets)]
+
+    def _site_positions(self, per_iter: float, body_slots: int) -> list:
+        """Evenly spaced slot positions for the whole-number site count."""
+        count = int(per_iter)
+        if count <= 0:
+            return []
+        return [
+            round((i + 1) * body_slots / (count + 1)) for i in range(count)
+        ]
+
+    def _emit_fractional_site(self, per_iter: float, emit_body) -> None:
+        """Emit the fractional remainder of a site rate.
+
+        The remainder becomes a site guarded by a countdown register to
+        fire exactly once every round(1/fraction) outer iterations.
+        """
+        fraction = per_iter - int(per_iter)
+        if fraction < 0.05:
+            return
+        # Greedy two-term decomposition (1/p1 + 1/p2) approximates the
+        # fraction closely enough for smooth calibration.
+        import math
+
+        p1 = max(1, math.ceil(1.0 / fraction))
+        if p1 <= 1:
+            emit_body()
+            return
+        self._emit_guarded(p1, emit_body)
+        remainder = fraction - 1.0 / p1
+        if remainder >= 0.08 and self._guard_regs:
+            self._emit_guarded(max(2, round(1.0 / remainder)), emit_body)
+
+    def _emit_guarded(self, period: int, emit_body) -> None:
+        """Emit code executed once every *period* outer iterations,
+        driven by a dedicated countdown register (exact, any period)."""
+        b = self.b
+        if not self._guard_regs:
+            raise RuntimeError("out of guard registers")
+        counter = self._guard_regs.pop()
+        skip = self._fresh("rare")
+        b.addi(counter, counter, -1)
+        b.bne(counter, 0, skip)
+        b.li(counter, period)
+        emit_body()
+        b.label(skip)
+
+    def _fresh(self, stem: str) -> str:
+        self._label_counter += 1
+        return f"{stem}_{self._label_counter}"
+
+
+def _pow2_period(ratio: float) -> int:
+    """Round *ratio* (>= 1 desired spacing) up to a power of two >= 2."""
+    period = 2
+    while period < ratio:
+        period *= 2
+    return period

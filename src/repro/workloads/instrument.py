@@ -1,0 +1,48 @@
+"""Instrumentation modes and protection-pass plumbing.
+
+Mirrors the paper's methodology knobs:
+
+* ``NONE`` — the uninstrumented binary ("non-secure application").
+* ``PROTECTED`` — full SS/CPI instrumentation with real WRPKRUs.
+* ``PROTECTED_NOP`` — the same instrumentation with every WRPKRU
+  replaced by a NOP, the Fig. 4 trick that isolates the compiler
+  transformation overhead from the WRPKRU serialization overhead.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..isa.builder import ProgramBuilder
+from ..isa.registers import EAX
+
+
+class InstrumentMode(enum.Enum):
+    NONE = "none"
+    PROTECTED = "protected"
+    PROTECTED_NOP = "protected_nop"
+
+    @property
+    def emits_protection_code(self) -> bool:
+        return self is not InstrumentMode.NONE
+
+    @property
+    def emits_real_wrpkru(self) -> bool:
+        return self is InstrumentMode.PROTECTED
+
+
+def emit_wrpkru(b: ProgramBuilder, mode: InstrumentMode, pkru_value: int) -> None:
+    """Emit ``li eax, value; wrpkru`` — or two NOPs in NOP mode.
+
+    Using a load-immediate for EAX (rather than computing the value)
+    matches the compiler support assumed in SSIX-B: the value written to
+    PKRU is control-flow independent.
+    """
+    if mode is InstrumentMode.PROTECTED:
+        b.li(EAX, pkru_value)
+        b.wrpkru()
+    elif mode is InstrumentMode.PROTECTED_NOP:
+        b.nop()
+        b.nop()
+    else:
+        raise ValueError("emit_wrpkru called for an uninstrumented build")

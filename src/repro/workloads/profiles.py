@@ -1,0 +1,117 @@
+"""Per-benchmark behavioural profiles for the synthetic SPEC stand-ins.
+
+The paper evaluates SPEC2017 binaries compiled with shadow-stack (SS)
+protection and SPEC2006 binaries compiled with code-pointer-integrity
+(CPI) protection.  Neither SPEC nor those compilers is available here,
+so each benchmark is replaced by a synthetic program whose *behavioural
+profile* — call density, code-pointer density, memory footprint, branch
+predictability — is chosen so the WRPKRU-per-kilo-instruction ordering
+matches Fig. 10 (omnetpp >> leela/deepsjeng/gcc/perlbench >>
+mcf/xz/exchange2/bzip2/hmmer) and the serialized-vs-speculative
+performance deltas land in the Fig. 3/9 range.
+
+The absolute parameter values are calibrated, not measured from SPEC;
+DESIGN.md documents this substitution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadProfile:
+    """Behavioural knobs for one synthetic benchmark."""
+
+    name: str
+    suite: str            # "SPEC2017" or "SPEC2006"
+    protection: str       # "SS" (shadow stack) or "CPI"
+    #: Mean straight-line ops between call sites (lower = call-heavier;
+    #: under SS every call costs two WRPKRUs).
+    ops_between_calls: int
+    #: Code-pointer accesses per 100 body ops (under CPI each costs two
+    #: WRPKRUs around the safe-region access).
+    cp_per_100_ops: float
+    #: Loads+stores per 100 body ops.
+    mem_per_100_ops: int
+    #: Conditional branches per 100 body ops.
+    branch_per_100_ops: int
+    #: Fraction of those branches that are data-dependent (hard to
+    #: predict); the rest are heavily biased.
+    hard_branch_fraction: float
+    #: Data working set in KiB (drives cache miss rates).
+    working_set_kib: int
+    #: Maximum call depth of the generated call tree.
+    call_depth: int
+    #: RNG seed so every build of the workload is identical.
+    seed: int
+
+    @property
+    def label(self) -> str:
+        """Fig.-style label, e.g. ``520.omnetpp_r (SS)``."""
+        return f"{self.name} ({self.protection})"
+
+
+def _ss(name, ops_between_calls, mem, br, hard, ws, depth, seed):
+    return WorkloadProfile(
+        name=name, suite="SPEC2017", protection="SS",
+        ops_between_calls=ops_between_calls, cp_per_100_ops=0.0,
+        mem_per_100_ops=mem, branch_per_100_ops=br,
+        hard_branch_fraction=hard, working_set_kib=ws, call_depth=depth,
+        seed=seed,
+    )
+
+
+def _cpi(name, cp, mem, br, hard, ws, depth, seed):
+    return WorkloadProfile(
+        name=name, suite="SPEC2006", protection="CPI",
+        ops_between_calls=120, cp_per_100_ops=cp,
+        mem_per_100_ops=mem, branch_per_100_ops=br,
+        hard_branch_fraction=hard, working_set_kib=ws, call_depth=depth,
+        seed=seed,
+    )
+
+
+#: SPEC2017 with shadow-stack protection (Fig. 9 upper group).
+SS_PROFILES: List[WorkloadProfile] = [
+    _ss("500.perlbench_r", 302, 32, 18, 0.25, 192, 3, 1001),
+    _ss("502.gcc_r", 720, 30, 20, 0.30, 512, 3, 1002),
+    _ss("505.mcf_r", 4000, 45, 15, 0.35, 4096, 2, 1003),
+    _ss("520.omnetpp_r", 249, 35, 16, 0.25, 768, 4, 1004),
+    _ss("523.xalancbmk_r", 1043, 30, 18, 0.20, 1024, 3, 1005),
+    _ss("525.x264_r", 2400, 38, 10, 0.10, 384, 2, 1006),
+    _ss("526.blender_r", 3248, 34, 12, 0.15, 640, 3, 1007),
+    _ss("531.deepsjeng_r", 523, 28, 22, 0.35, 256, 4, 1008),
+    _ss("541.leela_r", 556, 26, 20, 0.30, 128, 4, 1009),
+    _ss("548.exchange2_r", 6000, 22, 24, 0.15, 64, 2, 1010),
+    _ss("557.xz_r", 3323, 40, 14, 0.30, 2048, 2, 1011),
+]
+
+#: SPEC2006 with code-pointer-integrity protection (Fig. 9 lower group).
+CPI_PROFILES: List[WorkloadProfile] = [
+    _cpi("400.perlbench", 0.28, 32, 18, 0.25, 192, 3, 2001),
+    _cpi("401.bzip2", 0.02, 40, 14, 0.25, 1024, 2, 2002),
+    _cpi("403.gcc", 0.34, 30, 20, 0.30, 512, 3, 2003),
+    _cpi("429.mcf", 0.02, 45, 15, 0.35, 4096, 2, 2004),
+    _cpi("445.gobmk", 0.19, 26, 22, 0.30, 128, 3, 2005),
+    _cpi("453.povray", 0.42, 32, 14, 0.15, 256, 3, 2006),
+    _cpi("456.hmmer", 0.03, 42, 8, 0.05, 256, 2, 2007),
+    _cpi("458.sjeng", 0.13, 26, 22, 0.35, 128, 3, 2008),
+    _cpi("464.h264ref", 0.03, 38, 10, 0.10, 384, 2, 2009),
+    _cpi("471.omnetpp", 1.24, 34, 16, 0.25, 768, 4, 2010),
+    _cpi("483.xalancbmk", 0.4, 30, 18, 0.20, 1024, 3, 2011),
+]
+
+ALL_PROFILES: List[WorkloadProfile] = SS_PROFILES + CPI_PROFILES
+
+_BY_LABEL: Dict[str, WorkloadProfile] = {p.label: p for p in ALL_PROFILES}
+
+
+def profile_by_label(label: str) -> WorkloadProfile:
+    """Look up e.g. ``"520.omnetpp_r (SS)"``."""
+    return _BY_LABEL[label]
+
+
+def labels() -> List[str]:
+    return [p.label for p in ALL_PROFILES]

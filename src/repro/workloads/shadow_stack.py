@@ -1,0 +1,66 @@
+"""Shadow-stack protection pass (Burow et al. [14], paper SSVI-B1).
+
+Return addresses are copied to an MPK-protected parallel stack.  The
+shadow stack's pKey is Write-Disabled during normal execution; the
+function prologue briefly enables writes to push the return address and
+immediately reverts to read-only.  The epilogue pops (reads are always
+allowed under WD) and compares against the return address in use — a
+mismatch means a ROP-style overwrite and diverts to a violation stub.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.registers import RA, SSP
+from ..mpk.pkru import make_pkru
+from .instrument import InstrumentMode, emit_wrpkru
+
+#: pKey colouring the shadow-stack pages.
+SHADOW_STACK_PKEY = 1
+
+#: Normal-state PKRU: shadow stack readable but not writable.
+PKRU_LOCKED = make_pkru(write_disabled=[SHADOW_STACK_PKEY])
+#: Prologue window: writes briefly enabled.
+PKRU_UNLOCKED = 0
+
+#: Scratch register used for the epilogue comparison.
+_CHECK_REG = 26
+
+
+class ShadowStackPass:
+    """Emits the SS prologue/epilogue around generated functions."""
+
+    protection = "SS"
+    initial_pkru = PKRU_LOCKED
+    #: WRPKRUs each instrumented call pays (prologue enable + disable).
+    wrpkru_per_call = 2
+
+    def __init__(self, mode: InstrumentMode) -> None:
+        self.mode = mode
+        #: PCs of every instrumentation-inserted instruction, so the
+        #: harness can normalise by *useful* work (Fig. 4 methodology).
+        self.emitted_pcs = []
+
+    def emit_prologue(self, b: ProgramBuilder) -> None:
+        """Push RA onto the shadow stack under a write-enable window."""
+        if not self.mode.emits_protection_code:
+            return
+        start = b.pc
+        emit_wrpkru(b, self.mode, PKRU_UNLOCKED)
+        b.addi(SSP, SSP, 8)
+        b.st(RA, SSP, 0)
+        emit_wrpkru(b, self.mode, PKRU_LOCKED)
+        self.emitted_pcs.extend(range(start, b.pc))
+
+    def emit_epilogue(self, b: ProgramBuilder, violation_label: str) -> None:
+        """Pop the shadow copy and compare with the live RA."""
+        if not self.mode.emits_protection_code:
+            return
+        start = b.pc
+        b.ld(_CHECK_REG, SSP, 0)      # reads allowed despite WD
+        b.addi(SSP, SSP, -8)
+        b.bne(_CHECK_REG, RA, violation_label)
+        self.emitted_pcs.extend(range(start, b.pc))
+
+    def emit_cp_access(self, b: ProgramBuilder, *args, **kwargs) -> None:
+        raise NotImplementedError("shadow-stack builds have no CP accesses")

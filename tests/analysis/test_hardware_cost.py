@@ -1,0 +1,47 @@
+"""Tests for the SSVIII hardware cost model."""
+
+import pytest
+
+from repro.analysis import HardwareCost
+from repro.core import CoreConfig
+
+
+class TestTableIIIConfiguration:
+    def test_matches_paper_93_bytes(self):
+        cost = HardwareCost(CoreConfig())
+        assert cost.total_bytes == pytest.approx(93, abs=2)
+
+    def test_l1d_fraction_matches_paper(self):
+        cost = HardwareCost(CoreConfig())
+        assert cost.l1d_fraction == pytest.approx(0.0019, abs=0.0002)
+
+    def test_counter_width_rule(self):
+        # floor(log2(8)) + 1 = 4 bits per pKey per counter.
+        assert HardwareCost(CoreConfig()).counter_width_bits == 4
+        assert HardwareCost(
+            CoreConfig(rob_pkru_size=2)
+        ).counter_width_bits == 2
+
+    def test_breakdown_sums_to_total(self):
+        cost = HardwareCost(CoreConfig())
+        assert sum(cost.breakdown().values()) == cost.total_bits
+
+    def test_reference_synthesis_anchors(self):
+        cost = HardwareCost(CoreConfig())
+        assert cost.area_um2 == pytest.approx(5887.91)
+        assert cost.logic_cells == 3103
+        assert cost.dynamic_power_vs_l1d_pct == pytest.approx(2.02)
+        assert cost.leakage_power_vs_l1d_pct == pytest.approx(0.39)
+
+
+class TestScaling:
+    def test_smaller_rob_pkru_costs_less(self):
+        small = HardwareCost(CoreConfig(rob_pkru_size=2))
+        large = HardwareCost(CoreConfig(rob_pkru_size=8))
+        assert small.total_bits < large.total_bits
+        assert small.area_um2 < large.area_um2
+
+    def test_report_mentions_total(self):
+        report = HardwareCost(CoreConfig()).report()
+        assert "TOTAL" in report
+        assert "um^2" in report

@@ -1,0 +1,49 @@
+"""Tests for the mprotect cost model (SSIII motivation)."""
+
+import pytest
+
+from repro.analysis import estimate_mprotect_cost
+from repro.core import SimStats
+
+
+def stats_with(cycles: int, wrpkru: int) -> SimStats:
+    stats = SimStats()
+    stats.cycles = cycles
+    stats.wrpkru_retired = wrpkru
+    return stats
+
+
+class TestModel:
+    def test_no_switches_no_overhead(self):
+        estimate = estimate_mprotect_cost(stats_with(10_000, 0))
+        assert estimate.mprotect_cycles == 10_000
+        assert estimate.slowdown_vs_mpk == 1.0
+
+    def test_each_switch_pays_syscall_and_refills(self):
+        estimate = estimate_mprotect_cost(
+            stats_with(10_000, 10),
+            syscall_cycles=1000, walk_cycles=30, refill_pages=8,
+        )
+        assert estimate.syscall_cycles == 10_000
+        assert estimate.refill_cycles == 10 * 8 * 30
+        assert estimate.mprotect_cycles == 10_000 + 10_000 + 2_400
+
+    def test_slowdown_scales_with_switch_density(self):
+        sparse = estimate_mprotect_cost(stats_with(10_000, 2))
+        dense = estimate_mprotect_cost(stats_with(10_000, 100))
+        assert dense.slowdown_vs_mpk > sparse.slowdown_vs_mpk
+
+    def test_zero_cycles_degenerate(self):
+        estimate = estimate_mprotect_cost(stats_with(0, 0))
+        assert estimate.slowdown_vs_mpk == 1.0
+
+    def test_summary_keys(self):
+        from repro.analysis.mprotect_model import summarize
+
+        summary = summarize(estimate_mprotect_cost(stats_with(100, 1)))
+        assert set(summary) == {
+            "switches", "mpk_cycles", "mprotect_cycles", "slowdown_vs_mpk",
+        }
+        assert summary["slowdown_vs_mpk"] == pytest.approx(
+            summary["mprotect_cycles"] / summary["mpk_cycles"]
+        )

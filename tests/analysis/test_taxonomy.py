@@ -1,0 +1,38 @@
+"""Tests for the Table I isolation taxonomy and its probes."""
+
+from repro.analysis import TECHNIQUES, render_table_i, table_i, verify_probes
+
+
+class TestTableI:
+    def test_seven_techniques(self):
+        assert len(TECHNIQUES) == 7
+
+    def test_only_mpk_has_all_three_properties(self):
+        winners = [
+            t.name
+            for t in TECHNIQUES
+            if t.fast_interleaved_access and t.secure and t.least_privilege
+        ]
+        assert winners == ["MPK"]
+
+    def test_rows_match_paper_verdicts(self):
+        rows = {row["Isolation Method"]: row for row in table_i()}
+        assert rows["Mprotect"]["Fast Interleaved Access"] == "NO"
+        assert rows["MPX"]["Secure"] == "NO"
+        assert rows["ASLR"]["Secure"] == "NO"
+        assert rows["IMIX [20]"]["Least-Privilege Capability"] == "NO"
+        assert rows["SEIMI [54]"]["Least-Privilege Capability"] == "NO"
+        assert rows["SFI [46]"]["Secure"] == "NO"
+
+    def test_render_contains_all_methods(self):
+        text = render_table_i()
+        for technique in TECHNIQUES:
+            assert technique.name in text
+
+
+class TestProbes:
+    def test_all_probes_pass(self):
+        verdicts = verify_probes()
+        assert verdicts, "no probes registered"
+        failing = [name for name, ok in verdicts.items() if not ok]
+        assert not failing, f"probes failed: {failing}"

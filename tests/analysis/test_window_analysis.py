@@ -1,0 +1,137 @@
+"""Tests for the ERIM-style permission-window dataflow analysis."""
+
+import pytest
+
+from repro.analysis.window_analysis import (
+    analyze_windows,
+    assert_windows_balanced,
+)
+from repro.isa import EAX, ProgramBuilder, assemble
+from repro.lang import CompileOptions, compile_module
+from repro.mpk import make_pkru
+
+LOCK = make_pkru(disabled=[1])
+
+
+class TestBalancedPrograms:
+    def test_simple_sandwich_is_balanced(self):
+        program = assemble(
+            f"""
+            .region secret 4096 pkey=1
+            main:
+                li eax, {LOCK}
+                wrpkru
+                li r2, 0x10000
+                li eax, 0
+                wrpkru
+                ld r3, 0(r2)
+                li eax, {LOCK}
+                wrpkru
+                halt
+            """
+        )
+        assert analyze_windows(program, {LOCK}) == []
+
+    def test_branches_inside_window_are_ok_if_all_paths_relock(self):
+        b = ProgramBuilder()
+        b.region("secret", 4096, pkey=1)
+        b.label("main")
+        b.li(EAX, 0)
+        b.wrpkru()                 # open
+        b.beq(2, 0, "path_b")
+        b.addi(3, 3, 1)
+        b.jmp("join")
+        b.label("path_b")
+        b.addi(3, 3, 2)
+        b.label("join")
+        b.li(EAX, LOCK)
+        b.wrpkru()                 # both paths relock
+        b.halt()
+        assert analyze_windows(b.build(), {LOCK}) == []
+
+    def test_compiled_minic_builds_are_balanced(self):
+        compiled = compile_module(
+            "secure s[4];\n"
+            "fn touch(i) { s[i & 3] = i; return s[i & 3]; }\n"
+            "fn main() { var i = 0; var acc = 0;"
+            " while (i < 6) { acc = acc + touch(i); i = i + 1; }"
+            " return acc; }",
+            CompileOptions(shadow_stack=True),
+        )
+        assert_windows_balanced(
+            compiled.program, {compiled.initial_pkru}, check_calls=True
+        )
+
+    def test_generated_workloads_are_balanced(self):
+        from repro.workloads import build_workload, profile_by_label
+        from repro.workloads.cpi import PKRU_LOCKED as CPI_LOCK
+        from repro.workloads.shadow_stack import PKRU_LOCKED as SS_LOCK
+
+        ss = build_workload(profile_by_label("541.leela_r (SS)"))
+        assert_windows_balanced(ss.program, {SS_LOCK}, check_calls=True)
+        cpi = build_workload(profile_by_label("453.povray (CPI)"))
+        # CPI workloads dispatch indirect calls (callr), which the
+        # analysis cannot follow — but there must be no open-window
+        # exits among what it can see.
+        violations = analyze_windows(cpi.program, {CPI_LOCK})
+        assert all(v.kind == "indirect-jump" for v in violations) or not (
+            violations
+        )
+
+
+class TestViolations:
+    def test_exit_with_open_window_flagged(self):
+        program = assemble(
+            """
+            main:
+                li eax, 0
+                wrpkru
+                halt
+            """
+        )
+        violations = analyze_windows(program, {LOCK})
+        assert any(v.kind == "open-window-at-exit" for v in violations)
+
+    def test_one_unlocked_path_flagged(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(EAX, 0)
+        b.wrpkru()                 # open
+        b.beq(2, 0, "skip_relock")
+        b.li(EAX, LOCK)
+        b.wrpkru()                 # only one path relocks
+        b.label("skip_relock")
+        b.halt()
+        violations = analyze_windows(b.build(), {LOCK})
+        assert any(v.kind == "open-window-at-exit" for v in violations)
+
+    def test_call_inside_window_flagged(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(EAX, 0)
+        b.wrpkru()
+        b.call("helper")           # callee inherits the open window
+        b.li(EAX, LOCK)
+        b.wrpkru()
+        b.halt()
+        b.label("helper")
+        b.ret()
+        violations = analyze_windows(b.build(), {LOCK})
+        assert any(v.kind == "open-window-at-call" for v in violations)
+        # With call checking off, the path itself is balanced.
+        assert analyze_windows(b.build(), {LOCK}, check_calls=False) == []
+
+    def test_computed_wrpkru_reported(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.mov(EAX, 5)
+        b.wrpkru()
+        b.halt()
+        violations = analyze_windows(b.build(), {LOCK})
+        assert any(v.kind == "unknown-wrpkru" for v in violations)
+
+    def test_assert_raises_with_details(self):
+        program = assemble("main:\n li eax, 0\n wrpkru\n halt")
+        with pytest.raises(ValueError) as exc:
+            assert_windows_balanced(program, {LOCK})
+        assert "open-window-at-exit" in str(exc.value)

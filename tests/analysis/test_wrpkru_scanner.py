@@ -1,0 +1,82 @@
+"""Tests for the WRPKRU safety scanner (SSIX-B / ERIM-style)."""
+
+import pytest
+
+from repro.analysis.wrpkru_scanner import (
+    assert_safe,
+    count_wrpkru_sites,
+    scan_program,
+)
+from repro.isa import EAX, ProgramBuilder, assemble
+from repro.workloads import ALL_PROFILES, build_workload
+
+
+class TestSafePatterns:
+    def test_li_wrpkru_pair_is_safe(self):
+        program = assemble("main:\n li eax, 12\n wrpkru\n halt")
+        assert scan_program(program) == []
+
+    def test_all_generated_workloads_are_safe(self):
+        """The instrumentation passes must emit only safe sequences."""
+        for profile in ALL_PROFILES:
+            workload = build_workload(profile)
+            violations = scan_program(workload.program)
+            assert violations == [], f"{profile.label}: {violations}"
+            assert count_wrpkru_sites(workload.program) == (
+                workload.static_wrpkru
+            )
+
+    def test_attack_pocs_are_safe_binaries(self):
+        # The PoCs attack *speculation*, not the binary discipline: the
+        # victims themselves follow the load-immediate rule.
+        from repro.attacks import build_spectre_v1_poc
+
+        assert scan_program(build_spectre_v1_poc().program) == []
+
+
+class TestViolations:
+    def test_computed_eax_flagged(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.add(EAX, 2, 3)     # attacker-influenced value
+        b.wrpkru()
+        b.halt()
+        violations = scan_program(b.build())
+        assert len(violations) == 1
+        assert violations[0].kind == "no-load-immediate"
+
+    def test_branch_into_sequence_flagged(self):
+        program = assemble(
+            """
+            main:
+                li eax, 0
+                jmp landing
+                li eax, 12
+            landing:
+                wrpkru
+                halt
+            """
+        )
+        violations = scan_program(program)
+        assert any(v.kind == "branch-into-sequence" for v in violations)
+
+    def test_label_on_wrpkru_flagged(self):
+        # A label makes the WRPKRU an indirect-dispatch landing site.
+        program = assemble(
+            "main:\n li eax, 0\ntarget:\n wrpkru\n halt"
+        )
+        violations = scan_program(program)
+        assert violations and violations[0].kind == "branch-into-sequence"
+
+    def test_assert_safe_raises_with_details(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.mov(EAX, 5)
+        b.wrpkru()
+        b.halt()
+        with pytest.raises(ValueError) as exc:
+            assert_safe(b.build())
+        assert "no-load-immediate" in str(exc.value)
+
+    def test_assert_safe_passes_clean_binary(self):
+        assert_safe(assemble("main:\n li eax, 3\n wrpkru\n halt"))

@@ -1,0 +1,91 @@
+"""Tests for memory-dependence speculation (opt-in pipeline feature)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import CoreConfig, Simulator, WrpkruPolicy
+from repro.isa import ProgramBuilder, run_program
+
+from .test_cosimulation import build_program, random_body
+
+
+def build_violation_program():
+    """A store whose address resolves late, with a younger load to the
+    same address that races ahead."""
+    b = ProgramBuilder()
+    data = b.region("data", 4096, init={0: 111})
+    b.label("main")
+    b.li(2, data.base)
+    b.li(3, 1 << 40)
+    b.li(4, 3)
+    for _ in range(3):
+        b.div(3, 3, 4)          # slow chain feeding the store address
+    b.andi(5, 3, 0)             # r5 = 0 (but only after the divides)
+    b.add(5, 2, 5)              # r5 = data.base, known late
+    b.li(6, 222)
+    b.st(6, 5, 0)               # store to data[0], address late
+    b.ld(7, 2, 0)               # younger load to data[0], address early
+    b.add(8, 7, 0)              # consumer of the (possibly stale) value
+    b.halt()
+    return b.build()
+
+
+class TestDirectedViolation:
+    def test_conservative_ordering_never_squashes(self):
+        sim = Simulator(build_violation_program(), CoreConfig())
+        result = sim.run(max_cycles=100_000)
+        assert result.halted
+        assert sim.stats.memory_order_squashes == 0
+        assert sim.prf.read(sim.rename_tables.amt[7]) == 222
+
+    def test_speculation_squashes_and_still_gets_the_right_value(self):
+        config = CoreConfig(memory_dependence_speculation=True,
+                            cosimulate=True, check_invariants=True)
+        sim = Simulator(build_violation_program(), config)
+        result = sim.run(max_cycles=100_000)
+        assert result.halted
+        assert sim.stats.memory_order_squashes >= 1
+        assert sim.prf.read(sim.rename_tables.amt[7]) == 222
+        assert sim.prf.read(sim.rename_tables.amt[8]) == 222
+
+    def test_forwarded_load_does_not_squash(self):
+        # When the store's address is already known, forwarding happens
+        # and there is nothing to violate.
+        b = ProgramBuilder()
+        data = b.region("data", 4096)
+        b.label("main")
+        b.li(2, data.base)
+        b.li(3, 7)
+        b.st(3, 2, 0)
+        b.ld(4, 2, 0)
+        b.halt()
+        config = CoreConfig(memory_dependence_speculation=True)
+        sim = Simulator(b.build(), config)
+        result = sim.run(max_cycles=100_000)
+        assert result.halted
+        assert sim.stats.memory_order_squashes == 0
+        assert sim.prf.read(sim.rename_tables.amt[4]) == 7
+
+
+@pytest.mark.parametrize("policy", list(WrpkruPolicy))
+@settings(max_examples=15, deadline=None)
+@given(body=random_body())
+def test_cosimulation_with_memory_speculation(policy, body):
+    """The golden-model equivalence must survive memory-order squashes."""
+    ops, iterations = body
+    program = build_program(ops, iterations)
+    golden = run_program(program, max_instructions=200_000)
+
+    config = CoreConfig(
+        wrpkru_policy=policy,
+        memory_dependence_speculation=True,
+        cosimulate=True,
+        check_invariants=True,
+    )
+    sim = Simulator(program, config)
+    result = sim.run(max_cycles=500_000)
+    assert result.fault is None and result.halted
+    amt = sim.rename_tables.amt
+    for lreg in range(32):
+        assert sim.prf.read(amt[lreg]) == golden.regs[lreg], f"r{lreg}"
+    assert sim.memory.snapshot() == golden.memory.snapshot()

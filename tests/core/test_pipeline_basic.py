@@ -1,0 +1,271 @@
+"""Integration tests: the OoO pipeline matches the golden emulator."""
+
+import pytest
+
+from repro.core import CoreConfig, Simulator, WrpkruPolicy
+from repro.isa import EAX, ProgramBuilder, assemble, run_program
+from repro.mpk import make_pkru
+
+ALL_POLICIES = list(WrpkruPolicy)
+
+
+def simulate(program, policy=WrpkruPolicy.SERIALIZED, **overrides):
+    config = CoreConfig(wrpkru_policy=policy, cosimulate=True,
+                        check_invariants=True, **overrides)
+    sim = Simulator(program, config)
+    result = sim.run(max_cycles=200_000)
+    return sim, result
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+class TestArchitecturalEquivalence:
+    def test_alu_program(self, policy):
+        program = assemble(
+            """
+            main:
+                li r2, 10
+                li r3, 32
+                add r4, r2, r3
+                mul r5, r4, r2
+                sub r6, r5, r3
+                halt
+            """
+        )
+        sim, result = simulate(program, policy)
+        assert result.halted
+        golden = run_program(program)
+        amt = sim.rename_tables.amt
+        for reg in (4, 5, 6):
+            assert sim.prf.read(amt[reg]) == golden.regs[reg]
+
+    def test_loop_with_memory(self, policy):
+        b = ProgramBuilder()
+        data = b.region("data", 4096)
+        b.label("main")
+        b.li(2, data.base)
+        b.li(3, 10)       # counter
+        b.li(4, 0)        # sum
+        b.label("loop")
+        b.st(3, 2, 0)
+        b.ld(5, 2, 0)
+        b.add(4, 4, 5)
+        b.addi(3, 3, -1)
+        b.bne(3, 0, "loop")
+        b.halt()
+        program = b.build()
+        sim, result = simulate(program, policy)
+        assert result.halted
+        golden = run_program(program)
+        assert sim.prf.read(sim.rename_tables.amt[4]) == golden.regs[4] == 55
+
+    def test_call_ret_chain(self, policy):
+        # f2 is a non-leaf function: it must save/restore RA like real
+        # compiled code would.
+        program = assemble(
+            """
+            .region stack 4096
+            main:
+                li sp, 0x11000
+                li r2, 0
+                call f1
+                call f1
+                call f2
+                halt
+            f1:
+                addi r2, r2, 1
+                ret
+            f2:
+                addi sp, sp, -8
+                st ra, 0(sp)
+                call f1
+                addi r2, r2, 10
+                ld ra, 0(sp)
+                addi sp, sp, 8
+                ret
+            """
+        )
+        sim, result = simulate(program, policy)
+        assert result.halted
+        assert sim.prf.read(sim.rename_tables.amt[2]) == 13
+
+    def test_wrpkru_rdpkru_roundtrip(self, policy):
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(EAX, make_pkru(disabled=[5]))
+        b.wrpkru()
+        b.li(EAX, 0)
+        b.rdpkru()
+        b.mov(6, EAX)
+        b.halt()
+        sim, result = simulate(b.build(), policy)
+        assert result.halted
+        assert sim.prf.read(sim.rename_tables.amt[6]) == make_pkru(disabled=[5])
+        assert sim.specmpk.arf == make_pkru(disabled=[5])
+
+    def test_store_load_forwarding_value(self, policy):
+        b = ProgramBuilder()
+        data = b.region("data", 4096)
+        b.label("main")
+        b.li(2, data.base)
+        b.li(3, 0xDEAD)
+        b.st(3, 2, 8)
+        b.ld(4, 2, 8)   # should forward from the store
+        b.halt()
+        sim, result = simulate(b.build(), policy)
+        assert result.halted
+        assert sim.prf.read(sim.rename_tables.amt[4]) == 0xDEAD
+
+    def test_mpk_sandwich(self, policy):
+        b = ProgramBuilder()
+        safe = b.region("safe", 4096, pkey=1, init={0: 41})
+        b.label("main")
+        b.li(EAX, make_pkru(disabled=[1]))
+        b.wrpkru()
+        b.li(EAX, 0)
+        b.wrpkru()           # unlock
+        b.li(2, safe.base)
+        b.ld(3, 2, 0)
+        b.addi(3, 3, 1)
+        b.st(3, 2, 0)
+        b.li(EAX, make_pkru(disabled=[1]))
+        b.wrpkru()           # relock
+        b.halt()
+        sim, result = simulate(b.build(), policy)
+        assert result.halted, f"fault: {result.fault}"
+        assert sim.memory.peek(safe.base) == 42
+
+    def test_branchy_program(self, policy):
+        program = assemble(
+            """
+            main:
+                li r2, 0
+                li r3, 100
+                li r6, 3
+            loop:
+                andi r4, r3, 1
+                beq r4, zero, even
+                add r2, r2, r3
+                jmp next
+            even:
+                add r2, r2, r6
+            next:
+                addi r3, r3, -1
+                bne r3, zero, loop
+                halt
+            """
+        )
+        sim, result = simulate(program, policy)
+        assert result.halted
+        golden = run_program(program)
+        assert sim.prf.read(sim.rename_tables.amt[2]) == golden.regs[2]
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+class TestFaultDelivery:
+    def test_load_from_disabled_region_faults(self, policy):
+        b = ProgramBuilder()
+        secret = b.region("secret", 4096, pkey=1)
+        b.label("main")
+        b.li(EAX, make_pkru(disabled=[1]))
+        b.wrpkru()
+        b.li(2, secret.base)
+        b.ld(3, 2, 0)
+        b.halt()
+        config = CoreConfig(wrpkru_policy=policy)
+        result = Simulator(b.build(), config).run()
+        assert result.fault is not None
+        assert result.fault.pkey == 1
+
+    def test_store_to_write_disabled_faults(self, policy):
+        b = ProgramBuilder()
+        shadow = b.region("shadow", 4096, pkey=1)
+        b.label("main")
+        b.li(EAX, make_pkru(write_disabled=[1]))
+        b.wrpkru()
+        b.li(2, shadow.base)
+        b.li(3, 1)
+        b.st(3, 2, 0)
+        b.halt()
+        config = CoreConfig(wrpkru_policy=policy)
+        result = Simulator(b.build(), config).run()
+        assert result.fault is not None
+
+    def test_unmapped_access_faults(self, policy):
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(2, 0x900000)
+        b.ld(3, 2, 0)
+        b.halt()
+        config = CoreConfig(wrpkru_policy=policy)
+        result = Simulator(b.build(), config).run()
+        assert result.fault is not None
+
+    def test_no_fault_on_wrong_path_only(self, policy):
+        # A faulting load that is only reachable on the wrong path must
+        # not fault architecturally (squashed before retirement).
+        b = ProgramBuilder()
+        secret = b.region("secret", 4096, pkey=1)
+        b.region("train", 4096, init={0: 1})
+        b.label("main")
+        b.li(EAX, make_pkru(disabled=[1]))
+        b.wrpkru()
+        b.li(2, secret.base)
+        b.li(3, 0)          # condition register: never taken
+        b.li(4, 16)         # loop counter
+        b.label("loop")
+        b.bne(3, 0, "steal")  # always not-taken; may mispredict early
+        b.addi(4, 4, -1)
+        b.bne(4, 0, "loop")
+        b.halt()
+        b.label("steal")
+        b.ld(5, 2, 0)       # would fault if it ever retired
+        b.halt()
+        config = CoreConfig(wrpkru_policy=policy)
+        result = Simulator(b.build(), config).run()
+        assert result.fault is None
+        assert result.halted
+
+
+class TestInstructionCache:
+    def test_icache_misses_slow_down_cold_code(self):
+        from repro.isa import assemble
+
+        source = "main:\n" + "\n".join(" addi r2, r2, 1" for _ in range(400)) + "\n halt"
+        program = assemble(source)
+
+        def cycles(model_icache):
+            sim = Simulator(
+                program,
+                CoreConfig(wrpkru_policy=WrpkruPolicy.SERIALIZED,
+                           model_icache=model_icache),
+            )
+            result = sim.run(max_cycles=100_000)
+            assert result.halted
+            return sim.stats.cycles
+
+        without = cycles(False)
+        with_icache = cycles(model_icache=True)
+        assert with_icache > without  # cold-code fetch misses cost cycles
+
+    def test_icache_warm_loop_converges(self):
+        from repro.isa import assemble
+
+        program = assemble(
+            """
+            main:
+                li r2, 2000
+            loop:
+                addi r2, r2, -1
+                bne r2, zero, loop
+                halt
+            """
+        )
+        sim = Simulator(
+            program, CoreConfig(wrpkru_policy=WrpkruPolicy.SERIALIZED,
+                                model_icache=True)
+        )
+        result = sim.run(max_cycles=100_000)
+        assert result.halted
+        # The loop body fits one line: steady state is miss-free, so the
+        # run is dominated by the loop itself, not fetch stalls.
+        assert sim.hierarchy.l1i.stats.miss_rate < 0.05

@@ -1,0 +1,247 @@
+"""Corner cases of the out-of-order pipeline: structural stalls, deep
+recursion, RAS overflow, wrong-path edges, tiny configurations."""
+
+import pytest
+
+from repro.core import CoreConfig, Simulator, WrpkruPolicy
+from repro.isa import ProgramBuilder, assemble, run_program
+
+
+def run_cosim(program, **overrides):
+    config = CoreConfig(cosimulate=True, check_invariants=True, **overrides)
+    sim = Simulator(program, config)
+    result = sim.run(max_cycles=500_000)
+    return sim, result
+
+
+class TestStructuralStalls:
+    def test_tiny_active_list(self):
+        # Slow divides at the head keep retirement stalled while the
+        # front end keeps renaming independent work behind them.
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(2, 1 << 50)
+        b.li(3, 3)
+        for _ in range(4):
+            b.div(2, 2, 3)
+        for i in range(40):
+            b.addi(4 + i % 4, 0, i)  # independent fillers
+        b.halt()
+        sim, result = run_cosim(b.build(), active_list_size=8)
+        assert result.halted
+        assert sim.stats.rename_stall_al_full > 0
+
+    def test_tiny_issue_queue(self):
+        # A long divide chain parks dependents in the IQ.
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(2, 1 << 50)
+        b.li(3, 3)
+        for _ in range(6):
+            b.div(2, 2, 3)
+        for i in range(30):
+            b.add(4 + i % 4, 2, 3)  # all wait on the divide chain
+        b.halt()
+        sim, result = run_cosim(b.build(), issue_queue_size=4)
+        assert result.halted
+        assert sim.stats.rename_stall_iq_full > 0
+
+    def test_tiny_store_queue(self):
+        b = ProgramBuilder()
+        data = b.region("data", 4096)
+        b.label("main")
+        b.li(2, data.base)
+        b.li(3, 1 << 50)
+        b.li(4, 3)
+        b.div(3, 3, 4)           # slow producer
+        for i in range(12):
+            b.st(3, 2, 8 * i)    # stores wait for the divide
+        b.halt()
+        sim, result = run_cosim(b.build(), store_queue_size=4)
+        assert result.halted
+        assert sim.stats.rename_stall_lsq_full > 0
+        assert sim.memory.peek(data.base) == (1 << 50) // 3
+
+    def test_tiny_prf(self):
+        program = assemble(
+            "main:\n" + "\n".join(
+                f" addi r{2 + i % 8}, r{2 + i % 8}, 1" for i in range(64)
+            ) + "\n halt"
+        )
+        sim, result = run_cosim(program, phys_regs=44, active_list_size=64)
+        assert result.halted
+        assert sim.stats.rename_stall_no_preg > 0
+
+
+class TestDeepRecursion:
+    def test_recursion_deeper_than_ras(self):
+        """Recursive calls deeper than the 32-entry RAS still retire
+        correctly (predictions go wrong, architecture does not)."""
+        program = assemble(
+            """
+            .region stack 65536
+            main:
+                li sp, 0x20000
+                li r2, 0
+                li r3, 64        # depth > RAS entries
+                call rec
+                halt
+            rec:
+                addi r2, r2, 1
+                beq r3, r2, done
+                addi sp, sp, -8
+                st ra, 0(sp)
+                call rec
+                ld ra, 0(sp)
+                addi sp, sp, 8
+            done:
+                ret
+            """
+        )
+        sim, result = run_cosim(program, ras_entries=8)
+        assert result.halted
+        assert sim.prf.read(sim.rename_tables.amt[2]) == 64
+
+    def test_indirect_call_chain(self):
+        b = ProgramBuilder()
+        table = b.region("table", 4096)
+        b.label("main")
+        b.li(13, table.base)
+        target_li = b.li(12, 0)
+        b.st(12, 13, 0)
+        b.li(2, 0)
+        b.li(7, 20)
+        b.label("loop")
+        b.ld(12, 13, 0)
+        b.callr(12)
+        b.addi(7, 7, -1)
+        b.bne(7, 0, "loop")
+        b.halt()
+        target = b.label("callee")
+        b.addi(2, 2, 3)
+        b.ret()
+        target_li.imm = target
+        sim, result = run_cosim(b.build())
+        assert result.halted
+        assert sim.prf.read(sim.rename_tables.amt[2]) == 60
+
+
+class TestWrongPathEdges:
+    def test_wrong_path_runs_off_program_end(self):
+        # A mispredicted branch targeting the last instruction makes
+        # fetch fall off the end; the squash must recover it.
+        b = ProgramBuilder()
+        b.region("flag", 4096, init={0: 1})
+        b.label("main")
+        b.li(2, 0x10000)
+        b.li(7, 30)
+        b.label("loop")
+        b.ld(3, 2, 0)
+        b.beq(3, 0, "end")      # never taken, but may predict taken
+        b.addi(7, 7, -1)
+        b.bne(7, 0, "loop")
+        b.label("end")
+        b.halt()
+        sim, result = run_cosim(b.build())
+        assert result.halted
+
+    def test_wrong_path_unaligned_access_is_harmless(self):
+        b = ProgramBuilder()
+        b.region("flag", 4096, init={0: 8})
+        b.label("main")
+        b.li(2, 0x10000)
+        b.li(7, 24)
+        b.label("loop")
+        b.ld(3, 2, 0)            # value 8 (aligned offset)
+        b.beq(3, 0, "wild")      # never taken architecturally
+        b.addi(7, 7, -1)
+        b.bne(7, 0, "loop")
+        b.halt()
+        b.label("wild")
+        b.addi(3, 3, 3)
+        b.add(4, 2, 3)
+        b.ld(5, 4, 0)            # unaligned if transiently executed
+        b.halt()
+        sim, result = run_cosim(b.build())
+        assert result.fault is None
+        assert result.halted
+
+    def test_fault_squashed_by_older_mispredict(self):
+        """A faulting load on the wrong path must never surface."""
+        b = ProgramBuilder()
+        secret = b.region("secret", 4096, pkey=1)
+        b.region("flag", 4096, init={0: 1})
+        from repro.isa import EAX
+        from repro.mpk import make_pkru
+
+        b.label("main")
+        b.li(EAX, make_pkru(disabled=[1]))
+        b.wrpkru()
+        b.li(2, 0x12000)         # flag region (one guard page after secret)
+        b.li(9, secret.base)
+        b.li(7, 40)
+        b.li(8, 1)
+        b.label("loop")
+        b.ld(3, 2, 0)
+        b.bne(3, 8, "bad")       # never taken (flag == 1)
+        b.addi(7, 7, -1)
+        b.bne(7, 0, "loop")
+        b.halt()
+        b.label("bad")
+        b.ld(5, 9, 0)            # would fault architecturally
+        b.halt()
+        sim, result = run_cosim(b.build())
+        assert result.fault is None
+        assert result.halted
+
+
+class TestBudgetsAndLimits:
+    def test_max_cycles_stops_runaway(self):
+        program = assemble("main:\n jmp main\n halt")
+        sim = Simulator(program, CoreConfig())
+        result = sim.run(max_cycles=500)
+        assert not result.halted
+        assert sim.cycle == 500
+
+    def test_instruction_budget_stops_mid_program(self):
+        program = assemble(
+            "main:\n li r2, 100000\nloop:\n addi r2, r2, -1\n"
+            " bne r2, zero, loop\n halt"
+        )
+        sim = Simulator(program, CoreConfig())
+        result = sim.run(max_instructions=500)
+        assert not result.halted
+        assert sim.stats.instructions_retired >= 500
+
+    def test_warmup_resets_measurement_window(self):
+        program = assemble(
+            "main:\n li r2, 100000\nloop:\n addi r2, r2, -1\n"
+            " bne r2, zero, loop\n halt"
+        )
+        sim = Simulator(program, CoreConfig())
+        sim.run(max_instructions=1000, warmup_instructions=500)
+        assert sim.stats.instructions_retired == pytest.approx(1000, abs=16)
+        assert sim.stats.cycles < sim.cycle  # window excludes warmup
+
+
+class TestAlignmentFault:
+    def test_unaligned_load_faults_precisely(self):
+        program = assemble(
+            ".region data 4096\nmain:\n li r2, 0x10003\n ld r3, 0(r2)\n halt"
+        )
+        sim = Simulator(program, CoreConfig())
+        result = sim.run()
+        from repro.mpk import AlignmentFault
+
+        assert isinstance(result.fault, AlignmentFault)
+
+    def test_unaligned_store_faults_precisely(self):
+        program = assemble(
+            ".region data 4096\nmain:\n li r2, 0x10001\n li r3, 5\n"
+            " st r3, 0(r2)\n halt"
+        )
+        sim = Simulator(program, CoreConfig())
+        result = sim.run()
+        from repro.mpk import AlignmentFault
+
+        assert isinstance(result.fault, AlignmentFault)

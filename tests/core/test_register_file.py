@@ -1,0 +1,101 @@
+"""Unit tests for PRF / RMT / AMT / free-list rename machinery."""
+
+import pytest
+
+from repro.core import PhysRegFile, RenameError, RenameTables
+from repro.isa import NUM_REGS
+
+
+class FakeInst:
+    def __init__(self, ldst, pdst):
+        self.ldst = ldst
+        self.pdst = pdst
+
+
+def make_tables(prf_size=40):
+    prf = PhysRegFile(prf_size)
+    return prf, RenameTables(prf)
+
+
+class TestBasics:
+    def test_initial_identity_mapping(self):
+        _, tables = make_tables()
+        for lreg in range(NUM_REGS):
+            assert tables.lookup(lreg) == lreg
+
+    def test_allocate_changes_mapping(self):
+        prf, tables = make_tables()
+        preg = tables.allocate(5)
+        assert tables.lookup(5) == preg
+        assert preg >= NUM_REGS
+        assert not prf.is_ready(preg)
+
+    def test_prf_too_small_rejected(self):
+        with pytest.raises(RenameError):
+            RenameTables(PhysRegFile(8))
+
+    def test_free_list_exhaustion(self):
+        _, tables = make_tables(prf_size=34)
+        tables.allocate(1)
+        tables.allocate(2)
+        with pytest.raises(RenameError):
+            tables.allocate(3)
+
+
+class TestCommit:
+    def test_commit_frees_previous_mapping(self):
+        _, tables = make_tables()
+        before = tables.free_count
+        preg = tables.allocate(5)
+        tables.commit(5, preg)
+        assert tables.amt[5] == preg
+        assert 5 in tables.free_list  # the old identity mapping freed
+        assert tables.free_count == before
+
+
+class TestRecovery:
+    def test_recover_to_committed_state(self):
+        _, tables = make_tables()
+        tables.allocate(3)
+        tables.allocate(4)
+        tables.recover([])  # squash everything
+        assert tables.lookup(3) == tables.amt[3] == 3
+        assert tables.free_count == 40 - NUM_REGS
+
+    def test_recover_with_survivors(self):
+        _, tables = make_tables()
+        p3 = tables.allocate(3)
+        tables.allocate(4)  # this one gets squashed
+        tables.recover([FakeInst(3, p3)])
+        assert tables.lookup(3) == p3
+        assert tables.lookup(4) == 4
+        assert p3 not in tables.free_list
+
+    def test_invariants_after_recover(self):
+        _, tables = make_tables()
+        p1 = tables.allocate(1)
+        tables.allocate(2)
+        tables.recover([FakeInst(1, p1)])
+        tables.check_invariants([p1])
+
+    def test_invariant_detects_leak(self):
+        _, tables = make_tables()
+        tables.allocate(1)  # in flight but not reported
+        with pytest.raises(AssertionError):
+            tables.check_invariants([])
+
+
+class TestWakeup:
+    def test_write_returns_waiters(self):
+        prf = PhysRegFile(40)
+        prf.mark_not_ready(35)
+        prf.add_waiter(35, "inst-a")
+        prf.add_waiter(35, "inst-b")
+        waiters = prf.write(35, 123)
+        assert waiters == ["inst-a", "inst-b"]
+        assert prf.read(35) == 123
+        assert prf.is_ready(35)
+
+    def test_write_with_no_waiters(self):
+        prf = PhysRegFile(40)
+        assert prf.write(36, 1) == []

@@ -1,0 +1,180 @@
+"""Unit tests for the SpecMPK unit (ROB_pkru, counters, checks)."""
+
+import pytest
+
+from repro.core import SpecMpkUnit
+from repro.mpk import make_pkru
+
+
+class TestAllocation:
+    def test_empty_unit_depends_on_arf(self):
+        unit = SpecMpkUnit(4)
+        assert unit.current_dep() is None
+
+    def test_allocate_sets_rmt(self):
+        unit = SpecMpkUnit(4)
+        entry = unit.allocate()
+        assert unit.current_dep() == entry.uid
+        assert unit.occupancy == 1
+
+    def test_full_unit_rejects_allocation(self):
+        unit = SpecMpkUnit(2)
+        unit.allocate()
+        unit.allocate()
+        assert unit.full
+        with pytest.raises(RuntimeError):
+            unit.allocate()
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SpecMpkUnit(0)
+
+
+class TestExecuteRetire:
+    def test_execute_increments_counters(self):
+        unit = SpecMpkUnit(4)
+        entry = unit.allocate()
+        unit.execute(entry, make_pkru(disabled=[3], write_disabled=[5]))
+        assert unit.access_disable_counter[3] == 1
+        assert unit.write_disable_counter[5] == 1
+        assert unit.access_disable_counter[5] == 0
+
+    def test_ad_bit_also_not_wd(self):
+        # AD for pkey 3 increments only the AD counter.
+        unit = SpecMpkUnit(4)
+        entry = unit.allocate()
+        unit.execute(entry, make_pkru(disabled=[3]))
+        assert unit.write_disable_counter[3] == 0
+
+    def test_retire_moves_value_to_arf_and_decrements(self):
+        unit = SpecMpkUnit(4)
+        value = make_pkru(disabled=[2])
+        entry = unit.allocate()
+        unit.execute(entry, value)
+        assert unit.retire_head() == value
+        assert unit.arf == value
+        assert unit.access_disable_counter[2] == 0
+        assert unit.current_dep() is None
+
+    def test_retire_keeps_rmt_for_younger_entries(self):
+        unit = SpecMpkUnit(4)
+        first = unit.allocate()
+        second = unit.allocate()
+        unit.execute(first, 0)
+        unit.execute(second, 0)
+        unit.retire_head()
+        assert unit.current_dep() == second.uid
+
+    def test_retire_unexecuted_entry_is_an_error(self):
+        unit = SpecMpkUnit(4)
+        unit.allocate()
+        with pytest.raises(RuntimeError):
+            unit.retire_head()
+
+    def test_retire_empty_is_an_error(self):
+        with pytest.raises(RuntimeError):
+            SpecMpkUnit(4).retire_head()
+
+    def test_execute_wakes_waiters(self):
+        unit = SpecMpkUnit(4)
+        entry = unit.allocate()
+        entry.waiters.append("load-A")
+        waiters = unit.execute(entry, 0)
+        assert waiters == ["load-A"]
+        assert entry.waiters == []
+
+
+class TestSquash:
+    def test_squash_all(self):
+        unit = SpecMpkUnit(4)
+        a = unit.allocate()
+        unit.allocate()
+        unit.execute(a, make_pkru(disabled=[1]))
+        squashed = unit.squash_younger_than(None)
+        assert squashed == 2
+        assert unit.occupancy == 0
+        assert unit.access_disable_counter[1] == 0
+        assert unit.current_dep() is None
+
+    def test_partial_squash_preserves_older(self):
+        unit = SpecMpkUnit(4)
+        a = unit.allocate()
+        b = unit.allocate()
+        unit.execute(a, make_pkru(disabled=[1]))
+        unit.execute(b, make_pkru(disabled=[2]))
+        unit.squash_younger_than(a.uid)
+        assert unit.occupancy == 1
+        assert unit.access_disable_counter[1] == 1
+        assert unit.access_disable_counter[2] == 0
+        assert unit.current_dep() == a.uid
+
+    def test_squash_unexecuted_entries_touch_no_counters(self):
+        unit = SpecMpkUnit(4)
+        unit.allocate()
+        unit.squash_younger_than(None)
+        assert all(c == 0 for c in unit.access_disable_counter)
+        unit.check_invariants()
+
+
+class TestChecks:
+    def test_load_check_passes_when_clear(self):
+        unit = SpecMpkUnit(4)
+        assert unit.load_check(3)
+
+    def test_load_check_fails_on_inflight_disable(self):
+        # Fig. 7 scenarios 1 and 3: an in-flight WRPKRU disables access.
+        unit = SpecMpkUnit(4)
+        entry = unit.allocate()
+        unit.execute(entry, make_pkru(disabled=[3]))
+        assert not unit.load_check(3)
+        assert unit.load_check(4)
+
+    def test_load_check_fails_on_committed_disable(self):
+        # Fig. 7 scenario 2: committed PKRU disables even though the
+        # most recent in-flight update enables.
+        unit = SpecMpkUnit(4, initial_pkru=make_pkru(disabled=[3]))
+        entry = unit.allocate()
+        unit.execute(entry, 0)  # latest update enables everything
+        assert not unit.load_check(3)
+
+    def test_load_check_ignores_write_disable(self):
+        unit = SpecMpkUnit(4)
+        entry = unit.allocate()
+        unit.execute(entry, make_pkru(write_disabled=[3]))
+        assert unit.load_check(3)
+
+    def test_store_check_fails_on_any_disable(self):
+        unit = SpecMpkUnit(4)
+        entry = unit.allocate()
+        unit.execute(entry, make_pkru(write_disabled=[3]))
+        assert not unit.store_check(3)
+        assert unit.store_check(4)
+
+    def test_store_check_fails_on_committed_wd(self):
+        unit = SpecMpkUnit(4, initial_pkru=make_pkru(write_disabled=[7]))
+        assert not unit.store_check(7)
+        assert unit.load_check(7)
+
+
+class TestSpeculativeValue:
+    def test_none_dep_reads_arf(self):
+        unit = SpecMpkUnit(4, initial_pkru=0x5)
+        assert unit.speculative_value(None) == 0x5
+
+    def test_unexecuted_entry_gives_none(self):
+        unit = SpecMpkUnit(4)
+        entry = unit.allocate()
+        assert unit.speculative_value(entry.uid) is None
+
+    def test_executed_entry_gives_value(self):
+        unit = SpecMpkUnit(4)
+        entry = unit.allocate()
+        unit.execute(entry, 0xC)
+        assert unit.speculative_value(entry.uid) == 0xC
+
+    def test_retired_entry_falls_back_to_arf(self):
+        unit = SpecMpkUnit(4)
+        entry = unit.allocate()
+        unit.execute(entry, 0xC)
+        unit.retire_head()
+        assert unit.speculative_value(entry.uid) == 0xC == unit.arf

@@ -1,0 +1,118 @@
+"""Stateful property test for the SpecMPK unit.
+
+Drives random sequences of allocate / execute / retire / squash against
+the ROB_pkru and checks, after every step, that the Disabling Counters
+equal what a from-scratch recount of the in-flight window gives, and
+that the check functions agree with a reference evaluation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SpecMpkUnit
+from repro.mpk.pkru import NUM_PKEYS, access_disabled, write_disabled
+
+pkru_values = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc")),
+        st.tuples(st.just("execute"), pkru_values),
+        st.tuples(st.just("retire")),
+        st.tuples(st.just("squash"), st.integers(min_value=0, max_value=7)),
+    ),
+    max_size=60,
+)
+
+
+def reference_checks(unit, pkey):
+    """Recompute the load/store checks from first principles."""
+    window_ad = any(
+        entry.executed and access_disabled(entry.value, pkey)
+        for entry in unit.entries
+    )
+    window_wd = any(
+        entry.executed and write_disabled(entry.value, pkey)
+        for entry in unit.entries
+    )
+    arf_ad = access_disabled(unit.arf, pkey)
+    arf_wd = write_disabled(unit.arf, pkey)
+    load_ok = not (window_ad or arf_ad)
+    store_ok = not (window_ad or window_wd or arf_ad or arf_wd)
+    return load_ok, store_ok
+
+
+@given(ops=operations, probe_pkey=st.integers(min_value=0, max_value=15))
+@settings(max_examples=80, deadline=None)
+def test_unit_matches_reference(ops, probe_pkey):
+    unit = SpecMpkUnit(8)
+    pending_execute = []  # allocated but unexecuted, oldest first
+
+    for op in ops:
+        kind = op[0]
+        if kind == "alloc":
+            if not unit.full:
+                entry = unit.allocate()
+                pending_execute.append(entry)
+        elif kind == "execute":
+            # WRPKRUs execute in order (chained PKRU source).
+            if pending_execute:
+                unit.execute(pending_execute.pop(0), op[1])
+        elif kind == "retire":
+            if unit.entries and unit.entries[0].executed:
+                unit.retire_head()
+        elif kind == "squash":
+            survivors = list(unit.entries)[: op[1]]
+            uid = survivors[-1].uid if survivors else None
+            unit.squash_younger_than(uid)
+            alive = {entry.uid for entry in unit.entries}
+            pending_execute = [
+                e for e in pending_execute if e.uid in alive
+            ]
+
+        # Invariants after every step.
+        unit.check_invariants()
+        load_ok, store_ok = reference_checks(unit, probe_pkey)
+        assert unit.load_check(probe_pkey) == load_ok
+        assert unit.store_check(probe_pkey) == store_ok
+        assert all(
+            counter >= 0
+            for counter in unit.access_disable_counter
+            + unit.write_disable_counter
+        )
+        assert unit.occupancy <= unit.size
+
+
+@given(ops=operations)
+@settings(max_examples=40, deadline=None)
+def test_speculative_value_consistency(ops):
+    """The value a consumer would read equals the youngest executed
+    in-flight entry's value, falling back to ARF."""
+    unit = SpecMpkUnit(8)
+    pending = []
+    for op in ops:
+        if op[0] == "alloc" and not unit.full:
+            pending.append(unit.allocate())
+        elif op[0] == "execute" and pending:
+            unit.execute(pending.pop(0), op[1])
+        elif op[0] == "retire" and unit.entries and unit.entries[0].executed:
+            unit.retire_head()
+        elif op[0] == "squash":
+            survivors = list(unit.entries)[: op[1]]
+            unit.squash_younger_than(survivors[-1].uid if survivors else None)
+            alive = {entry.uid for entry in unit.entries}
+            pending = [e for e in pending if e.uid in alive]
+
+        dep = unit.current_dep()
+        value = unit.speculative_value(dep)
+        if dep is None:
+            assert value == unit.arf
+        else:
+            entry = unit.lookup(dep)
+            if entry.executed:
+                assert value == entry.value
+            else:
+                assert value is None
+
+    for pkey in range(NUM_PKEYS):
+        assert unit.access_disable_counter[pkey] >= 0

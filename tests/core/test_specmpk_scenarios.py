@@ -1,0 +1,239 @@
+"""Microarchitectural scenario tests for SpecMPK (paper Figs. 5-8).
+
+These drive the pipeline into the specific WRPKRU-window situations the
+paper's design sections describe and check the documented behaviour:
+stall conditions, counter accounting, replay-at-head, store-forwarding
+blocking, ROB_pkru pressure, and TLB-update deferral.
+"""
+
+import pytest
+
+from repro.core import CoreConfig, Simulator, WrpkruPolicy
+from repro.isa import EAX, ProgramBuilder
+from repro.mpk import make_pkru
+
+LOCK1 = make_pkru(disabled=[1])
+UNLOCK = 0
+
+
+def specmpk_sim(program, prewarm=True, **overrides):
+    config = CoreConfig(wrpkru_policy=WrpkruPolicy.SPECMPK, **overrides)
+    sim = Simulator(program, config)
+    if prewarm:
+        # A cold TLB would trigger the (separate) TLB-miss stall path
+        # and mask the PKRU checks these scenarios exercise.
+        sim.prewarm_tlb()
+    return sim
+
+
+class TestFig7StallScenarios:
+    """The three speculative permission-upgrade scenarios of Fig. 7."""
+
+    def build_scenario(self, committed_locked: bool, window_values):
+        """Committed PKRU state + a series of in-flight WRPKRUs, then a
+        load to the pKey-1 page."""
+        b = ProgramBuilder()
+        secret = b.region("secret", 4096, pkey=1, init={0: 7})
+        b.label("main")
+        b.li(EAX, LOCK1 if committed_locked else UNLOCK)
+        b.wrpkru()
+        # A long-latency divide chain delays retirement so the window
+        # updates below stay speculative when the load issues.
+        b.li(2, 1000)
+        b.li(3, 7)
+        for _ in range(4):
+            b.div(2, 2, 3)
+        b.add(4, 2, 0)
+        for value in window_values:
+            b.li(EAX, value)
+            b.wrpkru()
+        b.li(5, secret.base)
+        b.ld(6, 5, 0)
+        b.halt()
+        return b.build()
+
+    def test_scenario1_latest_update_disables(self):
+        # Window: [unlock, lock]; latest disables -> load must stall.
+        program = self.build_scenario(False, [UNLOCK, LOCK1])
+        sim = specmpk_sim(program)
+        result = sim.run(max_cycles=100_000)
+        # The load reaches the head only after the lock committed, so
+        # its replay faults precisely: this is the correct architecture
+        # outcome (the emulator faults too).
+        assert result.fault is not None
+        assert sim.stats.loads_stalled_by_check >= 1
+
+    def test_scenario2_committed_disables_recent_enables(self):
+        # Committed: locked.  Window: [unlock].  The load is stalled by
+        # ARF_pkru despite the enabling recent update, then replays
+        # cleanly once the unlock commits.
+        program = self.build_scenario(True, [UNLOCK])
+        sim = specmpk_sim(program)
+        result = sim.run(max_cycles=100_000)
+        assert result.fault is None and result.halted
+        assert sim.stats.loads_stalled_by_check >= 1
+        assert sim.stats.loads_replayed_at_head >= 1
+        assert sim.prf.read(sim.rename_tables.amt[6]) == 7
+
+    def test_scenario3_older_inflight_disables(self):
+        # Window: [lock, unlock]; an older in-flight update disables.
+        program = self.build_scenario(False, [LOCK1, UNLOCK])
+        sim = specmpk_sim(program)
+        result = sim.run(max_cycles=100_000)
+        assert result.fault is None and result.halted
+        assert sim.stats.loads_stalled_by_check >= 1
+        assert sim.prf.read(sim.rename_tables.amt[6]) == 7
+
+    def test_no_stall_when_window_clean(self):
+        # Window only touches pKey 2; loads to pKey 1 pass the check.
+        program = self.build_scenario(
+            False, [make_pkru(disabled=[2]), make_pkru(disabled=[2])]
+        )
+        sim = specmpk_sim(program)
+        result = sim.run(max_cycles=100_000)
+        assert result.fault is None and result.halted
+        assert sim.stats.loads_stalled_by_check == 0
+
+
+class TestStoreForwardingBlock:
+    def test_checked_store_blocks_forwarding(self):
+        """A store to a WD-committed page cannot forward; the dependent
+        load executes at the head instead (SSV-A rule 4)."""
+        b = ProgramBuilder()
+        shadow = b.region("shadow", 4096, pkey=1)
+        b.label("main")
+        b.li(EAX, make_pkru(write_disabled=[1]))
+        b.wrpkru()
+        b.li(EAX, UNLOCK)
+        b.wrpkru()                  # unlock writes (speculatively)
+        b.li(2, shadow.base)
+        b.li(3, 0xAB)
+        b.st(3, 2, 0)               # store check fails via old ARF
+        b.ld(4, 2, 0)               # would forward; must wait for head
+        b.halt()
+        sim = specmpk_sim(program=b.build())
+        result = sim.run(max_cycles=100_000)
+        assert result.halted, f"fault: {result.fault}"
+        assert sim.stats.stores_forwarding_disabled >= 1
+        assert sim.prf.read(sim.rename_tables.amt[4]) == 0xAB
+
+    def test_unchecked_store_still_forwards(self):
+        b = ProgramBuilder()
+        data = b.region("data", 4096)
+        b.label("main")
+        b.li(2, data.base)
+        b.li(3, 0xCD)
+        b.st(3, 2, 0)
+        b.ld(4, 2, 0)
+        b.halt()
+        sim = specmpk_sim(b.build())
+        result = sim.run(max_cycles=100_000)
+        assert result.halted
+        assert sim.stats.load_forwardings >= 1
+        assert sim.stats.stores_forwarding_disabled == 0
+
+
+class TestRobPkruPressure:
+    def test_full_window_stalls_rename(self):
+        """More in-flight WRPKRUs than ROB_pkru entries stall the front
+        end (Fig. 11's mechanism)."""
+        b = ProgramBuilder()
+        b.label("main")
+        # Delay retirement behind a long divide chain.
+        b.li(2, 1 << 40)
+        b.li(3, 3)
+        for _ in range(6):
+            b.div(2, 2, 3)
+        for _ in range(6):          # 6 WRPKRUs > 2-entry window
+            b.li(EAX, UNLOCK)
+            b.wrpkru()
+        b.halt()
+        sim = specmpk_sim(b.build(), rob_pkru_size=2)
+        result = sim.run(max_cycles=100_000)
+        assert result.halted
+        assert sim.stats.rename_stall_rob_pkru_full > 0
+
+    def test_large_window_no_stalls(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(2, 1 << 40)
+        b.li(3, 3)
+        for _ in range(6):
+            b.div(2, 2, 3)
+        for _ in range(6):
+            b.li(EAX, UNLOCK)
+            b.wrpkru()
+        b.halt()
+        sim = specmpk_sim(b.build(), rob_pkru_size=8)
+        result = sim.run(max_cycles=100_000)
+        assert result.halted
+        assert sim.stats.rename_stall_rob_pkru_full == 0
+
+
+class TestSerializedPolicy:
+    def test_wrpkru_drains_pipeline(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(2, 1 << 40)
+        b.li(3, 3)
+        for _ in range(4):
+            b.div(2, 2, 3)          # slow producers keep the AL busy
+        b.li(EAX, UNLOCK)
+        b.wrpkru()                  # must wait for the divides to retire
+        b.addi(4, 0, 1)
+        b.halt()
+        sim = Simulator(
+            b.build(), CoreConfig(wrpkru_policy=WrpkruPolicy.SERIALIZED)
+        )
+        result = sim.run(max_cycles=100_000)
+        assert result.halted
+        assert sim.stats.rename_stall_wrpkru > 10
+
+    def test_speculative_policies_do_not_drain(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(2, 1 << 40)
+        b.li(3, 3)
+        for _ in range(4):
+            b.div(2, 2, 3)
+        b.li(EAX, UNLOCK)
+        b.wrpkru()
+        b.addi(4, 0, 1)
+        b.halt()
+        for policy in (WrpkruPolicy.NONSECURE_SPEC, WrpkruPolicy.SPECMPK):
+            sim = Simulator(b.build(), CoreConfig(wrpkru_policy=policy))
+            result = sim.run(max_cycles=100_000)
+            assert result.halted
+            assert sim.stats.rename_stall_wrpkru == 0
+
+
+class TestTlbDeferral:
+    def test_tlb_miss_stalls_and_defers_fill(self):
+        """SSV-C5: a TLB-missing load under SpecMPK stalls to the head
+        and the TLB fill happens non-speculatively."""
+        b = ProgramBuilder()
+        data = b.region("data", 4096, init={0: 9})
+        b.label("main")
+        b.li(2, data.base)
+        b.ld(3, 2, 0)               # cold TLB -> conservative stall
+        b.halt()
+        sim = specmpk_sim(b.build(), prewarm=False)
+        result = sim.run(max_cycles=100_000)
+        assert result.halted
+        assert sim.stats.tlb_miss_stalls >= 1
+        assert sim.stats.loads_replayed_at_head >= 1
+        assert sim.prf.read(sim.rename_tables.amt[3]) == 9
+        assert sim.tlb.contains(data.base)  # filled at replay
+
+    def test_relaxed_config_fills_speculatively(self):
+        b = ProgramBuilder()
+        data = b.region("data", 4096, init={0: 9})
+        b.label("main")
+        b.li(2, data.base)
+        b.ld(3, 2, 0)
+        b.halt()
+        sim = specmpk_sim(b.build(), prewarm=False, stall_on_tlb_miss=False)
+        result = sim.run(max_cycles=100_000)
+        assert result.halted
+        assert sim.stats.tlb_miss_stalls == 0
+        assert sim.stats.loads_replayed_at_head == 0

@@ -1,0 +1,123 @@
+"""Tests for the experiment runner and reporting helpers."""
+
+import pytest
+
+from repro.core import WrpkruPolicy
+from repro.harness import (
+    geomean,
+    normalized_ipc,
+    render_bars,
+    render_latency_series,
+    render_table,
+    run_workload,
+    sweep_policies,
+)
+from repro.workloads import InstrumentMode
+
+
+class TestRunWorkload:
+    def test_basic_run_produces_stats(self):
+        stats = run_workload(
+            "541.leela_r (SS)", WrpkruPolicy.SERIALIZED,
+            instructions=3000, warmup=1000,
+        )
+        assert stats.instructions_retired >= 3000
+        assert 0 < stats.ipc < 8
+
+    def test_mode_none_has_no_wrpkru(self):
+        stats = run_workload(
+            "520.omnetpp_r (SS)", WrpkruPolicy.SERIALIZED,
+            InstrumentMode.NONE, instructions=3000, warmup=500,
+        )
+        assert stats.wrpkru_retired == 0
+
+
+class TestSweep:
+    def test_sweep_two_workloads(self):
+        results = sweep_policies(
+            labels=["557.xz_r (SS)", "541.leela_r (SS)"],
+            policies=(WrpkruPolicy.SERIALIZED, WrpkruPolicy.SPECMPK),
+            instructions=3000,
+        )
+        assert set(results) == {"557.xz_r (SS)", "541.leela_r (SS)"}
+        norm = normalized_ipc(results)
+        for label in results:
+            assert norm[label][WrpkruPolicy.SERIALIZED] == pytest.approx(1.0)
+
+    def test_specmpk_beats_serialized_on_dense_workload(self):
+        results = sweep_policies(
+            labels=["520.omnetpp_r (SS)"],
+            policies=(WrpkruPolicy.SERIALIZED, WrpkruPolicy.SPECMPK),
+            instructions=6000,
+        )
+        norm = normalized_ipc(results)
+        assert norm["520.omnetpp_r (SS)"][WrpkruPolicy.SPECMPK] > 1.15
+
+
+class TestHelpers:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+
+    def test_render_table_alignment(self):
+        text = render_table(
+            [{"a": "x", "b": 1.5}, {"a": "longer", "b": 0.25}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "longer" in text and "0.250" in text
+
+    def test_render_bars(self):
+        text = render_bars([("w1", 0.5), ("w2", 1.0)], width=10)
+        assert text.splitlines()[1].count("#") == 10
+
+    def test_render_latency_series(self):
+        text = render_latency_series([150, 5, 150, 150])
+        assert "index   1" in text
+        assert "cached" in text
+
+    def test_render_latency_series_no_leak(self):
+        assert "no cached" in render_latency_series([150, 150])
+
+
+class TestCsvExport:
+    def test_export_roundtrip(self, tmp_path):
+        import csv
+
+        from repro.harness import export_csv
+
+        rows = [{"workload": "a", "ipc": 1.5}, {"workload": "b", "ipc": 2.0}]
+        path = tmp_path / "out.csv"
+        export_csv(rows, path)
+        with open(path) as handle:
+            read_back = list(csv.DictReader(handle))
+        assert read_back[0]["workload"] == "a"
+        assert float(read_back[1]["ipc"]) == 2.0
+
+    def test_empty_rows_rejected(self, tmp_path):
+        import pytest as _pytest
+
+        from repro.harness import export_csv
+
+        with _pytest.raises(ValueError):
+            export_csv([], tmp_path / "out.csv")
+
+
+class TestParallelSweep:
+    def test_parallel_matches_serial(self):
+        from repro.core import WrpkruPolicy
+        from repro.harness import sweep_policies
+
+        labels = ["557.xz_r (SS)"]
+        serial = sweep_policies(
+            labels=labels, policies=(WrpkruPolicy.SPECMPK,),
+            instructions=2000, parallel=False,
+        )
+        parallel = sweep_policies(
+            labels=labels, policies=(WrpkruPolicy.SPECMPK,),
+            instructions=2000, parallel=True,
+        )
+        a = serial["557.xz_r (SS)"][WrpkruPolicy.SPECMPK]
+        b = parallel["557.xz_r (SS)"][WrpkruPolicy.SPECMPK]
+        assert a.cycles == b.cycles  # deterministic across processes
+        assert a.instructions_retired == b.instructions_retired

@@ -1,0 +1,117 @@
+"""Unit tests for the text assembler."""
+
+import pytest
+
+from repro.isa import AssemblerError, Opcode, assemble
+
+
+class TestParsing:
+    def test_rrr(self):
+        program = assemble("main:\n add r1, r2, r3\n halt")
+        inst = program.instructions[0]
+        assert inst.opcode is Opcode.ADD
+        assert (inst.dst, inst.src1, inst.src2) == (1, 2, 3)
+
+    def test_rri_negative_immediate(self):
+        program = assemble("main:\n addi sp, sp, -8\n halt")
+        inst = program.instructions[0]
+        assert inst.opcode is Opcode.ADDI
+        assert inst.imm == -8
+        assert inst.dst == inst.src1 == 30
+
+    def test_load_store_operands(self):
+        program = assemble("main:\n ld r2, 16(sp)\n st r2, 8(r4)\n halt")
+        load, store = program.instructions[0], program.instructions[1]
+        assert (load.dst, load.src1, load.imm) == (2, 30, 16)
+        assert (store.src2, store.src1, store.imm) == (2, 4, 8)
+
+    def test_bare_register_memory_operand(self):
+        program = assemble("main:\n ld r2, r3\n halt")
+        assert program.instructions[0].imm == 0
+
+    def test_branch_label_resolution(self):
+        program = assemble(
+            """
+            main:
+                li r2, 3
+            loop:
+                addi r2, r2, -1
+                bne r2, zero, loop
+                halt
+            """
+        )
+        branch = program.instructions[2]
+        assert branch.imm == program.labels["loop"] == 1
+
+    def test_hex_immediates(self):
+        program = assemble("main:\n li eax, 0xc\n halt")
+        assert program.instructions[0].imm == 0xC
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble("# header\nmain:\n\n nop # trailing\n halt")
+        assert len(program) == 2
+
+    def test_noarg_instructions(self):
+        program = assemble("main:\n wrpkru\n rdpkru\n lfence\n ret\n halt")
+        opcodes = [inst.opcode for inst in program.instructions]
+        assert opcodes == [
+            Opcode.WRPKRU, Opcode.RDPKRU, Opcode.LFENCE, Opcode.RET, Opcode.HALT,
+        ]
+
+    def test_clflush(self):
+        program = assemble("main:\n clflush 8(r3)\n halt")
+        inst = program.instructions[0]
+        assert inst.opcode is Opcode.CLFLUSH
+        assert (inst.src1, inst.imm) == (3, 8)
+
+
+class TestRegions:
+    def test_region_directive(self):
+        program = assemble(
+            ".region stack 4096 pkey=2\nmain:\n halt"
+        )
+        region = program.region_named("stack")
+        assert region.pkey == 2
+        assert region.size == 4096
+
+    def test_region_init_pairs(self):
+        program = assemble(
+            ".region data 4096 init=0:7;8:0x10\nmain:\n halt"
+        )
+        region = program.region_named("data")
+        assert region.init == {0: 7, 8: 0x10}
+
+    def test_region_size_rounds_to_pages(self):
+        program = assemble(".region d 100\nmain:\n halt")
+        assert program.region_named("d").size == 4096
+
+    def test_regions_do_not_overlap(self):
+        program = assemble(
+            ".region a 4096\n.region b 4096\nmain:\n halt"
+        )
+        a, b = program.region_named("a"), program.region_named("b")
+        assert not a.overlaps(b)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "main:\n bogus r1, r2\n halt",
+            "main:\n add r1, r2\n halt",
+            "main:\n add r1, r2, r99\n halt",
+            "main:\n jmp nowhere\n halt",
+            "main:\nmain:\n halt",
+            ".region x\nmain:\n halt",
+        ],
+    )
+    def test_bad_sources_raise(self, source):
+        from repro.isa import ProgramError
+
+        with pytest.raises(ProgramError):
+            assemble(source)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError) as exc:
+            assemble("main:\n nop\n bogus\n halt")
+        assert "line 3" in str(exc.value)

@@ -1,0 +1,107 @@
+"""Unit tests for the programmatic ProgramBuilder API."""
+
+import pytest
+
+from repro.isa import Opcode, ProgramBuilder, ProgramError
+from repro.isa.builder import DATA_BASE
+from repro.isa.program import PAGE_SIZE
+
+
+class TestRegions:
+    def test_sequential_allocation_with_guard_pages(self):
+        b = ProgramBuilder()
+        first = b.region("a", PAGE_SIZE)
+        second = b.region("b", PAGE_SIZE)
+        assert first.base == DATA_BASE
+        # One guard page between consecutive regions.
+        assert second.base == first.end + PAGE_SIZE
+
+    def test_size_rounds_up_to_pages(self):
+        b = ProgramBuilder()
+        region = b.region("r", 10)
+        assert region.size == PAGE_SIZE
+        region2 = b.region("r2", PAGE_SIZE + 1)
+        assert region2.size == 2 * PAGE_SIZE
+
+    def test_explicit_base_respected(self):
+        b = ProgramBuilder()
+        region = b.region("r", PAGE_SIZE, base=0x40000)
+        assert region.base == 0x40000
+        nxt = b.region("n", PAGE_SIZE)
+        assert nxt.base >= region.end + PAGE_SIZE
+
+    def test_bad_pkey_rejected(self):
+        with pytest.raises(ProgramError):
+            ProgramBuilder().region("r", PAGE_SIZE, pkey=16)
+
+
+class TestLabels:
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(ProgramError):
+            b.label("x")
+
+    def test_fresh_label_avoids_bound_names(self):
+        b = ProgramBuilder()
+        b.label("loop_0")
+        assert b.fresh_label("loop") == "loop_1"
+
+    def test_pc_tracks_emissions(self):
+        b = ProgramBuilder()
+        assert b.pc == 0
+        b.nop()
+        b.nop()
+        assert b.pc == 2
+
+    def test_undefined_target_rejected_at_build(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.jmp("nowhere")
+        with pytest.raises(ProgramError):
+            b.build()
+
+
+class TestEmission:
+    def test_every_opcode_helper_emits_expected_opcode(self):
+        b = ProgramBuilder()
+        b.label("main")
+        cases = [
+            (b.add(2, 3, 4), Opcode.ADD),
+            (b.sub(2, 3, 4), Opcode.SUB),
+            (b.mul(2, 3, 4), Opcode.MUL),
+            (b.div(2, 3, 4), Opcode.DIV),
+            (b.slt(2, 3, 4), Opcode.SLT),
+            (b.addi(2, 3, 1), Opcode.ADDI),
+            (b.slli(2, 3, 1), Opcode.SLLI),
+            (b.srli(2, 3, 1), Opcode.SRLI),
+            (b.lui(2, 1), Opcode.LUI),
+            (b.li(2, 1), Opcode.LI),
+            (b.mov(2, 3), Opcode.MOV),
+            (b.ld(2, 3, 0), Opcode.LD),
+            (b.st(2, 3, 0), Opcode.ST),
+            (b.jr(2), Opcode.JR),
+            (b.callr(2), Opcode.CALLR),
+            (b.ret(), Opcode.RET),
+            (b.wrpkru(), Opcode.WRPKRU),
+            (b.rdpkru(), Opcode.RDPKRU),
+            (b.clflush(2, 0), Opcode.CLFLUSH),
+            (b.lfence(), Opcode.LFENCE),
+            (b.nop(), Opcode.NOP),
+            (b.halt(), Opcode.HALT),
+        ]
+        for inst, opcode in cases:
+            assert inst.opcode is opcode
+
+    def test_entry_defaults_to_main_label(self):
+        b = ProgramBuilder()
+        b.nop()
+        b.label("main")
+        b.halt()
+        assert b.build().entry == 1
+
+    def test_missing_main_defaults_to_zero(self):
+        b = ProgramBuilder()
+        b.label("start")
+        b.halt()
+        assert b.build(entry="start").entry == 0

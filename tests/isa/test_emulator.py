@@ -1,0 +1,245 @@
+"""Unit tests for the golden functional emulator."""
+
+import pytest
+
+from repro.isa import (
+    EAX,
+    Emulator,
+    EmulatorLimitExceeded,
+    ProgramBuilder,
+    RA,
+    assemble,
+    run_program,
+)
+from repro.mpk import ProtectionFault, make_pkru
+
+
+class TestAlu:
+    def test_arithmetic_chain(self):
+        state = run_program(assemble(
+            """
+            main:
+                li r2, 6
+                li r3, 7
+                mul r4, r2, r3
+                addi r4, r4, 1
+                halt
+            """
+        ))
+        assert state.regs[4] == 43
+
+    def test_r0_is_hardwired_zero(self):
+        state = run_program(assemble("main:\n li zero, 5\n halt"))
+        assert state.regs[0] == 0
+
+    def test_div_by_zero_yields_all_ones(self):
+        state = run_program(assemble(
+            "main:\n li r2, 9\n li r3, 0\n div r4, r2, r3\n halt"
+        ))
+        assert state.regs[4] == (1 << 64) - 1
+
+    def test_signed_slt(self):
+        state = run_program(assemble(
+            "main:\n li r2, -1\n li r3, 1\n slt r4, r2, r3\n halt"
+        ))
+        assert state.regs[4] == 1
+
+    def test_lui_shifts_16(self):
+        state = run_program(assemble("main:\n lui r2, 3\n halt"))
+        assert state.regs[2] == 3 << 16
+
+    def test_values_wrap_at_64_bits(self):
+        state = run_program(assemble(
+            "main:\n li r2, -1\n addi r2, r2, 1\n halt"
+        ))
+        assert state.regs[2] == 0
+
+
+class TestControlFlow:
+    def test_countdown_loop(self):
+        state = run_program(assemble(
+            """
+            main:
+                li r2, 5
+                li r3, 0
+            loop:
+                addi r3, r3, 1
+                addi r2, r2, -1
+                bne r2, zero, loop
+                halt
+            """
+        ))
+        assert state.regs[3] == 5
+
+    def test_call_ret(self):
+        state = run_program(assemble(
+            """
+            main:
+                call leaf
+                addi r3, r3, 100
+                halt
+            leaf:
+                li r3, 1
+                ret
+            """
+        ))
+        assert state.regs[3] == 101
+
+    def test_call_writes_ra(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.call("fn")
+        b.halt()
+        b.label("fn")
+        b.mov(2, RA)
+        b.ret()
+        state = run_program(b.build())
+        assert state.regs[2] == 1  # return address = pc of halt
+
+    def test_indirect_jump(self):
+        state = run_program(assemble(
+            """
+            main:
+                li r2, 4
+                jr r2
+                li r3, 1
+                halt
+                li r3, 2
+                halt
+            """
+        ))
+        assert state.regs[3] == 2
+
+    def test_running_off_end_halts(self):
+        state = run_program(assemble("main:\n nop"))
+        assert state.halted
+
+    def test_infinite_loop_hits_limit(self):
+        program = assemble("main:\n jmp main\n halt")
+        with pytest.raises(EmulatorLimitExceeded):
+            run_program(program, max_instructions=100)
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        b = ProgramBuilder()
+        region = b.region("data", 4096)
+        b.label("main")
+        b.li(2, region.base)
+        b.li(3, 0x1234)
+        b.st(3, 2, 8)
+        b.ld(4, 2, 8)
+        b.halt()
+        state = run_program(b.build())
+        assert state.regs[4] == 0x1234
+
+    def test_region_init_readable(self):
+        b = ProgramBuilder()
+        region = b.region("data", 4096, init={0: 77})
+        b.label("main")
+        b.li(2, region.base)
+        b.ld(3, 2, 0)
+        b.halt()
+        state = run_program(b.build())
+        assert state.regs[3] == 77
+
+
+class TestMpkInstructions:
+    def test_wrpkru_copies_eax(self):
+        b = ProgramBuilder()
+        b.region("data", 4096)
+        b.label("main")
+        b.li(EAX, make_pkru(disabled=[2]))
+        b.wrpkru()
+        b.halt()
+        emulator = Emulator(b.build())
+        state = emulator.run()
+        assert state.pkru == make_pkru(disabled=[2])
+        assert emulator.wrpkru_executed == 1
+
+    def test_rdpkru_reads_back(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(EAX, make_pkru(write_disabled=[4]))
+        b.wrpkru()
+        b.li(EAX, 0)
+        b.rdpkru()
+        b.mov(5, EAX)
+        b.halt()
+        state = run_program(b.build())
+        assert state.regs[5] == make_pkru(write_disabled=[4])
+
+    def test_load_from_disabled_pkey_faults(self):
+        b = ProgramBuilder()
+        region = b.region("secret", 4096, pkey=1)
+        b.label("main")
+        b.li(EAX, make_pkru(disabled=[1]))
+        b.wrpkru()
+        b.li(2, region.base)
+        b.ld(3, 2, 0)
+        b.halt()
+        with pytest.raises(ProtectionFault) as exc:
+            run_program(b.build())
+        assert exc.value.pkey == 1
+
+    def test_store_to_write_disabled_pkey_faults(self):
+        b = ProgramBuilder()
+        region = b.region("shadow", 4096, pkey=1)
+        b.label("main")
+        b.li(EAX, make_pkru(write_disabled=[1]))
+        b.wrpkru()
+        b.li(2, region.base)
+        b.ld(3, 2, 0)  # reads still fine under WD
+        b.st(3, 2, 0)
+        b.halt()
+        with pytest.raises(ProtectionFault):
+            run_program(b.build())
+
+    def test_enable_disable_sandwich_allows_access(self):
+        b = ProgramBuilder()
+        region = b.region("safe", 4096, pkey=1)
+        b.label("main")
+        b.li(EAX, make_pkru(disabled=[1]))
+        b.wrpkru()  # start locked
+        b.li(EAX, 0)
+        b.wrpkru()  # unlock
+        b.li(2, region.base)
+        b.li(3, 5)
+        b.st(3, 2, 0)
+        b.li(EAX, make_pkru(disabled=[1]))
+        b.wrpkru()  # relock
+        b.halt()
+        state = run_program(b.build())
+        assert state.memory.peek(region.base) == 5
+
+
+class TestFaultHandler:
+    def test_handler_can_continue(self):
+        b = ProgramBuilder()
+        region = b.region("secret", 4096, pkey=1)
+        b.label("main")
+        b.li(EAX, make_pkru(disabled=[1]))
+        b.wrpkru()
+        b.li(2, region.base)
+        b.ld(3, 2, 0)  # faults; handler skips
+        b.li(4, 9)
+        b.halt()
+        seen = []
+
+        def handler(fault, state):
+            seen.append(fault.pkey)
+            return True
+
+        emulator = Emulator(b.build(), fault_handler=handler)
+        state = emulator.run()
+        assert seen == [1]
+        assert state.regs[4] == 9
+        assert emulator.faults_handled == 1
+
+
+class TestObserver:
+    def test_observer_sees_every_instruction(self):
+        program = assemble("main:\n nop\n nop\n halt")
+        trace = []
+        Emulator(program).run(observer=lambda pc, inst: trace.append(pc))
+        assert trace == [0, 1, 2]

@@ -1,0 +1,92 @@
+"""Coverage for opcode classification and register-name handling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.opcodes import (
+    CONTROL_OPS,
+    Opcode,
+    is_call,
+    is_conditional_branch,
+    is_control,
+    is_indirect,
+    is_load,
+    is_memory,
+    is_mpk,
+    is_return,
+    is_store,
+    latency_of,
+)
+from repro.isa.registers import (
+    MASK64,
+    NUM_REGS,
+    parse_register,
+    register_name,
+    to_s64,
+    to_u64,
+)
+
+
+class TestOpcodeClassification:
+    def test_memory_partition(self):
+        for opcode in Opcode:
+            assert is_memory(opcode) == (is_load(opcode) or is_store(opcode))
+            assert not (is_load(opcode) and is_store(opcode))
+
+    def test_control_covers_all_transfers(self):
+        expected = {
+            Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE,
+            Opcode.JMP, Opcode.JR, Opcode.CALL, Opcode.CALLR, Opcode.RET,
+        }
+        assert CONTROL_OPS == frozenset(expected)
+        for opcode in Opcode:
+            assert is_control(opcode) == (opcode in expected)
+
+    def test_indirects_and_calls(self):
+        assert is_indirect(Opcode.JR)
+        assert is_indirect(Opcode.RET)
+        assert is_indirect(Opcode.CALLR)
+        assert not is_indirect(Opcode.CALL)
+        assert is_call(Opcode.CALL) and is_call(Opcode.CALLR)
+        assert is_return(Opcode.RET)
+
+    def test_conditional_branches(self):
+        assert is_conditional_branch(Opcode.BEQ)
+        assert not is_conditional_branch(Opcode.JMP)
+
+    def test_mpk_ops(self):
+        assert is_mpk(Opcode.WRPKRU) and is_mpk(Opcode.RDPKRU)
+        assert not is_mpk(Opcode.LD)
+
+    def test_latencies(self):
+        assert latency_of(Opcode.ADD) == 1
+        assert latency_of(Opcode.MUL) == 3
+        assert latency_of(Opcode.DIV) == 12
+
+
+class TestRegisters:
+    def test_aliases_roundtrip(self):
+        for name in ("zero", "eax", "ssp", "sp", "ra"):
+            assert register_name(parse_register(name)) == name
+
+    def test_numeric_names(self):
+        assert parse_register("r7") == 7
+        assert parse_register("R7") == 7
+        assert register_name(7) == "r7"
+
+    @pytest.mark.parametrize("bad", ["r32", "r-1", "rax", "x0", ""])
+    def test_bad_names_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_register(bad)
+
+    @given(st.integers(min_value=0, max_value=NUM_REGS - 1))
+    def test_every_index_roundtrips(self, index):
+        assert parse_register(register_name(index)) == index
+
+    @given(st.integers(min_value=-(1 << 70), max_value=1 << 70))
+    def test_u64_s64_consistency(self, value):
+        wrapped = to_u64(value)
+        assert 0 <= wrapped <= MASK64
+        assert to_u64(to_s64(wrapped)) == wrapped
+        assert -(1 << 63) <= to_s64(wrapped) < (1 << 63)

@@ -1,0 +1,65 @@
+"""Property test: rendering a program and re-assembling it round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Instruction, Opcode, Program, assemble
+from repro.isa.registers import NUM_REGS
+
+_REG = st.integers(min_value=0, max_value=NUM_REGS - 1)
+_IMM = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+
+
+def _rrr(op):
+    return st.builds(lambda d, a, b: Instruction(op, dst=d, src1=a, src2=b),
+                     _REG, _REG, _REG)
+
+
+def _rri(op):
+    return st.builds(lambda d, a, i: Instruction(op, dst=d, src1=a, imm=i),
+                     _REG, _REG, _IMM)
+
+
+instructions = st.one_of(
+    _rrr(Opcode.ADD), _rrr(Opcode.SUB), _rrr(Opcode.XOR), _rrr(Opcode.MUL),
+    _rrr(Opcode.SLT), _rri(Opcode.ADDI), _rri(Opcode.ANDI),
+    _rri(Opcode.SLLI),
+    st.builds(lambda d, i: Instruction(Opcode.LI, dst=d, imm=i), _REG, _IMM),
+    st.builds(lambda d, a: Instruction(Opcode.MOV, dst=d, src1=a), _REG, _REG),
+    st.builds(lambda d, a, i: Instruction(Opcode.LD, dst=d, src1=a, imm=i),
+              _REG, _REG, _IMM),
+    st.builds(lambda v, a, i: Instruction(Opcode.ST, src1=a, src2=v, imm=i),
+              _REG, _REG, _IMM),
+    st.just(Instruction(Opcode.WRPKRU)),
+    st.just(Instruction(Opcode.RDPKRU)),
+    st.just(Instruction(Opcode.NOP)),
+    st.just(Instruction(Opcode.LFENCE)),
+    st.builds(lambda a, i: Instruction(Opcode.CLFLUSH, src1=a, imm=i),
+              _REG, _IMM),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(body=st.lists(instructions, max_size=30))
+def test_render_assemble_roundtrip(body):
+    program = Program(
+        body + [Instruction(Opcode.HALT)], labels={"main": 0}
+    )
+    listing = program.listing()
+    # Strip the "  pc: " prefixes the listing adds.
+    source_lines = []
+    for line in listing.splitlines():
+        if line.endswith(":") and not line.startswith(" "):
+            source_lines.append(line)
+        else:
+            source_lines.append(line.split(":", 1)[1])
+    reassembled = assemble("\n".join(source_lines))
+
+    assert len(reassembled) == len(program)
+    for original, parsed in zip(program.instructions,
+                                reassembled.instructions):
+        assert parsed.opcode == original.opcode
+        assert parsed.dst == original.dst
+        assert parsed.src1 == original.src1
+        assert parsed.src2 == original.src2
+        assert (parsed.imm or 0) == (original.imm or 0)

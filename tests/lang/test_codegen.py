@@ -1,0 +1,202 @@
+"""Differential tests: compiled MiniC == the reference interpreter.
+
+Every program runs three ways — reference interpreter, golden ISA
+emulator, and the out-of-order pipeline with cosimulation — and all
+three must agree on the result and on final array contents.
+"""
+
+import pytest
+
+from repro.core import CoreConfig, Simulator, WrpkruPolicy
+from repro.isa import Emulator
+from repro.lang import (
+    CompileError,
+    CompileOptions,
+    Interpreter,
+    compile_module,
+    parse,
+)
+
+
+def run_all_ways(source, options=CompileOptions(), policy=WrpkruPolicy.SPECMPK):
+    module = parse(source)
+    interp = Interpreter(module)
+    expected = interp.run()
+
+    compiled = compile_module(module, options)
+    emulator = Emulator(compiled.program, pkru=compiled.initial_pkru)
+    state = emulator.run(max_instructions=2_000_000)
+    emulated = state.regs[compiled.result_register()]
+
+    sim = Simulator(
+        compiled.program,
+        CoreConfig(wrpkru_policy=policy, cosimulate=True),
+        initial_pkru=compiled.initial_pkru,
+    )
+    result = sim.run(max_cycles=3_000_000)
+    assert result.halted and result.fault is None, f"fault: {result.fault}"
+    piped = sim.prf.read(sim.rename_tables.amt[compiled.result_register()])
+
+    assert emulated == expected, "emulator diverged from the interpreter"
+    assert piped == expected, "pipeline diverged from the interpreter"
+
+    # Final array contents must match as well.
+    for name, region in compiled.array_regions.items():
+        for i, value in enumerate(interp.arrays[name]):
+            assert sim.memory.peek(region.base + 8 * i) == value, (
+                f"{name}[{i}]"
+            )
+    return expected
+
+
+class TestBasics:
+    def test_arithmetic_program(self):
+        assert run_all_ways(
+            "fn main() { return (7 * 6) + 100 / 5 - 3 % 2; }"
+        ) == 61
+
+    def test_comparisons_and_branches(self):
+        run_all_ways(
+            "fn main() { var n = 0;"
+            " if (1 <= 2) { n = n + 1; }"
+            " if (2 == 2) { n = n + 10; }"
+            " if (3 != 3) { n = n + 100; } else { n = n + 1000; }"
+            " if (-1 < 0) { n = n + 10000; }"
+            " return n; }"
+        )
+
+    def test_loops_with_arrays(self):
+        run_all_ways(
+            "array data[32];\n"
+            "fn main() { var i = 0;"
+            " while (i < 32) { data[i] = i * i; i = i + 1; }"
+            " var s = 0; i = 0;"
+            " while (i < 32) { s = s + data[i]; i = i + 1; }"
+            " return s; }"
+        )
+
+    def test_recursion(self):
+        assert run_all_ways(
+            "fn fact(n) { if (n < 2) { return 1; } return n * fact(n - 1); }"
+            "fn main() { return fact(10); }"
+        ) == 3628800
+
+    def test_mutual_recursion(self):
+        run_all_ways(
+            "fn is_even(n) { if (n == 0) { return 1; } return is_odd(n - 1); }"
+            "fn is_odd(n) { if (n == 0) { return 0; } return is_even(n - 1); }"
+            "fn main() { return is_even(20) * 10 + is_odd(7); }"
+        )
+
+    def test_nested_calls_in_arguments(self):
+        # Exercises the spill watermark (calls inside argument lists).
+        assert run_all_ways(
+            "fn add(a, b) { return a + b; }\n"
+            "fn main() { return 1 + add(add(2, add(3, 4)), add(5, 6)); }"
+        ) == 21
+
+    def test_wrapping_arithmetic(self):
+        run_all_ways(
+            "fn main() { var big = 1 << 63; return big * 2 + 7; }"
+        )
+
+    def test_division_by_zero_convention(self):
+        run_all_ways("fn main() { return 5 / 0 - (3 % 0); }")
+
+
+class TestInstrumentedBuilds:
+    def test_shadow_stack_build_is_correct(self):
+        source = (
+            "fn leaf(x) { return x + 1; }\n"
+            "fn mid(x) { return leaf(x) * 2; }\n"
+            "fn main() { var i = 0; var s = 0;"
+            " while (i < 8) { s = s + mid(i); i = i + 1; } return s; }"
+        )
+        plain = run_all_ways(source)
+        protected = run_all_ways(
+            source, CompileOptions(shadow_stack=True)
+        )
+        assert plain == protected
+
+    def test_secure_array_build_is_correct(self):
+        source = (
+            "secure keys[4] = {11, 22, 33};\narray out[4];\n"
+            "fn main() { var i = 0;"
+            " while (i < 3) { out[i] = keys[i] * 2; i = i + 1; }"
+            " keys[3] = 99; return keys[3] + out[0]; }"
+        )
+        assert run_all_ways(source) == 99 + 22
+
+    def test_both_protections_compose(self):
+        source = (
+            "secure vault[2] = {5};\n"
+            "fn bump(x) { vault[1] = x; return vault[0] + vault[1]; }\n"
+            "fn main() { return bump(3) + bump(4); }"
+        )
+        for policy in WrpkruPolicy:
+            run_all_ways(
+                source,
+                CompileOptions(shadow_stack=True),
+                policy=policy,
+            )
+
+    def test_instrumented_binaries_pass_the_wrpkru_scanner(self):
+        from repro.analysis import scan_program
+
+        compiled = compile_module(
+            "secure s[2];\nfn f() { s[0] = 1; return s[0]; }\n"
+            "fn main() { return f(); }",
+            CompileOptions(shadow_stack=True),
+        )
+        assert scan_program(compiled.program) == []
+
+    def test_secure_accesses_emit_wrpkru_pairs(self):
+        compiled = compile_module(
+            "secure s[2];\nfn main() { s[0] = 1; return s[0]; }"
+        )
+        wrpkrus = sum(
+            1 for inst in compiled.program.instructions if inst.is_wrpkru
+        )
+        assert wrpkrus == 1 + 2 * 2  # initial lock + 2 sandwiches
+
+    def test_unprotected_build_has_no_wrpkru(self):
+        compiled = compile_module(
+            "secure s[2];\nfn main() { s[0] = 1; return s[0]; }",
+            CompileOptions(protect_secure_arrays=False),
+        )
+        assert not any(
+            inst.is_wrpkru for inst in compiled.program.instructions
+        )
+
+
+class TestCompileErrors:
+    def test_too_many_parameters(self):
+        with pytest.raises(CompileError):
+            compile_module(
+                "fn f(a, b, c, d, e) { return a; }\nfn main() { return 0; }"
+            )
+
+    def test_expression_too_deep(self):
+        expr = "1"
+        for _ in range(10):
+            expr = f"(2 * {expr} + (3 - (4 / (5 + {expr}))))"
+        with pytest.raises(CompileError):
+            compile_module(f"fn main() {{ return {expr}; }}")
+
+    def test_undefined_variable(self):
+        with pytest.raises(CompileError):
+            compile_module("fn main() { return ghost; }")
+
+    def test_undefined_array(self):
+        with pytest.raises(CompileError):
+            compile_module("fn main() { return ghost[0]; }")
+
+    def test_unknown_function(self):
+        with pytest.raises(KeyError):
+            compile_module("fn main() { return ghost(); }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(CompileError):
+            compile_module(
+                "fn f(a) { return a; }\nfn main() { return f(1, 2); }"
+            )

@@ -1,0 +1,108 @@
+"""Tests for the MiniC reference interpreter."""
+
+import pytest
+
+from repro.lang import InterpError, Interpreter, interpret, parse
+
+MASK64 = (1 << 64) - 1
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("10 - 3 - 2", 5),           # left associative
+            ("7 / 2", 3),
+            ("7 % 3", 1),
+            ("7 % 0", 7),                # matches the ISA convention
+            ("5 / 0", MASK64),
+            ("1 << 4", 16),
+            ("256 >> 4", 16),
+            ("6 & 3", 2),
+            ("6 | 3", 7),
+            ("6 ^ 3", 5),
+            ("-3 + 5", 2),
+            ("0 - 1", MASK64),           # wrapping
+            ("2 < 3", 1),
+            ("-1 < 1", 1),               # signed comparison
+            ("3 <= 3", 1),
+            ("4 > 5", 0),
+            ("4 >= 4", 1),
+            ("3 == 3", 1),
+            ("3 != 3", 0),
+        ],
+    )
+    def test_expression(self, expr, expected):
+        assert interpret(f"fn main() {{ return {expr}; }}") == expected
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        assert interpret(
+            "fn main() { var i = 0; var s = 0;"
+            " while (i < 10) { s = s + i; i = i + 1; } return s; }"
+        ) == 45
+
+    def test_if_else(self):
+        def src(cond):
+            return ("fn main() { if (" + cond +
+                    ") { return 1; } else { return 2; } }")
+
+        assert interpret(src("3 > 2")) == 1
+        assert interpret(src("3 < 2")) == 2
+
+    def test_nested_functions_and_recursion(self):
+        assert interpret(
+            "fn fib(n) { if (n < 2) { return n; }"
+            " return fib(n - 1) + fib(n - 2); }"
+            "fn main() { return fib(12); }"
+        ) == 144
+
+    def test_implicit_return_zero(self):
+        assert interpret("fn main() { var x = 5; }") == 0
+
+    def test_main_args(self):
+        module = parse("fn main(a, b) { return a * 10 + b; }")
+        assert Interpreter(module).run(4, 2) == 42
+
+
+class TestArrays:
+    def test_init_and_readback(self):
+        assert interpret(
+            "array a[4] = {10, 20};\nfn main() { return a[0] + a[1] + a[3]; }"
+        ) == 30
+
+    def test_store_and_load(self):
+        assert interpret(
+            "array a[4];\nfn main() { a[2] = 7; return a[2] * a[2]; }"
+        ) == 49
+
+    def test_arrays_shared_across_functions(self):
+        assert interpret(
+            "array a[2];\n"
+            "fn poke() { a[0] = 9; return 0; }\n"
+            "fn main() { poke(); return a[0]; }"
+        ) == 9
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(InterpError):
+            interpret("array a[2];\nfn main() { return a[5]; }")
+
+
+class TestErrors:
+    def test_undefined_variable(self):
+        with pytest.raises(InterpError):
+            interpret("fn main() { return nope; }")
+
+    def test_assign_before_declare(self):
+        with pytest.raises(InterpError):
+            interpret("fn main() { x = 1; return x; }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(InterpError):
+            interpret("fn f(a) { return a; }\nfn main() { return f(); }")
+
+    def test_infinite_loop_detected(self):
+        with pytest.raises(InterpError):
+            interpret("fn main() { while (1) { var x = 1; } return 0; }")

@@ -1,0 +1,90 @@
+"""Tests for the MiniC lexer and parser."""
+
+import pytest
+
+from repro.lang import LexError, ParseError, parse
+from repro.lang.ast import BinOp, Call, If, Index, Num, Return, While
+
+
+class TestLexing:
+    def test_unknown_character_rejected(self):
+        with pytest.raises(LexError):
+            parse("fn main() { return 1 ? 2; }")
+
+    def test_comments_skipped(self):
+        module = parse("// header\nfn main() { return 1; } // tail")
+        assert module.function("main")
+
+    def test_hex_literals(self):
+        module = parse("fn main() { return 0xFF; }")
+        ret = module.function("main").body[0]
+        assert isinstance(ret, Return) and ret.value.value == 255
+
+
+class TestParsing:
+    def test_precedence_mul_over_add(self):
+        module = parse("fn main() { return 1 + 2 * 3; }")
+        expr = module.function("main").body[0].value
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+    def test_comparison_lowest_precedence(self):
+        module = parse("fn main() { return 1 + 2 == 3; }")
+        expr = module.function("main").body[0].value
+        assert expr.op == "=="
+
+    def test_parentheses_override(self):
+        module = parse("fn main() { return (1 + 2) * 3; }")
+        expr = module.function("main").body[0].value
+        assert expr.op == "*"
+        assert isinstance(expr.left, BinOp) and expr.left.op == "+"
+
+    def test_if_else_blocks(self):
+        module = parse(
+            "fn main() { if (1 < 2) { return 1; } else { return 2; } }"
+        )
+        stmt = module.function("main").body[0]
+        assert isinstance(stmt, If)
+        assert len(stmt.then_body) == len(stmt.else_body) == 1
+
+    def test_while_and_calls(self):
+        module = parse(
+            "fn f(x) { return x; }\n"
+            "fn main() { var i = 0; while (i < 3) { i = f(i) + 1; } return i; }"
+        )
+        loop = module.function("main").body[1]
+        assert isinstance(loop, While)
+        assign = loop.body[0]
+        assert isinstance(assign.value.left, Call)
+
+    def test_array_declarations(self):
+        module = parse(
+            "array a[4] = {1, 2, -3};\nsecure s[8];\nfn main() { return a[0]; }"
+        )
+        assert module.array("a").init == (1, 2, -3)
+        assert module.array("s").secure
+        assert not module.array("a").secure
+
+    def test_index_expression_vs_store(self):
+        module = parse(
+            "array a[4];\nfn main() { a[1] = 5; return a[1]; }"
+        )
+        store, ret = module.function("main").body
+        assert store.name == "a"
+        assert isinstance(ret.value, Index)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "fn main() { return 1 }",          # missing semicolon
+            "fn main() { if 1 { return 1; } }",  # missing parens
+            "fn f() { return 1; }",             # no main
+            "array a[2] = {1, 2, 3}; fn main() { return 0; }",  # overfull
+            "fn main( { return 1; }",
+        ],
+    )
+    def test_bad_sources(self, source):
+        with pytest.raises(ParseError):
+            parse(source)

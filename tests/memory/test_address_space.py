@@ -1,0 +1,98 @@
+"""Unit tests for the architectural address space (functional memory)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import DataRegion
+from repro.memory import AddressSpace, PAGE_SIZE
+from repro.mpk import (
+    AlignmentFault,
+    ProtectionFault,
+    SegmentationFault,
+    make_pkru,
+)
+
+
+def space_with_region(pkey=0, init=None):
+    space = AddressSpace()
+    space.map_region(DataRegion("r", 0x10000, PAGE_SIZE, pkey=pkey, init=init))
+    return space
+
+
+class TestBasicAccess:
+    def test_load_store_roundtrip(self):
+        space = space_with_region()
+        space.store(0x10008, 0xABCD, pkru=0)
+        assert space.load(0x10008, pkru=0) == 0xABCD
+
+    def test_memory_zero_initialised(self):
+        assert space_with_region().load(0x10000, pkru=0) == 0
+
+    def test_region_init_values_visible(self):
+        space = space_with_region(init={16: 99})
+        assert space.load(0x10010, pkru=0) == 99
+
+    def test_init_offset_out_of_range_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            space.map_region(
+                DataRegion("r", 0x10000, PAGE_SIZE, init={PAGE_SIZE: 1})
+            )
+
+    def test_unmapped_access_segfaults(self):
+        with pytest.raises(SegmentationFault):
+            space_with_region().load(0x90000, pkru=0)
+
+    def test_unaligned_access_faults(self):
+        with pytest.raises(AlignmentFault):
+            space_with_region().load(0x10003, pkru=0)
+
+    def test_values_wrap_to_64_bits(self):
+        space = space_with_region()
+        space.store(0x10000, 1 << 70, pkru=0)
+        assert space.load(0x10000, pkru=0) == (1 << 70) % (1 << 64)
+
+
+class TestMpkEnforcement:
+    def test_access_disable_blocks_load(self):
+        space = space_with_region(pkey=3)
+        with pytest.raises(ProtectionFault):
+            space.load(0x10000, pkru=make_pkru(disabled=[3]))
+
+    def test_write_disable_blocks_store_allows_load(self):
+        space = space_with_region(pkey=3)
+        pkru = make_pkru(write_disabled=[3])
+        space.load(0x10000, pkru)
+        with pytest.raises(ProtectionFault):
+            space.store(0x10000, 1, pkru)
+
+    def test_pkey_mprotect_recolours(self):
+        space = space_with_region(pkey=0)
+        space.pkey_mprotect(0x10000, PAGE_SIZE, 9)
+        with pytest.raises(ProtectionFault):
+            space.load(0x10000, pkru=make_pkru(disabled=[9]))
+
+    def test_mprotect_read_only(self):
+        space = space_with_region()
+        space.mprotect(0x10000, PAGE_SIZE, readable=True, writable=False)
+        with pytest.raises(ProtectionFault):
+            space.store(0x10000, 1, pkru=0)
+
+    def test_peek_poke_bypass_protection(self):
+        space = space_with_region(pkey=1)
+        space.poke(0x10000, 42)
+        assert space.peek(0x10000) == 42
+
+
+class TestSnapshot:
+    @given(st.dictionaries(
+        st.integers(min_value=0, max_value=511).map(lambda w: 0x10000 + 8 * w),
+        st.integers(min_value=1, max_value=(1 << 64) - 1),
+        max_size=16,
+    ))
+    def test_snapshot_reflects_all_stores(self, writes):
+        space = space_with_region()
+        for address, value in writes.items():
+            space.store(address, value, pkru=0)
+        assert space.snapshot() == writes

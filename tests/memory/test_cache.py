@@ -1,0 +1,88 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.cache import Cache
+
+
+def make_cache(size=1024, assoc=2, line=64, latency=3):
+    return Cache("test", size, assoc, line, latency)
+
+
+class TestGeometry:
+    def test_set_count(self):
+        cache = make_cache(size=1024, assoc=2, line=64)
+        assert cache.num_sets == 8
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            make_cache(size=1000)
+        with pytest.raises(ValueError):
+            make_cache(line=48)
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.lookup(0x100)
+        cache.fill(0x100)
+        assert cache.lookup(0x100)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_line_hits(self):
+        cache = make_cache()
+        cache.fill(0x100)
+        assert cache.lookup(0x100 + 63)
+        assert not cache.lookup(0x100 + 64)
+
+    def test_lru_eviction(self):
+        cache = make_cache(size=256, assoc=2, line=64)  # 2 sets
+        lines = [0x0, 0x100, 0x200]  # all map to set 0
+        cache.fill(lines[0])
+        cache.fill(lines[1])
+        cache.lookup(lines[0])       # make line 0 MRU
+        cache.fill(lines[2])          # evicts line 1
+        assert cache.contains(lines[0])
+        assert not cache.contains(lines[1])
+        assert cache.contains(lines[2])
+        assert cache.stats.evictions == 1
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.fill(0x40)
+        assert cache.invalidate(0x40)
+        assert not cache.contains(0x40)
+        assert not cache.invalidate(0x40)  # second flush is a no-op
+
+    def test_contains_does_not_count(self):
+        cache = make_cache()
+        cache.contains(0x40)
+        assert cache.stats.accesses == 0
+
+    def test_flush_all(self):
+        cache = make_cache()
+        for i in range(8):
+            cache.fill(i * 64)
+        cache.flush_all()
+        assert cache.occupancy() == 0
+
+
+class TestOccupancyInvariant:
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), max_size=200))
+    def test_occupancy_never_exceeds_capacity(self, addresses):
+        cache = make_cache(size=512, assoc=2, line=64)
+        capacity = cache.num_sets * cache.assoc
+        for address in addresses:
+            cache.fill(address)
+            assert cache.occupancy() <= capacity
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16), max_size=100))
+    def test_fill_then_contains(self, addresses):
+        cache = make_cache(size=64 * 1024, assoc=16)  # big enough: no evictions
+        for address in addresses:
+            cache.fill(address)
+        for address in addresses:
+            assert cache.contains(address)

@@ -1,0 +1,76 @@
+"""Property test: the cache matches a reference LRU model exactly."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import Cache
+
+LINE = 64
+
+
+class ReferenceLru:
+    """Dict-of-OrderedDict LRU model, the textbook definition."""
+
+    def __init__(self, sets: int, ways: int) -> None:
+        self.sets = sets
+        self.ways = ways
+        self.state = [OrderedDict() for _ in range(sets)]
+
+    def _where(self, address: int):
+        line = address // LINE
+        return self.state[line % self.sets], line // self.sets
+
+    def lookup(self, address: int) -> bool:
+        entry, tag = self._where(address)
+        if tag in entry:
+            entry.move_to_end(tag)
+            return True
+        return False
+
+    def fill(self, address: int) -> None:
+        entry, tag = self._where(address)
+        if tag in entry:
+            entry.move_to_end(tag)
+            return
+        if len(entry) >= self.ways:
+            entry.popitem(last=False)
+        entry[tag] = True
+
+    def invalidate(self, address: int) -> None:
+        entry, tag = self._where(address)
+        entry.pop(tag, None)
+
+    def contains(self, address: int) -> bool:
+        entry, tag = self._where(address)
+        return tag in entry
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["access", "flush", "probe"]),
+        st.integers(min_value=0, max_value=(1 << 14) - 1),
+    ),
+    max_size=300,
+)
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_cache_matches_reference_lru(ops):
+    cache = Cache("dut", size=2048, assoc=4, line_size=LINE)
+    reference = ReferenceLru(cache.num_sets, cache.assoc)
+    for op, address in ops:
+        if op == "access":
+            hit = cache.lookup(address)
+            ref_hit = reference.lookup(address)
+            assert hit == ref_hit, f"hit mismatch at {address:#x}"
+            if not hit:
+                cache.fill(address)
+                reference.fill(address)
+        elif op == "flush":
+            cache.invalidate(address)
+            reference.invalidate(address)
+        else:  # probe
+            assert cache.contains(address) == reference.contains(address)

@@ -1,0 +1,80 @@
+"""Unit tests for the page table and PTE pKey field."""
+
+import pytest
+
+from repro.memory import PAGE_SIZE, PageTable, vpn_of
+from repro.mpk import SegmentationFault
+
+
+class TestMapping:
+    def test_lookup_unmapped_faults(self):
+        with pytest.raises(SegmentationFault):
+            PageTable().lookup(0x4000)
+
+    def test_map_then_lookup(self):
+        pt = PageTable()
+        pt.map_page(4, pkey=7)
+        entry = pt.lookup(4 * PAGE_SIZE + 24)
+        assert entry.pkey == 7
+        assert entry.frame == 4
+
+    def test_map_range_covers_partial_pages(self):
+        pt = PageTable()
+        pt.map_range(0x2000, PAGE_SIZE + 1)  # spills into a second page
+        assert pt.try_lookup(0x2000) is not None
+        assert pt.try_lookup(0x3000) is not None
+        assert pt.try_lookup(0x4000) is None
+
+    def test_unmap(self):
+        pt = PageTable()
+        pt.map_page(1)
+        pt.unmap_page(1)
+        assert pt.try_lookup(PAGE_SIZE) is None
+
+    def test_vpn_of(self):
+        assert vpn_of(0) == 0
+        assert vpn_of(PAGE_SIZE - 1) == 0
+        assert vpn_of(PAGE_SIZE) == 1
+
+
+class TestPkeyMprotect:
+    def test_set_pkey_recolours_range(self):
+        pt = PageTable()
+        pt.map_range(0x10000, 3 * PAGE_SIZE)
+        count = pt.set_pkey(0x10000, 3 * PAGE_SIZE, 5)
+        assert count == 3
+        for page in range(3):
+            assert pt.lookup(0x10000 + page * PAGE_SIZE).pkey == 5
+
+    def test_set_pkey_on_unmapped_faults(self):
+        pt = PageTable()
+        with pytest.raises(SegmentationFault):
+            pt.set_pkey(0x10000, PAGE_SIZE, 1)
+
+    def test_set_pkey_rejects_bad_key(self):
+        pt = PageTable()
+        pt.map_page(vpn_of(0x10000))
+        with pytest.raises(ValueError):
+            pt.set_pkey(0x10000, PAGE_SIZE, 16)
+
+    def test_generation_bumps_on_changes(self):
+        pt = PageTable()
+        g0 = pt.generation
+        pt.map_page(0)
+        assert pt.generation > g0
+        g1 = pt.generation
+        pt.set_pkey(0, PAGE_SIZE, 3)
+        assert pt.generation > g1
+
+
+class TestMprotect:
+    def test_mprotect_rewrites_rw(self):
+        pt = PageTable()
+        pt.map_range(0x8000, PAGE_SIZE)
+        pt.mprotect(0x8000, PAGE_SIZE, readable=True, writable=False)
+        entry = pt.lookup(0x8000)
+        assert entry.readable and not entry.writable
+
+    def test_mprotect_unmapped_faults(self):
+        with pytest.raises(SegmentationFault):
+            PageTable().mprotect(0x8000, PAGE_SIZE, True, True)

@@ -1,0 +1,73 @@
+"""Unit tests for the pKey-returning TLB."""
+
+from repro.memory import PAGE_SIZE, PageTable
+from repro.memory.tlb import Tlb
+
+
+def make_tlb(entries=4):
+    pt = PageTable()
+    pt.map_range(0x10000, 8 * PAGE_SIZE, pkey=3)
+    return pt, Tlb(pt, entries=entries, walk_latency=20)
+
+
+class TestLookup:
+    def test_cold_miss(self):
+        _, tlb = make_tlb()
+        assert tlb.lookup(0x10000) is None
+        assert tlb.stats.misses == 1
+
+    def test_walk_returns_pkey(self):
+        _, tlb = make_tlb()
+        entry = tlb.walk(0x10000)
+        assert entry.pkey == 3
+        assert entry.readable and entry.writable
+
+    def test_walk_unmapped_returns_none(self):
+        _, tlb = make_tlb()
+        assert tlb.walk(0x90000) is None
+
+    def test_fill_then_hit(self):
+        _, tlb = make_tlb()
+        entry = tlb.walk(0x10000)
+        tlb.fill(0x10000, entry)
+        assert tlb.lookup(0x10008) == entry  # same page
+        assert tlb.stats.hits == 1
+
+    def test_capacity_eviction_is_lru(self):
+        _, tlb = make_tlb(entries=2)
+        for page in range(3):
+            address = 0x10000 + page * PAGE_SIZE
+            tlb.fill(address, tlb.walk(address))
+        assert not tlb.contains(0x10000)
+        assert tlb.contains(0x10000 + 2 * PAGE_SIZE)
+
+
+class TestShootdown:
+    def test_pte_change_flushes(self):
+        pt, tlb = make_tlb()
+        tlb.fill(0x10000, tlb.walk(0x10000))
+        pt.mprotect(0x10000, PAGE_SIZE, readable=True, writable=False)
+        assert tlb.lookup(0x10000) is None  # stale entry gone
+        assert tlb.stats.flushes >= 1
+
+    def test_pkey_mprotect_also_invalidates(self):
+        # Recolouring rewrites the PTE's pKey field, so cached
+        # translations must be refreshed.
+        pt, tlb = make_tlb()
+        tlb.fill(0x10000, tlb.walk(0x10000))
+        pt.set_pkey(0x10000, PAGE_SIZE, 7)
+        assert tlb.lookup(0x10000) is None
+        assert tlb.walk(0x10000).pkey == 7
+
+    def test_explicit_flush(self):
+        _, tlb = make_tlb()
+        tlb.fill(0x10000, tlb.walk(0x10000))
+        tlb.flush()
+        assert tlb.occupancy() == 0
+
+
+class TestDeferredFills:
+    def test_deferred_fill_counted(self):
+        _, tlb = make_tlb()
+        tlb.note_deferred_fill()
+        assert tlb.stats.deferred_fills == 1

@@ -1,0 +1,112 @@
+"""Tests for libmpk-style virtual domain management."""
+
+import pytest
+
+from repro.memory import AddressSpace, PAGE_SIZE
+from repro.mpk import ProtectionFault
+from repro.mpk.domains import DomainError, DomainManager
+
+
+def make_manager(num_pages=4):
+    space = AddressSpace()
+    space.page_table.map_range(0x100000, num_pages * PAGE_SIZE)
+    return space, DomainManager(space)
+
+
+class TestLifecycle:
+    def test_create_and_activate(self):
+        space, mgr = make_manager()
+        vid = mgr.create_domain()
+        mgr.attach(vid, 0x100000, PAGE_SIZE)
+        pkey = mgr.activate(vid)
+        assert 1 <= pkey <= 14
+        assert space.pkey_of(0x100000) == pkey
+
+    def test_inactive_domain_pages_parked(self):
+        space, mgr = make_manager()
+        vid = mgr.create_domain()
+        mgr.attach(vid, 0x100000, PAGE_SIZE)
+        assert space.pkey_of(0x100000) == mgr.parked_pkey
+
+    def test_unknown_domain_rejected(self):
+        _, mgr = make_manager()
+        with pytest.raises(DomainError):
+            mgr.activate(99)
+
+    def test_deactivate_parks(self):
+        space, mgr = make_manager()
+        vid = mgr.create_domain()
+        mgr.attach(vid, 0x100000, PAGE_SIZE)
+        mgr.activate(vid)
+        mgr.deactivate(vid)
+        assert space.pkey_of(0x100000) == mgr.parked_pkey
+
+
+class TestVirtualisationBeyond16:
+    def test_more_domains_than_pkeys(self):
+        space = AddressSpace()
+        count = 30
+        space.page_table.map_range(0x100000, count * PAGE_SIZE)
+        mgr = DomainManager(space)
+        vids = []
+        for i in range(count):
+            vid = mgr.create_domain()
+            mgr.attach(vid, 0x100000 + i * PAGE_SIZE, PAGE_SIZE)
+            vids.append(vid)
+        keys = [mgr.activate(vid) for vid in vids]
+        assert all(1 <= k <= 14 for k in keys)
+        assert mgr.evictions == count - mgr.capacity
+        assert mgr.active_count == mgr.capacity
+
+    def test_lru_eviction_order(self):
+        space = AddressSpace()
+        space.page_table.map_range(0x100000, 20 * PAGE_SIZE)
+        mgr = DomainManager(space)
+        vids = []
+        for i in range(mgr.capacity):
+            vid = mgr.create_domain()
+            mgr.attach(vid, 0x100000 + i * PAGE_SIZE, PAGE_SIZE)
+            mgr.activate(vid)
+            vids.append(vid)
+        mgr.activate(vids[0])  # refresh the first domain
+        extra = mgr.create_domain()
+        mgr.attach(extra, 0x100000 + 15 * PAGE_SIZE, PAGE_SIZE)
+        mgr.activate(extra)
+        # vids[1] (now the LRU) was evicted; vids[0] survived.
+        assert space.pkey_of(0x100000 + PAGE_SIZE) == mgr.parked_pkey
+        assert space.pkey_of(0x100000) != mgr.parked_pkey
+
+
+class TestPkruIntegration:
+    def test_base_pkru_blocks_everything(self):
+        space, mgr = make_manager()
+        vid = mgr.create_domain()
+        mgr.attach(vid, 0x100000, PAGE_SIZE)
+        mgr.activate(vid)
+        with pytest.raises(ProtectionFault):
+            space.load(0x100000, mgr.base_pkru())
+
+    def test_domain_pkru_grants_access(self):
+        space, mgr = make_manager()
+        vid = mgr.create_domain()
+        mgr.attach(vid, 0x100000, PAGE_SIZE)
+        mgr.activate(vid)
+        pkru = mgr.pkru_with_domain(mgr.base_pkru(), vid)
+        space.store(0x100000, 7, pkru)
+        assert space.load(0x100000, pkru) == 7
+
+    def test_read_only_grant(self):
+        space, mgr = make_manager()
+        vid = mgr.create_domain()
+        mgr.attach(vid, 0x100000, PAGE_SIZE)
+        mgr.activate(vid)
+        pkru = mgr.pkru_with_domain(mgr.base_pkru(), vid, write=False)
+        space.load(0x100000, pkru)
+        with pytest.raises(ProtectionFault):
+            space.store(0x100000, 1, pkru)
+
+    def test_pkru_for_inactive_domain_rejected(self):
+        _, mgr = make_manager()
+        vid = mgr.create_domain()
+        with pytest.raises(DomainError):
+            mgr.pkru_with_domain(0, vid)

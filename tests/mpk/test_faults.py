@@ -1,0 +1,35 @@
+"""Coverage for the fault hierarchy and its diagnostics."""
+
+import pytest
+
+from repro.mpk import (
+    AlignmentFault,
+    MemoryFault,
+    ProtectionFault,
+    SegmentationFault,
+)
+
+
+class TestHierarchy:
+    def test_all_faults_are_memory_faults(self):
+        for cls in (SegmentationFault, AlignmentFault):
+            assert issubclass(cls, MemoryFault)
+            fault = cls(0x1234, "read")
+            assert fault.address == 0x1234
+            assert fault.access == "read"
+        assert issubclass(ProtectionFault, MemoryFault)
+
+    def test_messages_carry_address_and_access(self):
+        fault = SegmentationFault(0xBEEF8, "write")
+        assert "0xbeef8" in str(fault)
+        assert "write" in str(fault)
+
+    def test_protection_fault_carries_pkey(self):
+        fault = ProtectionFault(0x2000, "read", 7, "PKRU access-disable")
+        assert fault.pkey == 7
+        assert fault.reason == "PKRU access-disable"
+        assert "pkey=7" in str(fault)
+
+    def test_faults_catchable_as_base(self):
+        with pytest.raises(MemoryFault):
+            raise AlignmentFault(3, "read")

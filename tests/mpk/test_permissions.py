@@ -1,0 +1,66 @@
+"""Unit tests for combined PTE + PKRU permission resolution (Fig. 1)."""
+
+import pytest
+
+from repro.mpk import ProtectionFault, make_pkru
+from repro.mpk.permissions import READ, WRITE, access_allowed, check_access
+
+
+def check(access, pkey=0, readable=True, writable=True, pkru=0):
+    check_access(0x1000, access, pkey, readable, writable, pkru)
+
+
+class TestPteBits:
+    def test_read_allowed_by_default(self):
+        check(READ)
+
+    def test_write_allowed_by_default(self):
+        check(WRITE)
+
+    def test_unreadable_page_blocks_read(self):
+        with pytest.raises(ProtectionFault):
+            check(READ, readable=False)
+
+    def test_unwritable_page_blocks_write(self):
+        with pytest.raises(ProtectionFault):
+            check(WRITE, writable=False)
+
+    def test_unwritable_page_still_readable(self):
+        check(READ, writable=False)
+
+
+class TestPkruBits:
+    def test_access_disable_blocks_read(self):
+        with pytest.raises(ProtectionFault) as exc:
+            check(READ, pkey=3, pkru=make_pkru(disabled=[3]))
+        assert exc.value.pkey == 3
+
+    def test_access_disable_blocks_write(self):
+        with pytest.raises(ProtectionFault):
+            check(WRITE, pkey=3, pkru=make_pkru(disabled=[3]))
+
+    def test_write_disable_blocks_write_only(self):
+        pkru = make_pkru(write_disabled=[5])
+        check(READ, pkey=5, pkru=pkru)  # reads allowed irrespective of WD
+        with pytest.raises(ProtectionFault):
+            check(WRITE, pkey=5, pkru=pkru)
+
+    def test_other_pkeys_unaffected(self):
+        check(READ, pkey=2, pkru=make_pkru(disabled=[3]))
+
+    def test_most_strict_wins_pte_over_pkru(self):
+        # PKRU grants everything but the PTE says read-only.
+        with pytest.raises(ProtectionFault):
+            check(WRITE, pkey=0, writable=False, pkru=0)
+
+
+class TestHelpers:
+    def test_access_allowed_true_path(self):
+        assert access_allowed(0, READ, 0, True, True, 0)
+
+    def test_access_allowed_false_path(self):
+        assert not access_allowed(0, READ, 1, True, True, make_pkru(disabled=[1]))
+
+    def test_unknown_access_kind_rejected(self):
+        with pytest.raises(ValueError):
+            check("execute")

@@ -1,0 +1,48 @@
+"""Unit tests for the pkey_alloc/pkey_free model."""
+
+import pytest
+
+from repro.mpk import PKeyAllocator, PKeyExhausted, pkey_set
+from repro.mpk.pkru import access_disabled, write_disabled
+
+
+class TestAllocator:
+    def test_pkey0_reserved(self):
+        alloc = PKeyAllocator()
+        assert alloc.is_allocated(0)
+        assert alloc.alloc() == 1
+
+    def test_alloc_all_fifteen(self):
+        alloc = PKeyAllocator()
+        keys = [alloc.alloc() for _ in range(15)]
+        assert keys == list(range(1, 16))
+        assert alloc.free_count == 0
+
+    def test_exhaustion_raises(self):
+        alloc = PKeyAllocator()
+        for _ in range(15):
+            alloc.alloc()
+        with pytest.raises(PKeyExhausted):
+            alloc.alloc()
+
+    def test_free_allows_reuse(self):
+        alloc = PKeyAllocator()
+        key = alloc.alloc()
+        alloc.free(key)
+        assert alloc.alloc() == key
+
+    def test_cannot_free_pkey0(self):
+        with pytest.raises(ValueError):
+            PKeyAllocator().free(0)
+
+    def test_cannot_free_unallocated(self):
+        with pytest.raises(ValueError):
+            PKeyAllocator().free(5)
+
+
+class TestPkeySet:
+    def test_pkey_set_updates_single_key(self):
+        pkru = pkey_set(0, 4, access_disable=True, write_disable=True)
+        assert access_disabled(pkru, 4)
+        assert write_disabled(pkru, 4)
+        assert not access_disabled(pkru, 3)

@@ -1,0 +1,86 @@
+"""Unit tests for the PKRU register model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpk import pkru
+
+
+class TestBitPositions:
+    def test_pkey0_ad_is_bit0(self):
+        assert pkru.ad_bit(0) == 0
+
+    def test_pkey0_wd_is_bit1(self):
+        assert pkru.wd_bit(0) == 1
+
+    def test_pkey15_wd_is_bit31(self):
+        assert pkru.wd_bit(15) == 31
+
+    @pytest.mark.parametrize("bad", [-1, 16, 100])
+    def test_out_of_range_pkey_rejected(self, bad):
+        with pytest.raises(ValueError):
+            pkru.ad_bit(bad)
+        with pytest.raises(ValueError):
+            pkru.wd_bit(bad)
+
+
+class TestQueries:
+    def test_all_enabled_allows_everything(self):
+        for pkey in range(pkru.NUM_PKEYS):
+            assert not pkru.access_disabled(pkru.PKRU_ALL_ENABLED, pkey)
+            assert not pkru.write_disabled(pkru.PKRU_ALL_ENABLED, pkey)
+
+    def test_all_disabled_except_0_spares_pkey0(self):
+        value = pkru.PKRU_ALL_DISABLED_EXCEPT_0
+        assert not pkru.access_disabled(value, 0)
+        assert not pkru.write_disabled(value, 0)
+        for pkey in range(1, pkru.NUM_PKEYS):
+            assert pkru.access_disabled(value, pkey)
+            assert pkru.write_disabled(value, pkey)
+
+    def test_make_pkru_sets_requested_bits(self):
+        value = pkru.make_pkru(disabled=[3], write_disabled=[5])
+        assert pkru.access_disabled(value, 3)
+        assert not pkru.write_disabled(value, 3)
+        assert pkru.write_disabled(value, 5)
+        assert not pkru.access_disabled(value, 5)
+
+
+class TestSetPermissions:
+    def test_set_then_query_roundtrip(self):
+        value = pkru.set_permissions(0, 7, access_disable=True, write_disable=False)
+        assert pkru.access_disabled(value, 7)
+        assert not pkru.write_disabled(value, 7)
+
+    def test_set_clears_previous_bits(self):
+        value = pkru.make_pkru(disabled=[7], write_disabled=[7])
+        value = pkru.set_permissions(value, 7, access_disable=False, write_disable=False)
+        assert value == 0
+
+    def test_set_leaves_other_pkeys_untouched(self):
+        value = pkru.make_pkru(disabled=[2])
+        value = pkru.set_permissions(value, 9, access_disable=True, write_disable=True)
+        assert pkru.access_disabled(value, 2)
+
+    @given(
+        start=st.integers(min_value=0, max_value=pkru.PKRU_MASK),
+        pkey=st.integers(min_value=0, max_value=15),
+        ad=st.booleans(),
+        wd=st.booleans(),
+    )
+    def test_set_permissions_is_idempotent(self, start, pkey, ad, wd):
+        once = pkru.set_permissions(start, pkey, ad, wd)
+        twice = pkru.set_permissions(once, pkey, ad, wd)
+        assert once == twice
+        assert pkru.access_disabled(once, pkey) == ad
+        assert pkru.write_disabled(once, pkey) == wd
+
+
+class TestDescribe:
+    def test_all_enabled_rendering(self):
+        assert "all-enabled" in pkru.describe(0)
+
+    def test_flags_rendered(self):
+        text = pkru.describe(pkru.make_pkru(disabled=[1], write_disabled=[1]))
+        assert "pkey1:ADWD" in text

@@ -1,0 +1,69 @@
+"""Tests for the k-means / BIC clustering used by SimPoint."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simpoint import bic_score, choose_k, kmeans
+
+
+def two_blobs(n=40, separation=10.0, seed=0):
+    rng = np.random.RandomState(seed)
+    a = rng.randn(n, 3)
+    b = rng.randn(n, 3) + separation
+    return np.vstack([a, b])
+
+
+class TestKmeans:
+    def test_k1_center_is_mean(self):
+        data = two_blobs()
+        clustering = kmeans(data, 1)
+        assert np.allclose(clustering.centers[0], data.mean(axis=0))
+
+    def test_k2_separates_blobs(self):
+        data = two_blobs()
+        clustering = kmeans(data, 2)
+        labels = clustering.labels
+        assert len(set(labels[:40])) == 1
+        assert len(set(labels[40:])) == 1
+        assert labels[0] != labels[40]
+
+    def test_k_clamped_to_n(self):
+        data = np.array([[0.0], [1.0]])
+        clustering = kmeans(data, 10)
+        assert clustering.k == 2
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(two_blobs(), 0)
+
+    def test_deterministic_with_seed(self):
+        data = two_blobs()
+        first = kmeans(data, 3, seed=7)
+        second = kmeans(data, 3, seed=7)
+        assert np.array_equal(first.labels, second.labels)
+
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_inertia_never_negative(self, k):
+        data = two_blobs(n=15)
+        assert kmeans(data, k).inertia >= 0
+
+
+class TestModelSelection:
+    def test_bic_prefers_two_clusters_for_two_blobs(self):
+        data = two_blobs()
+        one = kmeans(data, 1)
+        two = kmeans(data, 2)
+        assert bic_score(data, two) > bic_score(data, one)
+
+    def test_choose_k_finds_two(self):
+        clustering = choose_k(two_blobs(), max_k=6)
+        assert clustering.k == 2
+
+    def test_choose_k_single_blob(self):
+        rng = np.random.RandomState(0)
+        data = rng.randn(50, 3) * 0.1
+        clustering = choose_k(data, max_k=5)
+        assert clustering.k <= 2  # no structure to find

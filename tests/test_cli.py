@@ -1,0 +1,95 @@
+"""Tests for the ``python -m repro`` command-line driver."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestInfo:
+    def test_info_prints_configuration(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "352/128/72/160/280" in out
+        assert "520.omnetpp_r (SS)" in out
+
+
+class TestRun:
+    def test_single_policy_run(self, capsys):
+        assert main(["run", "557.xz_r (SS)", "--policy", "specmpk",
+                     "--instructions", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "under specmpk" in out
+        assert "IPC" in out
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "nope (SS)", "--policy", "specmpk",
+                  "--instructions", "1000"])
+
+
+class TestAttack:
+    def test_v1_attack_reports_all_policies(self, capsys):
+        assert main(["attack", "v1"]) == 0  # 0: leaked under NonSecure
+        out = capsys.readouterr().out
+        assert out.count("mitigated") == 2
+        assert out.count("LEAKED") == 1
+
+
+class TestReproduce:
+    def test_subset_writes_files(self, tmp_path, capsys):
+        assert main([
+            "reproduce", "--experiments", "table2,table3,hw",
+            "--out", str(tmp_path),
+        ]) == 0
+        assert (tmp_path / "table2.txt").exists()
+        assert (tmp_path / "table3.txt").exists()
+        assert "93" in (tmp_path / "hw_overhead.txt").read_text() or (
+            "94" in (tmp_path / "hw_overhead.txt").read_text()
+        )
+
+    def test_fig13_reproduction(self, tmp_path):
+        assert main([
+            "reproduce", "--experiments", "fig13", "--out", str(tmp_path),
+        ]) == 0
+        text = (tmp_path / "fig13.txt").read_text()
+        assert "cached" in text
+
+
+class TestArgs:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_attack_name_exits(self):
+        with pytest.raises(SystemExit):
+            main(["attack", "rowhammer"])
+
+
+class TestCompile:
+    def test_compile_and_run(self, tmp_path, capsys):
+        source = tmp_path / "prog.mc"
+        source.write_text(
+            "fn main() { var i = 0; var s = 0;"
+            " while (i < 5) { s = s + i; i = i + 1; } return s; }"
+        )
+        assert main(["compile", str(source), "--policy", "specmpk"]) == 0
+        out = capsys.readouterr().out
+        assert "main() = 10" in out
+
+    def test_emit_asm(self, tmp_path, capsys):
+        source = tmp_path / "prog.mc"
+        source.write_text("fn main() { return 7; }")
+        assert main(["compile", str(source), "--emit-asm"]) == 0
+        out = capsys.readouterr().out
+        assert "fn_main:" in out
+        assert "halt" in out
+
+    def test_protected_build_flags(self, tmp_path, capsys):
+        source = tmp_path / "prog.mc"
+        source.write_text(
+            "secure s[2] = {9};\nfn main() { return s[0]; }"
+        )
+        assert main(["compile", str(source), "--shadow-stack",
+                     "--policy", "all"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("main() = 9") == 3

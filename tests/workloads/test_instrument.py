@@ -1,0 +1,109 @@
+"""Tests for the SS/CPI instrumentation passes."""
+
+import pytest
+
+from repro.isa import EAX, Opcode, ProgramBuilder
+from repro.workloads.cpi import CpiPass, PKRU_LOCKED as CPI_LOCKED
+from repro.workloads.instrument import InstrumentMode, emit_wrpkru
+from repro.workloads.shadow_stack import (
+    PKRU_LOCKED as SS_LOCKED,
+    ShadowStackPass,
+)
+
+
+class TestEmitWrpkru:
+    def test_protected_emits_li_wrpkru(self):
+        b = ProgramBuilder()
+        emit_wrpkru(b, InstrumentMode.PROTECTED, 0xC)
+        ops = [inst.opcode for inst in b._instructions]
+        assert ops == [Opcode.LI, Opcode.WRPKRU]
+        assert b._instructions[0].dst == EAX
+        assert b._instructions[0].imm == 0xC
+
+    def test_nop_mode_emits_two_nops(self):
+        b = ProgramBuilder()
+        emit_wrpkru(b, InstrumentMode.PROTECTED_NOP, 0xC)
+        ops = [inst.opcode for inst in b._instructions]
+        assert ops == [Opcode.NOP, Opcode.NOP]
+
+    def test_none_mode_rejected(self):
+        with pytest.raises(ValueError):
+            emit_wrpkru(ProgramBuilder(), InstrumentMode.NONE, 0)
+
+
+class TestShadowStackPass:
+    def test_prologue_sequence(self):
+        b = ProgramBuilder()
+        ss = ShadowStackPass(InstrumentMode.PROTECTED)
+        ss.emit_prologue(b)
+        ops = [inst.opcode for inst in b._instructions]
+        assert ops == [
+            Opcode.LI, Opcode.WRPKRU,      # write-enable window
+            Opcode.ADDI, Opcode.ST,         # push RA
+            Opcode.LI, Opcode.WRPKRU,      # back to read-only
+        ]
+        assert b._instructions[4].imm == SS_LOCKED
+        assert ss.wrpkru_per_call == 2
+        assert ss.emitted_pcs == list(range(6))
+
+    def test_epilogue_checks_and_branches(self):
+        b = ProgramBuilder()
+        b.label("violation")
+        b.halt()
+        ss = ShadowStackPass(InstrumentMode.PROTECTED)
+        ss.emit_epilogue(b, "violation")
+        ops = [inst.opcode for inst in b._instructions[1:]]
+        assert ops == [Opcode.LD, Opcode.ADDI, Opcode.BNE]
+
+    def test_none_mode_emits_nothing(self):
+        b = ProgramBuilder()
+        ss = ShadowStackPass(InstrumentMode.NONE)
+        ss.emit_prologue(b)
+        ss.emit_epilogue(b, "x")
+        assert not b._instructions
+
+    def test_locked_pkru_is_write_disable_only(self):
+        from repro.mpk import access_disabled, write_disabled
+        from repro.workloads.shadow_stack import SHADOW_STACK_PKEY
+
+        assert write_disabled(SS_LOCKED, SHADOW_STACK_PKEY)
+        assert not access_disabled(SS_LOCKED, SHADOW_STACK_PKEY)
+
+
+class TestCpiPass:
+    def test_load_sandwich(self):
+        b = ProgramBuilder()
+        cpi = CpiPass(InstrumentMode.PROTECTED)
+        cpi.emit_cp_load(b, 5, 24, 8)
+        ops = [inst.opcode for inst in b._instructions]
+        assert ops == [
+            Opcode.LI, Opcode.WRPKRU, Opcode.LD, Opcode.LI, Opcode.WRPKRU,
+        ]
+        assert b._instructions[3].imm == CPI_LOCKED
+        # Only the enable/disable sequences are marked as overhead.
+        assert cpi.emitted_pcs == [0, 1, 3, 4]
+
+    def test_store_sandwich(self):
+        b = ProgramBuilder()
+        cpi = CpiPass(InstrumentMode.PROTECTED)
+        cpi.emit_cp_store(b, 5, 24, 8)
+        assert b._instructions[2].opcode is Opcode.ST
+
+    def test_none_mode_keeps_only_access(self):
+        b = ProgramBuilder()
+        cpi = CpiPass(InstrumentMode.NONE)
+        cpi.emit_cp_load(b, 5, 24, 8)
+        assert [i.opcode for i in b._instructions] == [Opcode.LD]
+
+    def test_locked_pkru_is_access_disable(self):
+        from repro.mpk import access_disabled
+        from repro.workloads.cpi import SAFE_REGION_PKEY
+
+        assert access_disabled(CPI_LOCKED, SAFE_REGION_PKEY)
+
+    def test_cpi_has_no_prologue(self):
+        b = ProgramBuilder()
+        cpi = CpiPass(InstrumentMode.PROTECTED)
+        cpi.emit_prologue(b)
+        cpi.emit_epilogue(b, "x")
+        assert not b._instructions

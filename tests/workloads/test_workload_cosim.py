@@ -1,0 +1,37 @@
+"""End-to-end cosimulation of generated workloads.
+
+The heaviest integration check in the suite: full synthetic workloads
+(calls, branches, memory traffic, WRPKRU churn, protection passes) run
+on the out-of-order core with per-retire golden-model comparison under
+every WRPKRU policy.
+"""
+
+import pytest
+
+from repro.core import CoreConfig, Simulator, WrpkruPolicy
+from repro.workloads import InstrumentMode, build_workload, profile_by_label
+
+CASES = [
+    ("520.omnetpp_r (SS)", InstrumentMode.PROTECTED),
+    ("541.leela_r (SS)", InstrumentMode.PROTECTED),
+    ("471.omnetpp (CPI)", InstrumentMode.PROTECTED),
+    ("505.mcf_r (SS)", InstrumentMode.PROTECTED),
+    ("520.omnetpp_r (SS)", InstrumentMode.PROTECTED_NOP),
+    ("403.gcc (CPI)", InstrumentMode.NONE),
+]
+
+
+@pytest.mark.parametrize("label,mode", CASES)
+@pytest.mark.parametrize("policy", list(WrpkruPolicy))
+def test_workload_cosimulates(label, mode, policy):
+    workload = build_workload(profile_by_label(label), mode)
+    config = CoreConfig(wrpkru_policy=policy, cosimulate=True)
+    sim = Simulator(workload.program, config,
+                    initial_pkru=workload.initial_pkru)
+    sim.prewarm_tlb()
+    result = sim.run(max_instructions=4000, max_cycles=2_000_000)
+    # CosimMismatch would have raised; additionally no faults and no
+    # SS-violation marker.
+    assert result.fault is None
+    assert sim.stats.instructions_retired >= 4000
+    assert sim.prf.read(sim.rename_tables.amt[28]) != 0xDEAD
