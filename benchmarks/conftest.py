@@ -7,6 +7,8 @@ them).
 """
 
 import pathlib
+import time
+import timeit
 
 import pytest
 
@@ -17,6 +19,60 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+#: Conservative number of disabled-trace guard evaluations
+#: (``if self.trace is not None``) per fetched instruction and per
+#: cycle in ``repro.core.pipeline`` — an over-count of the actual hook
+#: sites, so the estimate below upper-bounds the true cost.
+_GUARDS_PER_INSTRUCTION = 10
+_GUARDS_PER_CYCLE = 10
+
+
+@pytest.fixture(scope="session", autouse=True)
+def tracing_off_overhead_guard(results_dir):
+    """Assert the disabled observability hooks cost <5% of sim time.
+
+    With tracing off every probe in the pipeline reduces to an
+    ``attribute is not None`` test.  This guard times one Fig. 3-path
+    run with tracing disabled, prices an over-count of the guard
+    evaluations it performed at the measured cost of such a test, and
+    asserts that upper bound stays below 5% of the run's wall clock —
+    i.e. the instrumented simulator is within 5% of a hook-free one.
+    """
+    from repro.core import WrpkruPolicy
+    from repro.harness import run_workload
+
+    start = time.perf_counter()
+    stats = run_workload(
+        "520.omnetpp_r (SS)", WrpkruPolicy.SERIALIZED,
+        instructions=2_000, warmup=500,
+    )
+    elapsed = time.perf_counter() - start
+
+    class _Probe:
+        trace = None
+    probe = _Probe()
+    loops = 200_000
+    per_guard = timeit.timeit(
+        "probe.trace is not None", globals={"probe": probe}, number=loops
+    ) / loops
+
+    guards = (_GUARDS_PER_INSTRUCTION * stats.instructions_fetched
+              + _GUARDS_PER_CYCLE * stats.cycles)
+    overhead = guards * per_guard / elapsed
+    (results_dir / "observability_overhead.txt").write_text(
+        f"tracing-off overhead bound: {overhead:.2%} of wall clock\n"
+        f"  run: {stats.cycles} cycles, {stats.instructions_fetched} "
+        f"fetched, {elapsed:.3f}s\n"
+        f"  guard evaluations (over-count): {guards}\n"
+        f"  cost per disabled guard: {per_guard * 1e9:.1f} ns\n"
+    )
+    assert overhead < 0.05, (
+        f"disabled tracing hooks cost {overhead:.2%} of simulator "
+        f"wall-clock (budget: 5%)"
+    )
+    yield
 
 
 @pytest.fixture(scope="session")

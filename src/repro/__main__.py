@@ -4,6 +4,8 @@ Commands:
 
 * ``info`` — version, Table III configuration, workload list.
 * ``run`` — simulate one workload under one (or every) WRPKRU policy.
+* ``trace`` — traced run: top-down CPI report, Chrome trace JSON,
+  Konata-style pipeline view.
 * ``attack`` — run a transient-execution PoC across policies.
 * ``reproduce`` — regenerate paper tables/figures into a directory.
 """
@@ -36,6 +38,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser.add_argument(
         "--json", action="store_true",
         help="emit machine-readable statistics instead of the report",
+    )
+
+    trace_parser = sub.add_parser(
+        "trace", help="traced run: top-down report + pipeline traces"
+    )
+    trace_parser.add_argument("label", help='e.g. "520.omnetpp_r (SS)"')
+    trace_parser.add_argument(
+        "--policy", choices=["serialized", "nonsecure_spec", "specmpk"],
+        default="specmpk",
+    )
+    trace_parser.add_argument("--instructions", type=int, default=None)
+    trace_parser.add_argument("--warmup", type=int, default=None)
+    trace_parser.add_argument(
+        "--out", type=pathlib.Path, default=pathlib.Path("results"),
+        help="directory for the exported trace files",
+    )
+    trace_parser.add_argument(
+        "--format", choices=["chrome", "konata", "topdown", "all"],
+        default="all",
+        help="which artifacts to produce (default: all)",
+    )
+    trace_parser.add_argument(
+        "--capacity", type=int, default=1 << 16,
+        help="event/cycle ring-buffer capacity",
+    )
+    trace_parser.add_argument(
+        "--last", type=int, default=32,
+        help="instructions shown in the Konata-style text view",
     )
 
     attack_parser = sub.add_parser("attack", help="run a PoC attack")
@@ -80,6 +110,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_info()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "attack":
         return _cmd_attack(args)
     if args.command == "compile":
@@ -135,6 +167,48 @@ def _cmd_run(args) -> int:
     if args.json:
         print(json.dumps({"workload": args.label, "runs": json_out},
                          indent=2))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.core import WrpkruPolicy
+    from repro.harness import RunRequest, TraceOptions, execute
+    from repro.trace import export_chrome_trace, render_pipeline_text
+
+    result = execute(RunRequest(
+        workload=args.label,
+        policy=WrpkruPolicy(args.policy),
+        instructions=args.instructions,
+        warmup=args.warmup,
+        trace=TraceOptions(
+            enabled=True,
+            capacity=args.capacity,
+            cycle_capacity=args.capacity,
+        ),
+    ))
+    wants = (
+        {"chrome", "konata", "topdown"}
+        if args.format == "all" else {args.format}
+    )
+    print(f"=== {args.label} under {args.policy} "
+          f"({result.metadata.instructions} measured instructions) ===")
+    if "topdown" in wants:
+        print()
+        print(result.topdown().report())
+    args.out.mkdir(parents=True, exist_ok=True)
+    stem = args.label.replace(" ", "_").replace("(", "").replace(")", "")
+    if "chrome" in wants:
+        path = args.out / f"{stem}.{args.policy}.trace.json"
+        export_chrome_trace(result.trace, path)
+        print(f"\nChrome trace written to {path}"
+              "\n  (load in chrome://tracing or https://ui.perfetto.dev)")
+    if "konata" in wants:
+        path = args.out / f"{stem}.{args.policy}.pipeline.txt"
+        text = render_pipeline_text(result.trace, last=args.last)
+        path.write_text(text + "\n")
+        print(f"\nPipeline view ({args.last} most recent instructions):")
+        print(text)
+        print(f"\nwritten to {path}")
     return 0
 
 

@@ -34,7 +34,7 @@ class DynInst:
         # memory state
         "address", "mem_value", "pkey", "tlb_entry",
         "forwarding_disabled", "replay_at_head", "replay_started",
-        "forwarded_from", "latency",
+        "replay_reason", "forwarded_from", "latency",
         # result / exception
         "result", "fault",
         # WRPKRU state
@@ -85,6 +85,8 @@ class DynInst:
         self.forwarding_disabled = False
         self.replay_at_head = False
         self.replay_started = False
+        #: Why this access replays at the head ("tlb" or "check").
+        self.replay_reason: Optional[str] = None
         self.forwarded_from: Optional["DynInst"] = None
         self.latency = 0
 

@@ -33,6 +33,12 @@ from ..memory.hierarchy import MemoryHierarchy
 from ..memory.tlb import Tlb
 from ..mpk.faults import MemoryFault, ProtectionFault, SegmentationFault
 from ..mpk.pkru import access_disabled
+from ..trace.collector import (
+    EventKind,
+    SquashCause,
+    StallKind,
+    TraceCollector,
+)
 from .branch_predictor import BranchPredictor
 from .config import CoreConfig, WrpkruPolicy
 from .dynamic import DynInst
@@ -54,8 +60,12 @@ class Simulator:
         config: Optional[CoreConfig] = None,
         address_space: Optional[AddressSpace] = None,
         initial_pkru: int = 0,
+        trace: Optional[TraceCollector] = None,
     ) -> None:
         self.program = program
+        #: Observability sink (:mod:`repro.trace`).  ``None`` disables
+        #: tracing; every hook below is then a single attribute test.
+        self.trace = trace
         self.config = config or CoreConfig()
         cfg = self.config
 
@@ -156,6 +166,10 @@ class Simulator:
             None if max_instructions is None
             else max_instructions,
         )
+        if self.trace is not None:
+            self.stats.occupancy_histograms = (
+                self.trace.occupancy_histograms()
+            )
         return SimResult(self.stats, self.halted, self._fault)
 
     def _run_until(self, max_cycles: int, budget: Optional[int]) -> None:
@@ -168,6 +182,8 @@ class Simulator:
         """Start a fresh measurement window at the current cycle."""
         self.stats = SimStats()
         self._cycle_base = self.cycle
+        if self.trace is not None:
+            self.trace.reset_accounting()
 
     def prewarm_tlb(self) -> int:
         """Pre-fill the TLB with every mapped page (up to capacity).
@@ -189,9 +205,15 @@ class Simulator:
 
     def step_cycle(self) -> None:
         """Advance the machine by one cycle (retire -> ... -> fetch)."""
+        trace = self.trace
+        if trace is not None:
+            this_cycle = self.cycle
+            retired_before = self.stats.instructions_retired
         self._retire()
         if self.halted or self._fault is not None:
             self.stats.cycles = self.cycle + 1 - self._cycle_base
+            if trace is not None:
+                self._trace_end_cycle(this_cycle, retired_before)
             return
         self._writeback()
         self._issue()
@@ -199,8 +221,23 @@ class Simulator:
         self._fetch()
         self.cycle += 1
         self.stats.cycles = self.cycle - self._cycle_base
+        if trace is not None:
+            self._trace_end_cycle(this_cycle, retired_before)
         if self.config.check_invariants:
             self._check_invariants()
+
+    def _trace_end_cycle(self, this_cycle: int, retired_before: int) -> None:
+        """Close the trace collector's books on the cycle just simulated."""
+        self.trace.end_cycle(
+            this_cycle,
+            self.stats.instructions_retired - retired_before,
+            len(self.frontend),
+            len(self.active_list),
+            self.iq_count,
+            len(self.load_queue),
+            len(self.store_queue),
+            self.specmpk.occupancy,
+        )
 
     # ------------------------------------------------------------------
     # Fetch
@@ -239,6 +276,8 @@ class Simulator:
             self.next_seq += 1
             self.frontend.append(inst)
             self.stats.instructions_fetched += 1
+            if self.trace is not None:
+                self.trace.event(self.cycle, EventKind.FETCH, inst)
             fetched += 1
             if static.is_halt:
                 self.fetch_stopped = True
@@ -289,22 +328,35 @@ class Simulator:
 
     def _rename_dispatch(self) -> None:
         cfg = self.config
+        trace = self.trace
         renamed = 0
         while renamed < cfg.rename_width:
             if not self.frontend:
                 self.stats.rename_stall_empty += renamed == 0
+                if trace is not None and renamed == 0:
+                    trace.stall(StallKind.FRONTEND_EMPTY)
                 return
             inst = self.frontend[0]
             if inst.fetch_cycle + cfg.frontend_depth > self.cycle:
+                if trace is not None and renamed == 0:
+                    trace.stall(StallKind.FRONTEND_EMPTY)
                 return  # still in the front-end pipe
             if self.serialize_block is not None:
                 self.stats.rename_stall_wrpkru += 1
+                if trace is not None:
+                    trace.stall(StallKind.WRPKRU_SERIALIZATION)
                 return
             if len(self.active_list) >= cfg.active_list_size:
                 self.stats.rename_stall_al_full += 1
+                if trace is not None:
+                    trace.stall(StallKind.BACKEND_AL_FULL)
                 return
             if not self._rename_one(inst):
                 return
+            if trace is not None:
+                trace.event(self.cycle, EventKind.DECODE, inst)
+                trace.event(self.cycle, EventKind.RENAME, inst)
+                trace.event(self.cycle, EventKind.DISPATCH, inst)
             self.frontend.popleft()
             renamed += 1
 
@@ -314,30 +366,43 @@ class Simulator:
         static = inst.static
         policy = cfg.wrpkru_policy
 
+        trace = self.trace
         if static.is_wrpkru:
             if policy is WrpkruPolicy.SERIALIZED:
                 if self.active_list:
                     # Drain: WRPKRU renames only once it is the oldest.
                     self.stats.rename_stall_wrpkru += 1
+                    if trace is not None:
+                        trace.stall(StallKind.WRPKRU_SERIALIZATION)
                     return False
             elif self.specmpk.full:
                 self.stats.rename_stall_rob_pkru_full += 1
+                if trace is not None:
+                    trace.stall(StallKind.ROB_PKRU_FULL)
                 return False
 
         ldst, lsrc1, lsrc2 = _effective_regs(static)
 
         if static.is_load and len(self.load_queue) >= cfg.load_queue_size:
             self.stats.rename_stall_lsq_full += 1
+            if trace is not None:
+                trace.stall(StallKind.BACKEND_LSQ_FULL)
             return False
         if static.is_store and len(self.store_queue) >= cfg.store_queue_size:
             self.stats.rename_stall_lsq_full += 1
+            if trace is not None:
+                trace.stall(StallKind.BACKEND_LSQ_FULL)
             return False
         needs_iq = static.opcode not in _NO_ISSUE_OPS
         if needs_iq and self.iq_count >= cfg.issue_queue_size:
             self.stats.rename_stall_iq_full += 1
+            if trace is not None:
+                trace.stall(StallKind.BACKEND_IQ_FULL)
             return False
         if ldst is not None and self.rename_tables.free_count == 0:
             self.stats.rename_stall_no_preg += 1
+            if trace is not None:
+                trace.stall(StallKind.BACKEND_NO_PREG)
             return False
 
         # PKRU dependence: the ROB_pkru tag this consumer waits on.
@@ -459,11 +524,16 @@ class Simulator:
         if inst.in_iq:
             inst.in_iq = False
             self.iq_count -= 1
+        if self.trace is not None:
+            self.trace.event(self.cycle, EventKind.ISSUE, inst)
 
     def _schedule(self, inst: DynInst, latency: int) -> None:
         when = self.cycle + max(1, latency)
         inst.complete_cycle = when
         self.events.setdefault(when, []).append(inst)
+        if self.trace is not None:
+            self.trace.event(self.cycle, EventKind.EXECUTE, inst,
+                             info=max(1, latency))
 
     # -- ALU / control / WRPKRU / CLFLUSH ------------------------------------
 
@@ -572,7 +642,7 @@ class Simulator:
             )
             return True
         if entry == "stall":
-            self._stall_to_head(inst)
+            self._stall_to_head(inst, reason="tlb")
             return True
         inst.pkey = entry.pkey
         inst.tlb_entry = entry
@@ -640,9 +710,16 @@ class Simulator:
         inst.fault = fault
         self._schedule(inst, latency)
 
-    def _stall_to_head(self, inst: DynInst) -> None:
-        """Mark a memory access for non-speculative replay at retirement."""
+    def _stall_to_head(self, inst: DynInst, reason: str = "check") -> None:
+        """Mark a memory access for non-speculative replay at retirement.
+
+        *reason* records why (``"tlb"`` for a TLB miss under SpecMPK,
+        ``"check"`` for a failed PKRU check or delay-on-miss) so the
+        top-down report can attribute the resulting head-of-AL stall
+        cycles to the right bucket.
+        """
         inst.replay_at_head = True
+        inst.replay_reason = reason
         if self.config.defer_tlb_update:
             self.tlb.note_deferred_fill()
             self.stats.tlb_fills_deferred += 1
@@ -663,6 +740,7 @@ class Simulator:
                 # disable forwarding; protection re-evaluated at head.
                 inst.forwarding_disabled = True
                 inst.replay_at_head = True
+                inst.replay_reason = "tlb"
                 entry = None
                 extra = 0
             if entry is not None:
@@ -721,6 +799,8 @@ class Simulator:
         static = inst.static
         inst.executed = True
         inst.completed = True
+        if self.trace is not None:
+            self.trace.event(self.cycle, EventKind.WRITEBACK, inst)
         if inst.is_store:
             self._mem_retry = True
         if static.is_wrpkru and inst.rob_pkru_id is not None:
@@ -767,7 +847,13 @@ class Simulator:
         """Squash everything younger than *branch* and redirect fetch."""
         self.stats.squashes += 1
         self.stats.branch_mispredicts += 1
-        self._trim_younger(branch.seq)
+        if self.trace is not None:
+            self.trace.note_squash(
+                self.cycle, SquashCause.BRANCH_MISPREDICT,
+                recovery=self.config.redirect_penalty
+                + self.config.frontend_depth,
+            )
+        self._trim_younger(branch.seq, SquashCause.BRANCH_MISPREDICT)
         # Roll the PKRU window back to the branch's rename point.
         self.specmpk.squash_younger_than(branch.pkru_mark - 1)
         self.rename_tables.recover(self.active_list)
@@ -791,7 +877,13 @@ class Simulator:
         (inclusive) and refetch it."""
         self.stats.squashes += 1
         self.stats.memory_order_squashes += 1
-        squashed = self._trim_younger(victim.seq - 1)
+        if self.trace is not None:
+            self.trace.note_squash(
+                self.cycle, SquashCause.MEMORY_ORDER,
+                recovery=self.config.redirect_penalty
+                + self.config.frontend_depth,
+            )
+        squashed = self._trim_younger(victim.seq - 1, SquashCause.MEMORY_ORDER)
         self.specmpk.squash_younger_than(victim.pkru_mark - 1)
         self.rename_tables.recover(self.active_list)
         # Restore the predictor to the oldest squashed control
@@ -802,15 +894,21 @@ class Simulator:
                 break
         self._redirect_fetch(victim.pc)
 
-    def _trim_younger(self, boundary_seq: int):
+    def _trim_younger(self, boundary_seq: int,
+                      cause: Optional[SquashCause] = None):
         """Squash every AL entry with seq > *boundary_seq*; returns the
         squashed instructions oldest-first."""
         squashed = []
+        trace = self.trace
+        cause_name = cause.value if cause is not None else None
         while self.active_list and self.active_list[-1].seq > boundary_seq:
             victim = self.active_list.pop()
             victim.squashed = True
             squashed.append(victim)
             self.stats.instructions_squashed += 1
+            if trace is not None:
+                trace.event(self.cycle, EventKind.SQUASH, victim,
+                            info=cause_name)
             if victim.in_iq:
                 victim.in_iq = False
                 self.iq_count -= 1
@@ -845,6 +943,13 @@ class Simulator:
         while retired < cfg.commit_width and self.active_list:
             inst = self.active_list[0]
             if not inst.completed:
+                if (
+                    self.trace is not None
+                    and (inst.replay_at_head or inst.replay_started)
+                    and inst.replay_reason == "tlb"
+                ):
+                    # Head blocked on a deferred TLB fill / walk.
+                    self.trace.stall(StallKind.TLB)
                 if inst.replay_at_head and not inst.replay_started:
                     self._start_replay(inst)
                 elif inst.is_rdpkru and not inst.executed:
@@ -958,6 +1063,8 @@ class Simulator:
         if inst.pdst is not None:
             self.rename_tables.commit(inst.ldst, inst.pdst)
 
+        if self.trace is not None:
+            self.trace.event(self.cycle, EventKind.RETIRE, inst)
         self.active_list.popleft()
         if static.is_load:
             assert self.load_queue and self.load_queue[0] is inst

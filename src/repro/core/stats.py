@@ -54,6 +54,11 @@ class SimStats:
         #: Optional per-load (address, latency) trace for attack PoCs.
         self.load_latency_trace: List[Tuple[int, int]] = []
 
+        #: Per-structure ``{occupancy: cycles}`` histograms, filled at
+        #: the end of a traced run (see :mod:`repro.trace`); empty when
+        #: tracing is off.
+        self.occupancy_histograms: Dict[str, Dict[int, int]] = {}
+
     @property
     def ipc(self) -> float:
         return self.instructions_retired / self.cycles if self.cycles else 0.0
@@ -76,16 +81,42 @@ class SimStats:
             return 0.0
         return self.branch_mispredicts / self.branches_retired
 
+    #: Attributes holding structured traces rather than scalar counters;
+    #: excluded from the flat :meth:`as_dict` export.
+    _NON_SCALAR = ("load_latency_trace", "occupancy_histograms")
+
     def as_dict(self) -> Dict[str, float]:
         public = {}
         for name, value in vars(self).items():
-            if name == "load_latency_trace":
+            if name in self._NON_SCALAR:
                 continue
             public[name] = value
         public["ipc"] = self.ipc
         public["wrpkru_per_kilo"] = self.wrpkru_per_kilo
         public["rename_stall_fraction"] = self.rename_stall_fraction
         return public
+
+    def merge(self, other: "SimStats") -> "SimStats":
+        """Combine two measurement windows into a new ``SimStats``.
+
+        Counters add; the load-latency traces concatenate; occupancy
+        histograms merge bin-wise.  Used to aggregate per-interval
+        (e.g. SimPoint) or per-shard runs into one summary.
+        """
+        merged = SimStats()
+        for name, value in vars(self).items():
+            if name in self._NON_SCALAR:
+                continue
+            setattr(merged, name, value + getattr(other, name))
+        merged.load_latency_trace = (
+            self.load_latency_trace + other.load_latency_trace
+        )
+        for source in (self.occupancy_histograms, other.occupancy_histograms):
+            for stage, bins in source.items():
+                target = merged.occupancy_histograms.setdefault(stage, {})
+                for occupancy, cycles in bins.items():
+                    target[occupancy] = target.get(occupancy, 0) + cycles
+        return merged
 
     def report(self) -> str:
         lines = [

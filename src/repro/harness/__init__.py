@@ -1,8 +1,31 @@
-"""Experiment harness: runners, per-figure experiments, text reporting."""
+"""Experiment harness: typed run API, per-figure experiments, reporting.
 
+The canonical entry point is the request/result API::
+
+    from repro.harness import RunRequest, TraceOptions, execute
+
+The ``figN_*`` / ``tableN_*`` experiment functions return typed rows
+(``Fig3Row`` etc.) that still behave like the dicts they replaced.
+"""
+
+from .api import (
+    RunMetadata,
+    RunRequest,
+    RunResult,
+    TraceOptions,
+    execute,
+)
 from .experiments import (
     FIG11_WORKLOADS,
+    Fig3Row,
+    Fig4Row,
+    Fig9Row,
+    Fig10Row,
+    Fig11Row,
     PaperExpectation,
+    Row,
+    Table2Row,
+    Table3Row,
     ablation_tlb_deferral,
     comparison_general_mitigations,
     fig3_serialization_study,
@@ -37,7 +60,20 @@ from .runner import (
 __all__ = [
     "DEFAULT_INSTRUCTIONS",
     "FIG11_WORKLOADS",
+    "Fig3Row",
+    "Fig4Row",
+    "Fig9Row",
+    "Fig10Row",
+    "Fig11Row",
     "PaperExpectation",
+    "Row",
+    "RunMetadata",
+    "RunRequest",
+    "RunResult",
+    "Table2Row",
+    "Table3Row",
+    "TraceOptions",
+    "execute",
     "ablation_tlb_deferral",
     "comparison_general_mitigations",
     "fig3_serialization_study",

@@ -1,0 +1,191 @@
+"""The typed harness API: request in, result out.
+
+Every figure, benchmark and CLI command funnels through one call::
+
+    from repro.harness import RunRequest, TraceOptions, execute
+
+    result = execute(RunRequest(
+        workload="520.omnetpp_r (SS)",
+        policy=WrpkruPolicy.SPECMPK,
+        trace=TraceOptions(enabled=True),
+    ))
+    result.stats          # SimStats (steady-state counters)
+    result.trace          # TraceCollector or None
+    result.topdown()      # top-down CPI report (traced runs)
+
+:class:`RunRequest` replaces ``run_workload``'s six loosely-typed
+parameters; it is frozen (hashable, comparable) and picklable, so the
+parallel sweep ships request objects to worker processes instead of
+ad-hoc tuples.  The legacy keyword API in :mod:`repro.harness.runner`
+remains as a thin wrapper over :func:`execute`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, Optional, Union
+
+from ..core.config import CoreConfig, WrpkruPolicy
+from ..core.pipeline import Simulator
+from ..core.stats import SimStats
+from ..trace import (
+    TopDownReport,
+    TraceCollector,
+    TraceConfig,
+    topdown_from_collector,
+)
+from ..workloads.generator import GeneratedWorkload, build_workload
+from ..workloads.instrument import InstrumentMode
+from ..workloads.profiles import WorkloadProfile, profile_by_label
+
+#: Default measurement budget (instructions); scaled by REPRO_SCALE.
+DEFAULT_INSTRUCTIONS = 12_000
+DEFAULT_WARMUP = 4_000
+
+
+def measurement_budget() -> int:
+    """Instruction budget, scalable via the ``REPRO_SCALE`` env var.
+
+    ``REPRO_SCALE=5`` runs five times more instructions per point for
+    higher-fidelity (slower) reproductions.
+    """
+    scale = float(os.environ.get("REPRO_SCALE", "1"))
+    return max(2_000, int(DEFAULT_INSTRUCTIONS * scale))
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceOptions:
+    """Observability knobs of a :class:`RunRequest`.
+
+    Tracing is off by default; when enabled, a
+    :class:`~repro.trace.TraceCollector` with the given ring capacities
+    is attached to the simulator and returned on the
+    :class:`RunResult`.
+    """
+
+    enabled: bool = False
+    capacity: int = 1 << 16
+    cycle_capacity: int = 1 << 16
+
+    def make_collector(self) -> Optional[TraceCollector]:
+        if not self.enabled:
+            return None
+        return TraceCollector(
+            TraceConfig(capacity=self.capacity,
+                        cycle_capacity=self.cycle_capacity)
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class RunRequest:
+    """One simulation: a workload, a policy, and the measurement knobs."""
+
+    workload: Union[str, WorkloadProfile, GeneratedWorkload]
+    policy: WrpkruPolicy
+    mode: InstrumentMode = InstrumentMode.PROTECTED
+    #: Measured instructions after warmup; None = ``measurement_budget()``.
+    instructions: Optional[int] = None
+    #: Warmup instructions before the measurement; None = ``DEFAULT_WARMUP``.
+    warmup: Optional[int] = None
+    #: Core configuration; None = Table III with :attr:`policy` applied.
+    config: Optional[CoreConfig] = None
+    trace: TraceOptions = TraceOptions()
+
+    def replace(self, **overrides) -> "RunRequest":
+        """A copy with *overrides* applied (workload/policy sweeps)."""
+        return dataclasses.replace(self, **overrides)
+
+    def resolved_instructions(self) -> int:
+        return (
+            measurement_budget() if self.instructions is None
+            else self.instructions
+        )
+
+    def resolved_warmup(self) -> int:
+        return DEFAULT_WARMUP if self.warmup is None else self.warmup
+
+
+@dataclasses.dataclass(frozen=True)
+class RunMetadata:
+    """What was actually run (resolved from the request)."""
+
+    label: str
+    policy: WrpkruPolicy
+    mode: InstrumentMode
+    instructions: int
+    warmup: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "policy": self.policy.value,
+            "mode": self.mode.value,
+            "instructions": self.instructions,
+            "warmup": self.warmup,
+        }
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Outcome of :func:`execute`: stats, trace handle, metadata."""
+
+    stats: SimStats
+    metadata: RunMetadata
+    trace: Optional[TraceCollector] = None
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    def topdown(self) -> Optional[TopDownReport]:
+        """Top-down CPI report for a traced run; None when untraced."""
+        if self.trace is None:
+            return None
+        return topdown_from_collector(self.trace, self.stats)
+
+
+def execute(request: RunRequest) -> RunResult:
+    """Simulate one :class:`RunRequest` and return its :class:`RunResult`.
+
+    Builds the synthetic workload (deterministically, so every policy
+    executes identical code), pre-warms the TLB, runs the warmup
+    window, then measures the requested instruction budget.
+    """
+    workload = request.workload
+    if isinstance(workload, str):
+        workload = profile_by_label(workload)
+    if isinstance(workload, WorkloadProfile):
+        workload = build_workload(workload, request.mode)
+    instructions = request.resolved_instructions()
+    warmup = request.resolved_warmup()
+    config = request.config
+    if config is None:
+        config = CoreConfig(wrpkru_policy=request.policy)
+    elif config.wrpkru_policy is not request.policy:
+        config = config.replace(wrpkru_policy=request.policy)
+
+    collector = request.trace.make_collector()
+    sim = Simulator(
+        workload.program, config,
+        initial_pkru=workload.initial_pkru,
+        trace=collector,
+    )
+    sim.prewarm_tlb()
+    result = sim.run(
+        max_cycles=200 * (instructions + warmup),
+        max_instructions=instructions,
+        warmup_instructions=warmup,
+    )
+    if result.fault is not None:
+        raise RuntimeError(
+            f"workload {workload.profile.label} faulted: {result.fault}"
+        )
+    metadata = RunMetadata(
+        label=workload.profile.label,
+        policy=config.wrpkru_policy,
+        mode=request.mode,
+        instructions=instructions,
+        warmup=warmup,
+    )
+    return RunResult(stats=result.stats, metadata=metadata, trace=collector)

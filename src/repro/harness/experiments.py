@@ -1,15 +1,19 @@
 """One entry point per paper table/figure (the experiment index).
 
 Each ``figN_*`` / ``tableN_*`` function regenerates the corresponding
-result and returns structured rows; :mod:`repro.harness.reporting`
-renders them the way the paper presents them.  The benchmarks under
-``benchmarks/`` are thin wrappers around these.
+result and returns a list of *typed rows* — small frozen dataclasses
+(one per figure) that still quack like the dicts they replaced:
+``row["key"]``, ``row.items()`` and ``row.as_dict()`` all work, so
+:mod:`repro.harness.reporting` and every existing benchmark render
+them unchanged while new callers get attribute access and type
+checking.  The benchmarks under ``benchmarks/`` are thin wrappers
+around these.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..analysis.hardware_cost import HardwareCost
 from ..analysis.isolation_taxonomy import table_i, verify_probes
@@ -23,6 +27,122 @@ from .runner import (
     run_workload,
     sweep_policies,
 )
+
+
+class Row:
+    """Mixin giving experiment-row dataclasses dict-style access.
+
+    ``as_dict()`` is the export surface consumed by
+    ``reporting.render_table`` / ``reporting.export_csv``; the mapping
+    dunders keep ``row["key"]`` / ``row.items()`` / ``list(row)``
+    working for callers written against the old plain-dict rows.
+    """
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+        }
+
+    def __getitem__(self, key: str):
+        return self.as_dict()[key]
+
+    def __iter__(self):
+        return iter(self.as_dict())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.as_dict()
+
+    def keys(self):
+        return self.as_dict().keys()
+
+    def items(self):
+        return self.as_dict().items()
+
+    def get(self, key: str, default=None):
+        return self.as_dict().get(key, default)
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig3Row(Row):
+    """Fig. 3: speculative-WRPKRU speedup and rename-stall share."""
+
+    workload: str
+    speedup: float
+    rename_stall_fraction: float
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig4Row(Row):
+    """Fig. 4: compiler vs serialization overhead split."""
+
+    workload: str
+    compiler_overhead: float
+    serialization_overhead: float
+    total_overhead: float
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig9Row(Row):
+    """Fig. 9: normalized IPC of both speculative microarchitectures."""
+
+    workload: str
+    nonsecure_specmpk: float
+    specmpk: float
+    wrpkru_per_kilo: float
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig10Row(Row):
+    """Fig. 10: WRPKRU density in the dynamic instruction stream."""
+
+    workload: str
+    wrpkru_per_kilo: float
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig11Row(Row):
+    """Fig. 11: normalized IPC per ROB_pkru size, plus the bound.
+
+    ``specmpk_by_size`` maps the rendered column label (e.g.
+    ``"specmpk_8 (1/44)"``) to the normalized IPC at that size; the
+    flattened ``as_dict`` keeps the original wide-table shape.
+    """
+
+    workload: str
+    specmpk_by_size: Tuple[Tuple[str, float], ...]
+    nonsecure: float
+
+    def as_dict(self) -> Dict[str, object]:
+        flat: Dict[str, object] = {"workload": self.workload}
+        flat.update(self.specmpk_by_size)
+        flat["nonsecure"] = self.nonsecure
+        return flat
+
+
+@dataclasses.dataclass(frozen=True)
+class Table2Row(Row):
+    """Table II: source operands SpecMPK adds per instruction type."""
+
+    instruction_type: str
+    new_source_operands: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "Instruction Type": self.instruction_type,
+            "New Source Operands": self.new_source_operands,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class Table3Row(Row):
+    """Table III: one simulated-core configuration parameter."""
+
+    parameter: str
+    value: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"Parameter": self.parameter, "Value": self.value}
 
 #: Workloads the Fig. 11 sensitivity study highlights (high WRPKRU
 #: density; the paper names these as the ROB_pkru-sensitive ones).
@@ -44,7 +164,7 @@ FIG11_WORKLOADS = [
 def fig3_serialization_study(
     labels: Optional[Iterable[str]] = None,
     instructions: Optional[int] = None,
-) -> List[Dict]:
+) -> List[Fig3Row]:
     """Speedup from speculative WRPKRU execution and the fraction of
     cycles the rename stage stalls for WRPKRU serialization."""
     results = sweep_policies(
@@ -57,22 +177,20 @@ def fig3_serialization_study(
         serialized = by_policy[WrpkruPolicy.SERIALIZED]
         speculative = by_policy[WrpkruPolicy.NONSECURE_SPEC]
         rows.append(
-            {
-                "workload": label,
-                "speedup": speculative.ipc / serialized.ipc - 1.0,
-                "rename_stall_fraction": serialized.rename_stall_fraction,
-            }
+            Fig3Row(
+                workload=label,
+                speedup=speculative.ipc / serialized.ipc - 1.0,
+                rename_stall_fraction=serialized.rename_stall_fraction,
+            )
         )
     rows.append(
-        {
-            "workload": "average",
-            "speedup": geomean(
-                [1 + row["speedup"] for row in rows]
-            ) - 1.0,
-            "rename_stall_fraction": sum(
-                row["rename_stall_fraction"] for row in rows
+        Fig3Row(
+            workload="average",
+            speedup=geomean([1 + row.speedup for row in rows]) - 1.0,
+            rename_stall_fraction=sum(
+                row.rename_stall_fraction for row in rows
             ) / len(rows),
-        }
+        )
     )
     return rows
 
@@ -116,7 +234,7 @@ def _useful_fraction(label: str, mode: InstrumentMode,
 def fig4_overhead_breakdown(
     labels: Optional[Iterable[str]] = None,
     instructions: Optional[int] = None,
-) -> List[Dict]:
+) -> List[Fig4Row]:
     """Split total protection overhead into compiler-transformation and
     WRPKRU-serialization parts via the paper's NOP-substitution trick.
 
@@ -131,7 +249,7 @@ def fig4_overhead_breakdown(
         costs = {}
         for mode in InstrumentMode:
             stats = run_workload(
-                label, WrpkruPolicy.SERIALIZED, mode,
+                label, WrpkruPolicy.SERIALIZED, mode=mode,
                 instructions=instructions,
             )
             useful = _useful_fraction(label, mode)
@@ -142,26 +260,26 @@ def fig4_overhead_breakdown(
         nop = costs[InstrumentMode.PROTECTED_NOP]
         protected = costs[InstrumentMode.PROTECTED]
         rows.append(
-            {
-                "workload": label,
-                "compiler_overhead": nop / base - 1.0,
-                "serialization_overhead": protected / nop - 1.0,
-                "total_overhead": protected / base - 1.0,
-            }
+            Fig4Row(
+                workload=label,
+                compiler_overhead=nop / base - 1.0,
+                serialization_overhead=protected / nop - 1.0,
+                total_overhead=protected / base - 1.0,
+            )
         )
     rows.append(
-        {
-            "workload": "average",
-            "compiler_overhead": sum(
-                r["compiler_overhead"] for r in rows
+        Fig4Row(
+            workload="average",
+            compiler_overhead=sum(
+                r.compiler_overhead for r in rows
             ) / len(rows),
-            "serialization_overhead": sum(
-                r["serialization_overhead"] for r in rows
+            serialization_overhead=sum(
+                r.serialization_overhead for r in rows
             ) / len(rows),
-            "total_overhead": sum(
-                r["total_overhead"] for r in rows
+            total_overhead=sum(
+                r.total_overhead for r in rows
             ) / len(rows),
-        }
+        )
     )
     return rows
 
@@ -173,33 +291,33 @@ def fig4_overhead_breakdown(
 def fig9_normalized_ipc(
     labels: Optional[Iterable[str]] = None,
     instructions: Optional[int] = None,
-) -> List[Dict]:
+) -> List[Fig9Row]:
     """Normalized IPC over the serialized-WRPKRU microarchitecture."""
     results = sweep_policies(labels, instructions=instructions)
     norm = normalized_ipc(results)
     rows = []
     for label, by_policy in norm.items():
         rows.append(
-            {
-                "workload": label,
-                "nonsecure_specmpk": by_policy[WrpkruPolicy.NONSECURE_SPEC],
-                "specmpk": by_policy[WrpkruPolicy.SPECMPK],
-                "wrpkru_per_kilo": results[label][
+            Fig9Row(
+                workload=label,
+                nonsecure_specmpk=by_policy[WrpkruPolicy.NONSECURE_SPEC],
+                specmpk=by_policy[WrpkruPolicy.SPECMPK],
+                wrpkru_per_kilo=results[label][
                     WrpkruPolicy.SPECMPK
                 ].wrpkru_per_kilo,
-            }
+            )
         )
     rows.append(
-        {
-            "workload": "geomean",
-            "nonsecure_specmpk": geomean(
-                [row["nonsecure_specmpk"] for row in rows]
+        Fig9Row(
+            workload="geomean",
+            nonsecure_specmpk=geomean(
+                [row.nonsecure_specmpk for row in rows]
             ),
-            "specmpk": geomean([row["specmpk"] for row in rows]),
-            "wrpkru_per_kilo": sum(
-                row["wrpkru_per_kilo"] for row in rows
+            specmpk=geomean([row.specmpk for row in rows]),
+            wrpkru_per_kilo=sum(
+                row.wrpkru_per_kilo for row in rows
             ) / len(rows),
-        }
+        )
     )
     return rows
 
@@ -211,18 +329,18 @@ def fig9_normalized_ipc(
 def fig10_wrpkru_frequency(
     labels: Optional[Iterable[str]] = None,
     instructions: Optional[int] = None,
-) -> List[Dict]:
+) -> List[Fig10Row]:
     results = sweep_policies(
         labels, policies=(WrpkruPolicy.NONSECURE_SPEC,),
         instructions=instructions,
     )
     return [
-        {
-            "workload": label,
-            "wrpkru_per_kilo": by_policy[
+        Fig10Row(
+            workload=label,
+            wrpkru_per_kilo=by_policy[
                 WrpkruPolicy.NONSECURE_SPEC
             ].wrpkru_per_kilo,
-        }
+        )
         for label, by_policy in results.items()
     ]
 
@@ -235,7 +353,7 @@ def fig11_rob_pkru_sensitivity(
     rob_sizes: Iterable[int] = (2, 4, 8),
     labels: Optional[Iterable[str]] = None,
     instructions: Optional[int] = None,
-) -> List[Dict]:
+) -> List[Fig11Row]:
     """Normalized IPC of SpecMPK with 2/4/8-entry ROB_pkru (the paper's
     1/96, 1/48, 1/24 Active List ratios) plus the NonSecure bound."""
     if labels is None:
@@ -245,7 +363,7 @@ def fig11_rob_pkru_sensitivity(
         serialized = run_workload(
             label, WrpkruPolicy.SERIALIZED, instructions=instructions
         )
-        row = {"workload": label}
+        by_size = []
         for size in rob_sizes:
             config = CoreConfig(
                 wrpkru_policy=WrpkruPolicy.SPECMPK, rob_pkru_size=size
@@ -255,12 +373,19 @@ def fig11_rob_pkru_sensitivity(
                 config=config,
             )
             ratio = f"1/{config.active_list_size // size}"
-            row[f"specmpk_{size} ({ratio})"] = stats.ipc / serialized.ipc
+            by_size.append(
+                (f"specmpk_{size} ({ratio})", stats.ipc / serialized.ipc)
+            )
         nonsecure = run_workload(
             label, WrpkruPolicy.NONSECURE_SPEC, instructions=instructions
         )
-        row["nonsecure"] = nonsecure.ipc / serialized.ipc
-        rows.append(row)
+        rows.append(
+            Fig11Row(
+                workload=label,
+                specmpk_by_size=tuple(by_size),
+                nonsecure=nonsecure.ipc / serialized.ipc,
+            )
+        )
     return rows
 
 
@@ -293,28 +418,32 @@ def table1_isolation_properties() -> Dict:
     return {"rows": table_i(), "probes": verify_probes()}
 
 
-def table2_source_operands() -> List[Dict[str, str]]:
+def table2_source_operands() -> List[Table2Row]:
     """Table II: the source operands SpecMPK adds per instruction type."""
     return [
-        {
-            "Instruction Type": "Load",
-            "New Source Operands": "ROB_pkru, ARF_pkru, AccessDisableCounter",
-        },
-        {
-            "Instruction Type": "Store",
-            "New Source Operands": (
+        Table2Row(
+            instruction_type="Load",
+            new_source_operands=(
+                "ROB_pkru, ARF_pkru, AccessDisableCounter"
+            ),
+        ),
+        Table2Row(
+            instruction_type="Store",
+            new_source_operands=(
                 "ROB_pkru, ARF_pkru, AccessDisableCounter, "
                 "WriteDisableCounter"
             ),
-        },
-        {
-            "Instruction Type": "WRPKRU",
-            "New Source Operands": "ROB_pkru (PKRU chained as a source)",
-        },
+        ),
+        Table2Row(
+            instruction_type="WRPKRU",
+            new_source_operands="ROB_pkru (PKRU chained as a source)",
+        ),
     ]
 
 
-def table3_configuration(config: Optional[CoreConfig] = None) -> List[Dict]:
+def table3_configuration(
+    config: Optional[CoreConfig] = None,
+) -> List[Table3Row]:
     """Table III: the simulated core configuration."""
     if config is None:
         config = table_iii_config()
@@ -345,7 +474,7 @@ def table3_configuration(config: Optional[CoreConfig] = None) -> List[Dict]:
          f"{config.l3.latency}-cycle roundtrip latency"),
         ("DRAM Device", f"DDR4-class, {config.dram_latency}-cycle roundtrip"),
     ]
-    return [{"Parameter": name, "Value": value} for name, value in rows]
+    return [Table3Row(parameter=name, value=value) for name, value in rows]
 
 
 def section8_hardware_overhead(

@@ -9,8 +9,21 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Sequence
 
 
+def _as_mapping(row) -> Dict:
+    """Accept plain dicts, typed rows and ``SimStats`` alike.
+
+    Anything exposing ``as_dict()`` (the :class:`~repro.harness.
+    experiments.Row` dataclasses, :class:`~repro.core.stats.SimStats`)
+    is flattened through it; mappings pass through unchanged.
+    """
+    if hasattr(row, "as_dict"):
+        return row.as_dict()
+    return row
+
+
 def render_table(rows: Sequence[Dict], title: str = "") -> str:
-    """Render a list of uniform dicts as an aligned text table."""
+    """Render a list of uniform dicts or typed rows as a text table."""
+    rows = [_as_mapping(row) for row in rows]
     if not rows:
         return title
     headers = list(rows[0])
@@ -73,10 +86,10 @@ def render_latency_series(
 
 
 def export_csv(rows, path) -> None:
-    """Write a list of uniform dicts to *path* as CSV."""
+    """Write uniform dicts, typed rows or ``SimStats`` to *path* as CSV."""
     import csv
 
-    rows = list(rows)
+    rows = [_as_mapping(row) for row in rows]
     if not rows:
         raise ValueError("no rows to export")
     with open(path, "w", newline="") as handle:

@@ -1,80 +1,117 @@
-"""Workload execution harness.
+"""Workload execution harness (legacy keyword surface).
 
-Centralises how every figure's data is produced: build the synthetic
-workload, pre-warm the TLB, run a warmup window, then measure a fixed
-instruction budget on the configured core.
+The canonical API lives in :mod:`repro.harness.api`: build a
+:class:`~repro.harness.api.RunRequest`, call
+:func:`~repro.harness.api.execute`, get a
+:class:`~repro.harness.api.RunResult`.  The helpers here keep the
+original keyword signatures working as thin wrappers — existing
+callers run unchanged, while positional use of the optional parameters
+emits a :class:`DeprecationWarning` pointing at the request API.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core.config import CoreConfig, WrpkruPolicy
-from ..core.pipeline import Simulator
 from ..core.stats import SimStats
-from ..workloads.generator import GeneratedWorkload, build_workload
+from ..workloads.generator import GeneratedWorkload
 from ..workloads.instrument import InstrumentMode
-from ..workloads.profiles import ALL_PROFILES, WorkloadProfile, profile_by_label
+from ..workloads.profiles import ALL_PROFILES, WorkloadProfile
+from .api import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_WARMUP,
+    RunRequest,
+    RunResult,
+    TraceOptions,
+    execute,
+    measurement_budget,
+)
 
-#: Default measurement budget (instructions); scaled by REPRO_SCALE.
-DEFAULT_INSTRUCTIONS = 12_000
-DEFAULT_WARMUP = 4_000
-
-
-def measurement_budget() -> int:
-    """Instruction budget, scalable via the ``REPRO_SCALE`` env var.
-
-    ``REPRO_SCALE=5`` runs five times more instructions per point for
-    higher-fidelity (slower) reproductions.
-    """
-    scale = float(os.environ.get("REPRO_SCALE", "1"))
-    return max(2_000, int(DEFAULT_INSTRUCTIONS * scale))
+#: Old positional order of ``run_workload``'s optional parameters.
+_LEGACY_POSITIONAL = ("mode", "instructions", "warmup", "config")
 
 
 def run_workload(
-    workload: Union[str, WorkloadProfile, GeneratedWorkload],
-    policy: WrpkruPolicy,
-    mode: InstrumentMode = InstrumentMode.PROTECTED,
+    workload: Union[RunRequest, str, WorkloadProfile, GeneratedWorkload],
+    policy: Optional[WrpkruPolicy] = None,
+    *legacy_args,
+    mode: Optional[InstrumentMode] = None,
     instructions: Optional[int] = None,
     warmup: Optional[int] = None,
     config: Optional[CoreConfig] = None,
-) -> SimStats:
-    """Simulate one workload under one policy; return steady-state stats."""
-    if isinstance(workload, str):
-        workload = profile_by_label(workload)
-    if isinstance(workload, WorkloadProfile):
-        workload = build_workload(workload, mode)
-    if instructions is None:
-        instructions = measurement_budget()
-    if warmup is None:
-        warmup = DEFAULT_WARMUP
-    if config is None:
-        config = CoreConfig(wrpkru_policy=policy)
-    elif config.wrpkru_policy is not policy:
-        config = config.replace(wrpkru_policy=policy)
+    trace: Optional[TraceOptions] = None,
+) -> Union[SimStats, RunResult]:
+    """Simulate one workload under one policy.
 
-    sim = Simulator(workload.program, config, initial_pkru=workload.initial_pkru)
-    sim.prewarm_tlb()
-    result = sim.run(
-        max_cycles=200 * (instructions + warmup),
-        max_instructions=instructions,
-        warmup_instructions=warmup,
-    )
-    if result.fault is not None:
-        raise RuntimeError(
-            f"workload {workload.profile.label} faulted: {result.fault}"
+    Two calling conventions are supported:
+
+    * ``run_workload(request)`` with a single :class:`RunRequest` —
+      returns the full :class:`RunResult` (stats + trace handle +
+      metadata).
+    * ``run_workload(workload, policy, mode=..., instructions=...,
+      warmup=..., config=...)`` — the legacy keyword surface; returns
+      the bare :class:`SimStats` as it always did.  Passing the
+      optional parameters positionally still works but emits a
+      :class:`DeprecationWarning`.
+    """
+    if isinstance(workload, RunRequest):
+        if policy is not None or legacy_args:
+            raise TypeError(
+                "run_workload(RunRequest) takes no further arguments"
+            )
+        return execute(workload)
+    if policy is None:
+        raise TypeError("run_workload() missing required argument: 'policy'")
+    if legacy_args:
+        if len(legacy_args) > len(_LEGACY_POSITIONAL):
+            raise TypeError(
+                f"run_workload() takes at most "
+                f"{2 + len(_LEGACY_POSITIONAL)} positional arguments"
+            )
+        warnings.warn(
+            "passing mode/instructions/warmup/config positionally is "
+            "deprecated; use keywords or a RunRequest",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    return result.stats
-
-
-def _run_one(task):
-    """Module-level worker so ProcessPoolExecutor can pickle it."""
-    label, policy, mode, instructions, config = task
-    return label, policy, run_workload(
-        label, policy, mode, instructions=instructions, config=config
+        provided = {"mode": mode, "instructions": instructions,
+                    "warmup": warmup, "config": config}
+        for name, value in zip(_LEGACY_POSITIONAL, legacy_args):
+            if provided[name] is not None:
+                raise TypeError(
+                    f"run_workload() got multiple values for '{name}'"
+                )
+            provided[name] = value
+        mode, instructions, warmup, config = (
+            provided["mode"], provided["instructions"],
+            provided["warmup"], provided["config"],
+        )
+    request = RunRequest(
+        workload=workload,
+        policy=policy,
+        mode=InstrumentMode.PROTECTED if mode is None else mode,
+        instructions=instructions,
+        warmup=warmup,
+        config=config,
+        trace=trace if trace is not None else TraceOptions(),
     )
+    return execute(request).stats
+
+
+def _run_one(request: RunRequest) -> Tuple[str, WrpkruPolicy, SimStats]:
+    """Module-level worker so ProcessPoolExecutor can pickle it.
+
+    The task unit is the :class:`RunRequest` itself — the whole request
+    (including config and trace options) crosses the process boundary,
+    not an ad-hoc tuple.
+    """
+    result = execute(request)
+    return result.metadata.label, result.metadata.policy, result.stats
 
 
 def sweep_policies(
@@ -84,12 +121,17 @@ def sweep_policies(
     instructions: Optional[int] = None,
     config: Optional[CoreConfig] = None,
     parallel: Optional[bool] = None,
+    request: Optional[RunRequest] = None,
 ) -> Dict[str, Dict[WrpkruPolicy, SimStats]]:
     """Run every workload under every policy (the Fig. 9 grid).
 
     The workload binary is rebuilt deterministically per run, so all
     microarchitectures execute identical code.  With *parallel* (or
     ``REPRO_PARALLEL=1``) the grid fans out over worker processes.
+
+    When *request* is given it acts as the template for every grid
+    point (mode, budgets, config and trace options are taken from it);
+    *labels* and *policies* still define the grid itself.
     """
     if labels is None:
         labels = [profile.label for profile in ALL_PROFILES]
@@ -97,11 +139,19 @@ def sweep_policies(
     policies = tuple(policies)
     if parallel is None:
         parallel = os.environ.get("REPRO_PARALLEL", "0") not in ("0", "")
+    if request is None:
+        template = RunRequest(
+            workload="", policy=policies[0] if policies else
+            WrpkruPolicy.SERIALIZED, mode=mode,
+            instructions=instructions, config=config,
+        )
+    else:
+        template = request
     results: Dict[str, Dict[WrpkruPolicy, SimStats]] = {
         label: {} for label in labels
     }
     tasks = [
-        (label, policy, mode, instructions, config)
+        dataclasses.replace(template, workload=label, policy=policy)
         for label in labels
         for policy in policies
     ]

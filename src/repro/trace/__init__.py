@@ -1,0 +1,51 @@
+"""Pipeline observability: event tracing, top-down CPI, exporters.
+
+Usage::
+
+    from repro.trace import TraceCollector, topdown_from_collector
+
+    collector = TraceCollector()
+    sim = Simulator(program, config, trace=collector)
+    sim.run(...)
+    print(topdown_from_collector(collector, sim.stats).report())
+
+See ``docs/observability.md`` for the trace format and the top-down
+bucket definitions.
+"""
+
+from .collector import (
+    BUCKETS,
+    STAGES,
+    CycleSample,
+    EventKind,
+    SquashCause,
+    StallKind,
+    TraceConfig,
+    TraceCollector,
+    TraceEvent,
+    classify_cycle,
+)
+from .export import (
+    chrome_trace,
+    export_chrome_trace,
+    render_pipeline_text,
+)
+from .topdown import TopDownReport, topdown_from_collector
+
+__all__ = [
+    "BUCKETS",
+    "STAGES",
+    "CycleSample",
+    "EventKind",
+    "SquashCause",
+    "StallKind",
+    "TopDownReport",
+    "TraceCollector",
+    "TraceConfig",
+    "TraceEvent",
+    "chrome_trace",
+    "classify_cycle",
+    "export_chrome_trace",
+    "render_pipeline_text",
+    "topdown_from_collector",
+]

@@ -1,0 +1,291 @@
+"""Cycle-accurate pipeline observability: the trace collector.
+
+The :class:`TraceCollector` is the single sink the out-of-order core
+reports into when tracing is enabled (``Simulator(..., trace=...)``).
+It records three kinds of data:
+
+* **Lifecycle events** — one :class:`TraceEvent` per pipeline stage an
+  instruction passes through (fetch/decode/rename/dispatch/issue/
+  execute/writeback/retire, or squash with its cause), kept in a
+  bounded ring buffer so long runs cost constant memory.
+* **Cycle samples** — one :class:`CycleSample` per simulated cycle with
+  the retire count, the stall-cause flags the stages raised, and the
+  occupancy of every major structure, also ring-buffered.
+* **Accounting** — unbounded *counters* derived from every cycle (not
+  just the ones still in the ring): top-down bucket cycles and
+  per-structure occupancy histograms.  These are what the top-down
+  report and ``SimStats.occupancy_histograms`` are built from, so they
+  always cover the full measurement window.
+
+When tracing is disabled the simulator holds ``trace = None`` and every
+hook is a single attribute test — the collector is never constructed,
+so the disabled path stays within noise of the untraced simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, NamedTuple, Optional
+
+
+class EventKind(enum.IntEnum):
+    """Pipeline lifecycle stages recorded per instruction."""
+
+    FETCH = 0
+    DECODE = 1
+    RENAME = 2
+    DISPATCH = 3
+    ISSUE = 4
+    EXECUTE = 5
+    WRITEBACK = 6
+    RETIRE = 7
+    SQUASH = 8
+
+    @property
+    def letter(self) -> str:
+        """One-letter stage code used by the text pipeline view."""
+        return _STAGE_LETTERS[self]
+
+
+_STAGE_LETTERS = {
+    EventKind.FETCH: "F",
+    EventKind.DECODE: "D",
+    EventKind.RENAME: "R",
+    EventKind.DISPATCH: "S",
+    EventKind.ISSUE: "I",
+    EventKind.EXECUTE: "X",
+    EventKind.WRITEBACK: "W",
+    EventKind.RETIRE: "C",
+    EventKind.SQUASH: "x",
+}
+
+
+class SquashCause(enum.Enum):
+    """Why a set of in-flight instructions was thrown away."""
+
+    BRANCH_MISPREDICT = "branch_mispredict"
+    MEMORY_ORDER = "memory_order"
+
+
+class StallKind(enum.IntFlag):
+    """Per-cycle stall-cause flags raised by the pipeline stages.
+
+    Several flags can be raised in the same cycle; the top-down
+    classifier (:func:`classify_cycle`) resolves them by priority so
+    every cycle lands in exactly one bucket.
+    """
+
+    NONE = 0
+    WRPKRU_SERIALIZATION = 1 << 0   # rename drains around a WRPKRU
+    ROB_PKRU_FULL = 1 << 1          # ROB_pkru has no free entry
+    TLB = 1 << 2                    # deferred TLB fill / walk at head
+    FRONTEND_EMPTY = 1 << 3         # rename starved by the front end
+    BACKEND_AL_FULL = 1 << 4
+    BACKEND_IQ_FULL = 1 << 5
+    BACKEND_LSQ_FULL = 1 << 6
+    BACKEND_NO_PREG = 1 << 7
+    SQUASH_RECOVERY = 1 << 8        # refetching after a squash
+
+
+class TraceEvent(NamedTuple):
+    """One instruction reaching one pipeline stage."""
+
+    cycle: int
+    kind: EventKind
+    seq: int
+    pc: int
+    op: str
+    #: Stage-specific payload: execute latency (int) or squash cause (str).
+    info: object = None
+
+
+class CycleSample(NamedTuple):
+    """Per-cycle machine state snapshot."""
+
+    cycle: int
+    retired: int
+    stalls: int          # StallKind bitmask
+    frontend: int        # decode-buffer occupancy
+    active_list: int
+    issue_queue: int
+    load_queue: int
+    store_queue: int
+    rob_pkru: int
+
+
+#: Structures whose occupancy is sampled every traced cycle.
+STAGES = (
+    "frontend", "active_list", "issue_queue",
+    "load_queue", "store_queue", "rob_pkru",
+)
+
+#: Top-down buckets, in report order.  Every cycle is attributed to
+#: exactly one, so they reconcile to the total cycle count by
+#: construction.
+BUCKETS = (
+    "base",                  # >= 1 instruction retired
+    "frontend",              # rename starved (fetch/decode bubbles)
+    "bad_speculation",       # squash + refetch recovery
+    "backend",               # execution/memory latency, full queues
+    "wrpkru_serialization",  # WRPKRU drain (SERIALIZED policy)
+    "rob_pkru",              # ROB_pkru full (Fig. 11 effect)
+    "tlb",                   # deferred TLB fills / walks at the head
+)
+
+
+def classify_cycle(retired: int, stalls: int) -> str:
+    """Attribute one cycle to exactly one top-down bucket.
+
+    Priority: a retiring cycle is always useful work; squash recovery
+    trumps the stall causes it induces (an empty front end after a
+    mispredict is *bad speculation*, not a frontend problem); then the
+    SpecMPK-specific causes the paper's figures single out; and only
+    then the generic frontend/backend split.
+    """
+    if retired:
+        return "base"
+    if stalls & StallKind.SQUASH_RECOVERY:
+        return "bad_speculation"
+    if stalls & StallKind.WRPKRU_SERIALIZATION:
+        return "wrpkru_serialization"
+    if stalls & StallKind.ROB_PKRU_FULL:
+        return "rob_pkru"
+    if stalls & StallKind.TLB:
+        return "tlb"
+    if stalls & StallKind.FRONTEND_EMPTY:
+        return "frontend"
+    return "backend"
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Ring-buffer sizing for a :class:`TraceCollector`."""
+
+    capacity: int = 1 << 16        # lifecycle events retained
+    cycle_capacity: int = 1 << 16  # cycle samples retained
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1 or self.cycle_capacity < 1:
+            raise ValueError("trace capacities must be positive")
+
+
+class TraceCollector:
+    """Ring-buffered sink for pipeline lifecycle events and cycle state."""
+
+    def __init__(self, config: Optional[TraceConfig] = None) -> None:
+        self.config = config or TraceConfig()
+        self.events: Deque[TraceEvent] = deque(maxlen=self.config.capacity)
+        self.cycles: Deque[CycleSample] = deque(
+            maxlen=self.config.cycle_capacity
+        )
+        #: Total lifecycle events observed (ring may hold fewer).
+        self.events_seen = 0
+        self._flags = 0
+        self._recovery_until = -1
+        self.reset_accounting()
+
+    # -- accounting window -------------------------------------------------
+
+    def reset_accounting(self) -> None:
+        """Start a fresh measurement window (mirrors ``reset_stats``).
+
+        Clears the rings and the cumulative counters so the top-down
+        report covers exactly the same cycles as the ``SimStats`` it is
+        reconciled against.
+        """
+        self.events.clear()
+        self.cycles.clear()
+        self.events_seen = 0
+        self.total_cycles = 0
+        self.bucket_cycles: Dict[str, int] = {name: 0 for name in BUCKETS}
+        self.squashes: Dict[SquashCause, int] = {
+            cause: 0 for cause in SquashCause
+        }
+        self._occupancy: Dict[str, Counter] = {
+            stage: Counter() for stage in STAGES
+        }
+
+    # -- recording (pipeline-facing hot path) ------------------------------
+
+    def event(self, cycle: int, kind: EventKind, inst, info=None) -> None:
+        """Record one instruction reaching one stage."""
+        self.events.append(
+            TraceEvent(cycle, kind, inst.seq, inst.pc,
+                       inst.static.opcode.name.lower(), info)
+        )
+        self.events_seen += 1
+
+    def stall(self, kind: StallKind) -> None:
+        """Raise a stall-cause flag for the current cycle."""
+        self._flags |= kind
+
+    def note_squash(self, cycle: int, cause: SquashCause,
+                    recovery: int) -> None:
+        """A squash happened: mark this cycle and the refetch window."""
+        self.squashes[cause] += 1
+        self._flags |= StallKind.SQUASH_RECOVERY
+        self._recovery_until = max(self._recovery_until, cycle + recovery)
+
+    def end_cycle(
+        self,
+        cycle: int,
+        retired: int,
+        frontend: int,
+        active_list: int,
+        issue_queue: int,
+        load_queue: int,
+        store_queue: int,
+        rob_pkru: int,
+    ) -> None:
+        """Close the books on one cycle: sample, classify, accumulate."""
+        flags = self._flags
+        if cycle <= self._recovery_until:
+            flags |= StallKind.SQUASH_RECOVERY
+        self._flags = 0
+        sample = CycleSample(
+            cycle, retired, int(flags), frontend, active_list,
+            issue_queue, load_queue, store_queue, rob_pkru,
+        )
+        self.cycles.append(sample)
+        self.total_cycles += 1
+        self.bucket_cycles[classify_cycle(retired, flags)] += 1
+        occupancy = self._occupancy
+        occupancy["frontend"][frontend] += 1
+        occupancy["active_list"][active_list] += 1
+        occupancy["issue_queue"][issue_queue] += 1
+        occupancy["load_queue"][load_queue] += 1
+        occupancy["store_queue"][store_queue] += 1
+        occupancy["rob_pkru"][rob_pkru] += 1
+
+    # -- consumers ---------------------------------------------------------
+
+    def occupancy_histograms(self) -> Dict[str, Dict[int, int]]:
+        """Per-structure ``{occupancy: cycles}`` over the full window."""
+        return {
+            stage: dict(sorted(counter.items()))
+            for stage, counter in self._occupancy.items()
+        }
+
+    def events_for(self, seq: int) -> List[TraceEvent]:
+        """All retained events of one dynamic instruction, in order."""
+        return [event for event in self.events if event.seq == seq]
+
+    def instruction_timeline(self) -> "Dict[int, Dict[EventKind, TraceEvent]]":
+        """Retained events grouped per instruction: seq -> kind -> event.
+
+        An instruction appearing here may be missing early stages if the
+        ring wrapped past them; consumers should tolerate partial
+        records.
+        """
+        timeline: Dict[int, Dict[EventKind, TraceEvent]] = {}
+        for event in self.events:
+            timeline.setdefault(event.seq, {})[event.kind] = event
+        return timeline
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TraceCollector cycles={self.total_cycles} "
+            f"events={self.events_seen} (retained {len(self.events)})>"
+        )

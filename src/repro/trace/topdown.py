@@ -1,0 +1,112 @@
+"""Top-down CPI accounting over a :class:`~repro.trace.TraceCollector`.
+
+Decomposes every simulated cycle into one of seven buckets — base,
+frontend, bad-speculation, backend, WRPKRU-serialization, ROB_pkru and
+TLB — the attribution the paper's Figs. 3/4/11 argue about.  Because
+the collector classifies each cycle into exactly one bucket as it is
+observed, the buckets reconcile to the total cycle count by
+construction; :meth:`TopDownReport.reconciles` re-checks that invariant
+against the ``SimStats`` cycle counter (±1 %) so any drift between the
+two accounting paths is caught immediately.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from .collector import BUCKETS, TraceCollector
+
+
+@dataclasses.dataclass(frozen=True)
+class TopDownReport:
+    """Cycle attribution for one measured run."""
+
+    buckets: Dict[str, int]
+    total_cycles: int
+    instructions_retired: int = 0
+
+    def __getitem__(self, bucket: str) -> int:
+        return self.buckets[bucket]
+
+    @property
+    def accounted_cycles(self) -> int:
+        return sum(self.buckets.values())
+
+    @property
+    def reconciliation_error(self) -> float:
+        """Relative gap between the bucket sum and the cycle counter."""
+        if not self.total_cycles:
+            return 0.0
+        return abs(self.accounted_cycles - self.total_cycles) / self.total_cycles
+
+    def reconciles(self, tolerance: float = 0.01) -> bool:
+        """True when the buckets sum to the total cycles within ±1 %."""
+        return self.reconciliation_error <= tolerance
+
+    def fraction(self, bucket: str) -> float:
+        return self.buckets[bucket] / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        if not self.instructions_retired:
+            return 0.0
+        return self.total_cycles / self.instructions_retired
+
+    def as_dict(self) -> Dict[str, float]:
+        public: Dict[str, float] = {
+            "cycles": self.total_cycles,
+            "instructions_retired": self.instructions_retired,
+            "cpi": self.cpi,
+        }
+        for name in BUCKETS:
+            public[f"{name}_cycles"] = self.buckets.get(name, 0)
+            public[f"{name}_fraction"] = self.fraction(name)
+        public["reconciliation_error"] = self.reconciliation_error
+        return public
+
+    def report(self, width: int = 40) -> str:
+        """Human-readable top-down breakdown with proportional bars."""
+        lines = [
+            f"top-down CPI accounting over {self.total_cycles} cycles"
+            + (
+                f" ({self.instructions_retired} retired, "
+                f"CPI {self.cpi:.3f})"
+                if self.instructions_retired else ""
+            )
+        ]
+        label_width = max(len(name) for name in BUCKETS)
+        for name in BUCKETS:
+            cycles = self.buckets.get(name, 0)
+            share = self.fraction(name)
+            bar = "#" * round(share * width)
+            lines.append(
+                f"  {name:<{label_width}}  {cycles:>10d}  {share:6.1%}  {bar}"
+            )
+        lines.append(
+            f"  {'accounted':<{label_width}}  {self.accounted_cycles:>10d}"
+            f"  (reconciliation error {self.reconciliation_error:.2%})"
+        )
+        return "\n".join(lines)
+
+
+def topdown_from_collector(
+    collector: TraceCollector, stats=None
+) -> TopDownReport:
+    """Build the report from a collector's cumulative bucket counters.
+
+    When *stats* (a ``SimStats``) is given, its ``cycles`` counter is
+    used as the reconciliation reference and its retired-instruction
+    count annotates the CPI; otherwise the collector's own observed
+    cycle count is used.
+    """
+    total = collector.total_cycles
+    retired = 0
+    if stats is not None:
+        total = stats.cycles
+        retired = stats.instructions_retired
+    return TopDownReport(
+        buckets=dict(collector.bucket_cycles),
+        total_cycles=total,
+        instructions_retired=retired,
+    )

@@ -1,0 +1,373 @@
+"""Tests for the pipeline observability layer (repro.trace)."""
+
+import json
+
+import pytest
+
+from repro.core import CoreConfig, Simulator, WrpkruPolicy
+from repro.isa import ProgramBuilder
+from repro.trace import (
+    BUCKETS,
+    STAGES,
+    EventKind,
+    SquashCause,
+    StallKind,
+    TraceCollector,
+    TraceConfig,
+    chrome_trace,
+    classify_cycle,
+    export_chrome_trace,
+    render_pipeline_text,
+    topdown_from_collector,
+)
+
+
+def loop_program(iterations=50, loads=True):
+    b = ProgramBuilder()
+    data = b.region("data", 4096)
+    b.label("main")
+    b.li(2, data.base)
+    b.li(3, iterations)
+    b.li(4, 0)
+    b.label("loop")
+    if loads:
+        b.st(3, 2, 0)
+        b.ld(5, 2, 0)
+        b.add(4, 4, 5)
+    else:
+        b.add(4, 4, 3)
+    b.addi(3, 3, -1)
+    b.bne(3, 0, "loop")
+    b.halt()
+    return b.build()
+
+
+def traced_run(program, policy=WrpkruPolicy.SPECMPK, config=None,
+               trace_config=None, **run_kwargs):
+    collector = TraceCollector(trace_config)
+    sim = Simulator(
+        program,
+        config or CoreConfig(wrpkru_policy=policy),
+        trace=collector,
+    )
+    sim.prewarm_tlb()
+    result = sim.run(max_cycles=500_000, **run_kwargs)
+    assert result.fault is None
+    return sim, result, collector
+
+
+class TestClassifyCycle:
+    def test_retiring_cycle_is_base_regardless_of_stalls(self):
+        stalls = StallKind.WRPKRU_SERIALIZATION | StallKind.BACKEND_AL_FULL
+        assert classify_cycle(2, stalls) == "base"
+
+    def test_priority_order(self):
+        everything = (
+            StallKind.SQUASH_RECOVERY | StallKind.WRPKRU_SERIALIZATION
+            | StallKind.ROB_PKRU_FULL | StallKind.TLB
+            | StallKind.FRONTEND_EMPTY | StallKind.BACKEND_IQ_FULL
+        )
+        assert classify_cycle(0, everything) == "bad_speculation"
+        everything &= ~StallKind.SQUASH_RECOVERY
+        assert classify_cycle(0, everything) == "wrpkru_serialization"
+        everything &= ~StallKind.WRPKRU_SERIALIZATION
+        assert classify_cycle(0, everything) == "rob_pkru"
+        everything &= ~StallKind.ROB_PKRU_FULL
+        assert classify_cycle(0, everything) == "tlb"
+        everything &= ~StallKind.TLB
+        assert classify_cycle(0, everything) == "frontend"
+        everything &= ~StallKind.FRONTEND_EMPTY
+        assert classify_cycle(0, everything) == "backend"
+
+    def test_no_stalls_no_retire_is_backend(self):
+        assert classify_cycle(0, StallKind.NONE) == "backend"
+
+
+class TestLifecycleEvents:
+    def test_retired_instruction_passes_every_stage_in_order(self):
+        _, _, collector = traced_run(loop_program(10))
+        timeline = collector.instruction_timeline()
+        lifecycle = [
+            EventKind.FETCH, EventKind.DECODE, EventKind.RENAME,
+            EventKind.DISPATCH, EventKind.ISSUE, EventKind.EXECUTE,
+            EventKind.WRITEBACK, EventKind.RETIRE,
+        ]
+        retired = [
+            seq for seq, events in timeline.items()
+            if EventKind.RETIRE in events
+        ]
+        assert retired, "no instruction retired with a full record"
+        saw_full_lifecycle = False
+        for seq in retired:
+            events = timeline[seq]
+            front = [EventKind.FETCH, EventKind.DECODE, EventKind.RENAME,
+                     EventKind.DISPATCH, EventKind.RETIRE]
+            assert set(front) <= set(events), f"missing stages for #{seq}"
+            if EventKind.ISSUE in events:
+                # NOP/HALT/JMP/CALL fast-complete and skip the IQ;
+                # everything that issues must execute and write back.
+                assert set(lifecycle) <= set(events), f"#{seq} issued"
+                saw_full_lifecycle = True
+                stages = lifecycle
+            else:
+                stages = front
+            cycles = [events[kind].cycle for kind in stages]
+            assert cycles == sorted(cycles), f"stage order violated for #{seq}"
+            assert EventKind.SQUASH not in events
+        assert saw_full_lifecycle
+
+    def test_events_for_returns_one_instruction_in_order(self):
+        _, _, collector = traced_run(loop_program(10))
+        some_retire = next(
+            e for e in collector.events if e.kind is EventKind.RETIRE
+        )
+        events = collector.events_for(some_retire.seq)
+        assert all(e.seq == some_retire.seq for e in events)
+        assert [e.cycle for e in events] == sorted(e.cycle for e in events)
+
+    def test_execute_event_carries_latency(self):
+        _, _, collector = traced_run(loop_program(10))
+        latencies = [
+            e.info for e in collector.events if e.kind is EventKind.EXECUTE
+        ]
+        assert latencies and all(lat >= 1 for lat in latencies)
+
+
+class TestSquashAccounting:
+    def test_squash_events_match_stats(self):
+        # A data-dependent branch pattern the predictor cannot fully
+        # learn: branch on a bit of an LCG state.
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(2, 12345)      # LCG state
+        b.li(3, 200)        # iterations
+        b.li(4, 0)
+        b.label("loop")
+        b.li(6, 1103515245)
+        b.mul(2, 2, 6)
+        b.addi(2, 2, 12345)
+        b.srli(5, 2, 9)
+        b.andi(5, 5, 1)
+        b.beq(5, 0, "skip")
+        b.addi(4, 4, 1)
+        b.label("skip")
+        b.addi(3, 3, -1)
+        b.bne(3, 0, "loop")
+        b.halt()
+        sim, _, collector = traced_run(b.build())
+        assert sim.stats.branch_mispredicts > 0
+        assert (collector.squashes[SquashCause.BRANCH_MISPREDICT]
+                == sim.stats.branch_mispredicts)
+        squash_events = [
+            e for e in collector.events if e.kind is EventKind.SQUASH
+        ]
+        assert squash_events
+        assert all(
+            e.info == SquashCause.BRANCH_MISPREDICT.value
+            for e in squash_events
+        )
+        # Squashed instructions never retire.
+        timeline = collector.instruction_timeline()
+        for event in squash_events:
+            assert EventKind.RETIRE not in timeline.get(event.seq, {})
+
+    def test_recovery_cycles_attributed_to_bad_speculation(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(2, 12345)
+        b.li(3, 200)
+        b.li(4, 0)
+        b.label("loop")
+        b.li(6, 1103515245)
+        b.mul(2, 2, 6)
+        b.addi(2, 2, 12345)
+        b.srli(5, 2, 9)
+        b.andi(5, 5, 1)
+        b.beq(5, 0, "skip")
+        b.addi(4, 4, 1)
+        b.label("skip")
+        b.addi(3, 3, -1)
+        b.bne(3, 0, "loop")
+        b.halt()
+        sim, _, collector = traced_run(b.build())
+        assert sim.stats.branch_mispredicts > 0
+        assert collector.bucket_cycles["bad_speculation"] > 0
+
+
+class TestReconciliation:
+    def test_buckets_sum_exactly_to_cycles(self):
+        sim, _, collector = traced_run(loop_program(100))
+        assert collector.total_cycles == sim.stats.cycles
+        assert sum(collector.bucket_cycles.values()) == sim.stats.cycles
+
+    def test_reconciles_with_warmup_window(self):
+        sim, _, collector = traced_run(
+            loop_program(200), max_instructions=400,
+            warmup_instructions=200,
+        )
+        report = topdown_from_collector(collector, sim.stats)
+        assert report.total_cycles == sim.stats.cycles
+        assert report.reconciliation_error == 0.0
+        assert report.reconciles(tolerance=0.01)
+
+    @pytest.mark.parametrize("policy", list(WrpkruPolicy))
+    def test_reconciles_under_every_policy(self, policy):
+        sim, _, collector = traced_run(loop_program(100), policy=policy)
+        report = topdown_from_collector(collector, sim.stats)
+        assert report.reconciles()
+        assert set(report.buckets) == set(BUCKETS)
+
+    def test_serialized_policy_attributes_wrpkru_cycles(self):
+        b = ProgramBuilder()
+        b.region("data", 4096)
+        b.label("main")
+        b.li(3, 100)
+        b.label("loop")
+        from repro.isa.registers import EAX
+        b.li(EAX, 0)
+        b.wrpkru()
+        b.addi(3, 3, -1)
+        b.bne(3, 0, "loop")
+        b.halt()
+        _, _, serialized = traced_run(
+            b.build(), policy=WrpkruPolicy.SERIALIZED
+        )
+        _, _, specmpk = traced_run(b.build(), policy=WrpkruPolicy.SPECMPK)
+        assert serialized.bucket_cycles["wrpkru_serialization"] > 0
+        assert (specmpk.bucket_cycles["wrpkru_serialization"]
+                < serialized.bucket_cycles["wrpkru_serialization"])
+
+
+class TestRingBuffers:
+    def test_rings_bounded_but_accounting_complete(self):
+        sim, _, collector = traced_run(
+            loop_program(200),
+            trace_config=TraceConfig(capacity=32, cycle_capacity=16),
+        )
+        assert len(collector.events) <= 32
+        assert len(collector.cycles) <= 16
+        assert collector.events_seen > 32
+        assert collector.total_cycles == sim.stats.cycles
+        assert sum(collector.bucket_cycles.values()) == sim.stats.cycles
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceConfig(capacity=0)
+        with pytest.raises(ValueError):
+            TraceConfig(cycle_capacity=-1)
+
+
+class TestOccupancyHistograms:
+    def test_histograms_cover_every_cycle(self):
+        sim, _, collector = traced_run(loop_program(100))
+        histograms = collector.occupancy_histograms()
+        assert set(histograms) == set(STAGES)
+        for stage, bins in histograms.items():
+            assert sum(bins.values()) == sim.stats.cycles, stage
+
+    def test_histograms_land_on_sim_stats(self):
+        sim, _, _ = traced_run(loop_program(100))
+        assert set(sim.stats.occupancy_histograms) == set(STAGES)
+
+    def test_untraced_run_has_empty_histograms(self):
+        sim = Simulator(loop_program(50), CoreConfig())
+        sim.prewarm_tlb()
+        sim.run(max_cycles=100_000)
+        assert sim.stats.occupancy_histograms == {}
+
+
+class TestDisabledTracing:
+    def test_disabled_tracing_changes_nothing(self):
+        results = []
+        for trace in (None, TraceCollector()):
+            sim = Simulator(
+                loop_program(100),
+                CoreConfig(wrpkru_policy=WrpkruPolicy.SPECMPK),
+                trace=trace,
+            )
+            sim.prewarm_tlb()
+            sim.run(max_cycles=100_000)
+            results.append(sim.stats)
+        untraced, traced = results
+        assert untraced.cycles == traced.cycles
+        assert untraced.instructions_retired == traced.instructions_retired
+        assert untraced.branch_mispredicts == traced.branch_mispredicts
+
+
+class TestChromeExport:
+    def test_chrome_trace_structure(self):
+        _, _, collector = traced_run(loop_program(50))
+        doc = chrome_trace(collector)
+        events = doc["traceEvents"]
+        assert events
+        phases = {e["ph"] for e in events}
+        assert "X" in phases and "M" in phases and "C" in phases
+        for event in events:
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+                assert {"name", "ts", "pid", "tid"} <= set(event)
+
+    def test_export_is_valid_json(self, tmp_path):
+        _, _, collector = traced_run(loop_program(50))
+        path = tmp_path / "trace.json"
+        export_chrome_trace(collector, path)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_squashed_slices_carry_cause(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(2, 12345)
+        b.li(3, 120)
+        b.label("loop")
+        b.li(6, 1103515245)
+        b.mul(2, 2, 6)
+        b.addi(2, 2, 12345)
+        b.srli(5, 2, 9)
+        b.andi(5, 5, 1)
+        b.beq(5, 0, "skip")
+        b.addi(4, 4, 1)
+        b.label("skip")
+        b.addi(3, 3, -1)
+        b.bne(3, 0, "loop")
+        b.halt()
+        _, _, collector = traced_run(b.build())
+        doc = chrome_trace(collector)
+        squashed = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") == "squashed"
+        ]
+        assert squashed
+        assert all(
+            e["args"]["cause"] == SquashCause.BRANCH_MISPREDICT.value
+            for e in squashed
+        )
+
+
+class TestPipelineTextView:
+    def test_renders_stage_letters(self):
+        _, _, collector = traced_run(loop_program(20))
+        text = render_pipeline_text(collector, last=8)
+        assert "pipeline view" in text
+        lines = [line for line in text.splitlines() if line.startswith("#")]
+        assert 0 < len(lines) <= 8
+        body = "".join(lines)
+        assert "F" in body and "C" in body
+
+    def test_empty_collector_renders_placeholder(self):
+        assert render_pipeline_text(TraceCollector()) == "(empty trace)"
+
+
+class TestTopDownReport:
+    def test_report_text_and_dict(self):
+        sim, _, collector = traced_run(loop_program(100))
+        report = topdown_from_collector(collector, sim.stats)
+        text = report.report()
+        for bucket in BUCKETS:
+            assert bucket in text
+        flat = report.as_dict()
+        assert flat["cycles"] == sim.stats.cycles
+        assert abs(report.cpi * sim.stats.instructions_retired
+                   - sim.stats.cycles) < 1e-6 * sim.stats.cycles
+        total = sum(report.fraction(bucket) for bucket in BUCKETS)
+        assert abs(total - 1.0) < 1e-9

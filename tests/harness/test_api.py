@@ -1,0 +1,236 @@
+"""Tests for the typed harness API (repro.harness.api) and typed rows."""
+
+import pickle
+
+import pytest
+
+from repro.core import CoreConfig, WrpkruPolicy
+from repro.core.stats import SimStats
+from repro.harness import (
+    Fig3Row,
+    RunRequest,
+    RunResult,
+    Table3Row,
+    TraceOptions,
+    execute,
+    export_csv,
+    render_table,
+    run_workload,
+    sweep_policies,
+)
+from repro.trace import BUCKETS
+from repro.workloads.instrument import InstrumentMode
+from repro.workloads.profiles import ALL_PROFILES
+
+FAST = dict(instructions=1500, warmup=300)
+
+
+class TestRunRequest:
+    def test_defaults_resolve_to_measurement_budget(self):
+        request = RunRequest(workload="557.xz_r (SS)",
+                             policy=WrpkruPolicy.SPECMPK)
+        assert request.resolved_instructions() >= 2_000
+        assert request.resolved_warmup() == 4_000
+        assert request.mode is InstrumentMode.PROTECTED
+        assert request.trace.enabled is False
+
+    def test_frozen_and_replace(self):
+        request = RunRequest(workload="557.xz_r (SS)",
+                             policy=WrpkruPolicy.SPECMPK)
+        with pytest.raises(Exception):
+            request.policy = WrpkruPolicy.SERIALIZED
+        swept = request.replace(policy=WrpkruPolicy.SERIALIZED)
+        assert swept.policy is WrpkruPolicy.SERIALIZED
+        assert request.policy is WrpkruPolicy.SPECMPK
+
+    def test_request_pickles(self):
+        request = RunRequest(
+            workload="557.xz_r (SS)", policy=WrpkruPolicy.SPECMPK,
+            config=CoreConfig(wrpkru_policy=WrpkruPolicy.SPECMPK),
+            trace=TraceOptions(enabled=True, capacity=128),
+        )
+        clone = pickle.loads(pickle.dumps(request))
+        assert clone == request
+
+
+class TestExecute:
+    def test_untraced_result(self):
+        result = execute(RunRequest(
+            workload="557.xz_r (SS)", policy=WrpkruPolicy.SPECMPK, **FAST,
+        ))
+        assert isinstance(result, RunResult)
+        assert result.trace is None
+        assert result.topdown() is None
+        assert result.ipc == result.stats.ipc > 0
+        assert result.metadata.label == "557.xz_r (SS)"
+        assert result.metadata.instructions == FAST["instructions"]
+        meta = result.metadata.as_dict()
+        assert meta["policy"] == "specmpk"
+
+    def test_traced_result_reconciles(self):
+        result = execute(RunRequest(
+            workload="557.xz_r (SS)", policy=WrpkruPolicy.SPECMPK,
+            trace=TraceOptions(enabled=True), **FAST,
+        ))
+        assert result.trace is not None
+        report = result.topdown()
+        assert report.reconciles(tolerance=0.01)
+        assert report.total_cycles == result.stats.cycles
+
+    @pytest.mark.parametrize(
+        "label", [profile.label for profile in ALL_PROFILES]
+    )
+    def test_topdown_reconciles_on_every_profile(self, label):
+        result = execute(RunRequest(
+            workload=label, policy=WrpkruPolicy.SPECMPK,
+            trace=TraceOptions(enabled=True),
+            instructions=800, warmup=200,
+        ))
+        report = result.topdown()
+        assert report.reconciles(tolerance=0.01), label
+        assert report.accounted_cycles == result.stats.cycles
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            execute(RunRequest(workload="nope (SS)",
+                               policy=WrpkruPolicy.SPECMPK, **FAST))
+
+
+class TestRunWorkloadCompat:
+    def test_keyword_call_returns_simstats(self):
+        stats = run_workload(
+            "557.xz_r (SS)", WrpkruPolicy.SERIALIZED,
+            mode=InstrumentMode.NONE, **FAST,
+        )
+        assert isinstance(stats, SimStats)
+        assert stats.ipc > 0
+
+    def test_request_call_returns_runresult(self):
+        result = run_workload(RunRequest(
+            workload="557.xz_r (SS)", policy=WrpkruPolicy.SPECMPK, **FAST,
+        ))
+        assert isinstance(result, RunResult)
+
+    def test_request_with_extra_args_rejected(self):
+        request = RunRequest(workload="557.xz_r (SS)",
+                             policy=WrpkruPolicy.SPECMPK)
+        with pytest.raises(TypeError):
+            run_workload(request, WrpkruPolicy.SPECMPK)
+
+    def test_positional_mode_warns(self):
+        with pytest.warns(DeprecationWarning, match="RunRequest"):
+            stats = run_workload(
+                "557.xz_r (SS)", WrpkruPolicy.SERIALIZED,
+                InstrumentMode.NONE, **FAST,
+            )
+        assert isinstance(stats, SimStats)
+
+    def test_positional_and_keyword_duplicate_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="multiple values"):
+                run_workload(
+                    "557.xz_r (SS)", WrpkruPolicy.SERIALIZED,
+                    InstrumentMode.NONE, mode=InstrumentMode.PROTECTED,
+                    instructions=1000,
+                )
+
+    def test_keyword_equals_request_result(self):
+        stats = run_workload(
+            "520.omnetpp_r (SS)", WrpkruPolicy.SPECMPK, **FAST,
+        )
+        result = execute(RunRequest(
+            workload="520.omnetpp_r (SS)", policy=WrpkruPolicy.SPECMPK,
+            **FAST,
+        ))
+        assert stats.cycles == result.stats.cycles
+        assert stats.instructions_retired == result.stats.instructions_retired
+
+
+class TestSweepTemplate:
+    def test_sweep_with_request_template(self):
+        template = RunRequest(
+            workload="", policy=WrpkruPolicy.SERIALIZED,
+            mode=InstrumentMode.NONE, **FAST,
+        )
+        results = sweep_policies(
+            labels=["557.xz_r (SS)"],
+            policies=(WrpkruPolicy.SERIALIZED, WrpkruPolicy.SPECMPK),
+            request=template,
+        )
+        by_policy = results["557.xz_r (SS)"]
+        assert set(by_policy) == {
+            WrpkruPolicy.SERIALIZED, WrpkruPolicy.SPECMPK,
+        }
+        assert all(stats.ipc > 0 for stats in by_policy.values())
+
+
+class TestTypedRows:
+    def test_row_quacks_like_a_dict(self):
+        row = Fig3Row(workload="w", speedup=0.25,
+                      rename_stall_fraction=0.125)
+        assert row["workload"] == "w"
+        assert row.speedup == 0.25
+        assert list(row) == ["workload", "speedup", "rename_stall_fraction"]
+        assert "speedup" in row
+        assert row.get("missing", 42) == 42
+        assert dict(row.items()) == row.as_dict()
+
+    def test_renamed_export_keys(self):
+        row = Table3Row(parameter="BTB", value="8192 entries")
+        assert row.as_dict() == {"Parameter": "BTB", "Value": "8192 entries"}
+        assert row["Parameter"] == "BTB"
+
+    def test_render_table_accepts_rows(self):
+        rows = [
+            Fig3Row(workload="a", speedup=0.1, rename_stall_fraction=0.2),
+            Fig3Row(workload="b", speedup=0.3, rename_stall_fraction=0.4),
+        ]
+        text = render_table(rows, title="T")
+        assert "workload" in text and "0.300" in text
+
+    def test_export_csv_accepts_rows_and_stats(self, tmp_path):
+        rows = [Fig3Row(workload="a", speedup=0.1,
+                        rename_stall_fraction=0.2)]
+        path = tmp_path / "rows.csv"
+        export_csv(rows, path)
+        header, line = path.read_text().strip().splitlines()
+        assert header == "workload,speedup,rename_stall_fraction"
+        assert line.startswith("a,0.1")
+
+        stats = SimStats()
+        stats.cycles = 10
+        stats.instructions_retired = 20
+        stats_path = tmp_path / "stats.csv"
+        export_csv([stats], stats_path)
+        text = stats_path.read_text()
+        assert "ipc" in text and "2.0" in text
+
+
+class TestSimStatsMerge:
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = SimStats(), SimStats()
+        a.cycles, b.cycles = 100, 50
+        a.instructions_retired, b.instructions_retired = 200, 40
+        a.load_latency_trace = [(1, 4)]
+        b.load_latency_trace = [(2, 300)]
+        a.occupancy_histograms = {"active_list": {3: 10, 4: 5}}
+        b.occupancy_histograms = {"active_list": {4: 2}, "rob_pkru": {0: 50}}
+        merged = a.merge(b)
+        assert merged.cycles == 150
+        assert merged.instructions_retired == 240
+        assert merged.ipc == 240 / 150
+        assert merged.load_latency_trace == [(1, 4), (2, 300)]
+        assert merged.occupancy_histograms == {
+            "active_list": {3: 10, 4: 7},
+            "rob_pkru": {0: 50},
+        }
+        # Inputs untouched.
+        assert a.cycles == 100 and b.cycles == 50
+
+    def test_as_dict_excludes_structured_fields(self):
+        stats = SimStats()
+        flat = stats.as_dict()
+        assert "load_latency_trace" not in flat
+        assert "occupancy_histograms" not in flat
+        assert set(BUCKETS).isdisjoint(flat)  # buckets live on the report
+        assert "ipc" in flat

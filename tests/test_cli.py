@@ -27,6 +27,45 @@ class TestRun:
                   "--instructions", "1000"])
 
 
+class TestTrace:
+    """End-to-end smoke of the observability layer via the CLI."""
+
+    def test_traced_run_emits_all_artifacts(self, tmp_path, capsys):
+        import json
+
+        assert main([
+            "trace", "557.xz_r (SS)", "--policy", "specmpk",
+            "--instructions", "2000", "--warmup", "500",
+            "--out", str(tmp_path), "--last", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        # Top-down report printed and reconciled.
+        assert "top-down CPI accounting" in out
+        assert "reconciliation error 0.00%" in out
+        # Chrome trace is valid JSON with real content.
+        json_files = list(tmp_path.glob("*.trace.json"))
+        assert len(json_files) == 1
+        doc = json.loads(json_files[0].read_text())
+        assert doc["traceEvents"]
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        # Konata-style text view written and printed.
+        text_files = list(tmp_path.glob("*.pipeline.txt"))
+        assert len(text_files) == 1
+        assert "pipeline view" in text_files[0].read_text()
+        assert "pipeline view" in out
+
+    def test_single_format_selection(self, tmp_path, capsys):
+        assert main([
+            "trace", "557.xz_r (SS)", "--instructions", "1500",
+            "--warmup", "300", "--out", str(tmp_path),
+            "--format", "topdown",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "top-down CPI accounting" in out
+        assert not list(tmp_path.glob("*.json"))
+        assert not list(tmp_path.glob("*.pipeline.txt"))
+
+
 class TestAttack:
     def test_v1_attack_reports_all_policies(self, capsys):
         assert main(["attack", "v1"]) == 0  # 0: leaked under NonSecure
