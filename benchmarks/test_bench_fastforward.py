@@ -1,0 +1,98 @@
+"""Fast-forward benchmark: checkpointed vs full-prefix ``weighted_ipc``.
+
+The checkpointed SimPoint path (functional fast-forward + warm-touch
+replay + short detailed warmup) must reproduce the full-prefix timing
+path's weighted IPC within 2% on *every* workload profile while being
+at least 3x faster overall — otherwise the fast path is not a drop-in
+replacement for the paper's methodology.  Writes the per-profile
+comparison to ``benchmarks/results/fastforward_speedup.txt``.
+"""
+
+import time
+
+from repro.harness import render_table
+from repro.simpoint import collect_bbv, select_simpoints, weighted_ipc
+from repro.workloads import ALL_PROFILES, build_workload
+
+INTERVAL_LENGTH = 2_000
+PROFILE_INSTRUCTIONS = 40_000
+TOP_N = 3
+
+
+def _compare_profile(profile):
+    workload = build_workload(profile)
+    bbv = collect_bbv(
+        workload.program,
+        interval_length=INTERVAL_LENGTH,
+        max_instructions=PROFILE_INSTRUCTIONS,
+        pkru=workload.initial_pkru,
+    )
+    selection = select_simpoints(bbv, top_n=TOP_N)
+
+    start = time.perf_counter()
+    full = weighted_ipc(
+        workload.program, selection,
+        initial_pkru=workload.initial_pkru, fastforward=False,
+    )
+    full_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fast = weighted_ipc(
+        workload.program, selection,
+        initial_pkru=workload.initial_pkru,
+    )
+    fast_seconds = time.perf_counter() - start
+
+    return {
+        "workload": profile.label,
+        "full_ipc": full,
+        "fast_ipc": fast,
+        "error": abs(fast - full) / full,
+        "full_seconds": full_seconds,
+        "fast_seconds": fast_seconds,
+    }
+
+
+def test_fastforward_accuracy_and_speedup(benchmark, save_result):
+    rows = benchmark.pedantic(
+        lambda: [_compare_profile(profile) for profile in ALL_PROFILES],
+        rounds=1, iterations=1,
+    )
+
+    full_total = sum(row["full_seconds"] for row in rows)
+    fast_total = sum(row["fast_seconds"] for row in rows)
+    speedup = full_total / fast_total
+    save_result(
+        "fastforward_speedup",
+        render_table(
+            [
+                {
+                    "workload": row["workload"],
+                    "full IPC": f"{row['full_ipc']:.4f}",
+                    "ckpt IPC": f"{row['fast_ipc']:.4f}",
+                    "error": f"{row['error']:.2%}",
+                    "speedup": (
+                        f"{row['full_seconds'] / row['fast_seconds']:.1f}x"
+                    ),
+                }
+                for row in rows
+            ],
+            title=(
+                "Checkpointed vs full-prefix weighted IPC "
+                f"(total {full_total:.1f}s -> {fast_total:.1f}s, "
+                f"{speedup:.1f}x)"
+            ),
+        ),
+    )
+
+    # Acceptance: within 2% IPC on every profile, >= 3x faster overall.
+    for row in rows:
+        assert row["error"] <= 0.02, (
+            f"{row['workload']}: checkpointed IPC {row['fast_ipc']:.4f} "
+            f"vs full-prefix {row['full_ipc']:.4f} "
+            f"({row['error']:.2%} > 2%)"
+        )
+    assert speedup >= 3.0, (
+        f"checkpointed path only {speedup:.2f}x faster "
+        f"({full_total:.1f}s vs {fast_total:.1f}s)"
+    )

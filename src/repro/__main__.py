@@ -7,6 +7,10 @@ Commands:
 * ``trace`` — traced run: top-down CPI report, Chrome trace JSON,
   Konata-style pipeline view.
 * ``attack`` — run a transient-execution PoC across policies.
+* ``checkpoint`` — functionally fast-forward a workload and write a
+  picklable resume point (optionally resume the timing core from it).
+* ``simpoint`` — SimPoint flow: profile BBVs, cluster, checkpoint the
+  representatives, report the weighted IPC per policy.
 * ``reproduce`` — regenerate paper tables/figures into a directory.
 """
 
@@ -35,6 +39,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="all",
     )
     run_parser.add_argument("--instructions", type=int, default=None)
+    run_parser.add_argument(
+        "--fastforward", action="store_true",
+        help="run the warmup window on the functional emulator",
+    )
     run_parser.add_argument(
         "--json", action="store_true",
         help="emit machine-readable statistics instead of the report",
@@ -92,6 +100,54 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="print the generated assembly listing and exit",
     )
 
+    ckpt_parser = sub.add_parser(
+        "checkpoint", help="fast-forward a workload to a checkpoint file"
+    )
+    ckpt_parser.add_argument("label", help='e.g. "520.omnetpp_r (SS)"')
+    ckpt_parser.add_argument(
+        "--at", type=int, default=50_000,
+        help="instructions to fast-forward before checkpointing",
+    )
+    ckpt_parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="checkpoint file (default: results/<label>.ckpt)",
+    )
+    ckpt_parser.add_argument(
+        "--policy", choices=["serialized", "nonsecure_spec", "specmpk"],
+        default="specmpk", help="core policy used with --measure",
+    )
+    ckpt_parser.add_argument(
+        "--measure", type=int, default=0,
+        help="resume the timing core from the written checkpoint and "
+             "measure this many instructions",
+    )
+
+    simpoint_parser = sub.add_parser(
+        "simpoint",
+        help="SimPoint flow: profile, cluster, measure weighted IPC",
+    )
+    simpoint_parser.add_argument("label", help='e.g. "520.omnetpp_r (SS)"')
+    simpoint_parser.add_argument(
+        "--policy", choices=["serialized", "nonsecure_spec", "specmpk",
+                             "all"],
+        default="all",
+    )
+    simpoint_parser.add_argument("--interval-length", type=int,
+                                 default=10_000)
+    simpoint_parser.add_argument("--profile-instructions", type=int,
+                                 default=200_000)
+    simpoint_parser.add_argument("--top-n", type=int, default=5)
+    simpoint_parser.add_argument(
+        "--no-fastforward", action="store_true",
+        help="timing-simulate every interval prefix (slow accuracy "
+             "reference) instead of resuming from checkpoints",
+    )
+    simpoint_parser.add_argument(
+        "--parallel", action="store_true",
+        help="measure the intervals in parallel worker processes",
+    )
+    simpoint_parser.add_argument("--json", action="store_true")
+
     repro_parser = sub.add_parser(
         "reproduce", help="regenerate paper tables/figures"
     )
@@ -116,6 +172,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_attack(args)
     if args.command == "compile":
         return _cmd_compile(args)
+    if args.command == "checkpoint":
+        return _cmd_checkpoint(args)
+    if args.command == "simpoint":
+        return _cmd_simpoint(args)
     if args.command == "reproduce":
         return _cmd_reproduce(args)
     return 2  # pragma: no cover - argparse enforces the choices
@@ -141,7 +201,7 @@ def _cmd_run(args) -> int:
     import json
 
     from repro.core import WrpkruPolicy
-    from repro.harness import run_workload
+    from repro.harness import RunRequest, execute
 
     policies = (
         list(WrpkruPolicy)
@@ -151,8 +211,12 @@ def _cmd_run(args) -> int:
     baseline = None
     json_out = {}
     for policy in policies:
-        stats = run_workload(args.label, policy,
-                             instructions=args.instructions)
+        stats = execute(RunRequest(
+            workload=args.label,
+            policy=policy,
+            instructions=args.instructions,
+            fastforward=args.fastforward,
+        )).stats
         if baseline is None:
             baseline = stats.ipc
         if args.json:
@@ -278,6 +342,120 @@ def _cmd_compile(args) -> int:
         )
         print(f"{policy.value:15s}: main() = {value} "
               f"({sim.stats.cycles} cycles, IPC {sim.stats.ipc:.2f})")
+    return 0
+
+
+def _cmd_checkpoint(args) -> int:
+    from repro.core import CoreConfig, WrpkruPolicy
+    from repro.isa.emulator import Emulator
+    from repro.state import (
+        Checkpoint,
+        CheckpointError,
+        WarmTouch,
+        fast_forward,
+        resume_simulator,
+        take_checkpoint,
+    )
+    from repro.workloads import build_workload, profile_by_label
+
+    workload = build_workload(profile_by_label(args.label))
+    emulator = Emulator(workload.program, pkru=workload.initial_pkru)
+    warm = WarmTouch()
+    executed = fast_forward(emulator, args.at, warm=warm)
+    try:
+        checkpoint = take_checkpoint(
+            emulator, label=f"{args.label} @ {executed}", warm=warm
+        )
+    except CheckpointError as error:
+        print(f"error: {error} (program halted after {executed} "
+              "instructions)")
+        return 1
+    stem = args.label.replace(" ", "_").replace("(", "").replace(")", "")
+    out = args.out or pathlib.Path("results") / f"{stem}.ckpt"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    checkpoint.dump(out)
+    image = checkpoint.snapshot.memory
+    print(f"checkpoint written to {out}")
+    print(f"  position    : {checkpoint.instructions} instructions")
+    print(f"  pc          : {checkpoint.snapshot.pc}")
+    print(f"  pkru        : {checkpoint.snapshot.pkru:#06x}")
+    print(f"  dirty pages : {image.dirty_pages()} "
+          f"(chain depth {image.chain_length()})")
+    print(f"  size        : {out.stat().st_size} bytes")
+    if args.measure:
+        config = CoreConfig(wrpkru_policy=WrpkruPolicy(args.policy))
+        sim = resume_simulator(
+            workload.program, Checkpoint.load(out), config=config
+        )
+        result = sim.run(
+            max_cycles=500 * (args.measure + 1),
+            max_instructions=args.measure,
+        )
+        if result.fault is not None:
+            print(f"resumed run faulted: {result.fault}")
+            return 1
+        print(f"resumed {args.policy}: {result.stats.instructions_retired} "
+              f"instructions in {result.stats.cycles} cycles "
+              f"(IPC {result.stats.ipc:.3f})")
+    return 0
+
+
+def _cmd_simpoint(args) -> int:
+    import json
+
+    from repro.core import CoreConfig, WrpkruPolicy
+    from repro.simpoint import collect_bbv, select_simpoints, weighted_ipc
+    from repro.workloads import build_workload, profile_by_label
+
+    workload = build_workload(profile_by_label(args.label))
+    profile = collect_bbv(
+        workload.program,
+        interval_length=args.interval_length,
+        max_instructions=args.profile_instructions,
+        pkru=workload.initial_pkru,
+    )
+    selection = select_simpoints(profile, top_n=args.top_n)
+    policies = (
+        list(WrpkruPolicy)
+        if args.policy == "all"
+        else [WrpkruPolicy(args.policy)]
+    )
+    ipcs = {
+        policy: weighted_ipc(
+            workload.program,
+            selection,
+            CoreConfig(wrpkru_policy=policy),
+            initial_pkru=workload.initial_pkru,
+            fastforward=not args.no_fastforward,
+            parallel=args.parallel,
+        )
+        for policy in policies
+    }
+    if args.json:
+        print(json.dumps({
+            "workload": args.label,
+            "interval_length": selection.interval_length,
+            "points": [
+                {"interval": p.interval_index, "weight": p.weight,
+                 "cluster": p.cluster}
+                for p in selection.points
+            ],
+            "fastforward": not args.no_fastforward,
+            "weighted_ipc": {
+                policy.value: ipc for policy, ipc in ipcs.items()
+            },
+        }, indent=2))
+        return 0
+    print(f"=== {args.label}: {len(selection.points)} simpoints over "
+          f"{selection.num_intervals} intervals of "
+          f"{selection.interval_length} instructions ===")
+    for point in selection.points:
+        print(f"  interval {point.interval_index:4d}  "
+              f"weight {point.weight:.3f}  cluster {point.cluster}")
+    mode = "full-prefix" if args.no_fastforward else "checkpointed"
+    print(f"\nweighted IPC ({mode}):")
+    for policy, ipc in ipcs.items():
+        print(f"  {policy.value:15s}: {ipc:.4f}")
     return 0
 
 

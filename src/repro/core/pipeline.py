@@ -24,10 +24,10 @@ import heapq
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
-from ..isa.emulator import _ALU_EVAL, _BRANCH_EVAL, Emulator
+from ..isa.emulator import _ALU_EVAL, _BRANCH_EVAL, ArchState, Emulator
 from ..isa.opcodes import Opcode, latency_of
 from ..isa.program import Program
-from ..isa.registers import EAX, RA, to_u64
+from ..isa.registers import EAX, NUM_REGS, RA, to_u64
 from ..memory.address_space import AddressSpace
 from ..memory.hierarchy import MemoryHierarchy
 from ..memory.tlb import Tlb
@@ -52,7 +52,16 @@ class CosimMismatch(Exception):
 
 
 class Simulator:
-    """Cycle-level simulation of one program on the configured core."""
+    """Cycle-level simulation of one program on the configured core.
+
+    The machine starts from an arbitrary architectural state: by
+    default a fresh :class:`~repro.isa.emulator.ArchState` at the
+    program entry, or — via *start_state* — one rebuilt from a
+    checkpoint (registers seeded into the PRF through the identity
+    rename mapping, fetch redirected to its PC, PKRU installed in the
+    SpecMPK unit, its address space adopted).  *start_state* is
+    mutually exclusive with *address_space*/*initial_pkru*.
+    """
 
     def __init__(
         self,
@@ -61,6 +70,7 @@ class Simulator:
         address_space: Optional[AddressSpace] = None,
         initial_pkru: int = 0,
         trace: Optional[TraceCollector] = None,
+        start_state: Optional[ArchState] = None,
     ) -> None:
         self.program = program
         #: Observability sink (:mod:`repro.trace`).  ``None`` disables
@@ -69,9 +79,19 @@ class Simulator:
         self.config = config or CoreConfig()
         cfg = self.config
 
-        if address_space is None:
-            address_space = AddressSpace()
-            address_space.map_regions(program.regions)
+        if start_state is None:
+            if address_space is None:
+                address_space = AddressSpace()
+                address_space.map_regions(program.regions)
+            start_state = ArchState(address_space, pkru=initial_pkru)
+            start_state.pc = program.entry
+        else:
+            if address_space is not None:
+                raise ValueError(
+                    "pass either start_state or address_space, not both"
+                )
+            address_space = start_state.memory
+        self.start_state = start_state
         self.memory = address_space
         self.hierarchy = MemoryHierarchy(
             l1d=cfg.l1d,
@@ -89,6 +109,10 @@ class Simulator:
 
         self.prf = PhysRegFile(cfg.phys_regs)
         self.rename_tables = RenameTables(self.prf)
+        # Seed the start state's registers through the identity
+        # AMT/RMT mapping (r0 stays hardwired zero).
+        for lreg in range(1, NUM_REGS):
+            self.prf.values[lreg] = start_state.regs[lreg]
         self.predictor = BranchPredictor(
             btb_entries=cfg.btb_entries,
             ras_entries=cfg.ras_entries,
@@ -103,7 +127,7 @@ class Simulator:
         window = cfg.rob_pkru_size if policy is WrpkruPolicy.SPECMPK else (
             cfg.active_list_size
         )
-        self.specmpk = SpecMpkUnit(window, initial_pkru=initial_pkru)
+        self.specmpk = SpecMpkUnit(window, initial_pkru=start_state.pkru)
 
         # Pipeline structures.
         self.active_list: Deque[DynInst] = deque()
@@ -121,7 +145,7 @@ class Simulator:
 
         # Fetch state.
         self.cycle = 0
-        self.fetch_pc = program.entry
+        self.fetch_pc = start_state.pc
         self.fetch_resume_cycle = 0
         self.fetch_stopped = False
         self.next_seq = 0
@@ -131,12 +155,15 @@ class Simulator:
 
         self.stats = SimStats()
         self._cycle_base = 0
-        self.halted = False
+        self.halted = start_state.halted
         self._fault: Optional[BaseException] = None
         self._retired_this_run = 0
 
+        # The golden model checks every retire from the *same* start
+        # state the core was built from: a shared-memory clone, so it
+        # observes the words the core commits.
         self._cosim = (
-            Emulator(program, address_space=address_space, pkru=initial_pkru)
+            Emulator(program, state=start_state.clone(share_memory=True))
             if cfg.cosimulate
             else None
         )

@@ -23,12 +23,15 @@ remains as a thin wrapper over :func:`execute`.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import os
 from typing import Dict, Optional, Union
 
 from ..core.config import CoreConfig, WrpkruPolicy
 from ..core.pipeline import Simulator
 from ..core.stats import SimStats
+from ..isa.emulator import Emulator
+from ..state import WarmTouch, fast_forward
 from ..trace import (
     TopDownReport,
     TraceCollector,
@@ -91,6 +94,12 @@ class RunRequest:
     #: Core configuration; None = Table III with :attr:`policy` applied.
     config: Optional[CoreConfig] = None
     trace: TraceOptions = TraceOptions()
+    #: Run the warmup window on the functional emulator (with warm-touch
+    #: cache/TLB/predictor replay) instead of the timing core.  The
+    #: measurement then starts from the checkpointed state, so warmup
+    #: instructions never enter the pipeline — and never pollute the
+    #: top-down CPI buckets of a traced run.
+    fastforward: bool = False
 
     def replace(self, **overrides) -> "RunRequest":
         """A copy with *overrides* applied (workload/policy sweeps)."""
@@ -115,6 +124,7 @@ class RunMetadata:
     mode: InstrumentMode
     instructions: int
     warmup: int
+    fastforward: bool = False
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -123,6 +133,7 @@ class RunMetadata:
             "mode": self.mode.value,
             "instructions": self.instructions,
             "warmup": self.warmup,
+            "fastforward": self.fastforward,
         }
 
 
@@ -145,17 +156,32 @@ class RunResult:
         return topdown_from_collector(self.trace, self.stats)
 
 
+@functools.lru_cache(maxsize=64)
+def _build_cached(label: str, mode: InstrumentMode) -> GeneratedWorkload:
+    """Workload build cache, keyed on (profile label, instrument mode).
+
+    ``build_workload`` is deterministic and the result is never mutated
+    by a run (every simulator maps its own address space from the
+    program's regions), so one build serves a whole ``sweep_policies``
+    grid — each label/mode pair is assembled once, not once per policy.
+    """
+    return build_workload(profile_by_label(label), mode)
+
+
 def execute(request: RunRequest) -> RunResult:
     """Simulate one :class:`RunRequest` and return its :class:`RunResult`.
 
     Builds the synthetic workload (deterministically, so every policy
     executes identical code), pre-warms the TLB, runs the warmup
-    window, then measures the requested instruction budget.
+    window, then measures the requested instruction budget.  With
+    ``request.fastforward`` the warmup window runs on the functional
+    emulator and the timing core starts from the resulting
+    architectural state.
     """
     workload = request.workload
     if isinstance(workload, str):
-        workload = profile_by_label(workload)
-    if isinstance(workload, WorkloadProfile):
+        workload = _build_cached(workload, request.mode)
+    elif isinstance(workload, WorkloadProfile):
         workload = build_workload(workload, request.mode)
     instructions = request.resolved_instructions()
     warmup = request.resolved_warmup()
@@ -166,16 +192,30 @@ def execute(request: RunRequest) -> RunResult:
         config = config.replace(wrpkru_policy=request.policy)
 
     collector = request.trace.make_collector()
-    sim = Simulator(
-        workload.program, config,
-        initial_pkru=workload.initial_pkru,
-        trace=collector,
-    )
-    sim.prewarm_tlb()
+    if request.fastforward and warmup:
+        emulator = Emulator(workload.program, pkru=workload.initial_pkru)
+        warm = WarmTouch()
+        fast_forward(emulator, warmup, warm=warm)
+        sim = Simulator(
+            workload.program, config,
+            start_state=emulator.state,
+            trace=collector,
+        )
+        sim.prewarm_tlb()
+        warm.summary().apply(sim)
+        timed_warmup = 0
+    else:
+        sim = Simulator(
+            workload.program, config,
+            initial_pkru=workload.initial_pkru,
+            trace=collector,
+        )
+        sim.prewarm_tlb()
+        timed_warmup = warmup
     result = sim.run(
         max_cycles=200 * (instructions + warmup),
         max_instructions=instructions,
-        warmup_instructions=warmup,
+        warmup_instructions=timed_warmup,
     )
     if result.fault is not None:
         raise RuntimeError(
@@ -187,5 +227,6 @@ def execute(request: RunRequest) -> RunResult:
         mode=request.mode,
         instructions=instructions,
         warmup=warmup,
+        fastforward=request.fastforward,
     )
     return RunResult(stats=result.stats, metadata=metadata, trace=collector)

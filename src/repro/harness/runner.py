@@ -12,6 +12,7 @@ emits a :class:`DeprecationWarning` pointing at the request API.
 from __future__ import annotations
 
 import dataclasses
+import math
 import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -181,10 +182,17 @@ def normalized_ipc(
 
 
 def geomean(values: List[float]) -> float:
-    """Geometric mean (the paper's average speedup aggregation)."""
+    """Geometric mean (the paper's average speedup aggregation).
+
+    Accumulates in log space: a running ``product *=`` underflows to
+    0.0 (or overflows to inf) long before realistic sweep sizes — e.g.
+    a few thousand ratios around 1e-2 — while ``fsum`` of logs is exact
+    to the last bit.
+    """
     if not values:
         return 0.0
-    product = 1.0
-    for value in values:
-        product *= value
-    return product ** (1.0 / len(values))
+    if any(value == 0.0 for value in values):
+        return 0.0
+    return math.exp(
+        math.fsum(math.log(value) for value in values) / len(values)
+    )

@@ -24,7 +24,14 @@ class EmulatorLimitExceeded(Exception):
 
 
 class ArchState:
-    """Architectural machine state: registers, PC, PKRU, memory."""
+    """Architectural machine state: registers, PC, PKRU, memory.
+
+    This is the shared state abstraction of :mod:`repro.state`: every
+    execution engine (the functional emulator, the detailed simulator's
+    ``start_state``, the cosimulation check) operates on one of these.
+    :meth:`snapshot` / :meth:`restore` freeze and revive it with
+    dirty-page copy-on-write memory images.
+    """
 
     def __init__(self, address_space: AddressSpace, pkru: int = 0) -> None:
         self.regs = [0] * NUM_REGS
@@ -40,6 +47,60 @@ class ArchState:
         if index != 0:  # r0 is hardwired zero
             self.regs[index] = to_u64(value)
 
+    # -- snapshot / restore ------------------------------------------------
+
+    def snapshot(self):
+        """Freeze into a picklable :class:`repro.state.ArchSnapshot`."""
+        from ..state.archstate import ArchSnapshot  # lazy: state imports us
+
+        return ArchSnapshot(
+            regs=tuple(self.regs),
+            pc=self.pc,
+            pkru=self.pkru,
+            halted=self.halted,
+            memory=self.memory.snapshot_image(),
+            page_generation=self.memory.page_table.generation,
+        )
+
+    def restore(self, snapshot) -> None:
+        """Rewind this state (including memory) to *snapshot*.
+
+        The snapshot must have been taken on an address space with the
+        same protection layout — the memory image holds data words, not
+        page-table entries."""
+        from ..state.archstate import StateMismatch  # lazy: state imports us
+
+        if snapshot.page_generation != self.memory.page_table.generation:
+            raise StateMismatch(
+                "snapshot page-table generation "
+                f"{snapshot.page_generation} != current "
+                f"{self.memory.page_table.generation}"
+            )
+        self.regs = list(snapshot.regs)
+        self.pc = snapshot.pc
+        self.pkru = snapshot.pkru
+        self.halted = snapshot.halted
+        self.memory.restore_image(snapshot.memory)
+
+    def clone(self, share_memory: bool = False) -> "ArchState":
+        """Copy registers/PC/PKRU; share or fork the memory.
+
+        With ``share_memory`` the clone aliases this state's address
+        space (the cosimulation check uses this: the golden model reads
+        the words the core committed).  Otherwise the clone gets its own
+        :class:`~repro.memory.address_space.AddressSpace` seeded from a
+        copy-on-write snapshot, sharing the page table object."""
+        if share_memory:
+            memory = self.memory
+        else:
+            memory = AddressSpace(page_table=self.memory.page_table)
+            memory.restore_image(self.memory.snapshot_image())
+        clone = ArchState(memory, pkru=self.pkru)
+        clone.regs = list(self.regs)
+        clone.pc = self.pc
+        clone.halted = self.halted
+        return clone
+
 
 class Emulator:
     """Single-stepping architectural interpreter.
@@ -49,6 +110,10 @@ class Emulator:
         address_space: Pre-built memory image; when None one is created
             from the program's data regions.
         pkru: Initial PKRU value.
+        state: Adopt an existing :class:`ArchState` (e.g. one rebuilt
+            from a checkpoint) instead of building a fresh one at the
+            program entry point.  Mutually exclusive with
+            ``address_space``/``pkru``.
         fault_handler: Optional callback invoked with the raised
             :class:`MemoryFault`; returning True means "handled,
             retry/skip": the faulting instruction is *skipped* and
@@ -63,13 +128,19 @@ class Emulator:
         address_space: Optional[AddressSpace] = None,
         pkru: int = 0,
         fault_handler: Optional[Callable[[MemoryFault, "ArchState"], bool]] = None,
+        state: Optional[ArchState] = None,
     ) -> None:
         self.program = program
-        if address_space is None:
-            address_space = AddressSpace()
-            address_space.map_regions(program.regions)
-        self.state = ArchState(address_space, pkru=pkru)
-        self.state.pc = program.entry
+        if state is not None:
+            if address_space is not None:
+                raise ValueError("pass either state or address_space, not both")
+            self.state = state
+        else:
+            if address_space is None:
+                address_space = AddressSpace()
+                address_space.map_regions(program.regions)
+            self.state = ArchState(address_space, pkru=pkru)
+            self.state.pc = program.entry
         self.fault_handler = fault_handler
         self.instructions_executed = 0
         self.wrpkru_executed = 0

@@ -2,10 +2,11 @@
 
 from .address_space import AddressSpace
 from .page_table import PAGE_SHIFT, PAGE_SIZE, PageTable, PageTableEntry, vpn_of
-from .physical import WORD_SIZE, PhysicalMemory
+from .physical import WORD_SIZE, MemoryImage, PhysicalMemory
 
 __all__ = [
     "AddressSpace",
+    "MemoryImage",
     "PAGE_SHIFT",
     "PAGE_SIZE",
     "PageTable",

@@ -7,18 +7,23 @@ on top for latency; correctness (values, faults) always comes from here.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 from ..mpk.permissions import READ, WRITE, check_access
 from .page_table import PAGE_SIZE, PageTable
-from .physical import WORD_SIZE, PhysicalMemory
+from .physical import WORD_SIZE, MemoryImage, PhysicalMemory
 
 
 class AddressSpace:
-    """One process's memory image."""
+    """One process's memory image.
 
-    def __init__(self) -> None:
-        self.page_table = PageTable()
+    An existing *page_table* may be shared between address spaces whose
+    protection layout is identical (state clones, checkpoint resumes):
+    only the physical words are per-space.
+    """
+
+    def __init__(self, page_table: Optional[PageTable] = None) -> None:
+        self.page_table = PageTable() if page_table is None else page_table
         self.physical = PhysicalMemory()
 
     # -- setup ------------------------------------------------------------
@@ -82,5 +87,18 @@ class AddressSpace:
     def snapshot(self):
         return self.physical.snapshot()
 
+    # -- checkpointing ------------------------------------------------------
 
-__all__ = ["AddressSpace", "PAGE_SIZE", "WORD_SIZE"]
+    def snapshot_image(self) -> MemoryImage:
+        """Dirty-page CoW image of the data contents (see
+        :class:`~repro.memory.physical.MemoryImage`).  The page table is
+        not captured: protection layout is program-defined setup state,
+        so a restore target must be mapped identically (checked via the
+        page-table generation in :class:`repro.state.ArchSnapshot`)."""
+        return self.physical.snapshot_image()
+
+    def restore_image(self, image: MemoryImage) -> None:
+        self.physical.restore_image(image)
+
+
+__all__ = ["AddressSpace", "MemoryImage", "PAGE_SIZE", "WORD_SIZE"]

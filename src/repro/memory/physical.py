@@ -3,16 +3,75 @@
 Addresses must be 8-byte aligned; the ISA has a single LD/ST width.
 Unaligned accesses raise :class:`AlignmentFault`, which doubles as an
 invariant check on the synthetic workload generators.
+
+Snapshotting: :meth:`PhysicalMemory.snapshot_image` captures the memory
+as an immutable :class:`MemoryImage`.  Images form a copy-on-write
+chain — after the first (full) image, each subsequent one stores only
+the pages written since its parent was taken, sharing every clean page
+by reference.  Fast-forwarding a program and checkpointing it at many
+interval boundaries therefore costs O(dirty pages) per checkpoint, not
+O(footprint).
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional, Set
 
 from ..mpk.faults import AlignmentFault
 
 WORD_SIZE = 8
 MASK64 = (1 << 64) - 1
+
+#: Snapshot granularity: one dirty bit per 4 KiB page, matching the
+#: page table so a checkpoint's unit of sharing is the MMU page.
+_PAGE_SHIFT = 12
+
+
+class MemoryImage:
+    """One immutable snapshot in a copy-on-write chain.
+
+    ``pages`` maps page number -> ``{address: word}`` for every page
+    dirtied since ``parent`` was captured (for a root image: every
+    non-empty page).  A page present in a child completely overrides
+    the parent's version of that page.  Images are picklable, so they
+    can cross process boundaries inside a checkpoint.
+    """
+
+    __slots__ = ("parent", "pages")
+
+    def __init__(
+        self,
+        parent: Optional["MemoryImage"],
+        pages: Dict[int, Dict[int, int]],
+    ) -> None:
+        self.parent = parent
+        self.pages = pages
+
+    def materialize(self) -> Dict[int, int]:
+        """Flatten the chain into a fresh ``{address: word}`` dict."""
+        merged: Dict[int, Dict[int, int]] = {}
+        node: Optional[MemoryImage] = self
+        while node is not None:
+            for page, words in node.pages.items():
+                if page not in merged:  # youngest version wins
+                    merged[page] = words
+            node = node.parent
+        flat: Dict[int, int] = {}
+        for words in merged.values():
+            flat.update(words)
+        return flat
+
+    def chain_length(self) -> int:
+        length = 0
+        node: Optional[MemoryImage] = self
+        while node is not None:
+            length += 1
+            node = node.parent
+        return length
+
+    def dirty_pages(self) -> int:
+        """Pages stored in this link only (full footprint for a root)."""
+        return len(self.pages)
 
 
 class PhysicalMemory:
@@ -20,6 +79,10 @@ class PhysicalMemory:
 
     def __init__(self) -> None:
         self._words: Dict[int, int] = {}
+        #: Pages written since the last :meth:`snapshot_image` (or ever,
+        #: before the first snapshot).
+        self._dirty_pages: Set[int] = set()
+        self._last_image: Optional[MemoryImage] = None
 
     def check_alignment(self, address: int, access: str) -> None:
         if address % WORD_SIZE != 0:
@@ -32,10 +95,44 @@ class PhysicalMemory:
     def write_word(self, address: int, value: int) -> None:
         self.check_alignment(address, "write")
         self._words[address] = value & MASK64
+        self._dirty_pages.add(address >> _PAGE_SHIFT)
 
     def snapshot(self) -> Dict[int, int]:
         """Copy of all non-zero words (for golden-model comparison)."""
         return {addr: value for addr, value in self._words.items() if value}
+
+    # -- copy-on-write imaging --------------------------------------------
+
+    def _pages_of(self, page_numbers) -> Dict[int, Dict[int, int]]:
+        pages: Dict[int, Dict[int, int]] = {page: {} for page in page_numbers}
+        for address, value in self._words.items():
+            page = address >> _PAGE_SHIFT
+            if page in pages:
+                pages[page][address] = value
+        return pages
+
+    def snapshot_image(self) -> MemoryImage:
+        """Capture the current contents as a :class:`MemoryImage`.
+
+        The first image is a full copy; each later one stores only the
+        pages dirtied since the previous image and chains to it.
+        """
+        if self._last_image is None:
+            all_pages = {addr >> _PAGE_SHIFT for addr in self._words}
+            image = MemoryImage(None, self._pages_of(all_pages))
+        else:
+            image = MemoryImage(
+                self._last_image, self._pages_of(self._dirty_pages)
+            )
+        self._last_image = image
+        self._dirty_pages.clear()
+        return image
+
+    def restore_image(self, image: MemoryImage) -> None:
+        """Reset the contents to *image* (continuing its CoW chain)."""
+        self._words = image.materialize()
+        self._last_image = image
+        self._dirty_pages.clear()
 
     def __len__(self) -> int:
         return len(self._words)

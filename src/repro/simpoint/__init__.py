@@ -5,6 +5,7 @@ from .kmeans import Clustering, bic_score, choose_k, kmeans
 from .simpoint import (
     SimPoint,
     SimPointSelection,
+    checkpoint_intervals,
     select_simpoints,
     simpoint_ipc,
     weighted_ipc,
@@ -16,6 +17,7 @@ __all__ = [
     "SimPoint",
     "SimPointSelection",
     "bic_score",
+    "checkpoint_intervals",
     "choose_k",
     "collect_bbv",
     "kmeans",

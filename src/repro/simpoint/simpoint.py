@@ -10,13 +10,16 @@ in detail on the timing core.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from typing import List, NamedTuple, Optional
 
 import numpy as np
 
 from ..core.config import CoreConfig
 from ..core.pipeline import Simulator
+from ..isa.emulator import Emulator
 from ..isa.program import Program
+from ..state import Checkpoint, WarmTouch, fast_forward, resume_simulator, take_checkpoint
 from .bbv import BbvProfile, collect_bbv
 from .kmeans import choose_k
 
@@ -72,37 +75,129 @@ def select_simpoints(
     return SimPointSelection(points, profile.interval_length, n)
 
 
+def checkpoint_intervals(
+    program: Program,
+    selection: SimPointSelection,
+    initial_pkru: int = 0,
+    warmup_fraction: float = 0.2,
+) -> List[Optional[Checkpoint]]:
+    """Fast-forward the program ONCE, checkpointing every simpoint.
+
+    Each checkpoint is taken ``interval_length * warmup_fraction``
+    instructions before its interval so a short detailed warmup can
+    precede measurement; the functional prefix feeds a
+    :class:`~repro.state.WarmTouch` collector whose summary rides along
+    in the checkpoint.  Returns one (picklable)
+    :class:`~repro.state.Checkpoint` per selection point, in selection
+    order; an entry is None only if the program halted before its
+    position was reached.
+    """
+    length = selection.interval_length
+    warmup = int(length * warmup_fraction)
+    targets = sorted(
+        (max(0, point.interval_index * length - warmup), index)
+        for index, point in enumerate(selection.points)
+    )
+    emulator = Emulator(program, pkru=initial_pkru)
+    warm = WarmTouch()
+    checkpoints: List[Optional[Checkpoint]] = [None] * len(selection.points)
+    executed = 0
+    for position, index in targets:
+        if position > executed:
+            executed += fast_forward(emulator, position - executed, warm=warm)
+        if emulator.state.halted:
+            break  # program ended before this simpoint; leave it None
+        point = selection.points[index]
+        checkpoints[index] = take_checkpoint(
+            emulator, label=f"interval {point.interval_index}", warm=warm
+        )
+    return checkpoints
+
+
+def _measure_interval(job) -> float:
+    """Resume one checkpoint and measure its interval's IPC.
+
+    Module-level (not a closure) so the parallel path can pickle it
+    into :class:`~concurrent.futures.ProcessPoolExecutor` workers.
+    """
+    program, config, checkpoint, warmup_instructions, length = job
+    sim = resume_simulator(program, checkpoint, config=config)
+    sim.run(
+        max_cycles=500 * (warmup_instructions + length + 1),
+        max_instructions=length,
+        warmup_instructions=warmup_instructions,
+    )
+    return sim.stats.ipc
+
+
 def weighted_ipc(
     program: Program,
     selection: SimPointSelection,
     config: Optional[CoreConfig] = None,
     initial_pkru: int = 0,
     warmup_fraction: float = 0.2,
+    fastforward: bool = True,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
 ) -> float:
     """Detailed-simulate each simpoint and combine IPCs by weight.
 
-    Each interval is reached by fast-forwarding the timing simulator
-    (cheap at our scale; gem5 checkpoints serve this role in the paper)
-    with a short architectural warmup before measurement.
+    With *fastforward* (the default) the program runs functionally once,
+    checkpointing each representative (gem5 checkpoints serve this role
+    in the paper); each interval then gets a short detailed warmup of
+    ``interval_length * warmup_fraction`` instructions before
+    measurement, and — because checkpoints are picklable — the intervals
+    can be measured in *parallel* worker processes.
+
+    With ``fastforward=False`` the entire prefix of every interval is
+    timing-simulated (the pre-checkpoint behaviour, quadratic in
+    interval position; kept as the accuracy reference the fast path is
+    benchmarked against).
     """
     if config is None:
         config = CoreConfig()
-    del warmup_fraction  # the full prefix is simulated, warming as it goes
     length = selection.interval_length
-    total = 0.0
-    for point in selection.points:
+
+    if not fastforward:
+        total = 0.0
+        for point in selection.points:
+            start = point.interval_index * length
+            sim = Simulator(program, config, initial_pkru=initial_pkru)
+            sim.prewarm_tlb()
+            # Timing-simulate the prefix as warmup, then measure.
+            sim.run(
+                max_cycles=500 * (start + length + 1),
+                max_instructions=length,
+                warmup_instructions=start,
+            )
+            total += point.weight * sim.stats.ipc
+        return total
+
+    warmup = int(length * warmup_fraction)
+    checkpoints = checkpoint_intervals(
+        program, selection, initial_pkru, warmup_fraction
+    )
+    weights: List[float] = []
+    jobs = []
+    for point, checkpoint in zip(selection.points, checkpoints):
+        if checkpoint is None:
+            continue  # unreachable interval: renormalise over the rest
         start = point.interval_index * length
-        sim = Simulator(program, config, initial_pkru=initial_pkru)
-        sim.prewarm_tlb()
-        # Timing-simulate the prefix as warmup (gem5 checkpoints play
-        # this role in the paper), then measure the interval itself.
-        sim.run(
-            max_cycles=500 * (start + length + 1),
-            max_instructions=length,
-            warmup_instructions=start,
+        weights.append(point.weight)
+        jobs.append(
+            (program, config, checkpoint, start - checkpoint.instructions,
+             length)
         )
-        total += point.weight * sim.stats.ipc
-    return total
+    if not jobs:
+        raise ValueError("no simpoint interval was reachable")
+
+    if parallel and len(jobs) > 1:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            ipcs = list(pool.map(_measure_interval, jobs))
+    else:
+        ipcs = [_measure_interval(job) for job in jobs]
+    total_weight = sum(weights)
+    return sum(w * ipc for w, ipc in zip(weights, ipcs)) / total_weight
 
 
 def simpoint_ipc(
@@ -112,6 +207,8 @@ def simpoint_ipc(
     interval_length: int = 10_000,
     profile_instructions: int = 200_000,
     top_n: int = 5,
+    fastforward: bool = True,
+    parallel: bool = False,
 ) -> float:
     """End-to-end SimPoint flow: profile, select, simulate, combine."""
     profile = collect_bbv(
@@ -121,4 +218,11 @@ def simpoint_ipc(
         pkru=initial_pkru,
     )
     selection = select_simpoints(profile, top_n=top_n)
-    return weighted_ipc(program, selection, config, initial_pkru)
+    return weighted_ipc(
+        program,
+        selection,
+        config,
+        initial_pkru,
+        fastforward=fastforward,
+        parallel=parallel,
+    )

@@ -1,0 +1,42 @@
+"""Shared architectural-state layer: snapshots, fast-forward, checkpoints.
+
+One :class:`ArchState` abstraction now backs every execution engine —
+the functional :class:`~repro.isa.emulator.Emulator`, the detailed
+:class:`~repro.core.pipeline.Simulator` (via its ``start_state``
+parameter), and the per-retire cosimulation check.  On top of it:
+
+* :func:`fast_forward` — run warmup / SimPoint prefixes architecturally
+  (orders of magnitude faster than cycle-level simulation) while a
+  :class:`WarmTouch` collector records cache/TLB/branch warmth;
+* :class:`Checkpoint` — a picklable resume point
+  (:func:`take_checkpoint` / :func:`resume_simulator` /
+  :func:`resume_emulator`).
+
+See ``docs/fastforward.md`` for the design and accuracy caveats.
+"""
+
+from ..isa.emulator import ArchState
+from .archstate import ArchSnapshot, StateMismatch, materialize
+from .checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    resume_emulator,
+    resume_simulator,
+    take_checkpoint,
+)
+from .fastforward import WarmTouch, WarmupSummary, fast_forward
+
+__all__ = [
+    "ArchSnapshot",
+    "ArchState",
+    "Checkpoint",
+    "CheckpointError",
+    "StateMismatch",
+    "WarmTouch",
+    "WarmupSummary",
+    "fast_forward",
+    "materialize",
+    "resume_emulator",
+    "resume_simulator",
+    "take_checkpoint",
+]

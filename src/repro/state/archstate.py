@@ -1,0 +1,73 @@
+"""Snapshot types of the shared architectural-state layer.
+
+The live :class:`~repro.isa.emulator.ArchState` (re-exported as
+``repro.state.ArchState``) freezes into an :class:`ArchSnapshot` — a
+picklable value object whose memory is a dirty-page copy-on-write
+:class:`~repro.memory.physical.MemoryImage`.  Snapshots taken along one
+execution share clean pages, so checkpointing every SimPoint interval
+boundary costs O(pages dirtied since the last checkpoint), not
+O(footprint).
+
+This module deliberately imports only the memory substrate, keeping
+the dependency direction ``isa -> state.archstate -> memory`` acyclic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from ..memory.address_space import AddressSpace, MemoryImage
+
+
+@dataclasses.dataclass(frozen=True)
+class ArchSnapshot:
+    """A frozen, picklable architectural state.
+
+    ``page_generation`` records the page table's generation counter at
+    capture time; restoring onto an address space whose protection
+    layout has since changed is refused (the image holds data words
+    only, not PTEs).
+    """
+
+    regs: Tuple[int, ...]
+    pc: int
+    pkru: int
+    halted: bool
+    memory: MemoryImage
+    page_generation: int
+
+
+class StateMismatch(Exception):
+    """A snapshot was restored onto an incompatible address space."""
+
+
+def materialize(
+    snapshot: ArchSnapshot, regions, address_space: Optional[AddressSpace] = None
+):
+    """Rebuild a live :class:`ArchState` from a (possibly unpickled)
+    snapshot.
+
+    *regions* is the program's data-region list, used to reconstruct
+    the page table (protection layout) when *address_space* is not
+    supplied; the data words then come entirely from the snapshot's
+    memory image.
+    """
+    from ..isa.emulator import ArchState  # isa depends on this module
+
+    if address_space is None:
+        address_space = AddressSpace()
+        address_space.map_regions(regions)
+    if snapshot.page_generation != address_space.page_table.generation:
+        raise StateMismatch(
+            "snapshot and rebuilt address space disagree on page-table "
+            f"generation ({snapshot.page_generation} vs "
+            f"{address_space.page_table.generation}); was the protection "
+            "layout changed after the snapshot was taken?"
+        )
+    state = ArchState(address_space, pkru=snapshot.pkru)
+    state.regs = list(snapshot.regs)
+    state.pc = snapshot.pc
+    state.halted = snapshot.halted
+    address_space.restore_image(snapshot.memory)
+    return state

@@ -1,0 +1,93 @@
+"""Checkpoints: resumable points along one functional execution.
+
+A :class:`Checkpoint` bundles an :class:`~repro.state.ArchSnapshot`
+(registers, PC, PKRU, dirty-page memory image) with the
+:class:`~repro.state.WarmupSummary` collected up to that point and the
+instruction position it was taken at.  Checkpoints are picklable — the
+parallel SimPoint path ships them to worker processes, and the
+``repro checkpoint`` CLI writes them to disk — and are resumed on the
+detailed core via :func:`resume_simulator`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+from typing import Optional
+
+from ..isa.emulator import Emulator
+from ..isa.program import Program
+from .archstate import ArchSnapshot, materialize
+from .fastforward import WarmTouch, WarmupSummary
+
+
+class CheckpointError(Exception):
+    """A checkpoint could not be created or resumed."""
+
+
+@dataclasses.dataclass
+class Checkpoint:
+    """One resumable execution point (picklable)."""
+
+    #: Free-form description ("interval 7 of 520.omnetpp_r (SS)").
+    label: str
+    #: Instructions architecturally executed from program entry.
+    instructions: int
+    snapshot: ArchSnapshot
+    warmup: Optional[WarmupSummary] = None
+
+    def dump(self, path) -> None:
+        with open(path, "wb") as handle:
+            pickle.dump(self, handle)
+
+    @staticmethod
+    def load(path) -> "Checkpoint":
+        with open(path, "rb") as handle:
+            checkpoint = pickle.load(handle)
+        if not isinstance(checkpoint, Checkpoint):
+            raise CheckpointError(f"{path} does not contain a Checkpoint")
+        return checkpoint
+
+
+def take_checkpoint(
+    emulator: Emulator,
+    label: str = "",
+    warm: Optional[WarmTouch] = None,
+) -> Checkpoint:
+    """Snapshot *emulator*'s current architectural state."""
+    if emulator.state.halted:
+        raise CheckpointError("cannot checkpoint a halted program")
+    return Checkpoint(
+        label=label,
+        instructions=emulator.instructions_executed,
+        snapshot=emulator.state.snapshot(),
+        warmup=warm.summary() if warm is not None else None,
+    )
+
+
+def resume_emulator(program: Program, checkpoint: Checkpoint) -> Emulator:
+    """Rebuild a functional emulator positioned at *checkpoint*."""
+    state = materialize(checkpoint.snapshot, program.regions)
+    emulator = Emulator(program, state=state)
+    emulator.instructions_executed = checkpoint.instructions
+    return emulator
+
+
+def resume_simulator(
+    program: Program,
+    checkpoint: Checkpoint,
+    config=None,
+    trace=None,
+    apply_warmup: bool = True,
+):
+    """Build a detailed :class:`~repro.core.pipeline.Simulator` whose
+    architectural state is *checkpoint*'s, with the TLB pre-warmed and
+    the checkpoint's warm-touch summary applied."""
+    from ..core.pipeline import Simulator  # local: core depends on state
+
+    state = materialize(checkpoint.snapshot, program.regions)
+    sim = Simulator(program, config, start_state=state, trace=trace)
+    sim.prewarm_tlb()
+    if apply_warmup and checkpoint.warmup is not None:
+        checkpoint.warmup.apply(sim)
+    return sim

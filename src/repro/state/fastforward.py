@@ -1,0 +1,212 @@
+"""Functional fast-forward with lightweight warm-touch models.
+
+The golden :class:`~repro.isa.emulator.Emulator` executes ~two orders
+of magnitude faster than the cycle-level core, so warmup windows and
+SimPoint interval prefixes are run here.  Because a functionally
+executed instruction leaves no microarchitectural residue, a
+:class:`WarmTouch` collector rides along and records the *warmth* the
+skipped instructions would have created:
+
+* data cache lines, in LRU touch order (replayed into the hierarchy);
+* translated pages, in LRU touch order (replayed into the TLB);
+* conditional-branch outcomes with the global history at prediction
+  time (replayed into the direction predictor and BTB);
+* indirect-control targets (replayed into the BTB);
+* the live call stack (replayed into the RAS).
+
+These are *models*, not the real warmup: accuracy caveats are spelled
+out in ``docs/fastforward.md``.  A short detailed warmup after the
+fast-forward (see ``warmup_fraction`` in
+:func:`repro.simpoint.weighted_ipc`) absorbs most of the residual
+error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict, deque
+from typing import Optional, Tuple
+
+from ..isa.emulator import _BRANCH_EVAL, Emulator
+from ..isa.opcodes import Opcode
+from ..isa.registers import to_u64
+
+_GHIST_MASK = (1 << 64) - 1
+
+#: Byte address of instruction slot 0 on the fetch side — must match
+#: :attr:`repro.core.pipeline.Simulator.CODE_BASE`.
+CODE_BASE = 0x0100_0000
+_LINE = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class WarmupSummary:
+    """Frozen, picklable warm-touch record carried by a checkpoint."""
+
+    #: Data-side cache line base addresses, oldest touch first.
+    data_lines: Tuple[int, ...]
+    #: Instruction-side cache line base addresses, oldest first.
+    code_lines: Tuple[int, ...]
+    #: Touched page base addresses, oldest first (TLB refill order).
+    pages: Tuple[int, ...]
+    #: Conditional outcomes: (pc, ghist at predict, taken, target).
+    branches: Tuple[Tuple[int, int, bool, int], ...]
+    #: Indirect-control targets: (pc, target).
+    indirects: Tuple[Tuple[int, int], ...]
+    #: Global history register after the last conditional branch.
+    ghist: int
+    #: Live return-address stack, oldest call first.
+    ras: Tuple[int, ...]
+
+    def apply(self, sim) -> None:
+        """Replay the recorded warmth into a timing simulator.
+
+        Order matters: oldest touches first, so the most recent ones
+        end up most-recently-used, as they would after real execution.
+        """
+        for address in self.pages:
+            entry = sim.tlb.walk(address)
+            if entry is not None:
+                sim.tlb.fill(address, entry)
+        for line in self.data_lines:
+            sim.hierarchy.access(line)
+        if sim.hierarchy.l1i is not None:
+            for line in self.code_lines:
+                sim.hierarchy.fetch_access(line)
+        predictor = sim.predictor
+        for pc, ghist, taken, target in self.branches:
+            predictor.train_conditional(pc, ghist, taken, target)
+        for pc, target in self.indirects:
+            predictor.train_indirect(pc, target)
+        predictor.ghist = self.ghist
+        for address in self.ras:
+            predictor.ras.push(address)
+
+
+class WarmTouch:
+    """Bounded warm-touch collector fed by :func:`fast_forward`.
+
+    Every bound keeps the *most recent* entries, which are exactly the
+    ones whose microarchitectural state survives to the checkpoint.
+    """
+
+    def __init__(
+        self,
+        max_data_lines: int = 8192,
+        max_code_lines: int = 1024,
+        max_pages: int = 2048,
+        max_branches: int = 4096,
+        max_indirects: int = 1024,
+        ras_entries: int = 32,
+    ) -> None:
+        self.max_data_lines = max_data_lines
+        self.max_code_lines = max_code_lines
+        self.max_pages = max_pages
+        self._data_lines: OrderedDict = OrderedDict()
+        self._code_lines: OrderedDict = OrderedDict()
+        self._pages: OrderedDict = OrderedDict()
+        self.branches = deque(maxlen=max_branches)
+        self.indirects = deque(maxlen=max_indirects)
+        self.ghist = 0
+        self.ras_entries = ras_entries
+        self._ras: list = []
+
+    # -- recording (hot path) ---------------------------------------------
+
+    def _touch(self, table: OrderedDict, key: int, cap: int) -> None:
+        if key in table:
+            table.move_to_end(key)
+            return
+        if len(table) >= cap:
+            table.popitem(last=False)
+        table[key] = None
+
+    def touch_data(self, address: int) -> None:
+        self._touch(self._data_lines, address & ~(_LINE - 1),
+                    self.max_data_lines)
+        self._touch(self._pages, address & ~0xFFF, self.max_pages)
+
+    def touch_code(self, pc: int) -> None:
+        self._touch(self._code_lines, (CODE_BASE + 4 * pc) & ~(_LINE - 1),
+                    self.max_code_lines)
+
+    def branch(self, pc: int, taken: bool, target: int) -> None:
+        self.branches.append((pc, self.ghist, taken, target))
+        self.ghist = ((self.ghist << 1) | int(taken)) & _GHIST_MASK
+
+    def indirect(self, pc: int, target: int) -> None:
+        self.indirects.append((pc, target))
+
+    def call(self, return_address: int) -> None:
+        self._ras.append(return_address)
+        if len(self._ras) > 4 * self.ras_entries:
+            del self._ras[: -self.ras_entries]
+
+    def ret(self) -> None:
+        if self._ras:
+            self._ras.pop()
+
+    # -- freezing ----------------------------------------------------------
+
+    def summary(self) -> WarmupSummary:
+        return WarmupSummary(
+            data_lines=tuple(self._data_lines),
+            code_lines=tuple(self._code_lines),
+            pages=tuple(self._pages),
+            branches=tuple(self.branches),
+            indirects=tuple(self.indirects),
+            ghist=self.ghist,
+            ras=tuple(self._ras[-self.ras_entries:]),
+        )
+
+
+_CONDITIONAL = frozenset(_BRANCH_EVAL)
+_INDIRECT = frozenset({Opcode.JR, Opcode.CALLR, Opcode.RET})
+
+
+def fast_forward(
+    emulator: Emulator,
+    instructions: int,
+    warm: Optional[WarmTouch] = None,
+) -> int:
+    """Architecturally execute up to *instructions* on *emulator*.
+
+    Unlike :meth:`Emulator.run` this stops exactly at the budget (or at
+    HALT) without raising, optionally feeding a :class:`WarmTouch`.
+    Returns the number of instructions actually executed.
+    """
+    program = emulator.program
+    state = emulator.state
+    executed = 0
+    while executed < instructions and not state.halted:
+        inst = program.fetch(state.pc)
+        if inst is None:
+            break  # implicit halt; let step() record it
+        if warm is not None:
+            op = inst.opcode
+            warm.touch_code(inst.pc)
+            if op is Opcode.LD or op is Opcode.ST:
+                warm.touch_data(
+                    to_u64(state.regs[inst.src1] + (inst.imm or 0))
+                )
+            elif op in _CONDITIONAL:
+                taken = bool(
+                    _BRANCH_EVAL[op](
+                        state.read_reg(inst.src1), state.read_reg(inst.src2)
+                    )
+                )
+                warm.branch(
+                    inst.pc, taken, inst.imm if taken else inst.pc + 1
+                )
+            elif op is Opcode.CALL:
+                warm.call(inst.pc + 1)
+            elif op is Opcode.CALLR:
+                warm.call(inst.pc + 1)
+            elif op is Opcode.RET:
+                warm.ret()
+        if emulator.step() is None:
+            break
+        if warm is not None and inst.opcode in _INDIRECT:
+            warm.indirect(inst.pc, state.pc)
+        executed += 1
+    return executed

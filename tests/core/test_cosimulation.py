@@ -11,8 +11,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import CoreConfig, Simulator, WrpkruPolicy
-from repro.isa import EAX, ProgramBuilder, run_program
+from repro.isa import EAX, Emulator, ProgramBuilder, run_program
 from repro.mpk import make_pkru
+from repro.state import WarmTouch, fast_forward, resume_simulator, take_checkpoint
 
 WORK_REGS = list(range(2, 10))
 
@@ -143,4 +144,38 @@ def test_pipeline_matches_golden_model(policy, body):
     # Final memory images must match exactly.
     assert sim.memory.snapshot() == golden.memory.snapshot()
     # And the committed PKRU.
+    assert sim.specmpk.arf == golden.pkru
+
+
+@pytest.mark.parametrize("policy", list(WrpkruPolicy))
+@settings(max_examples=10, deadline=None)
+@given(body=random_body(), cut=st.integers(min_value=1, max_value=200))
+def test_checkpoint_resumed_commits_pass_cosim(policy, body, cut):
+    """A core resumed from a mid-program checkpoint still cosimulates:
+    the golden model is rebuilt from the same shared state abstraction,
+    so every retire after the resume point is checked."""
+    ops, iterations = body
+    program = build_program(ops, iterations)
+
+    emulator = Emulator(program)
+    warm = WarmTouch()
+    fast_forward(emulator, cut, warm=warm)
+    if emulator.state.halted:
+        return  # nothing left to simulate after the cut
+    checkpoint = take_checkpoint(emulator, warm=warm)
+
+    golden = run_program(program, max_instructions=200_000)
+
+    config = CoreConfig(
+        wrpkru_policy=policy, cosimulate=True, check_invariants=True
+    )
+    sim = resume_simulator(program, checkpoint, config=config)
+    result = sim.run(max_cycles=500_000)
+
+    assert result.fault is None, f"unexpected fault: {result.fault}"
+    assert result.halted, "pipeline did not reach HALT"
+    amt = sim.rename_tables.amt
+    for lreg in range(32):
+        assert sim.prf.read(amt[lreg]) == golden.regs[lreg], f"r{lreg} differs"
+    assert sim.memory.snapshot() == golden.memory.snapshot()
     assert sim.specmpk.arf == golden.pkru

@@ -96,6 +96,75 @@ class TestExecute:
                                policy=WrpkruPolicy.SPECMPK, **FAST))
 
 
+class TestFastForward:
+    def test_fastforward_ipc_close_to_timed_warmup(self):
+        slow = execute(RunRequest(
+            workload="557.xz_r (SS)", policy=WrpkruPolicy.SPECMPK,
+            instructions=3000, warmup=2000,
+        ))
+        fast = execute(RunRequest(
+            workload="557.xz_r (SS)", policy=WrpkruPolicy.SPECMPK,
+            instructions=3000, warmup=2000, fastforward=True,
+        ))
+        assert fast.metadata.fastforward is True
+        assert fast.metadata.as_dict()["fastforward"] is True
+        assert fast.ipc == pytest.approx(slow.ipc, rel=0.05)
+
+    def test_fastforwarded_warmup_not_in_topdown(self):
+        """Skipped instructions never enter the pipeline, so a traced
+        fast-forward run accounts exactly the measured window."""
+        result = execute(RunRequest(
+            workload="557.xz_r (SS)", policy=WrpkruPolicy.SPECMPK,
+            instructions=2000, warmup=1500, fastforward=True,
+            trace=TraceOptions(enabled=True),
+        ))
+        report = result.topdown()
+        assert report.reconciles(tolerance=0.01)
+        assert report.total_cycles == result.stats.cycles
+        # Roughly one commit slot per retired instruction: warmup
+        # instructions would inflate this well past the budget.
+        assert result.stats.instructions_retired <= 2000 + 64
+
+    def test_policy_ordering_preserved_under_fastforward(self):
+        ipcs = {}
+        for policy in WrpkruPolicy:
+            ipcs[policy] = execute(RunRequest(
+                workload="505.mcf_r (SS)", policy=policy,
+                instructions=4000, warmup=3000, fastforward=True,
+            )).ipc
+        assert (ipcs[WrpkruPolicy.SERIALIZED]
+                < ipcs[WrpkruPolicy.NONSECURE_SPEC])
+        assert (ipcs[WrpkruPolicy.SERIALIZED]
+                <= ipcs[WrpkruPolicy.SPECMPK]
+                <= ipcs[WrpkruPolicy.NONSECURE_SPEC])
+
+
+class TestWorkloadBuildCache:
+    def test_grid_reuses_builds_per_label_and_mode(self):
+        from repro.harness.api import _build_cached
+
+        _build_cached.cache_clear()
+        sweep_policies(
+            labels=["557.xz_r (SS)", "505.mcf_r (SS)"],
+            policies=(WrpkruPolicy.SERIALIZED, WrpkruPolicy.SPECMPK),
+            instructions=FAST["instructions"],
+            parallel=False,
+        )
+        info = _build_cached.cache_info()
+        # 2 labels x 1 mode built once each; the other 2 grid points hit.
+        assert info.misses == 2
+        assert info.hits == 2
+
+    def test_cached_workload_is_same_object(self):
+        from repro.harness.api import _build_cached
+
+        first = _build_cached("557.xz_r (SS)", InstrumentMode.PROTECTED)
+        again = _build_cached("557.xz_r (SS)", InstrumentMode.PROTECTED)
+        other = _build_cached("557.xz_r (SS)", InstrumentMode.NONE)
+        assert first is again
+        assert other is not first
+
+
 class TestRunWorkloadCompat:
     def test_keyword_call_returns_simstats(self):
         stats = run_workload(

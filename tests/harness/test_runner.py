@@ -60,6 +60,15 @@ class TestHelpers:
         assert geomean([2.0, 8.0]) == pytest.approx(4.0)
         assert geomean([]) == 0.0
 
+    def test_geomean_no_underflow_on_long_inputs(self):
+        # 5000 ratios of 1e-2: a running product underflows to 0.0
+        # (1e-10000 << DBL_MIN); log-space accumulation stays exact.
+        assert geomean([1e-2] * 5000) == pytest.approx(1e-2)
+        assert geomean([1e200] * 5000) == pytest.approx(1e200)
+
+    def test_geomean_zero_value_yields_zero(self):
+        assert geomean([4.0, 0.0, 2.0]) == 0.0
+
     def test_render_table_alignment(self):
         text = render_table(
             [{"a": "x", "b": 1.5}, {"a": "longer", "b": 0.25}], title="T"

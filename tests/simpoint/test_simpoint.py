@@ -3,7 +3,13 @@
 import pytest
 
 from repro.isa import assemble
-from repro.simpoint import collect_bbv, select_simpoints, simpoint_ipc
+from repro.simpoint import (
+    checkpoint_intervals,
+    collect_bbv,
+    select_simpoints,
+    simpoint_ipc,
+    weighted_ipc,
+)
 from repro.workloads import build_workload, profile_by_label
 
 PHASED_PROGRAM = """
@@ -93,3 +99,56 @@ class TestEndToEnd:
                 max_cycles=10_000_000)
         full = sim.stats.ipc
         assert approx == pytest.approx(full, rel=0.35)
+
+
+class TestCheckpointedFlow:
+    def _selection(self, workload, interval_length=2000):
+        profile = collect_bbv(
+            workload.program, interval_length=interval_length,
+            max_instructions=40_000, pkru=workload.initial_pkru,
+        )
+        return select_simpoints(profile, top_n=4)
+
+    def test_checkpoints_land_before_their_intervals(self):
+        workload = build_workload(profile_by_label("541.leela_r (SS)"))
+        selection = self._selection(workload)
+        checkpoints = checkpoint_intervals(
+            workload.program, selection,
+            initial_pkru=workload.initial_pkru, warmup_fraction=0.2,
+        )
+        assert len(checkpoints) == len(selection.points)
+        warmup = int(selection.interval_length * 0.2)
+        for point, checkpoint in zip(selection.points, checkpoints):
+            assert checkpoint is not None
+            start = point.interval_index * selection.interval_length
+            assert checkpoint.instructions == max(0, start - warmup)
+            assert checkpoint.warmup is not None
+
+    def test_fastforward_matches_full_prefix_path(self):
+        """The checkpointed path must agree with timing-simulating the
+        whole prefix of every interval (the acceptance bound is 2%)."""
+        workload = build_workload(profile_by_label("541.leela_r (SS)"))
+        selection = self._selection(workload)
+        slow = weighted_ipc(
+            workload.program, selection,
+            initial_pkru=workload.initial_pkru, fastforward=False,
+        )
+        fast = weighted_ipc(
+            workload.program, selection,
+            initial_pkru=workload.initial_pkru,
+        )
+        assert fast == pytest.approx(slow, rel=0.02)
+
+    def test_parallel_path_agrees_with_serial(self):
+        workload = build_workload(profile_by_label("541.leela_r (SS)"))
+        selection = self._selection(workload)
+        serial = weighted_ipc(
+            workload.program, selection,
+            initial_pkru=workload.initial_pkru,
+        )
+        parallel = weighted_ipc(
+            workload.program, selection,
+            initial_pkru=workload.initial_pkru,
+            parallel=True, max_workers=2,
+        )
+        assert parallel == pytest.approx(serial, rel=1e-12)

@@ -1,0 +1,105 @@
+"""Unit tests for the fast-forward engine and warm-touch collector."""
+
+from repro.core import CoreConfig, Simulator
+from repro.isa import Emulator
+from repro.state import WarmTouch, fast_forward
+from tests.core.test_cosimulation import build_program
+
+
+def _looping_program(iterations=50):
+    return build_program(
+        [("li", 2, 1), ("alu", "add", 3, 3, 2), ("st", 3, 2),
+         ("ld", 4, 2), ("call", 0),
+         ("skip", "beq", 2, 2, 2), ("li", 5, 9)],
+        iterations,
+    )
+
+
+class TestFastForward:
+    def test_stops_exactly_at_budget(self):
+        program = _looping_program()
+        emulator = Emulator(program)
+        executed = fast_forward(emulator, 137)
+        assert executed == 137
+        assert emulator.instructions_executed == 137
+        assert not emulator.state.halted
+
+    def test_stops_at_halt_without_raising(self):
+        program = _looping_program(iterations=1)
+        emulator = Emulator(program)
+        executed = fast_forward(emulator, 10_000_000)
+        assert emulator.state.halted
+        assert executed == emulator.instructions_executed
+        assert executed < 10_000_000
+
+    def test_zero_budget_is_a_noop(self):
+        program = _looping_program()
+        emulator = Emulator(program)
+        assert fast_forward(emulator, 0) == 0
+        assert emulator.state.pc == program.entry
+
+    def test_matches_plain_run(self):
+        program = _looping_program()
+        reference = Emulator(program)
+        reference.run()
+        emulator = Emulator(program)
+        fast_forward(emulator, 10_000_000, warm=WarmTouch())
+        assert emulator.state.regs == reference.state.regs
+        assert (emulator.state.memory.snapshot()
+                == reference.state.memory.snapshot())
+
+
+class TestWarmTouch:
+    def test_collects_all_touch_kinds(self):
+        program = _looping_program()
+        emulator = Emulator(program)
+        warm = WarmTouch()
+        fast_forward(emulator, 2_000, warm=warm)
+        summary = warm.summary()
+        assert summary.data_lines      # LD/ST traffic
+        assert summary.code_lines      # fetched lines
+        assert summary.pages           # touched pages
+        assert summary.branches        # the loop back-edge
+        assert summary.indirects       # RET targets
+        taken = [b for b in summary.branches if b[2]]
+        assert taken, "loop back-edge should be recorded as taken"
+
+    def test_bounds_are_respected(self):
+        warm = WarmTouch(max_data_lines=4, max_pages=2, max_branches=3,
+                         max_indirects=2, ras_entries=2)
+        for i in range(100):
+            warm.touch_data(i * 64)
+            warm.branch(i, True, i + 1)
+            warm.indirect(i, i + 2)
+            warm.call(i)
+        summary = warm.summary()
+        assert len(summary.data_lines) == 4
+        assert len(summary.pages) == 2
+        assert len(summary.branches) == 3
+        assert len(summary.indirects) == 2
+        assert len(summary.ras) == 2
+        # Most-recent entries survive, oldest-first order kept.
+        assert summary.data_lines == (96 * 64, 97 * 64, 98 * 64, 99 * 64)
+        assert summary.ras == (98, 99)
+
+    def test_lru_ordering_on_retouch(self):
+        warm = WarmTouch(max_data_lines=3)
+        for address in (0, 64, 128, 0):  # re-touch line 0
+            warm.touch_data(address)
+        assert warm.summary().data_lines == (64, 128, 0)
+
+    def test_summary_applies_cleanly_and_warms(self):
+        program = _looping_program()
+        emulator = Emulator(program)
+        warm = WarmTouch()
+        fast_forward(emulator, 2_000, warm=warm)
+        summary = warm.summary()
+
+        sim = Simulator(program, CoreConfig())
+        cold_tlb_misses = sim.tlb.stats.misses
+        summary.apply(sim)
+        assert sim.predictor.ghist == summary.ghist
+        # Applying the summary fills structures without touching stats.
+        assert sim.tlb.stats.misses == cold_tlb_misses
+        result = sim.run(max_cycles=200_000)
+        assert result.halted and result.fault is None

@@ -1,0 +1,204 @@
+"""Differential tests of the shared architectural-state layer.
+
+The core property: executions are *position independent*.  Snapshotting
+mid-run, mutating, restoring, and re-running must match a fresh run
+instruction-for-instruction — on the functional emulator and, via
+``start_state``, on the detailed core (where per-retire cosimulation
+enforces the instruction-level match).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CoreConfig, Simulator, WrpkruPolicy
+from repro.isa import Emulator, run_program
+from repro.state import (
+    Checkpoint,
+    CheckpointError,
+    StateMismatch,
+    WarmTouch,
+    fast_forward,
+    materialize,
+    resume_emulator,
+    resume_simulator,
+    take_checkpoint,
+)
+from tests.core.test_cosimulation import build_program, random_body
+
+
+def _trace_to_halt(emulator, limit=200_000):
+    """Run to HALT, returning the executed (pc, opcode) sequence."""
+    trace = []
+    while not emulator.state.halted and len(trace) < limit:
+        inst = emulator.step()
+        if inst is None:
+            break
+        trace.append((inst.pc, inst.opcode))
+    assert emulator.state.halted, "program did not halt"
+    return trace
+
+
+def _arch_view(state):
+    return (tuple(state.regs), state.pc, state.pkru, state.halted,
+            state.memory.snapshot())
+
+
+@settings(max_examples=20, deadline=None)
+@given(body=random_body(), cut=st.integers(min_value=0, max_value=500))
+def test_emulator_snapshot_mutate_restore_rerun(body, cut):
+    ops, iterations = body
+    program = build_program(ops, iterations)
+
+    emulator = Emulator(program)
+    fast_forward(emulator, cut)
+    snap = emulator.state.snapshot()
+
+    # Reference: a fresh emulator fast-forwarded to the same position.
+    fresh = Emulator(program)
+    fast_forward(fresh, cut)
+    reference = _trace_to_halt(fresh)
+
+    # Mutate by running to completion (dirties registers and memory),
+    # then scribble on the state for good measure.
+    first = _trace_to_halt(emulator)
+    emulator.state.regs[3] = 0xDEAD
+    emulator.state.memory.poke(4096, 0xBEEF)
+
+    emulator.state.restore(snap)
+    second = _trace_to_halt(emulator)
+
+    assert first == reference
+    assert second == reference
+    assert _arch_view(emulator.state) == _arch_view(fresh.state)
+
+
+@settings(max_examples=12, deadline=None)
+@given(body=random_body(), cut=st.integers(min_value=0, max_value=300))
+def test_simulator_from_snapshot_matches_golden(body, cut):
+    ops, iterations = body
+    program = build_program(ops, iterations)
+
+    emulator = Emulator(program)
+    fast_forward(emulator, cut)
+    if emulator.state.halted:
+        return  # program shorter than the cut; nothing left to simulate
+    snap = emulator.state.snapshot()
+
+    golden = run_program(program, max_instructions=200_000)
+
+    config = CoreConfig(
+        wrpkru_policy=WrpkruPolicy.SPECMPK,
+        cosimulate=True,          # per-retire instruction-level check
+        check_invariants=True,
+    )
+    sim = Simulator(
+        program, config, start_state=materialize(snap, program.regions)
+    )
+    result = sim.run(max_cycles=500_000)
+
+    assert result.fault is None, f"unexpected fault: {result.fault}"
+    assert result.halted, "pipeline did not reach HALT"
+    amt = sim.rename_tables.amt
+    for lreg in range(32):
+        assert sim.prf.read(amt[lreg]) == golden.regs[lreg], f"r{lreg}"
+    assert sim.memory.snapshot() == golden.memory.snapshot()
+    assert sim.specmpk.arf == golden.pkru
+
+
+class TestSnapshotMechanics:
+    def _program(self):
+        return build_program(
+            [("li", 2, 7), ("st", 2, 3), ("alu", "add", 3, 2, 2),
+             ("st", 3, 5), ("ld", 4, 3)],
+            3,
+        )
+
+    def test_snapshot_images_share_clean_pages(self):
+        program = self._program()
+        emulator = Emulator(program)
+        fast_forward(emulator, 4)
+        first = emulator.state.snapshot()
+        fast_forward(emulator, 2)
+        second = emulator.state.snapshot()
+        # The second image chains onto the first: only re-dirtied pages
+        # are stored again.
+        assert second.memory.parent is first.memory
+        assert second.memory.chain_length() == 2
+
+    def test_restore_detects_layout_change(self):
+        program = self._program()
+        emulator = Emulator(program)
+        fast_forward(emulator, 4)
+        snap = emulator.state.snapshot()
+        region = program.regions[0]
+        emulator.state.memory.pkey_mprotect(region.base, region.size, 5)
+        with pytest.raises(StateMismatch):
+            emulator.state.restore(snap)
+        # A table rebuilt from the *original* regions matches again.
+        rebuilt = materialize(snap, program.regions)
+        assert rebuilt.pc == snap.pc
+
+    def test_clone_shares_or_forks_memory(self):
+        program = self._program()
+        emulator = Emulator(program)
+        fast_forward(emulator, 6)
+        state = emulator.state
+        shared = state.clone(share_memory=True)
+        forked = state.clone()
+        assert shared.memory is state.memory
+        assert forked.memory is not state.memory
+        assert forked.memory.snapshot() == state.memory.snapshot()
+        base = program.regions[0].base
+        state.memory.poke(base, 0x123)
+        assert shared.memory.peek(base) == 0x123
+        assert forked.memory.peek(base) != 0x123
+
+    def test_checkpoint_pickle_roundtrip(self, tmp_path):
+        program = self._program()
+        emulator = Emulator(program)
+        warm = WarmTouch()
+        fast_forward(emulator, 8, warm=warm)
+        checkpoint = take_checkpoint(emulator, label="t", warm=warm)
+        path = tmp_path / "t.ckpt"
+        checkpoint.dump(path)
+        loaded = Checkpoint.load(path)
+        assert loaded.instructions == checkpoint.instructions
+        assert loaded.snapshot.regs == checkpoint.snapshot.regs
+        assert loaded.warmup == checkpoint.warmup
+
+        resumed = resume_emulator(program, loaded)
+        straight = Emulator(program)
+        final_a = resumed.run()
+        final_b = straight.run()
+        assert final_a.regs == final_b.regs
+        assert final_a.memory.snapshot() == final_b.memory.snapshot()
+        assert resumed.instructions_executed == straight.instructions_executed
+
+    def test_checkpoint_of_halted_program_refused(self):
+        program = self._program()
+        emulator = Emulator(program)
+        emulator.run()
+        with pytest.raises(CheckpointError):
+            take_checkpoint(emulator)
+
+    def test_load_rejects_non_checkpoint(self, tmp_path):
+        path = tmp_path / "bogus.ckpt"
+        import pickle
+
+        path.write_bytes(pickle.dumps({"not": "a checkpoint"}))
+        with pytest.raises(CheckpointError):
+            Checkpoint.load(path)
+
+    def test_resume_simulator_applies_warmup(self):
+        program = self._program()
+        emulator = Emulator(program)
+        warm = WarmTouch()
+        fast_forward(emulator, 8, warm=warm)
+        checkpoint = take_checkpoint(emulator, warm=warm)
+        sim = resume_simulator(program, checkpoint)
+        assert sim.fetch_pc == checkpoint.snapshot.pc
+        # The warm-touch ghist mirror must land in the predictor.
+        assert sim.predictor.ghist == checkpoint.warmup.ghist
+        result = sim.run(max_cycles=100_000)
+        assert result.halted and result.fault is None

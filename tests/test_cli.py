@@ -66,6 +66,59 @@ class TestTrace:
         assert not list(tmp_path.glob("*.pipeline.txt"))
 
 
+class TestCheckpoint:
+    def test_checkpoint_write_and_measure(self, tmp_path, capsys):
+        out = tmp_path / "xz.ckpt"
+        assert main([
+            "checkpoint", "557.xz_r (SS)", "--at", "5000",
+            "--out", str(out), "--measure", "1500",
+            "--policy", "specmpk",
+        ]) == 0
+        assert out.exists()
+        text = capsys.readouterr().out
+        assert "position    : 5000 instructions" in text
+        assert "resumed specmpk" in text
+        assert "IPC" in text
+
+    def test_checkpoint_roundtrips_through_file(self, tmp_path):
+        from repro.state import Checkpoint
+
+        out = tmp_path / "xz.ckpt"
+        assert main([
+            "checkpoint", "557.xz_r (SS)", "--at", "3000",
+            "--out", str(out),
+        ]) == 0
+        checkpoint = Checkpoint.load(out)
+        assert checkpoint.instructions == 3000
+        assert checkpoint.warmup is not None
+
+
+class TestSimpoint:
+    def test_simpoint_reports_weighted_ipc(self, capsys):
+        assert main([
+            "simpoint", "557.xz_r (SS)", "--policy", "specmpk",
+            "--interval-length", "2000", "--profile-instructions", "20000",
+            "--top-n", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "simpoints over" in out
+        assert "weighted IPC (checkpointed)" in out
+        assert "specmpk" in out
+
+    def test_simpoint_json(self, capsys):
+        import json
+
+        assert main([
+            "simpoint", "557.xz_r (SS)", "--policy", "specmpk",
+            "--interval-length", "2000", "--profile-instructions", "20000",
+            "--top-n", "2", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["fastforward"] is True
+        assert doc["weighted_ipc"]["specmpk"] > 0
+        assert doc["points"]
+
+
 class TestAttack:
     def test_v1_attack_reports_all_policies(self, capsys):
         assert main(["attack", "v1"]) == 0  # 0: leaked under NonSecure
