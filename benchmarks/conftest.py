@@ -6,6 +6,7 @@ to ``benchmarks/results/`` for inspection (EXPERIMENTS.md summarises
 them).
 """
 
+import os
 import pathlib
 import time
 import timeit
@@ -23,10 +24,51 @@ def results_dir() -> pathlib.Path:
 
 #: Conservative number of disabled-trace guard evaluations
 #: (``if self.trace is not None``) per fetched instruction and per
-#: cycle in ``repro.core.pipeline`` — an over-count of the actual hook
-#: sites, so the estimate below upper-bounds the true cost.
+#: *stepped* cycle in ``repro.core.pipeline`` — an over-count of the
+#: actual hook sites, so the estimate below upper-bounds the true cost.
+#: Cycles jumped by the idle fast-skip (``repro.perf``) evaluate no
+#: guards at all, so they are excluded from the per-cycle charge.
 _GUARDS_PER_INSTRUCTION = 10
 _GUARDS_PER_CYCLE = 10
+
+
+def _stepped_cycles() -> int:
+    """How many cycles the guard's reference run actually steps.
+
+    Re-runs the same simulation (untimed) with a counting wrapper on
+    ``step_cycle``; the simulator is deterministic, so the count equals
+    the timed run's.  Idle-skipped cycles never enter ``step_cycle``
+    and execute zero trace guards.
+    """
+    from repro.core.config import CoreConfig, WrpkruPolicy
+    from repro.core.pipeline import Simulator
+    from repro.workloads.generator import build_workload
+    from repro.workloads.instrument import InstrumentMode
+    from repro.workloads.profiles import profile_by_label
+
+    workload = build_workload(
+        profile_by_label("520.omnetpp_r (SS)"), InstrumentMode.PROTECTED
+    )
+    sim = Simulator(
+        workload.program,
+        CoreConfig(wrpkru_policy=WrpkruPolicy.SERIALIZED),
+        initial_pkru=workload.initial_pkru,
+    )
+    sim.prewarm_tlb()
+    stepped = 0
+    original = sim.step_cycle
+
+    def _counting_step():
+        nonlocal stepped
+        stepped += 1
+        original()
+
+    sim.step_cycle = _counting_step
+    sim.run(
+        max_cycles=200 * 2_500, max_instructions=2_000,
+        warmup_instructions=500,
+    )
+    return stepped
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -43,12 +85,22 @@ def tracing_off_overhead_guard(results_dir):
     from repro.core import WrpkruPolicy
     from repro.harness import run_workload
 
-    start = time.perf_counter()
-    stats = run_workload(
-        "520.omnetpp_r (SS)", WrpkruPolicy.SERIALIZED,
-        instructions=2_000, warmup=500,
-    )
-    elapsed = time.perf_counter() - start
+    # The timed run must actually simulate: a run-cache hit would return
+    # in microseconds and turn the overhead ratio into noise.
+    saved = os.environ.get("REPRO_CACHE")
+    os.environ["REPRO_CACHE"] = "0"
+    try:
+        start = time.perf_counter()
+        stats = run_workload(
+            "520.omnetpp_r (SS)", WrpkruPolicy.SERIALIZED,
+            instructions=2_000, warmup=500,
+        )
+        elapsed = time.perf_counter() - start
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_CACHE", None)
+        else:
+            os.environ["REPRO_CACHE"] = saved
 
     class _Probe:
         trace = None
@@ -58,13 +110,15 @@ def tracing_off_overhead_guard(results_dir):
         "probe.trace is not None", globals={"probe": probe}, number=loops
     ) / loops
 
+    stepped = _stepped_cycles()
     guards = (_GUARDS_PER_INSTRUCTION * stats.instructions_fetched
-              + _GUARDS_PER_CYCLE * stats.cycles)
+              + _GUARDS_PER_CYCLE * stepped)
     overhead = guards * per_guard / elapsed
     (results_dir / "observability_overhead.txt").write_text(
         f"tracing-off overhead bound: {overhead:.2%} of wall clock\n"
-        f"  run: {stats.cycles} cycles, {stats.instructions_fetched} "
-        f"fetched, {elapsed:.3f}s\n"
+        f"  run: {stats.cycles} cycles ({stepped} stepped, rest "
+        f"idle-skipped), {stats.instructions_fetched} fetched, "
+        f"{elapsed:.3f}s\n"
         f"  guard evaluations (over-count): {guards}\n"
         f"  cost per disabled guard: {per_guard * 1e9:.1f} ns\n"
     )

@@ -148,6 +148,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     simpoint_parser.add_argument("--json", action="store_true")
 
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the on-disk run cache"
+    )
+    cache_parser.add_argument(
+        "action", choices=["stats", "clear"],
+        help="stats: entry count/size/location; clear: delete entries",
+    )
+    cache_parser.add_argument("--json", action="store_true")
+
     repro_parser = sub.add_parser(
         "reproduce", help="regenerate paper tables/figures"
     )
@@ -176,6 +185,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_checkpoint(args)
     if args.command == "simpoint":
         return _cmd_simpoint(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "reproduce":
         return _cmd_reproduce(args)
     return 2  # pragma: no cover - argparse enforces the choices
@@ -194,6 +205,34 @@ def _cmd_info() -> int:
     for profile in ALL_PROFILES:
         print(f"  {profile.label:26s} ({profile.suite}, "
               f"{profile.working_set_kib} KiB working set)")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    import json
+
+    from repro.perf.runcache import cache_enabled, default_cache
+
+    cache = default_cache()
+    if args.action == "clear":
+        removed = cache.clear()
+        if args.json:
+            print(json.dumps({"cleared": removed}))
+        else:
+            print(f"cleared {removed} cached run(s) from {cache.directory}")
+        return 0
+    stats = cache.stats()
+    stats["enabled"] = cache_enabled()
+    if args.json:
+        print(json.dumps(stats, indent=2))
+    else:
+        state = "enabled" if stats["enabled"] else "disabled (REPRO_CACHE=0)"
+        print(f"run cache: {state}")
+        print(f"  directory: {stats['directory']}")
+        print(f"  entries:   {stats['entries']} "
+              f"({stats['bytes'] / 1024:.1f} KiB)")
+        print(f"  this process: {stats['hits']} hit(s), "
+              f"{stats['misses']} miss(es)")
     return 0
 
 

@@ -107,6 +107,13 @@ class CoreConfig:
     cosimulate: bool = False
     record_load_latencies: bool = False
     check_invariants: bool = False
+    #: Fast-forward the clock over fully idle cycles (behind long
+    #: DRAM misses / TLB walks) instead of stepping them one at a
+    #: time.  Pure simulator-throughput optimization: SimStats and
+    #: trace accounting are bit-identical with it on or off (the test
+    #: suite asserts this).  Disabled automatically by
+    #: ``check_invariants`` so invariants run every cycle.
+    idle_fast_skip: bool = True
 
     def __post_init__(self) -> None:
         if self.rob_pkru_size < 1:

@@ -20,14 +20,15 @@ fail to observe) the transient side channel.
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
+from heapq import heappop, heappush
+from operator import attrgetter
 from typing import Deque, Dict, List, Optional
 
-from ..isa.emulator import _ALU_EVAL, _BRANCH_EVAL, ArchState, Emulator
-from ..isa.opcodes import Opcode, latency_of
+from ..isa.emulator import ArchState, Emulator
+from ..isa.opcodes import Opcode
 from ..isa.program import Program
-from ..isa.registers import EAX, NUM_REGS, RA, to_u64
+from ..isa.registers import MASK64, NUM_REGS, to_u64
 from ..memory.address_space import AddressSpace
 from ..memory.hierarchy import MemoryHierarchy
 from ..memory.tlb import Tlb
@@ -129,11 +130,12 @@ class Simulator:
         )
         self.specmpk = SpecMpkUnit(window, initial_pkru=start_state.pkru)
 
-        # Pipeline structures.
+        # Pipeline structures.  The LQ/SQ are deques: retirement pops
+        # from the front, squash from the back — both O(1).
         self.active_list: Deque[DynInst] = deque()
         self.frontend: Deque[DynInst] = deque()
-        self.load_queue: List[DynInst] = []
-        self.store_queue: List[DynInst] = []
+        self.load_queue: Deque[DynInst] = deque()
+        self.store_queue: Deque[DynInst] = deque()
         self.iq_count = 0
         self.ready_heap: List = []  # (seq, DynInst)
         self.mem_parked: List[DynInst] = []
@@ -200,10 +202,135 @@ class Simulator:
         return SimResult(self.stats, self.halted, self._fault)
 
     def _run_until(self, max_cycles: int, budget: Optional[int]) -> None:
+        stats = self.stats
+        step = self.step_cycle
+        skip = (
+            self._idle_skip
+            if self.config.idle_fast_skip and not self.config.check_invariants
+            else None
+        )
         while not self.halted and self._fault is None and self.cycle < max_cycles:
-            if budget is not None and self.stats.instructions_retired >= budget:
+            if budget is not None and stats.instructions_retired >= budget:
                 break
-            self.step_cycle()
+            if skip is not None and skip(max_cycles):
+                continue
+            step()
+
+    def _idle_skip(self, max_cycles: int) -> int:
+        """Fast-forward the clock over fully idle cycles.
+
+        A cycle is idle when every stage would be a no-op: nothing can
+        retire (the Active List head is waiting on a scheduled
+        completion), nothing writes back this cycle, nothing is ready
+        to issue, rename is blocked by a cause only a future completion
+        can clear, and fetch is stalled.  Such stretches appear behind
+        long L2/DRAM misses and TLB walks; instead of stepping through
+        them one bookkeeping cycle at a time, jump the clock to the
+        next wakeup and credit the skipped cycles to exactly the
+        counters and top-down buckets per-cycle stepping would have
+        bumped — ``SimStats`` and the :mod:`repro.trace` accounting are
+        bit-identical either way (the tier-1 suite asserts this).
+
+        Returns the number of cycles skipped; 0 means "not idle, step
+        normally".
+        """
+        # Cheapest discriminators first: most cycles are busy and must
+        # bail out of this probe almost for free.
+        events = self.events
+        cycle = self.cycle
+        if cycle in events:
+            return 0  # a completion writes back this cycle
+        heap = self.ready_heap
+        while heap:
+            top = heap[0][1]
+            if top.squashed or top.issued:
+                heappop(heap)  # exactly what _issue would discard
+            else:
+                return 0  # something can issue
+        if self._mem_retry and self.mem_parked:
+            return 0  # parked memory accesses must be rescanned
+        tlb_flag = 0
+        active_list = self.active_list
+        if active_list:
+            head = active_list[0]
+            if head.completed:
+                return 0  # retirement proceeds
+            static = head.static
+            if head.replay_at_head and not head.replay_started:
+                return 0  # the head starts its non-speculative replay
+            if not head.executed and (
+                head.is_rdpkru or static.is_lfence or static.is_clflush
+            ):
+                return 0  # executes at the head this cycle
+            if (
+                (head.replay_at_head or head.replay_started)
+                and head.replay_reason == "tlb"
+            ):
+                tlb_flag = StallKind.TLB  # retire stage raises this flag
+        blocked = self._rename_blocked()
+        if blocked is None:
+            return 0  # rename makes progress
+        cfg = self.config
+        fetch_has_room = (
+            not self.fetch_stopped
+            and len(self.frontend) < 4 * cfg.fetch_width
+        )
+        if fetch_has_room and self.fetch_resume_cycle <= cycle:
+            return 0  # fetch makes progress
+
+        # Idle.  Wake at the next scheduled completion, or earlier if a
+        # time-driven stall (redirect penalty, front-end pipe depth)
+        # expires first.
+        wake = min(events) if events else max_cycles
+        if fetch_has_room and self.fetch_resume_cycle > cycle:
+            wake = min(wake, self.fetch_resume_cycle)
+        if self.frontend:
+            depth_ready = self.frontend[0].fetch_cycle + cfg.frontend_depth
+            if depth_ready > cycle:
+                wake = min(wake, depth_ready)
+        wake = min(wake, max_cycles)
+        skipped = wake - cycle
+        if skipped <= 0:
+            return 0
+
+        stat, flag = blocked
+        stats = self.stats
+        if stat is not None:
+            # The same rename-stall counter a per-cycle step would have
+            # bumped once per idle cycle.
+            setattr(stats, stat, getattr(stats, stat) + skipped)
+        self.cycle = wake
+        stats.cycles = wake - self._cycle_base
+        if self.trace is not None:
+            self.trace.skip_cycles(
+                cycle,
+                skipped,
+                int(flag | tlb_flag),
+                (
+                    len(self.frontend), len(active_list), self.iq_count,
+                    len(self.load_queue), len(self.store_queue),
+                    self.specmpk.occupancy,
+                ),
+            )
+        return skipped
+
+    def _rename_blocked(self):
+        """Why rename cannot proceed this cycle: (stat, flag) or None.
+
+        Mirrors the gate order of :meth:`_rename_dispatch` +
+        :meth:`_rename_gate` exactly; used only by the idle fast-skip,
+        which charges the returned counter once per skipped cycle.
+        """
+        if not self.frontend:
+            return ("rename_stall_empty", StallKind.FRONTEND_EMPTY)
+        inst = self.frontend[0]
+        if inst.fetch_cycle + self.config.frontend_depth > self.cycle:
+            return (None, StallKind.FRONTEND_EMPTY)
+        if self.serialize_block is not None:
+            return ("rename_stall_wrpkru", StallKind.WRPKRU_SERIALIZATION)
+        if len(self.active_list) >= self.config.active_list_size:
+            return ("rename_stall_al_full", StallKind.BACKEND_AL_FULL)
+        return self._rename_gate(inst.static)
 
     def reset_stats(self) -> None:
         """Start a fresh measurement window at the current cycle."""
@@ -291,30 +418,36 @@ class Simulator:
             if extra > 0:
                 self.fetch_resume_cycle = self.cycle + extra
                 return
+        fetch = self.program.fetch
+        append = self.frontend.append
+        trace = self.trace
+        stats = self.stats
+        cycle = self.cycle
+        seq = self.next_seq
         fetched = 0
         while fetched < cfg.fetch_width:
-            static = self.program.fetch(self.fetch_pc)
+            static = fetch(self.fetch_pc)
             if static is None:
                 # Wrong-path fetch off the program edge: bubble until a
                 # squash redirects us (correct paths end in HALT).
                 self.fetch_stopped = True
-                return
-            inst = DynInst(static, self.next_seq, self.cycle)
-            self.next_seq += 1
-            self.frontend.append(inst)
-            self.stats.instructions_fetched += 1
-            if self.trace is not None:
-                self.trace.event(self.cycle, EventKind.FETCH, inst)
+                break
+            inst = DynInst(static, seq, cycle)
+            seq += 1
+            append(inst)
+            if trace is not None:
+                trace.event(cycle, EventKind.FETCH, inst)
             fetched += 1
             if static.is_halt:
                 self.fetch_stopped = True
-                return
+                break
             if static.is_control:
-                redirected = self._predict(inst)
-                if redirected:
-                    return  # taken control flow ends the fetch group
+                if self._predict(inst):
+                    break  # taken control flow ends the fetch group
             else:
                 self.fetch_pc += 1
+        self.next_seq = seq
+        stats.instructions_fetched += fetched
 
     def _predict(self, inst: DynInst) -> bool:
         """Predict a control instruction; return True when fetch redirects."""
@@ -356,15 +489,21 @@ class Simulator:
     def _rename_dispatch(self) -> None:
         cfg = self.config
         trace = self.trace
+        frontend = self.frontend
+        active_list = self.active_list
+        cycle = self.cycle
+        depth = cfg.frontend_depth
+        al_size = cfg.active_list_size
+        rename_one = self._rename_one
         renamed = 0
         while renamed < cfg.rename_width:
-            if not self.frontend:
+            if not frontend:
                 self.stats.rename_stall_empty += renamed == 0
                 if trace is not None and renamed == 0:
                     trace.stall(StallKind.FRONTEND_EMPTY)
                 return
-            inst = self.frontend[0]
-            if inst.fetch_cycle + cfg.frontend_depth > self.cycle:
+            inst = frontend[0]
+            if inst.fetch_cycle + depth > cycle:
                 if trace is not None and renamed == 0:
                     trace.stall(StallKind.FRONTEND_EMPTY)
                 return  # still in the front-end pipe
@@ -373,116 +512,129 @@ class Simulator:
                 if trace is not None:
                     trace.stall(StallKind.WRPKRU_SERIALIZATION)
                 return
-            if len(self.active_list) >= cfg.active_list_size:
+            if len(active_list) >= al_size:
                 self.stats.rename_stall_al_full += 1
                 if trace is not None:
                     trace.stall(StallKind.BACKEND_AL_FULL)
                 return
-            if not self._rename_one(inst):
+            if not rename_one(inst):
                 return
             if trace is not None:
-                trace.event(self.cycle, EventKind.DECODE, inst)
-                trace.event(self.cycle, EventKind.RENAME, inst)
-                trace.event(self.cycle, EventKind.DISPATCH, inst)
-            self.frontend.popleft()
+                trace.event(cycle, EventKind.DECODE, inst)
+                trace.event(cycle, EventKind.RENAME, inst)
+                trace.event(cycle, EventKind.DISPATCH, inst)
+            frontend.popleft()
             renamed += 1
+
+    def _rename_gate(self, static) -> Optional[tuple]:
+        """Structural reason *static* cannot rename: (stat, flag) or None.
+
+        Shared by :meth:`_rename_one` (which charges the returned
+        counter once) and the idle fast-skip (which charges it once per
+        skipped cycle); the check order is the stepping order and must
+        stay that way.
+        """
+        cfg = self.config
+        if static.is_wrpkru:
+            if cfg.wrpkru_policy is WrpkruPolicy.SERIALIZED:
+                if self.active_list:
+                    # Drain: WRPKRU renames only once it is the oldest.
+                    return ("rename_stall_wrpkru",
+                            StallKind.WRPKRU_SERIALIZATION)
+            elif self.specmpk.full:
+                return ("rename_stall_rob_pkru_full", StallKind.ROB_PKRU_FULL)
+        if static.is_load and len(self.load_queue) >= cfg.load_queue_size:
+            return ("rename_stall_lsq_full", StallKind.BACKEND_LSQ_FULL)
+        if static.is_store and len(self.store_queue) >= cfg.store_queue_size:
+            return ("rename_stall_lsq_full", StallKind.BACKEND_LSQ_FULL)
+        if static.needs_iq and self.iq_count >= cfg.issue_queue_size:
+            return ("rename_stall_iq_full", StallKind.BACKEND_IQ_FULL)
+        if static.eff_dst is not None and self.rename_tables.free_count == 0:
+            return ("rename_stall_no_preg", StallKind.BACKEND_NO_PREG)
+        return None
 
     def _rename_one(self, inst: DynInst) -> bool:
         """Rename and dispatch one instruction; False means stall."""
-        cfg = self.config
         static = inst.static
-        policy = cfg.wrpkru_policy
+        policy = self.config.wrpkru_policy
+        specmpk = self.specmpk
 
-        trace = self.trace
-        if static.is_wrpkru:
-            if policy is WrpkruPolicy.SERIALIZED:
-                if self.active_list:
-                    # Drain: WRPKRU renames only once it is the oldest.
-                    self.stats.rename_stall_wrpkru += 1
-                    if trace is not None:
-                        trace.stall(StallKind.WRPKRU_SERIALIZATION)
-                    return False
-            elif self.specmpk.full:
-                self.stats.rename_stall_rob_pkru_full += 1
-                if trace is not None:
-                    trace.stall(StallKind.ROB_PKRU_FULL)
-                return False
+        gate = self._rename_gate(static)
+        if gate is not None:
+            stat, flag = gate
+            stats = self.stats
+            setattr(stats, stat, getattr(stats, stat) + 1)
+            if self.trace is not None:
+                self.trace.stall(flag)
+            return False
 
-        ldst, lsrc1, lsrc2 = _effective_regs(static)
-
-        if static.is_load and len(self.load_queue) >= cfg.load_queue_size:
-            self.stats.rename_stall_lsq_full += 1
-            if trace is not None:
-                trace.stall(StallKind.BACKEND_LSQ_FULL)
-            return False
-        if static.is_store and len(self.store_queue) >= cfg.store_queue_size:
-            self.stats.rename_stall_lsq_full += 1
-            if trace is not None:
-                trace.stall(StallKind.BACKEND_LSQ_FULL)
-            return False
-        needs_iq = static.opcode not in _NO_ISSUE_OPS
-        if needs_iq and self.iq_count >= cfg.issue_queue_size:
-            self.stats.rename_stall_iq_full += 1
-            if trace is not None:
-                trace.stall(StallKind.BACKEND_IQ_FULL)
-            return False
-        if ldst is not None and self.rename_tables.free_count == 0:
-            self.stats.rename_stall_no_preg += 1
-            if trace is not None:
-                trace.stall(StallKind.BACKEND_NO_PREG)
-            return False
+        ldst = static.eff_dst
 
         # PKRU dependence: the ROB_pkru tag this consumer waits on.
         if policy.renames_pkru and (
             static.is_memory or static.is_wrpkru or static.is_rdpkru
         ):
-            inst.pkru_dep = self.specmpk.current_dep()
+            inst.pkru_dep = specmpk.current_dep()
 
         if static.is_wrpkru:
             if policy is WrpkruPolicy.SERIALIZED:
                 self.serialize_block = inst
             else:
-                inst.rob_pkru_id = self.specmpk.allocate().uid
+                inst.rob_pkru_id = specmpk.allocate().uid
 
         # Register rename.
+        rename_tables = self.rename_tables
+        rmt = rename_tables.rmt
+        prf = self.prf
+        lsrc1 = static.eff_src1
         if lsrc1 is not None:
-            inst.psrc1 = self.rename_tables.lookup(lsrc1)
+            inst.psrc1 = rmt[lsrc1]
+        lsrc2 = static.eff_src2
         if lsrc2 is not None:
-            inst.psrc2 = self.rename_tables.lookup(lsrc2)
+            inst.psrc2 = rmt[lsrc2]
         if ldst is not None:
+            # Inlined RenameTables.allocate (free list checked by the
+            # gate above).
             inst.ldst = ldst
-            inst.pdst = self.rename_tables.allocate(ldst)
+            inst.pdst = pdst = rename_tables.free_list.pop()
+            rmt[ldst] = pdst
+            prf.ready[pdst] = False
 
-        inst.pkru_mark = self.specmpk._next_uid
+        inst.pkru_mark = specmpk._next_uid
         self.active_list.append(inst)
         if static.is_load:
             self.load_queue.append(inst)
         elif static.is_store:
             self.store_queue.append(inst)
-        if static.opcode is Opcode.LFENCE:
+        if static.is_lfence:
             self.inflight_lfences.append(inst.seq)
 
         inst.dispatched = True
-        if not needs_iq:
+        if not static.needs_iq:
             self._fast_complete(inst)
             return True
 
         # Dispatch into the issue queue with wakeup registration.
         self.iq_count += 1
         inst.in_iq = True
+        ready = prf.ready
         waits = 0
-        for psrc in (inst.psrc1, inst.psrc2):
-            if psrc is not None and not self.prf.is_ready(psrc):
-                self.prf.add_waiter(psrc, inst)
-                waits += 1
+        psrc1 = inst.psrc1
+        if psrc1 is not None and not ready[psrc1]:
+            prf.add_waiter(psrc1, inst)
+            waits += 1
+        psrc2 = inst.psrc2
+        if psrc2 is not None and not ready[psrc2]:
+            prf.add_waiter(psrc2, inst)
+            waits += 1
         if inst.pkru_dep is not None:
-            entry = self.specmpk.lookup(inst.pkru_dep)
+            entry = specmpk.lookup(inst.pkru_dep)
             if entry is not None and not entry.executed:
                 entry.waiters.append(inst)
                 waits += 1
         inst.waiting_on = waits
         if waits == 0:
-            heapq.heappush(self.ready_heap, (inst.seq, inst))
+            heappush(self.ready_heap, (inst.seq, inst))
         return True
 
     def _fast_complete(self, inst: DynInst) -> None:
@@ -501,6 +653,8 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _issue(self) -> None:
+        if not self.ready_heap and not self.mem_parked:
+            return
         budget = self.config.issue_width
         # Retry accesses parked on memory ordering or fences (oldest
         # first) — but only when an unblocking event occurred.
@@ -522,8 +676,9 @@ class Simulator:
                 # Every candidate was examined; wait for the next
                 # unblocking event before rescanning.
                 self._mem_retry = False
-        while budget > 0 and self.ready_heap:
-            _, inst = heapq.heappop(self.ready_heap)
+        heap = self.ready_heap
+        while budget > 0 and heap:
+            _, inst = heappop(heap)
             if inst.squashed or inst.issued:
                 continue
             if inst.is_memory:
@@ -544,7 +699,11 @@ class Simulator:
         return True
 
     def _older_lfences_done(self, inst: DynInst) -> bool:
-        return not any(seq < inst.seq for seq in self.inflight_lfences)
+        fences = self.inflight_lfences
+        if not fences:
+            return True
+        seq = inst.seq
+        return not any(fence < seq for fence in fences)
 
     def _mark_issued(self, inst: DynInst) -> None:
         inst.issued = True
@@ -555,60 +714,69 @@ class Simulator:
             self.trace.event(self.cycle, EventKind.ISSUE, inst)
 
     def _schedule(self, inst: DynInst, latency: int) -> None:
-        when = self.cycle + max(1, latency)
+        if latency < 1:
+            latency = 1
+        when = self.cycle + latency
         inst.complete_cycle = when
-        self.events.setdefault(when, []).append(inst)
+        events = self.events
+        pending = events.get(when)
+        if pending is None:
+            events[when] = [inst]
+        else:
+            pending.append(inst)
         if self.trace is not None:
             self.trace.event(self.cycle, EventKind.EXECUTE, inst,
-                             info=max(1, latency))
+                             info=latency)
 
     # -- ALU / control / WRPKRU / CLFLUSH ------------------------------------
 
     def _execute_alu_or_branch(self, inst: DynInst) -> None:
         static = inst.static
-        op = static.opcode
         self._mark_issued(inst)
 
-        if op in _ALU_EVAL:
-            a = self.prf.read(inst.psrc1) if inst.psrc1 is not None else 0
+        alu = static.alu_eval
+        values = self.prf.values
+        if alu is not None:
+            a = values[inst.psrc1] if inst.psrc1 is not None else 0
             b = (
-                self.prf.read(inst.psrc2)
+                values[inst.psrc2]
                 if inst.psrc2 is not None
                 else (static.imm or 0)
             )
-            inst.result = to_u64(_ALU_EVAL[op](a, b))
-        elif op is Opcode.LI:
-            inst.result = to_u64(static.imm)
-        elif op is Opcode.LUI:
-            inst.result = to_u64((static.imm or 0) << 16)
-        elif op is Opcode.MOV:
-            inst.result = self.prf.read(inst.psrc1)
-        elif op is Opcode.WRPKRU:
-            inst.wrpkru_value = self.prf.read(inst.psrc1)
+            inst.result = alu(a, b) & MASK64
         elif static.is_control:
             self._resolve_branch_outcome(inst)
-        else:  # pragma: no cover - dispatch covers every opcode
-            raise NotImplementedError(f"issue of {op}")
+        else:
+            op = static.opcode
+            if op is Opcode.LI:
+                inst.result = to_u64(static.imm)
+            elif op is Opcode.LUI:
+                inst.result = to_u64((static.imm or 0) << 16)
+            elif op is Opcode.MOV:
+                inst.result = values[inst.psrc1]
+            elif op is Opcode.WRPKRU:
+                inst.wrpkru_value = values[inst.psrc1]
+            else:  # pragma: no cover - dispatch covers every opcode
+                raise NotImplementedError(f"issue of {op}")
 
-        self._schedule(inst, latency_of(op))
+        self._schedule(inst, static.latency)
 
     def _resolve_branch_outcome(self, inst: DynInst) -> None:
         static = inst.static
-        op = static.opcode
-        if op in _BRANCH_EVAL:
-            a = self.prf.read(inst.psrc1)
-            b = self.prf.read(inst.psrc2)
-            inst.actual_taken = bool(_BRANCH_EVAL[op](a, b))
-            inst.actual_target = static.imm if inst.actual_taken else static.pc + 1
-        elif op in (Opcode.JR, Opcode.RET):
+        branch = static.branch_eval
+        values = self.prf.values
+        if branch is not None:
+            inst.actual_taken = taken = bool(
+                branch(values[inst.psrc1], values[inst.psrc2])
+            )
+            inst.actual_target = static.imm if taken else static.pc + 1
+        elif static.is_indirect:
             inst.actual_taken = True
-            inst.actual_target = self.prf.read(inst.psrc1)
-        elif op is Opcode.CALLR:
-            inst.actual_taken = True
-            inst.actual_target = self.prf.read(inst.psrc1)
-            inst.result = inst.pc + 1  # RA value
+            inst.actual_target = values[inst.psrc1]
+            if static.is_call:  # CALLR additionally writes RA
+                inst.result = inst.pc + 1
         else:  # pragma: no cover
-            raise NotImplementedError(f"branch resolve of {op}")
+            raise NotImplementedError(f"branch resolve of {static.opcode}")
         predicted = (
             inst.predicted_target if inst.predicted_taken else inst.pc + 1
         )
@@ -652,8 +820,7 @@ class Simulator:
             return False
 
         static = inst.static
-        base = self.prf.read(inst.psrc1)
-        address = to_u64(base + (static.imm or 0))
+        address = (self.prf.values[inst.psrc1] + (static.imm or 0)) & MASK64
         inst.address = address
         self._mark_issued(inst)
         policy = self.config.wrpkru_policy
@@ -754,9 +921,9 @@ class Simulator:
     def _execute_store(self, inst: DynInst) -> None:
         static = inst.static
         self._mark_issued(inst)
-        base = self.prf.read(inst.psrc1)
-        inst.address = to_u64(base + (static.imm or 0))
-        inst.mem_value = self.prf.read(inst.psrc2)
+        values = self.prf.values
+        inst.address = (values[inst.psrc1] + (static.imm or 0)) & MASK64
+        inst.mem_value = values[inst.psrc2]
         policy = self.config.wrpkru_policy
 
         extra = 0
@@ -807,10 +974,10 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _writeback(self) -> None:
-        pending = self.events.pop(self.cycle, [])
+        pending = self.events.pop(self.cycle, None)
         if not pending:
             return
-        pending.sort(key=lambda inst: inst.seq)
+        pending.sort(key=_by_seq)
         mispredicts: List[DynInst] = []
         for inst in pending:
             if inst.squashed:
@@ -846,24 +1013,22 @@ class Simulator:
         self._wake(waiters)
 
     def _wake(self, waiters) -> None:
+        heap = self.ready_heap
         for waiter in waiters:
             if waiter.squashed or waiter.issued:
                 continue
             waiter.waiting_on -= 1
             if waiter.waiting_on == 0 and waiter.dispatched:
-                heapq.heappush(self.ready_heap, (waiter.seq, waiter))
+                heappush(heap, (waiter.seq, waiter))
 
     def _train_predictor(self, inst: DynInst) -> None:
         static = inst.static
-        op = static.opcode
-        checkpoint = inst.ghist_checkpoint
-        if op in _BRANCH_EVAL:
+        if static.is_conditional_branch:
             self.predictor.train_conditional(
-                static.pc, checkpoint.ghist, inst.actual_taken, inst.actual_target
+                static.pc, inst.ghist_checkpoint.ghist,
+                inst.actual_taken, inst.actual_target,
             )
-        elif op in (Opcode.JR, Opcode.CALLR):
-            self.predictor.train_indirect(static.pc, inst.actual_target)
-        elif op is Opcode.RET:
+        elif static.is_indirect:
             self.predictor.train_indirect(static.pc, inst.actual_target)
 
     # ------------------------------------------------------------------
@@ -887,12 +1052,12 @@ class Simulator:
 
         # Repair predictor state, then re-apply the branch's outcome.
         self.predictor.restore(branch.ghist_checkpoint)
-        op = branch.static.opcode
-        if op in _BRANCH_EVAL:
+        static = branch.static
+        if static.is_conditional_branch:
             self.predictor._speculate_history(branch.actual_taken)
-        elif op is Opcode.CALLR:
+        elif static.is_call:  # CALLR (direct calls never mispredict)
             self.predictor.ras.push(branch.pc + 1)
-        elif op is Opcode.RET:
+        elif static.is_return:
             self.predictor.ras.pop()
 
         self._redirect_fetch(
@@ -943,7 +1108,7 @@ class Simulator:
                 self.load_queue.pop()
             if victim.is_store and self.store_queue and self.store_queue[-1] is victim:
                 self.store_queue.pop()
-            if victim.static.opcode is Opcode.LFENCE:
+            if victim.static.is_lfence:
                 self.inflight_lfences.remove(victim.seq)
             if victim.is_wrpkru:
                 self.stats.wrpkru_squashed += 1
@@ -965,18 +1130,20 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _retire(self) -> None:
-        cfg = self.config
+        active_list = self.active_list
+        trace = self.trace
+        commit_width = self.config.commit_width
         retired = 0
-        while retired < cfg.commit_width and self.active_list:
-            inst = self.active_list[0]
+        while retired < commit_width and active_list:
+            inst = active_list[0]
             if not inst.completed:
                 if (
-                    self.trace is not None
+                    trace is not None
                     and (inst.replay_at_head or inst.replay_started)
                     and inst.replay_reason == "tlb"
                 ):
                     # Head blocked on a deferred TLB fill / walk.
-                    self.trace.stall(StallKind.TLB)
+                    trace.stall(StallKind.TLB)
                 if inst.replay_at_head and not inst.replay_started:
                     self._start_replay(inst)
                 elif inst.is_rdpkru and not inst.executed:
@@ -986,17 +1153,13 @@ class Simulator:
                     inst.executed = inst.completed = True
                     self.stats.rdpkru_retired += 1
                     continue  # retire it this same cycle
-                elif (
-                    inst.static.opcode is Opcode.LFENCE and not inst.executed
-                ):
+                elif inst.static.is_lfence and not inst.executed:
                     self._mark_issued(inst)
                     inst.executed = inst.completed = True
                     self.inflight_lfences.remove(inst.seq)
                     self._mem_retry = True
                     continue
-                elif (
-                    inst.static.opcode is Opcode.CLFLUSH and not inst.executed
-                ):
+                elif inst.static.is_clflush and not inst.executed:
                     # CLFLUSH executes non-speculatively at the head: it
                     # is ordered after older stores to the same line (as
                     # on x86) and cannot pollute caches on wrong paths.
@@ -1061,6 +1224,7 @@ class Simulator:
     def _commit(self, inst: DynInst) -> bool:
         """Apply architectural effects; False when retirement must stop."""
         static = inst.static
+        stats = self.stats
         if static.is_store:
             try:
                 self.memory.store(inst.address, inst.mem_value, self.specmpk.arf)
@@ -1071,21 +1235,21 @@ class Simulator:
             self.hierarchy.access(inst.address)
             if inst.tlb_entry is not None and not self.tlb.contains(inst.address):
                 self.tlb.fill(inst.address, inst.tlb_entry)
-            self.stats.stores_retired += 1
+            stats.stores_retired += 1
             self._mem_retry = True
         elif static.is_load:
-            self.stats.loads_retired += 1
+            stats.loads_retired += 1
             if self.config.record_load_latencies:
-                self.stats.load_latency_trace.append((inst.address, inst.latency))
+                stats.load_latency_trace.append((inst.address, inst.latency))
         elif static.is_wrpkru:
             if inst.rob_pkru_id is not None:
                 self.specmpk.retire_head()
             else:
                 self.specmpk.arf = inst.wrpkru_value & 0xFFFFFFFF
                 self.serialize_block = None
-            self.stats.wrpkru_retired += 1
+            stats.wrpkru_retired += 1
         elif static.is_control:
-            self.stats.branches_retired += 1
+            stats.branches_retired += 1
 
         if inst.pdst is not None:
             self.rename_tables.commit(inst.ldst, inst.pdst)
@@ -1094,13 +1258,11 @@ class Simulator:
             self.trace.event(self.cycle, EventKind.RETIRE, inst)
         self.active_list.popleft()
         if static.is_load:
-            assert self.load_queue and self.load_queue[0] is inst
-            self.load_queue.pop(0)
+            self.load_queue.popleft()
         elif static.is_store:
-            assert self.store_queue and self.store_queue[0] is inst
-            self.store_queue.pop(0)
+            self.store_queue.popleft()
 
-        self.stats.instructions_retired += 1
+        stats.instructions_retired += 1
         if self._cosim is not None:
             self._check_cosim(inst)
         if static.is_halt:
@@ -1155,32 +1317,11 @@ class Simulator:
         assert seqs == sorted(seqs), "Active List out of order"
 
 
-def _effective_regs(static):
-    """Logical (dst, src1, src2) including implicit RA/EAX operands."""
-    op = static.opcode
-    dst, src1, src2 = static.dst, static.src1, static.src2
-    if op is Opcode.CALL:
-        dst = RA
-    elif op is Opcode.CALLR:
-        dst = RA
-    elif op is Opcode.RET:
-        src1 = RA
-    elif op is Opcode.WRPKRU:
-        src1 = EAX
-    elif op is Opcode.RDPKRU:
-        dst = EAX
-    return dst, src1, src2
+#: Writeback orders same-cycle completions oldest-first.
+_by_seq = attrgetter("seq")
 
 
 def _alignment(address: int, access: str):
     from ..mpk.faults import AlignmentFault
 
     return AlignmentFault(address, access)
-
-
-#: Opcodes completed at rename without occupying the issue queue.
-#: LFENCE, RDPKRU, and CLFLUSH wait for the Active List head instead.
-_NO_ISSUE_OPS = frozenset(
-    {Opcode.NOP, Opcode.HALT, Opcode.JMP, Opcode.CALL, Opcode.LFENCE,
-     Opcode.RDPKRU, Opcode.CLFLUSH}
-)

@@ -31,6 +31,7 @@ from ..core.config import CoreConfig, WrpkruPolicy
 from ..core.pipeline import Simulator
 from ..core.stats import SimStats
 from ..isa.emulator import Emulator
+from ..perf.runcache import cache_enabled, cache_key, default_cache
 from ..state import WarmTouch, fast_forward
 from ..trace import (
     TopDownReport,
@@ -177,7 +178,18 @@ def execute(request: RunRequest) -> RunResult:
     ``request.fastforward`` the warmup window runs on the functional
     emulator and the timing core starts from the resulting
     architectural state.
+
+    Untraced runs of canonical workloads are memoized in the on-disk
+    run cache (:mod:`repro.perf.runcache`): the simulator is
+    deterministic, so an identical request under the same code version
+    returns the stored :class:`RunResult` without simulating.  Disable
+    with ``REPRO_CACHE=0``.
     """
+    key = cache_key(request) if cache_enabled() else None
+    if key is not None:
+        cached = default_cache().get(key)
+        if cached is not None:
+            return cached
     workload = request.workload
     if isinstance(workload, str):
         workload = _build_cached(workload, request.mode)
@@ -229,4 +241,9 @@ def execute(request: RunRequest) -> RunResult:
         warmup=warmup,
         fastforward=request.fastforward,
     )
-    return RunResult(stats=result.stats, metadata=metadata, trace=collector)
+    run_result = RunResult(
+        stats=result.stats, metadata=metadata, trace=collector
+    )
+    if key is not None:
+        default_cache().put(key, run_result)
+    return run_result

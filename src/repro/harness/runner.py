@@ -13,13 +13,13 @@ from __future__ import annotations
 
 import dataclasses
 import math
-import os
 import warnings
-from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core.config import CoreConfig, WrpkruPolicy
 from ..core.stats import SimStats
+from ..perf.envflag import env_flag
+from ..perf.pool import run_longest_first
 from ..workloads.generator import GeneratedWorkload
 from ..workloads.instrument import InstrumentMode
 from ..workloads.profiles import ALL_PROFILES, WorkloadProfile
@@ -115,6 +115,17 @@ def _run_one(request: RunRequest) -> Tuple[str, WrpkruPolicy, SimStats]:
     return result.metadata.label, result.metadata.policy, result.stats
 
 
+#: Expected serialization overhead per policy, used only to order
+#: parallel task submission (longest first).  SERIALIZED drains the
+#: pipeline around every WRPKRU and SPECMPK adds check/replay stalls,
+#: so those grid points take the most wall-clock per instruction.
+_POLICY_WEIGHT = {
+    WrpkruPolicy.SERIALIZED: 1.3,
+    WrpkruPolicy.SPECMPK: 1.2,
+    WrpkruPolicy.NONSECURE_SPEC: 1.0,
+}
+
+
 def sweep_policies(
     labels: Optional[Iterable[str]] = None,
     policies: Iterable[WrpkruPolicy] = tuple(WrpkruPolicy),
@@ -123,12 +134,16 @@ def sweep_policies(
     config: Optional[CoreConfig] = None,
     parallel: Optional[bool] = None,
     request: Optional[RunRequest] = None,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, Dict[WrpkruPolicy, SimStats]]:
     """Run every workload under every policy (the Fig. 9 grid).
 
     The workload binary is rebuilt deterministically per run, so all
     microarchitectures execute identical code.  With *parallel* (or
-    ``REPRO_PARALLEL=1``) the grid fans out over worker processes.
+    ``REPRO_PARALLEL=1``; ``false``/``no``/``off`` disable) the grid
+    fans out over the shared worker pool
+    (:mod:`repro.perf.pool`), submitting the expensive points first;
+    *max_workers* (or ``REPRO_WORKERS``) bounds the pool size.
 
     When *request* is given it acts as the template for every grid
     point (mode, budgets, config and trace options are taken from it);
@@ -139,7 +154,7 @@ def sweep_policies(
     labels = list(labels)
     policies = tuple(policies)
     if parallel is None:
-        parallel = os.environ.get("REPRO_PARALLEL", "0") not in ("0", "")
+        parallel = env_flag("REPRO_PARALLEL", default=False)
     if request is None:
         template = RunRequest(
             workload="", policy=policies[0] if policies else
@@ -157,9 +172,16 @@ def sweep_policies(
         for policy in policies
     ]
     if parallel and len(tasks) > 1:
-        with ProcessPoolExecutor() as pool:
-            for label, policy, stats in pool.map(_run_one, tasks):
-                results[label][policy] = stats
+        weights = [
+            task.resolved_instructions()
+            * _POLICY_WEIGHT.get(task.policy, 1.0)
+            for task in tasks
+        ]
+        outcomes = run_longest_first(
+            _run_one, tasks, weights=weights, max_workers=max_workers
+        )
+        for label, policy, stats in outcomes:
+            results[label][policy] = stats
     else:
         for task in tasks:
             label, policy, stats = _run_one(task)

@@ -14,7 +14,7 @@ from ..memory.address_space import AddressSpace
 from ..mpk.faults import MemoryFault
 from ..mpk.pkru import PKRU_MASK
 from .instruction import Instruction
-from .opcodes import Opcode
+from .opcodes import ALU_EVAL, BRANCH_EVAL, Opcode
 from .program import Program
 from .registers import EAX, MASK64, NUM_REGS, RA, to_s64, to_u64
 
@@ -192,31 +192,31 @@ class Emulator:
         state = self.state
         op = inst.opcode
         next_pc = inst.pc + 1
+        regs = state.regs
 
-        if op in _ALU_EVAL:
-            a = state.read_reg(inst.src1) if inst.src1 is not None else 0
+        alu = inst.alu_eval
+        if alu is not None:
+            a = regs[inst.src1] if inst.src1 is not None else 0
             b = (
-                state.read_reg(inst.src2)
+                regs[inst.src2]
                 if inst.src2 is not None
                 else (inst.imm or 0)
             )
-            state.write_reg(inst.dst, _ALU_EVAL[op](a, b))
+            state.write_reg(inst.dst, alu(a, b))
         elif op is Opcode.LI:
             state.write_reg(inst.dst, inst.imm)
         elif op is Opcode.LUI:
             state.write_reg(inst.dst, (inst.imm or 0) << 16)
         elif op is Opcode.MOV:
-            state.write_reg(inst.dst, state.read_reg(inst.src1))
+            state.write_reg(inst.dst, regs[inst.src1])
         elif op is Opcode.LD:
-            address = to_u64(state.read_reg(inst.src1) + (inst.imm or 0))
+            address = (regs[inst.src1] + (inst.imm or 0)) & MASK64
             state.write_reg(inst.dst, state.memory.load(address, state.pkru))
         elif op is Opcode.ST:
-            address = to_u64(state.read_reg(inst.src1) + (inst.imm or 0))
-            state.memory.store(address, state.read_reg(inst.src2), state.pkru)
-        elif op in _BRANCH_EVAL:
-            taken = _BRANCH_EVAL[op](
-                state.read_reg(inst.src1), state.read_reg(inst.src2)
-            )
+            address = (regs[inst.src1] + (inst.imm or 0)) & MASK64
+            state.memory.store(address, regs[inst.src2], state.pkru)
+        elif inst.branch_eval is not None:
+            taken = inst.branch_eval(regs[inst.src1], regs[inst.src2])
             if taken:
                 next_pc = inst.imm
         elif op is Opcode.JMP:
@@ -250,35 +250,10 @@ class Emulator:
         state.pc = next_pc
 
 
-def _div(a: int, b: int) -> int:
-    return MASK64 if b == 0 else a // b
-
-
-_ALU_EVAL = {
-    Opcode.ADD: lambda a, b: a + b,
-    Opcode.ADDI: lambda a, b: a + b,
-    Opcode.SUB: lambda a, b: a - b,
-    Opcode.AND: lambda a, b: a & b,
-    Opcode.ANDI: lambda a, b: a & b,
-    Opcode.OR: lambda a, b: a | b,
-    Opcode.ORI: lambda a, b: a | b,
-    Opcode.XOR: lambda a, b: a ^ b,
-    Opcode.XORI: lambda a, b: a ^ b,
-    Opcode.SLL: lambda a, b: a << (b % 64),
-    Opcode.SLLI: lambda a, b: a << (b % 64),
-    Opcode.SRL: lambda a, b: to_u64(a) >> (b % 64),
-    Opcode.SRLI: lambda a, b: to_u64(a) >> (b % 64),
-    Opcode.SLT: lambda a, b: int(to_s64(a) < to_s64(b)),
-    Opcode.MUL: lambda a, b: a * b,
-    Opcode.DIV: _div,
-}
-
-_BRANCH_EVAL = {
-    Opcode.BEQ: lambda a, b: a == b,
-    Opcode.BNE: lambda a, b: a != b,
-    Opcode.BLT: lambda a, b: to_s64(a) < to_s64(b),
-    Opcode.BGE: lambda a, b: to_s64(a) >= to_s64(b),
-}
+# Backwards-compatible aliases: the evaluator tables are defined next
+# to the opcodes (so instructions can prebind them at decode time).
+_ALU_EVAL = ALU_EVAL
+_BRANCH_EVAL = BRANCH_EVAL
 
 
 def run_program(

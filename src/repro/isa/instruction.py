@@ -3,6 +3,13 @@
 An :class:`Instruction` is the static (decoded) form shared by the
 functional emulator and the out-of-order core.  The dynamic, in-flight
 form lives in :mod:`repro.core.dynamic` and wraps one of these.
+
+Everything derivable from the opcode alone — classification flags,
+functional-unit latency, the ALU/branch evaluator, the effective
+(implicit-operand) register indices — is computed once here at decode
+time.  The execution engines touch millions of dynamic instances of
+each static instruction, so those per-instruction lookups are the
+hottest dict/enum operations in the whole simulator when done lazily.
 """
 
 from __future__ import annotations
@@ -10,6 +17,9 @@ from __future__ import annotations
 from typing import Optional
 
 from .opcodes import (
+    ALU_EVAL,
+    BRANCH_EVAL,
+    NO_ISSUE_OPS,
     Opcode,
     is_call,
     is_conditional_branch,
@@ -19,8 +29,9 @@ from .opcodes import (
     is_memory,
     is_return,
     is_store,
+    latency_of,
 )
-from .registers import register_name
+from .registers import EAX, RA, register_name
 
 
 class Instruction:
@@ -36,9 +47,24 @@ class Instruction:
 
     Memory operands are ``imm(src1)`` i.e. base register plus
     displacement; stores read the value from ``src2``.
+
+    The ``is_*`` classification flags, ``latency``, ``alu_eval`` /
+    ``branch_eval`` and the effective register indices are plain
+    attributes precomputed from the opcode at construction time (the
+    opcode never changes after decode).
     """
 
-    __slots__ = ("opcode", "dst", "src1", "src2", "imm", "target_label", "pc")
+    __slots__ = (
+        "opcode", "dst", "src1", "src2", "imm", "target_label", "pc",
+        # precomputed classification flags
+        "is_memory", "is_load", "is_store", "is_control",
+        "is_conditional_branch", "is_indirect", "is_call", "is_return",
+        "is_wrpkru", "is_rdpkru", "is_halt", "is_lfence", "is_clflush",
+        # precomputed dispatch state
+        "latency", "alu_eval", "branch_eval", "needs_iq",
+        # effective operands including implicit RA/EAX
+        "eff_dst", "eff_src1", "eff_src2",
+    )
 
     def __init__(
         self,
@@ -57,51 +83,39 @@ class Instruction:
         self.target_label = target_label
         self.pc: Optional[int] = None
 
-    # -- classification helpers (delegate to opcode predicates) ---------
+        self.is_memory = is_memory(opcode)
+        self.is_load = is_load(opcode)
+        self.is_store = is_store(opcode)
+        self.is_control = is_control(opcode)
+        self.is_conditional_branch = is_conditional_branch(opcode)
+        self.is_indirect = is_indirect(opcode)
+        self.is_call = is_call(opcode)
+        self.is_return = is_return(opcode)
+        self.is_wrpkru = opcode is Opcode.WRPKRU
+        self.is_rdpkru = opcode is Opcode.RDPKRU
+        self.is_halt = opcode is Opcode.HALT
+        self.is_lfence = opcode is Opcode.LFENCE
+        self.is_clflush = opcode is Opcode.CLFLUSH
 
-    @property
-    def is_memory(self) -> bool:
-        return is_memory(self.opcode)
+        self.latency = latency_of(opcode)
+        self.alu_eval = ALU_EVAL.get(opcode)
+        self.branch_eval = BRANCH_EVAL.get(opcode)
+        self.needs_iq = opcode not in NO_ISSUE_OPS
 
-    @property
-    def is_load(self) -> bool:
-        return is_load(self.opcode)
-
-    @property
-    def is_store(self) -> bool:
-        return is_store(self.opcode)
-
-    @property
-    def is_control(self) -> bool:
-        return is_control(self.opcode)
-
-    @property
-    def is_conditional_branch(self) -> bool:
-        return is_conditional_branch(self.opcode)
-
-    @property
-    def is_indirect(self) -> bool:
-        return is_indirect(self.opcode)
-
-    @property
-    def is_call(self) -> bool:
-        return is_call(self.opcode)
-
-    @property
-    def is_return(self) -> bool:
-        return is_return(self.opcode)
-
-    @property
-    def is_wrpkru(self) -> bool:
-        return self.opcode is Opcode.WRPKRU
-
-    @property
-    def is_rdpkru(self) -> bool:
-        return self.opcode is Opcode.RDPKRU
-
-    @property
-    def is_halt(self) -> bool:
-        return self.opcode is Opcode.HALT
+        # Logical (dst, src1, src2) including the implicit RA/EAX
+        # operands of calls/returns and the PKRU instructions.
+        eff_dst, eff_src1, eff_src2 = dst, src1, src2
+        if opcode is Opcode.CALL or opcode is Opcode.CALLR:
+            eff_dst = RA
+        elif opcode is Opcode.RET:
+            eff_src1 = RA
+        elif opcode is Opcode.WRPKRU:
+            eff_src1 = EAX
+        elif opcode is Opcode.RDPKRU:
+            eff_dst = EAX
+        self.eff_dst = eff_dst
+        self.eff_src1 = eff_src1
+        self.eff_src2 = eff_src2
 
     def source_registers(self) -> tuple:
         """Explicit source register indices (no PKRU, it is implicit)."""

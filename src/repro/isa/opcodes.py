@@ -101,6 +101,13 @@ CONTROL_OPS = CONDITIONAL_BRANCH_OPS | DIRECT_JUMP_OPS | INDIRECT_JUMP_OPS
 
 MPK_OPS = frozenset({Opcode.WRPKRU, Opcode.RDPKRU})
 
+#: Opcodes completed at rename without occupying the issue queue.
+#: LFENCE, RDPKRU, and CLFLUSH wait for the Active List head instead.
+NO_ISSUE_OPS = frozenset(
+    {Opcode.NOP, Opcode.HALT, Opcode.JMP, Opcode.CALL, Opcode.LFENCE,
+     Opcode.RDPKRU, Opcode.CLFLUSH}
+)
+
 #: Execution latency (cycles spent in the functional unit) per opcode.
 #: Loads/stores additionally pay the memory-hierarchy latency.
 EXECUTION_LATENCY = {
@@ -113,6 +120,57 @@ DEFAULT_LATENCY = 1
 def latency_of(opcode: Opcode) -> int:
     """Return the functional-unit latency for *opcode*."""
     return EXECUTION_LATENCY.get(opcode, DEFAULT_LATENCY)
+
+
+# Operand evaluators, keyed by opcode.  These live here (not in the
+# emulator) so :class:`~repro.isa.instruction.Instruction` can bind the
+# evaluator once at decode time; both the functional emulator and the
+# timing core then dispatch through the prebound function instead of
+# hashing enum members in a dict per executed instruction.
+
+_MASK64 = (1 << 64) - 1
+
+
+def _u64(value: int) -> int:
+    return value & _MASK64
+
+
+def _s64(value: int) -> int:
+    value &= _MASK64
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+def _div(a: int, b: int) -> int:
+    return _MASK64 if b == 0 else a // b
+
+
+ALU_EVAL = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.ADDI: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.ANDI: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.ORI: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.XORI: lambda a, b: a ^ b,
+    Opcode.SLL: lambda a, b: a << (b % 64),
+    Opcode.SLLI: lambda a, b: a << (b % 64),
+    Opcode.SRL: lambda a, b: _u64(a) >> (b % 64),
+    Opcode.SRLI: lambda a, b: _u64(a) >> (b % 64),
+    Opcode.SLT: lambda a, b: int(_s64(a) < _s64(b)),
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: _div,
+}
+
+BRANCH_EVAL = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLT: lambda a, b: _s64(a) < _s64(b),
+    Opcode.BGE: lambda a, b: _s64(a) >= _s64(b),
+}
 
 
 def is_memory(opcode: Opcode) -> bool:

@@ -1,0 +1,37 @@
+"""Simulation-throughput layer: run cache, worker pool, env parsing.
+
+Three independent pieces keep reproduction wall-clock down:
+
+* :mod:`repro.perf.runcache` — a content-addressed on-disk cache of
+  :class:`~repro.harness.api.RunResult` objects, keyed on the
+  canonicalized request plus a code-version fingerprint, so re-running
+  a benchmark suite only simulates the points that changed.
+* :mod:`repro.perf.pool` — one persistent, shared
+  :class:`~concurrent.futures.ProcessPoolExecutor` reused across
+  ``sweep_policies`` grids and simpoint interval measurement, with
+  longest-first task submission.
+* :mod:`repro.perf.envflag` — the single parser for the layer's
+  environment switches (``REPRO_CACHE``, ``REPRO_PARALLEL``,
+  ``REPRO_WORKERS``), accepting the usual falsy spellings.
+
+The kernel-level optimizations (dispatch precomputation in
+:mod:`repro.isa.instruction`, the idle-cycle fast-skip in
+:mod:`repro.core.pipeline`) live with the code they speed up;
+``docs/performance.md`` describes the whole layer.
+"""
+
+from .envflag import env_flag, env_int
+from .pool import get_pool, run_longest_first, shutdown_pool
+from .runcache import RunCache, cache_enabled, cache_key, default_cache
+
+__all__ = [
+    "RunCache",
+    "cache_enabled",
+    "cache_key",
+    "default_cache",
+    "env_flag",
+    "env_int",
+    "get_pool",
+    "run_longest_first",
+    "shutdown_pool",
+]

@@ -1,0 +1,36 @@
+"""Environment-variable parsing shared by the perf layer.
+
+``REPRO_PARALLEL=false`` used to parse as *enabled* (any string other
+than ``"0"``/``""`` was truthy); every boolean switch now goes through
+:func:`env_flag`, which accepts the usual falsy spellings.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Spellings that disable a flag (case-insensitive, surrounding
+#: whitespace ignored).  Anything else — "1", "true", "yes", "on",
+#: arbitrary text — enables it.
+FALSY = frozenset({"", "0", "false", "no", "off"})
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Parse the boolean environment variable *name*.
+
+    Unset returns *default*; set returns False for the falsy spellings
+    in :data:`FALSY` and True otherwise.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in FALSY
+
+
+def env_int(name: str, default: Optional[int] = None) -> Optional[int]:
+    """Parse an integer environment variable; unset/empty → *default*."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    return int(raw)

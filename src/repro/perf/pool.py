@@ -1,0 +1,88 @@
+"""One persistent worker pool for every parallel sweep.
+
+``sweep_policies`` and ``simpoint.weighted_ipc`` used to create a fresh
+:class:`~concurrent.futures.ProcessPoolExecutor` per call, paying
+worker spawn + interpreter warmup on every grid.  This module keeps a
+single shared pool alive for the process and hands out slots to every
+caller:
+
+* :func:`get_pool` — create-on-first-use, reused until the requested
+  worker count changes (``max_workers`` argument or ``REPRO_WORKERS``).
+* :func:`run_longest_first` — submit a batch ordered longest-first (so
+  the slowest tasks start immediately and the tail of the schedule is
+  short) and return results in the original order.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+from .envflag import env_int
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers: Optional[int] = None
+
+
+def resolve_workers(max_workers: Optional[int] = None) -> Optional[int]:
+    """Effective worker count: explicit argument, else ``REPRO_WORKERS``,
+    else None (the executor's own default, one per CPU)."""
+    if max_workers is not None:
+        return max_workers
+    return env_int("REPRO_WORKERS")
+
+
+def get_pool(max_workers: Optional[int] = None) -> ProcessPoolExecutor:
+    """The shared executor, (re)created when the worker count changes.
+
+    With ``max_workers=None`` any existing pool is reused regardless of
+    its size; an explicit count recycles the pool only on mismatch.
+    """
+    global _pool, _pool_workers
+    workers = resolve_workers(max_workers)
+    if _pool is None or (workers is not None and workers != _pool_workers):
+        if _pool is not None:
+            _pool.shutdown(wait=True)
+        _pool = ProcessPoolExecutor(max_workers=workers)
+        # Record the actual size so a repeated explicit request matches.
+        _pool_workers = _pool._max_workers
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (tests; registered atexit)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=True)
+        _pool = None
+        _pool_workers = None
+
+
+atexit.register(shutdown_pool)
+
+
+def run_longest_first(
+    fn: Callable,
+    tasks: Sequence,
+    weights: Optional[Sequence[float]] = None,
+    max_workers: Optional[int] = None,
+) -> List:
+    """Run ``fn(task)`` for every task on the shared pool.
+
+    Submission order is heaviest-*weights* first — with self-similar
+    tasks (same fn, sizes known up front) this is the classic LPT
+    schedule, which keeps the stragglers off the end of the run.
+    Results come back in the original task order.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    pool = get_pool(max_workers)
+    order = range(len(tasks))
+    if weights is not None:
+        if len(weights) != len(tasks):
+            raise ValueError("weights must match tasks")
+        order = sorted(order, key=weights.__getitem__, reverse=True)
+    futures = {index: pool.submit(fn, tasks[index]) for index in order}
+    return [futures[index].result() for index in range(len(tasks))]

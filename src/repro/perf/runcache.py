@@ -1,0 +1,210 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Every paper figure is a ``(workload, policy, config)`` sweep over the
+cycle-level model, and benchmark suites re-simulate mostly identical
+points run after run.  The run cache memoizes
+:func:`repro.harness.api.execute` on disk:
+
+* **Key** — SHA-256 over the canonicalized request (workload identity,
+  instrument mode, policy, resolved instruction/warmup budgets,
+  fast-forward flag, the full :class:`~repro.core.config.CoreConfig`)
+  plus a *code-version fingerprint* hashing every ``repro`` source
+  file, so any simulator change invalidates the whole cache.
+* **Value** — the pickled :class:`~repro.harness.api.RunResult`
+  (stats + metadata; only untraced runs are cached, so no collector
+  rides along).
+
+The simulator is deterministic, which is what makes this sound: the
+same key can only ever map to one result.  ``REPRO_CACHE=0`` opts out,
+``REPRO_CACHE_DIR`` relocates the store, and the ``repro cache`` CLI
+reports/clears it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import functools
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Dict, Optional
+
+from .envflag import env_flag
+
+
+def cache_enabled() -> bool:
+    """The cache is on unless ``REPRO_CACHE`` says otherwise."""
+    return env_flag("REPRO_CACHE", default=True)
+
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro/runcache``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override).expanduser()
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base).expanduser() if base else Path.home() / ".cache"
+    return root / "repro" / "runcache"
+
+
+# -- canonicalization ------------------------------------------------------
+
+
+def canonicalize(value):
+    """Reduce *value* to a deterministic tree of primitives.
+
+    Handles the request vocabulary: dataclasses (CoreConfig,
+    WorkloadProfile, TraceOptions, cache geometries), enums, and plain
+    containers.  Anything else — bound methods, generated programs,
+    open handles — raises, which :func:`cache_key` treats as
+    "not cacheable"."""
+    if isinstance(value, enum.Enum):
+        return (type(value).__name__, value.name)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple(
+                (field.name, canonicalize(getattr(value, field.name)))
+                for field in dataclasses.fields(value)
+            ),
+        )
+    if isinstance(value, dict):
+        return tuple(
+            sorted((key, canonicalize(item)) for key, item in value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(canonicalize(item) for item in value)
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    raise TypeError(f"cannot canonicalize {type(value).__name__}")
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of every ``repro`` source file (path + contents).
+
+    Computed once per process; any edit to the simulator produces new
+    cache keys, so stale results can never be served across code
+    versions."""
+    root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:20]
+
+
+def cache_key(request) -> Optional[str]:
+    """Content hash of a :class:`~repro.harness.api.RunRequest`.
+
+    Returns None when the request is not cacheable: traced runs (the
+    collector is not worth pickling and its ring contents depend on
+    capacities anyway) and pre-built :class:`GeneratedWorkload` objects
+    (no canonical identity).  Workload labels and
+    :class:`WorkloadProfile` values canonicalize field-by-field, so a
+    modified profile under an existing label still misses.
+    """
+    if request.trace.enabled:
+        return None
+    try:
+        canonical = (
+            "runrequest-v1",
+            canonicalize(request.workload),
+            canonicalize(request.mode),
+            canonicalize(request.policy),
+            request.resolved_instructions(),
+            request.resolved_warmup(),
+            bool(request.fastforward),
+            canonicalize(request.config),
+            code_fingerprint(),
+        )
+    except TypeError:
+        return None
+    return hashlib.sha256(repr(canonical).encode()).hexdigest()
+
+
+# -- the store -------------------------------------------------------------
+
+
+class RunCache:
+    """Pickle-per-key store under one directory."""
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        self.directory = Path(
+            directory if directory is not None else default_cache_dir()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str):
+        """The cached RunResult for *key*, or None on a miss.
+
+        Unreadable/corrupt entries (killed writer, unpicklable after a
+        refactor) count as misses; the subsequent put overwrites them.
+        """
+        try:
+            with open(self._path(key), "rb") as handle:
+                result = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result) -> None:
+        """Store *result*; atomic rename so readers never see a torn file."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        final = self._path(key)
+        temp = final.with_name(f".{key}.{os.getpid()}.tmp")
+        with open(temp, "wb") as handle:
+            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(temp, final)
+
+    def entries(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+    def stats(self) -> Dict[str, object]:
+        """Store-wide numbers for ``repro cache stats``."""
+        files = list(self.directory.glob("*.pkl"))
+        return {
+            "directory": str(self.directory),
+            "entries": len(files),
+            "bytes": sum(path.stat().st_size for path in files),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+#: Shared instances per resolved directory, so hit/miss counters
+#: accumulate across calls while tests can redirect via
+#: ``REPRO_CACHE_DIR`` monkeypatching.
+_instances: Dict[str, RunCache] = {}
+
+
+def default_cache() -> RunCache:
+    """The process-wide cache for the currently resolved directory."""
+    directory = default_cache_dir()
+    key = str(directory)
+    cache = _instances.get(key)
+    if cache is None:
+        cache = _instances[key] = RunCache(directory)
+    return cache

@@ -10,7 +10,6 @@ in detail on the timing core.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from typing import List, NamedTuple, Optional
 
 import numpy as np
@@ -19,6 +18,7 @@ from ..core.config import CoreConfig
 from ..core.pipeline import Simulator
 from ..isa.emulator import Emulator
 from ..isa.program import Program
+from ..perf.pool import run_longest_first
 from ..state import Checkpoint, WarmTouch, fast_forward, resume_simulator, take_checkpoint
 from .bbv import BbvProfile, collect_bbv
 from .kmeans import choose_k
@@ -192,8 +192,15 @@ def weighted_ipc(
         raise ValueError("no simpoint interval was reachable")
 
     if parallel and len(jobs) > 1:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            ipcs = list(pool.map(_measure_interval, jobs))
+        # Shared pool (repro.perf.pool): reused across calls and with
+        # sweep_policies, so each weighted_ipc no longer pays worker
+        # spawn.  Every job warms up warmup + measures length
+        # instructions, so the LPT weight is warmup-dominated.
+        weights = [job[3] + job[4] for job in jobs]
+        ipcs = run_longest_first(
+            _measure_interval, jobs, weights=weights,
+            max_workers=max_workers,
+        )
     else:
         ipcs = [_measure_interval(job) for job in jobs]
     total_weight = sum(weights)

@@ -259,6 +259,63 @@ class TraceCollector:
         occupancy["store_queue"][store_queue] += 1
         occupancy["rob_pkru"][rob_pkru] += 1
 
+    def skip_cycles(
+        self, start_cycle: int, count: int, flags: int, occupancy: tuple
+    ) -> None:
+        """Account *count* idle cycles starting at *start_cycle* in bulk.
+
+        The simulator's idle fast-skip calls this instead of
+        :meth:`end_cycle` once per cycle.  During an idle stretch the
+        machine state is frozen: nothing retires, the same stall flags
+        are raised every cycle (the caller passes them in), and every
+        structure keeps its occupancy, so the per-cycle bookkeeping can
+        be applied arithmetically.  The only cycle-dependent part is
+        the squash-recovery window, which may cover a prefix of the
+        skipped range; that prefix is classified (and sampled) with
+        ``SQUASH_RECOVERY`` raised, exactly as stepping would.  The
+        result — buckets, histograms, and ring contents — is
+        bit-identical to *count* ``end_cycle`` calls.
+        """
+        flags = int(flags) | int(self._flags)
+        self._flags = 0
+        end = start_cycle + count
+        in_recovery = min(end, self._recovery_until + 1) - start_cycle
+        if in_recovery < 0:
+            in_recovery = 0
+        buckets = self.bucket_cycles
+        if in_recovery:
+            buckets[
+                classify_cycle(0, flags | StallKind.SQUASH_RECOVERY)
+            ] += in_recovery
+        if count > in_recovery:
+            buckets[classify_cycle(0, flags)] += count - in_recovery
+        self.total_cycles += count
+
+        frontend, active_list, issue_queue, load_queue, store_queue, \
+            rob_pkru = occupancy
+        occ = self._occupancy
+        occ["frontend"][frontend] += count
+        occ["active_list"][active_list] += count
+        occ["issue_queue"][issue_queue] += count
+        occ["load_queue"][load_queue] += count
+        occ["store_queue"][store_queue] += count
+        occ["rob_pkru"][rob_pkru] += count
+
+        # The ring only retains its last ``maxlen`` samples, so only
+        # that suffix of the skipped range needs materializing.
+        ring = self.cycles
+        first = max(start_cycle, end - ring.maxlen)
+        recovery_flags = int(flags | StallKind.SQUASH_RECOVERY)
+        recovery_until = self._recovery_until
+        append = ring.append
+        for cycle in range(first, end):
+            append(CycleSample(
+                cycle, 0,
+                recovery_flags if cycle <= recovery_until else flags,
+                frontend, active_list, issue_queue,
+                load_queue, store_queue, rob_pkru,
+            ))
+
     # -- consumers ---------------------------------------------------------
 
     def occupancy_histograms(self) -> Dict[str, Dict[int, int]]:

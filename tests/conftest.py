@@ -1,0 +1,20 @@
+"""Suite-wide fixtures.
+
+The run cache (:mod:`repro.perf.runcache`) defaults to a per-user
+directory under ``~/.cache``; tests must neither read results left by
+earlier runs nor litter the user's store, so every test session gets a
+private cache directory under pytest's tmp root.  Individual cache
+tests still override ``REPRO_CACHE_DIR`` themselves when they need a
+directory with known contents.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_run_cache(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("runcache")
+    monkeypatch = pytest.MonkeyPatch()
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    yield
+    monkeypatch.undo()

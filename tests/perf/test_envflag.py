@@ -1,0 +1,93 @@
+"""Environment-flag parsing, including the REPRO_PARALLEL regression.
+
+``REPRO_PARALLEL=false`` used to enable the parallel sweep (any
+non-"0" string parsed truthy); :func:`repro.perf.envflag.env_flag` now
+recognises the usual falsy spellings, and both ``REPRO_PARALLEL`` and
+``REPRO_CACHE`` share it.
+"""
+
+import pytest
+
+from repro.perf.envflag import FALSY, env_flag, env_int
+
+
+@pytest.mark.parametrize(
+    "raw", ["", "0", "false", "no", "off", "FALSE", "No", " OFF ", "False"]
+)
+def test_falsy_spellings_disable(monkeypatch, raw):
+    monkeypatch.setenv("X_FLAG", raw)
+    assert env_flag("X_FLAG", default=True) is False
+
+
+@pytest.mark.parametrize("raw", ["1", "true", "yes", "on", "TRUE", "anything"])
+def test_truthy_spellings_enable(monkeypatch, raw):
+    monkeypatch.setenv("X_FLAG", raw)
+    assert env_flag("X_FLAG", default=False) is True
+
+
+def test_unset_returns_default(monkeypatch):
+    monkeypatch.delenv("X_FLAG", raising=False)
+    assert env_flag("X_FLAG") is False
+    assert env_flag("X_FLAG", default=True) is True
+
+
+def test_falsy_set_is_lowercase():
+    assert all(spelling == spelling.lower() for spelling in FALSY)
+
+
+def test_env_int(monkeypatch):
+    monkeypatch.delenv("X_INT", raising=False)
+    assert env_int("X_INT") is None
+    assert env_int("X_INT", default=3) == 3
+    monkeypatch.setenv("X_INT", " 7 ")
+    assert env_int("X_INT") == 7
+    monkeypatch.setenv("X_INT", "")
+    assert env_int("X_INT", default=2) == 2
+
+
+def test_repro_parallel_false_runs_serially(monkeypatch):
+    """``REPRO_PARALLEL=false`` must take the serial path (the old
+    parser treated it as enabled)."""
+    from repro.core.config import WrpkruPolicy
+    from repro.harness import runner
+
+    def _boom(*args, **kwargs):  # pragma: no cover - failure path
+        raise AssertionError("parallel path taken with REPRO_PARALLEL=false")
+
+    monkeypatch.setenv("REPRO_PARALLEL", "false")
+    monkeypatch.setattr(runner, "run_longest_first", _boom)
+    results = runner.sweep_policies(
+        labels=["429.mcf (CPI)"],
+        policies=[WrpkruPolicy.SERIALIZED, WrpkruPolicy.SPECMPK],
+        instructions=300,
+    )
+    assert set(results["429.mcf (CPI)"]) == {
+        WrpkruPolicy.SERIALIZED, WrpkruPolicy.SPECMPK
+    }
+
+
+def test_repro_parallel_truthy_uses_pool(monkeypatch):
+    """A truthy REPRO_PARALLEL fans the grid out over the shared pool
+    (stubbed here so the test stays single-process)."""
+    from repro.core.config import WrpkruPolicy
+    from repro.harness import runner
+
+    calls = {}
+
+    def _serial(fn, tasks, weights=None, max_workers=None):
+        calls["weights"] = list(weights)
+        calls["max_workers"] = max_workers
+        return [fn(task) for task in tasks]
+
+    monkeypatch.setenv("REPRO_PARALLEL", "yes")
+    monkeypatch.setattr(runner, "run_longest_first", _serial)
+    results = runner.sweep_policies(
+        labels=["429.mcf (CPI)"],
+        policies=[WrpkruPolicy.SERIALIZED, WrpkruPolicy.NONSECURE_SPEC],
+        instructions=300,
+        max_workers=2,
+    )
+    assert calls["max_workers"] == 2
+    # SERIALIZED is weighted heavier than NONSECURE_SPEC at equal budget.
+    assert calls["weights"][0] > calls["weights"][1]
+    assert len(results["429.mcf (CPI)"]) == 2

@@ -1,0 +1,60 @@
+"""The shared worker pool (:mod:`repro.perf.pool`)."""
+
+import pytest
+
+from repro.perf import pool
+
+
+def _double(value):
+    """Module-level so worker processes can unpickle it."""
+    return value * 2
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    pool.shutdown_pool()
+    yield
+    pool.shutdown_pool()
+
+
+def test_run_longest_first_preserves_order():
+    tasks = list(range(8))
+    weights = [8 - task for task in tasks]  # heaviest first ≠ task order
+    assert pool.run_longest_first(_double, tasks, weights=weights) == [
+        task * 2 for task in tasks
+    ]
+
+
+def test_run_longest_first_no_weights():
+    assert pool.run_longest_first(_double, [3, 1, 2]) == [6, 2, 4]
+
+
+def test_run_longest_first_empty():
+    assert pool.run_longest_first(_double, []) == []
+
+
+def test_run_longest_first_weight_mismatch():
+    with pytest.raises(ValueError):
+        pool.run_longest_first(_double, [1, 2], weights=[1.0])
+
+
+def test_pool_is_reused():
+    first = pool.get_pool(2)
+    assert pool.get_pool() is first        # None reuses any live pool
+    assert pool.get_pool(2) is first       # matching count reuses
+    assert pool.get_pool(1) is not first   # mismatch recycles
+
+
+def test_shutdown_resets():
+    first = pool.get_pool(1)
+    pool.shutdown_pool()
+    assert pool.get_pool(1) is not first
+
+
+def test_resolve_workers(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert pool.resolve_workers() is None
+    assert pool.resolve_workers(3) == 3
+    monkeypatch.setenv("REPRO_WORKERS", "5")
+    assert pool.resolve_workers() == 5
+    assert pool.resolve_workers(2) == 2  # explicit argument wins

@@ -1,0 +1,211 @@
+"""Run-cache soundness: keys, invalidation, and the execute() fast path.
+
+The cache may only ever serve a result for a *bit-identical* request
+under the *same* code version — so the invalidation matrix here walks
+every axis of the key (every CoreConfig field, the workload identity,
+instrument mode, policy, budgets, fast-forward flag, and the code
+fingerprint) and asserts each one produces a distinct key.
+"""
+
+import dataclasses
+import enum
+
+import pytest
+
+from repro.core.config import CoreConfig, WrpkruPolicy
+from repro.harness.api import RunRequest, TraceOptions, execute
+from repro.perf import runcache
+from repro.perf.runcache import RunCache, cache_key, canonicalize
+from repro.workloads.generator import build_workload
+from repro.workloads.instrument import InstrumentMode
+from repro.workloads.profiles import profile_by_label
+
+LABEL = "429.mcf (CPI)"
+OTHER_LABEL = "520.omnetpp_r (SS)"
+
+
+def _base_request(**overrides) -> RunRequest:
+    defaults = dict(
+        workload=LABEL,
+        policy=WrpkruPolicy.SPECMPK,
+        instructions=400,
+        warmup=100,
+    )
+    defaults.update(overrides)
+    return RunRequest(**defaults)
+
+
+def _mutated(value):
+    """A value of the same shape as *value* but a different content."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return value + 0.5
+    if isinstance(value, str):
+        return value + "x"
+    if isinstance(value, enum.Enum):
+        members = list(type(value))
+        return members[(members.index(value) + 1) % len(members)]
+    if value is None:
+        return "dom"  # Optional[str] load_security
+    if isinstance(value, tuple) and hasattr(value, "_fields"):  # NamedTuple
+        first = value._fields[0]
+        return value._replace(**{first: _mutated(getattr(value, first))})
+    raise NotImplementedError(f"no mutation for {type(value).__name__}")
+
+
+# -- key sensitivity -------------------------------------------------------
+
+
+def test_identical_requests_share_a_key():
+    assert cache_key(_base_request()) == cache_key(_base_request())
+    assert cache_key(_base_request()) is not None
+
+
+@pytest.mark.parametrize(
+    "field", [f.name for f in dataclasses.fields(CoreConfig)]
+)
+def test_every_config_field_invalidates(field):
+    """Changing ANY CoreConfig field must produce a different key."""
+    config = CoreConfig(wrpkru_policy=WrpkruPolicy.SPECMPK)
+    mutated = config.replace(
+        **{field: _mutated(getattr(config, field))}
+    )
+    base = _base_request(config=config)
+    assert cache_key(base) != cache_key(_base_request(config=mutated))
+
+
+def test_default_config_and_explicit_equivalent_still_distinct():
+    # None-config and an explicit Table III config hash differently;
+    # that is deliberately conservative (never a false hit).
+    assert cache_key(_base_request()) != cache_key(
+        _base_request(config=CoreConfig(wrpkru_policy=WrpkruPolicy.SPECMPK))
+    )
+
+
+def test_workload_label_invalidates():
+    assert cache_key(_base_request()) != cache_key(
+        _base_request(workload=OTHER_LABEL)
+    )
+
+
+def test_profile_field_invalidates_under_same_label():
+    """A WorkloadProfile edit must miss even when the label is unchanged."""
+    profile = profile_by_label(LABEL)
+    edited = dataclasses.replace(profile, seed=profile.seed + 1)
+    assert edited.label == profile.label
+    assert cache_key(_base_request(workload=profile)) != cache_key(
+        _base_request(workload=edited)
+    )
+
+
+def test_profile_and_its_label_share_no_key():
+    # A label and the profile it names canonicalize differently
+    # (string vs dataclass) — conservative, never a false hit.
+    assert cache_key(_base_request()) != cache_key(
+        _base_request(workload=profile_by_label(LABEL))
+    )
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"mode": InstrumentMode.PROTECTED_NOP},
+        {"mode": InstrumentMode.NONE},
+        {"policy": WrpkruPolicy.SERIALIZED},
+        {"policy": WrpkruPolicy.NONSECURE_SPEC},
+        {"instructions": 401},
+        {"warmup": 101},
+        {"fastforward": True},
+    ],
+    ids=lambda o: "-".join(f"{k}={v}" for k, v in o.items()),
+)
+def test_request_axes_invalidate(overrides):
+    assert cache_key(_base_request()) != cache_key(_base_request(**overrides))
+
+
+def test_code_fingerprint_invalidates(monkeypatch):
+    base = cache_key(_base_request())
+    monkeypatch.setattr(runcache, "code_fingerprint", lambda: "deadbeef")
+    assert cache_key(_base_request()) != base
+
+
+def test_traced_requests_are_not_cacheable():
+    assert cache_key(
+        _base_request(trace=TraceOptions(enabled=True))
+    ) is None
+
+
+def test_generated_workloads_are_not_cacheable():
+    workload = build_workload(
+        profile_by_label(LABEL), InstrumentMode.PROTECTED
+    )
+    assert cache_key(_base_request(workload=workload)) is None
+
+
+def test_canonicalize_rejects_opaque_objects():
+    with pytest.raises(TypeError):
+        canonicalize(object())
+
+
+# -- the store -------------------------------------------------------------
+
+
+def test_put_get_stats_clear(tmp_path):
+    cache = RunCache(tmp_path)
+    assert cache.get("k" * 64) is None
+    assert cache.misses == 1
+    cache.put("k" * 64, {"ipc": 1.25})
+    assert cache.get("k" * 64) == {"ipc": 1.25}
+    assert cache.hits == 1
+    stats = cache.stats()
+    assert stats["entries"] == 1 and stats["bytes"] > 0
+    assert cache.clear() == 1
+    assert cache.entries() == 0
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = RunCache(tmp_path)
+    cache.put("a" * 64, {"ok": True})
+    (tmp_path / ("a" * 64 + ".pkl")).write_bytes(b"not a pickle")
+    assert cache.get("a" * 64) is None
+
+
+# -- execute() integration -------------------------------------------------
+
+
+def _stats_dict(stats):
+    return vars(stats)
+
+
+def test_execute_hit_returns_identical_stats(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    request = _base_request()
+    first = execute(request)
+    cache = runcache.default_cache()
+    assert cache.entries() == 1
+    before_hits = cache.hits
+    second = execute(request)
+    assert cache.hits == before_hits + 1
+    assert _stats_dict(second.stats) == _stats_dict(first.stats)
+    assert second.metadata == first.metadata
+    assert second.trace is None
+
+
+def test_execute_miss_on_different_policy(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    execute(_base_request())
+    execute(_base_request(policy=WrpkruPolicy.SERIALIZED))
+    assert runcache.default_cache().entries() == 2
+
+
+def test_repro_cache_0_bypasses(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    execute(_base_request())
+    execute(_base_request())
+    assert list(tmp_path.glob("*.pkl")) == []
