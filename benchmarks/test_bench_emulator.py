@@ -1,0 +1,155 @@
+"""Functional-emulation throughput gate (the block-cache tentpole).
+
+Measures functional-pass throughput in MIPS (million architecturally
+executed instructions per wall-clock second) on the four calibrated
+profiles and checks it against the checked-in baseline in
+``results/BENCH_emulator.json``:
+
+* the measured numbers are written to ``results/emulator_mips.json``
+  (the CI artifact);
+* a drop of more than ``regression_tolerance`` (20%) below the
+  checked-in *optimized* MIPS fails the run — after normalising for
+  host speed via ``REPRO_MIPS_SCALE`` (falling back to
+  ``REPRO_KIPS_SCALE`` so CI's existing knob covers both gates; the
+  scale multiplies the checked-in reference, not the measurement);
+* the speedup itself is asserted *live* and host-independently: the
+  same programs run on the single-step interpreter (``blocks=False``,
+  the pre-change engine) and block-cached execution must be at least
+  ``speedup_floor`` (3x) faster in geomean;
+* the acceleration must be pure: the final architectural state of a
+  block-cached pass is asserted bit-identical to the stepped pass.
+"""
+
+import json
+import math
+import os
+import pathlib
+import time
+
+from repro.isa.emulator import make_emulator
+from repro.state import WarmTouch
+from repro.workloads.generator import build_workload
+from repro.workloads.instrument import InstrumentMode
+from repro.workloads.profiles import profile_by_label
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_emulator.json"
+BASELINE = json.loads(BASELINE_PATH.read_text())
+
+PROFILES = list(BASELINE["optimized_mips"])
+INSTRUCTIONS = BASELINE["methodology"]["instructions"]
+REPEATS = BASELINE["methodology"]["repeats"]
+TOLERANCE = BASELINE["regression_tolerance"]
+SPEEDUP_FLOOR = BASELINE["speedup_floor"]
+
+_workloads = {}
+
+
+def _workload(label):
+    if label not in _workloads:
+        _workloads[label] = build_workload(
+            profile_by_label(label), InstrumentMode.PROTECTED
+        )
+    return _workloads[label]
+
+
+def _run_once(label, blocks, warm_on):
+    """One timed functional pass; returns (emulator, elapsed_seconds)."""
+    emulator = make_emulator(_workload(label), blocks=blocks)
+    warm = WarmTouch() if warm_on else None
+    start = time.perf_counter()
+    executed = emulator.run_fast(INSTRUCTIONS, warm=warm)
+    elapsed = time.perf_counter() - start
+    assert executed == INSTRUCTIONS, f"{label} halted early at {executed}"
+    return emulator, elapsed
+
+
+def _mips(label, blocks=True, warm_on=False):
+    best = min(_run_once(label, blocks, warm_on)[1] for _ in range(REPEATS))
+    return INSTRUCTIONS / best / 1e6
+
+
+def _geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _host_scale():
+    return float(
+        os.environ.get(
+            "REPRO_MIPS_SCALE", os.environ.get("REPRO_KIPS_SCALE", "1.0")
+        )
+    )
+
+
+def test_emulator_mips_regression_gate(results_dir):
+    scale = _host_scale()
+    measured = {label: _mips(label) for label in PROFILES}
+    measured_warm = {label: _mips(label, warm_on=True) for label in PROFILES}
+    report = {
+        "unit": "MIPS",
+        "measured": {k: round(v, 2) for k, v in measured.items()},
+        "measured_warm": {k: round(v, 2) for k, v in measured_warm.items()},
+        "reference_optimized": BASELINE["optimized_mips"],
+        "reference_baseline": BASELINE["baseline_mips"],
+        "host_scale": scale,
+        "geomean_vs_pre_optimization": round(
+            _geomean([
+                measured[label] / BASELINE["baseline_mips"][label]
+                for label in PROFILES
+            ]), 2
+        ),
+    }
+    (results_dir / "emulator_mips.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    failures = []
+    for label in PROFILES:
+        floor = BASELINE["optimized_mips"][label] * scale * (1 - TOLERANCE)
+        if measured[label] < floor:
+            failures.append(
+                f"{label}: {measured[label]:.2f} MIPS < floor {floor:.2f}"
+            )
+        warm_floor = (
+            BASELINE["warm_optimized_mips"][label] * scale * (1 - TOLERANCE)
+        )
+        if measured_warm[label] < warm_floor:
+            failures.append(
+                f"{label} (warm): {measured_warm[label]:.2f} MIPS < "
+                f"floor {warm_floor:.2f}"
+            )
+    assert not failures, (
+        "functional-emulation throughput regressed >"
+        f"{TOLERANCE:.0%} vs results/BENCH_emulator.json: "
+        + "; ".join(failures)
+    )
+
+
+def test_block_cache_geomean_speedup():
+    """Host-independent acceptance bound: block-cached execution is at
+    least ``speedup_floor`` (3x) faster than the single-step
+    interpreter in geomean over the bench profiles."""
+    ratios = []
+    for label in PROFILES:
+        stepped = _mips(label, blocks=False)
+        blocked = _mips(label, blocks=True)
+        ratios.append(blocked / stepped)
+    geomean = _geomean(ratios)
+    assert geomean >= SPEEDUP_FLOOR, (
+        f"block-cache speedup {geomean:.2f}x < required "
+        f"{SPEEDUP_FLOOR:.1f}x (per-profile: "
+        + ", ".join(f"{r:.2f}x" for r in ratios) + ")"
+    )
+
+
+def test_block_pass_is_architecturally_identical():
+    """The acceleration must be pure: same final state either way."""
+    for label in PROFILES:
+        blocked, _ = _run_once(label, blocks=True, warm_on=False)
+        stepped, _ = _run_once(label, blocks=False, warm_on=False)
+        assert blocked.state.regs == stepped.state.regs, label
+        assert blocked.state.pc == stepped.state.pc, label
+        assert blocked.state.pkru == stepped.state.pkru, label
+        assert (blocked.state.memory.snapshot()
+                == stepped.state.memory.snapshot()), label
+        assert (blocked.instructions_executed
+                == stepped.instructions_executed), label
+        assert blocked.wrpkru_executed == stepped.wrpkru_executed, label

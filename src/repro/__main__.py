@@ -233,6 +233,8 @@ def _cmd_cache(args) -> int:
               f"({stats['bytes'] / 1024:.1f} KiB)")
         print(f"  this process: {stats['hits']} hit(s), "
               f"{stats['misses']} miss(es)")
+        print(f"  lifetime:  {stats['lifetime_hits']} hit(s), "
+              f"{stats['lifetime_misses']} miss(es)")
     return 0
 
 
@@ -386,7 +388,7 @@ def _cmd_compile(args) -> int:
 
 def _cmd_checkpoint(args) -> int:
     from repro.core import CoreConfig, WrpkruPolicy
-    from repro.isa.emulator import Emulator
+    from repro.isa.emulator import make_emulator
     from repro.state import (
         Checkpoint,
         CheckpointError,
@@ -398,7 +400,7 @@ def _cmd_checkpoint(args) -> int:
     from repro.workloads import build_workload, profile_by_label
 
     workload = build_workload(profile_by_label(args.label))
-    emulator = Emulator(workload.program, pkru=workload.initial_pkru)
+    emulator = make_emulator(workload)
     warm = WarmTouch()
     executed = fast_forward(emulator, args.at, warm=warm)
     try:

@@ -163,9 +163,15 @@ class Simulator:
 
         # The golden model checks every retire from the *same* start
         # state the core was built from: a shared-memory clone, so it
-        # observes the words the core commits.
+        # observes the words the core commits.  Lockstep requires
+        # single-stepping — _check_cosim compares state after every
+        # committed instruction — so block-cached execution stays off.
         self._cosim = (
-            Emulator(program, state=start_state.clone(share_memory=True))
+            Emulator(
+                program,
+                state=start_state.clone(share_memory=True),
+                blocks=False,
+            )
             if cfg.cosimulate
             else None
         )

@@ -30,7 +30,7 @@ from typing import Dict, Optional, Union
 from ..core.config import CoreConfig, WrpkruPolicy
 from ..core.pipeline import Simulator
 from ..core.stats import SimStats
-from ..isa.emulator import Emulator
+from ..isa.emulator import make_emulator
 from ..perf.runcache import cache_enabled, cache_key, default_cache
 from ..state import WarmTouch, fast_forward
 from ..trace import (
@@ -205,7 +205,7 @@ def execute(request: RunRequest) -> RunResult:
 
     collector = request.trace.make_collector()
     if request.fastforward and warmup:
-        emulator = Emulator(workload.program, pkru=workload.initial_pkru)
+        emulator = make_emulator(workload)
         warm = WarmTouch()
         fast_forward(emulator, warmup, warm=warm)
         sim = Simulator(

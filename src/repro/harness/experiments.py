@@ -208,7 +208,7 @@ def _useful_fraction(label: str, mode: InstrumentMode,
     functionally (the architectural path is identical to the pipeline's
     committed path).
     """
-    from ..isa.emulator import Emulator, EmulatorLimitExceeded
+    from ..isa.emulator import EmulatorLimitExceeded, make_emulator
     from ..workloads.generator import build_workload
     from ..workloads.profiles import profile_by_label
 
@@ -222,7 +222,7 @@ def _useful_fraction(label: str, mode: InstrumentMode,
         if pc in marked:
             counts["protection"] += 1
 
-    emulator = Emulator(workload.program, pkru=workload.initial_pkru)
+    emulator = make_emulator(workload)
     try:
         emulator.run(max_instructions=sample, observer=observe)
     except EmulatorLimitExceeded:

@@ -1,21 +1,33 @@
 """The repro ISA: instructions, programs, assembler, golden emulator."""
 
 from .assembler import AssemblerError, assemble
+from .blockcache import BlockCache, TranslatedBlock, blocks_enabled
 from .builder import ProgramBuilder
-from .emulator import ArchState, Emulator, EmulatorLimitExceeded, run_program
+from .emulator import (
+    ArchState,
+    Emulator,
+    EmulatorLimitExceeded,
+    make_emulator,
+    run_program,
+)
 from .instruction import Instruction
 from .opcodes import Opcode
-from .program import PAGE_SIZE, DataRegion, Program, ProgramError
+from .program import CODE_BASE, PAGE_SIZE, DataRegion, Program, ProgramError
 from .registers import EAX, NUM_REGS, RA, SP, SSP, ZERO
 from .trace import Trace, record_trace
 
 __all__ = [
     "AssemblerError",
     "ArchState",
+    "BlockCache",
+    "CODE_BASE",
     "DataRegion",
     "Emulator",
     "EmulatorLimitExceeded",
     "EAX",
+    "TranslatedBlock",
+    "blocks_enabled",
+    "make_emulator",
     "Instruction",
     "NUM_REGS",
     "Opcode",

@@ -1,0 +1,358 @@
+"""Decode-once basic-block translation cache for the functional emulator.
+
+:meth:`repro.isa.emulator.Emulator.step` interprets one instruction per
+call: fetch, a try/except, and a long opcode dispatch chain — roughly a
+microsecond of Python per simulated instruction.  Every functional pass
+in the repo (fast-forward, BBV profiling, checkpoint creation, the
+instruction-mix tooling) walks the same few hundred static basic blocks
+millions of times, so this module translates each straight-line run of
+instructions *once* into a compiled Python function and executes whole
+blocks per dispatch:
+
+* A **block** starts at any entry PC (branch target, fall-through,
+  fault-resume point) and extends to the next control-flow instruction,
+  WRPKRU, or HALT, inclusive (WRPKRU ends a block because the block
+  body caches PKRU in a local; control flow and HALT end it because the
+  next PC is no longer static).  Blocks are capped at
+  :data:`MAX_BLOCK_LENGTH` instructions; a capped block simply falls
+  through to a successor block.
+* Translation resolves everything static at translation time: operand
+  register indices, masked immediates, the per-opcode expression from
+  the same semantics as ``ALU_EVAL``/``BRANCH_EVAL``, hardwired-zero
+  destinations (writes to r0 are dropped from the generated code), and
+  the code-cache line constants fed to the warm-touch collector.
+* Each block compiles to two variants: a *plain* function
+  ``fn(state)`` for maximum-throughput fast-forward, and a *warm*
+  function ``fn(state, warm)`` that additionally records the
+  warm-touch stream (code/data lines, pages, branch outcomes, RAS)
+  exactly as the single-step path in
+  :func:`repro.state.fastforward.fast_forward` historically did.
+
+Faults keep single-step semantics: the generated code stores the
+faulting instruction's PC into ``state.pc`` before every memory access,
+so on a :class:`~repro.mpk.faults.MemoryFault` the dispatcher in
+:meth:`Emulator.run_fast` knows exactly how many instructions of the
+block committed, invokes the fault handler, and resumes one past the
+faulting instruction (the resume point becomes a new block entry).
+The hypothesis differential suite in ``tests/isa/test_blockcache.py``
+asserts bit-identical architectural state against ``step()``, faults
+and WRPKRU included.
+
+``REPRO_BLOCKS=0`` disables translation globally; every consumer then
+falls back to the single-step interpreter.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Optional
+
+from ..perf.envflag import env_flag
+from .opcodes import Opcode
+from .opcodes import _div as _div_eval
+from .opcodes import _s64 as _s64_eval
+from .program import CODE_BASE, Program
+from .registers import EAX, MASK64, RA
+
+#: Translation stops after this many instructions even without a
+#: terminator; the block falls through to a successor.  Bounds the size
+#: of any single generated function.
+MAX_BLOCK_LENGTH = 512
+
+_LINE_MASK = ~63  # 64-byte instruction-cache lines, as WarmTouch uses
+
+#: PKRU write mask (16 keys x 2 bits).  Inlined into generated WRPKRU
+#: epilogues; must match :data:`repro.mpk.pkru.PKRU_MASK`.
+_PKRU_MASK = (1 << 32) - 1
+
+_M = MASK64  # inlined as a literal in generated source
+
+
+def blocks_enabled() -> bool:
+    """Block translation is on unless ``REPRO_BLOCKS`` disables it."""
+    return env_flag("REPRO_BLOCKS", default=True)
+
+
+class TranslatedBlock:
+    """One translated straight-line run of instructions.
+
+    Attributes:
+        leader: Entry PC the block was translated from.
+        length: Number of instructions in the block.
+        closes_bbv: True when the terminator closes a SimPoint basic
+            block (control flow or HALT) — the fused profiler switches
+            BBV leaders exactly when the legacy per-instruction
+            ``collect_bbv`` observer did.  WRPKRU terminators and
+            length-cap fall-throughs leave the leader open.
+        wrpkru: True when the terminator is WRPKRU (the dispatcher
+            bumps the emulator's ``wrpkru_executed`` counter).
+        run: Compiled plain executor, ``run(state)``.
+        run_warm: Compiled warm-touch executor, ``run_warm(state, warm)``.
+    """
+
+    __slots__ = ("leader", "length", "closes_bbv", "wrpkru",
+                 "run", "run_warm")
+
+    def __init__(self, leader: int, length: int, closes_bbv: bool,
+                 wrpkru: bool, run, run_warm) -> None:
+        self.leader = leader
+        self.length = length
+        self.closes_bbv = closes_bbv
+        self.wrpkru = wrpkru
+        self.run = run
+        self.run_warm = run_warm
+
+
+class BlockCache:
+    """Per-program cache of :class:`TranslatedBlock` keyed by entry PC.
+
+    One cache serves every emulator over the same :class:`Program`
+    (see :func:`shared_cache`), so a sweep of many functional passes
+    pays translation once per static block, not once per run.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.blocks: Dict[int, TranslatedBlock] = {}
+        #: Number of blocks translated (cache misses).
+        self.translated = 0
+        #: Instructions covered by translated blocks.
+        self.translated_instructions = 0
+
+    def block_at(self, pc: int) -> Optional[TranslatedBlock]:
+        """The block starting at *pc*, translating on first visit.
+
+        Returns None when *pc* is outside the program (implicit halt).
+        """
+        block = self.blocks.get(pc)
+        if block is None:
+            block = self._translate(pc)
+        return block
+
+    # -- translation -------------------------------------------------------
+
+    def _translate(self, pc: int) -> Optional[TranslatedBlock]:
+        program = self.program
+        inst = program.fetch(pc)
+        if inst is None:
+            return None
+        insts = []
+        while inst is not None:
+            insts.append(inst)
+            if (inst.is_control or inst.is_halt or inst.is_wrpkru
+                    or len(insts) >= MAX_BLOCK_LENGTH):
+                break
+            inst = program.fetch(inst.pc + 1)
+        last = insts[-1]
+        block = TranslatedBlock(
+            leader=pc,
+            length=len(insts),
+            closes_bbv=last.is_control or last.is_halt,
+            wrpkru=last.is_wrpkru,
+            run=_compile(insts, warm=False),
+            run_warm=_compile(insts, warm=True),
+        )
+        self.blocks[pc] = block
+        self.translated += 1
+        self.translated_instructions += len(insts)
+        return block
+
+
+#: Shared caches, one per live Program object.
+_shared: "weakref.WeakKeyDictionary[Program, BlockCache]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def shared_cache(program: Program) -> BlockCache:
+    """The process-wide :class:`BlockCache` for *program*."""
+    cache = _shared.get(program)
+    if cache is None:
+        cache = _shared[program] = BlockCache(program)
+    return cache
+
+
+# -- code generation -------------------------------------------------------
+#
+# The generated function body mirrors Emulator._execute statement by
+# statement; the differential tests are the authority that it stays
+# bit-identical.  All evaluator formulas below must match ALU_EVAL /
+# BRANCH_EVAL in repro.isa.opcodes.
+
+_GLOBALS = {"s64": _s64_eval, "div": _div_eval, "__builtins__": {}}
+
+
+def _operand(inst, which: str) -> str:
+    """Render one ALU source operand: a register read or an immediate."""
+    if which == "a":
+        return f"regs[{inst.src1}]" if inst.src1 is not None else "0"
+    if inst.src2 is not None:
+        return f"regs[{inst.src2}]"
+    return repr(inst.imm or 0)
+
+
+_ALU_EXPR = {
+    Opcode.ADD: "({a} + {b}) & {m}",
+    Opcode.ADDI: "({a} + {b}) & {m}",
+    Opcode.SUB: "({a} - {b}) & {m}",
+    Opcode.AND: "({a} & {b}) & {m}",
+    Opcode.ANDI: "({a} & {b}) & {m}",
+    Opcode.OR: "({a} | {b}) & {m}",
+    Opcode.ORI: "({a} | {b}) & {m}",
+    Opcode.XOR: "({a} ^ {b}) & {m}",
+    Opcode.XORI: "({a} ^ {b}) & {m}",
+    Opcode.SLL: "(({a} << ({b} % 64)) & {m})",
+    Opcode.SLLI: "(({a} << ({b} % 64)) & {m})",
+    Opcode.SRL: "(({a} & {m}) >> ({b} % 64))",
+    Opcode.SRLI: "(({a} & {m}) >> ({b} % 64))",
+    Opcode.SLT: "(1 if s64({a}) < s64({b}) else 0)",
+    Opcode.MUL: "({a} * {b}) & {m}",
+    Opcode.DIV: "(div({a}, {b}) & {m})",
+}
+
+_BRANCH_EXPR = {
+    Opcode.BEQ: "regs[{s1}] == regs[{s2}]",
+    Opcode.BNE: "regs[{s1}] != regs[{s2}]",
+    Opcode.BLT: "s64(regs[{s1}]) < s64(regs[{s2}])",
+    Opcode.BGE: "s64(regs[{s1}]) >= s64(regs[{s2}])",
+}
+
+
+def _emit_body(insts, warm: bool) -> List[str]:
+    lines: List[str] = []
+    last_code_line = None
+
+    def code_touch(pc: int) -> None:
+        nonlocal last_code_line
+        line = (CODE_BASE + 4 * pc) & _LINE_MASK
+        # Consecutive touches of the same line are idempotent on the
+        # collector's LRU state, so one call per run suffices.
+        if line != last_code_line:
+            lines.append(f"    warm.touch_code_line({line})")
+            last_code_line = line
+
+    for inst in insts[:-1]:
+        if warm:
+            code_touch(inst.pc)
+        lines.extend(_emit_straightline(inst, warm))
+    last = insts[-1]
+    if warm:
+        code_touch(last.pc)
+    lines.extend(_emit_terminator(last, warm))
+    return lines
+
+
+def _emit_straightline(inst, warm: bool) -> List[str]:
+    """Statements for one non-terminator instruction."""
+    op = inst.opcode
+    d = inst.dst
+    alu = _ALU_EXPR.get(op)
+    if alu is not None:
+        if d == 0:  # r0 is hardwired zero; ALU evaluation has no effects
+            return []
+        expr = alu.format(a=_operand(inst, "a"), b=_operand(inst, "b"), m=_M)
+        return [f"    regs[{d}] = {expr}"]
+    if op is Opcode.LI:
+        return [] if d == 0 else [f"    regs[{d}] = {(inst.imm or 0) & _M}"]
+    if op is Opcode.LUI:
+        return [] if d == 0 else [
+            f"    regs[{d}] = {((inst.imm or 0) << 16) & _M}"
+        ]
+    if op is Opcode.MOV:
+        return [] if d == 0 else [f"    regs[{d}] = regs[{inst.src1}]"]
+    if op is Opcode.LD or op is Opcode.ST:
+        lines = [
+            f"    state.pc = {inst.pc}",  # fault PC, read by the dispatcher
+            f"    _a = (regs[{inst.src1}] + {inst.imm or 0}) & {_M}",
+        ]
+        if warm:
+            lines.append("    warm.touch_data(_a)")
+        if op is Opcode.LD:
+            if inst.dst == 0:  # load still accesses memory (faults apply)
+                lines.append("    mem.load(_a, pkru)")
+            else:
+                lines.append(f"    regs[{inst.dst}] = mem.load(_a, pkru)")
+        else:
+            lines.append(f"    mem.store(_a, regs[{inst.src2}], pkru)")
+        return lines
+    if op is Opcode.RDPKRU:
+        return [] if EAX == 0 else [f"    regs[{EAX}] = pkru"]
+    if op in (Opcode.NOP, Opcode.CLFLUSH, Opcode.LFENCE):
+        return []
+    raise NotImplementedError(  # pragma: no cover - translation walk stops
+        f"opcode {op} cannot appear mid-block"
+    )
+
+
+def _emit_terminator(inst, warm: bool) -> List[str]:
+    """Statements for the block's final instruction (sets ``state.pc``)."""
+    op = inst.opcode
+    fall = inst.pc + 1
+    branch = _BRANCH_EXPR.get(op)
+    if branch is not None:
+        cond = branch.format(s1=inst.src1, s2=inst.src2)
+        if not warm:
+            return [f"    state.pc = {inst.imm} if {cond} else {fall}"]
+        return [
+            f"    _t = True if {cond} else False",
+            f"    warm.branch({inst.pc}, _t, {inst.imm} if _t else {fall})",
+            f"    state.pc = {inst.imm} if _t else {fall}",
+        ]
+    if op is Opcode.JMP:
+        return [f"    state.pc = {inst.imm}"]
+    if op is Opcode.JR:
+        lines = [f"    state.pc = regs[{inst.src1}]"]
+        if warm:
+            lines.append(f"    warm.indirect({inst.pc}, state.pc)")
+        return lines
+    if op is Opcode.CALL:
+        lines = [f"    warm.call({fall})"] if warm else []
+        if RA != 0:
+            lines.append(f"    regs[{RA}] = {fall}")
+        lines.append(f"    state.pc = {inst.imm}")
+        return lines
+    if op is Opcode.CALLR:
+        lines = [f"    warm.call({fall})"] if warm else []
+        if RA != 0:
+            # RA is written before the target register is read, exactly
+            # as step() does (matters when src1 is RA itself).
+            lines.append(f"    regs[{RA}] = {fall}")
+        lines.append(f"    state.pc = regs[{inst.src1}]")
+        if warm:
+            lines.append(f"    warm.indirect({inst.pc}, state.pc)")
+        return lines
+    if op is Opcode.RET:
+        lines = ["    warm.ret()"] if warm else []
+        lines.append(f"    state.pc = regs[{RA}]")
+        if warm:
+            lines.append(f"    warm.indirect({inst.pc}, state.pc)")
+        return lines
+    if op is Opcode.WRPKRU:
+        return [
+            f"    state.pkru = regs[{EAX}] & {_PKRU_MASK}",
+            f"    state.pc = {fall}",
+        ]
+    if op is Opcode.HALT:
+        return [
+            "    state.halted = True",
+            f"    state.pc = {fall}",
+        ]
+    # Length-cap or program-end fall-through: the successor block (or
+    # the dispatcher's implicit-halt path) continues at the next PC.
+    lines = _emit_straightline(inst, warm)
+    lines.append(f"    state.pc = {fall}")
+    return lines
+
+
+def _compile(insts, warm: bool):
+    header = "def _block(state, warm):" if warm else "def _block(state):"
+    lines = [header, "    regs = state.regs"]
+    if any(inst.is_memory for inst in insts):
+        lines.append("    mem = state.memory")
+    if any(inst.is_memory or inst.is_rdpkru for inst in insts):
+        lines.append("    pkru = state.pkru")
+    lines.extend(_emit_body(insts, warm))
+    source = "\n".join(lines)
+    namespace = dict(_GLOBALS)
+    exec(compile(source, f"<block@{insts[0].pc}>", "exec"), namespace)
+    return namespace["_block"]

@@ -4,6 +4,19 @@ Executes programs architecturally (no pipeline, no speculation) with
 full MPK semantics.  The out-of-order core in :mod:`repro.core` is
 validated against this model: any committed-state divergence is a
 simulator bug, a property the test suite checks with hypothesis.
+
+Two execution engines share the same :class:`ArchState`:
+
+* :meth:`Emulator.step` — the single-instruction interpreter.  The
+  cosimulation golden model in :mod:`repro.core.pipeline` uses it in
+  lockstep with retirement, one architectural instruction per commit.
+* :meth:`Emulator.run_fast` — block-cached execution through the
+  decode-once translation cache in :mod:`repro.isa.blockcache`, used
+  by every throughput-bound functional pass (fast-forward, the fused
+  SimPoint profiler, checkpoint creation).  It is architecturally
+  bit-identical to repeated ``step()`` calls — the hypothesis
+  differential suite in ``tests/isa/test_blockcache.py`` enforces
+  this, faults and WRPKRU included.
 """
 
 from __future__ import annotations
@@ -13,6 +26,7 @@ from typing import Callable, Optional
 from ..memory.address_space import AddressSpace
 from ..mpk.faults import MemoryFault
 from ..mpk.pkru import PKRU_MASK
+from .blockcache import BlockCache, blocks_enabled, shared_cache
 from .instruction import Instruction
 from .opcodes import ALU_EVAL, BRANCH_EVAL, Opcode
 from .program import Program
@@ -120,6 +134,12 @@ class Emulator:
             execution continues (this models a user trap handler that
             fixes permissions, as Kard does).  Returning False or
             raising propagates the fault.
+        blocks: Enable the basic-block translation cache for
+            :meth:`run_fast` / :meth:`run` (on by default; also gated
+            globally by ``REPRO_BLOCKS``).  The cosimulation golden
+            model passes False: it advances strictly one instruction
+            per pipeline commit and must never batch execution over
+            its shared-memory state.
     """
 
     def __init__(
@@ -129,6 +149,7 @@ class Emulator:
         pkru: int = 0,
         fault_handler: Optional[Callable[[MemoryFault, "ArchState"], bool]] = None,
         state: Optional[ArchState] = None,
+        blocks: bool = True,
     ) -> None:
         self.program = program
         if state is not None:
@@ -145,6 +166,17 @@ class Emulator:
         self.instructions_executed = 0
         self.wrpkru_executed = 0
         self.faults_handled = 0
+        self.blocks = blocks and blocks_enabled()
+        self._block_cache: Optional[BlockCache] = None
+
+    @property
+    def block_cache(self) -> Optional[BlockCache]:
+        """The program's shared translation cache (None in step mode)."""
+        if not self.blocks:
+            return None
+        if self._block_cache is None:
+            self._block_cache = shared_cache(self.program)
+        return self._block_cache
 
     # -- public API -------------------------------------------------------
 
@@ -153,7 +185,22 @@ class Emulator:
         max_instructions: int = 1_000_000,
         observer: Optional[Callable[[int, Instruction], None]] = None,
     ) -> "ArchState":
-        """Run to HALT; raise :class:`EmulatorLimitExceeded` on budget."""
+        """Run to HALT; raise :class:`EmulatorLimitExceeded` on budget.
+
+        Without an *observer* the run executes through the block
+        translation cache; observer runs fall back to single-stepping
+        (the callback is per-instruction by contract).
+        """
+        if observer is None and self.blocks:
+            while not self.state.halted:
+                budget = max_instructions - self.instructions_executed
+                if budget <= 0:
+                    raise EmulatorLimitExceeded(
+                        f"no HALT within {max_instructions} instructions"
+                    )
+                if self.run_fast(budget) == 0 and not self.state.halted:
+                    break  # defensive: no forward progress
+            return self.state
         while not self.state.halted:
             if self.instructions_executed >= max_instructions:
                 raise EmulatorLimitExceeded(
@@ -185,6 +232,145 @@ class Emulator:
                 raise
         self.instructions_executed += 1
         return inst
+
+    def run_fast(
+        self,
+        instructions: int,
+        warm=None,
+        on_block: Optional[Callable[[int, bool], None]] = None,
+    ) -> int:
+        """Execute up to *instructions* through the block cache.
+
+        Stops exactly at the budget (or at HALT) without raising and
+        returns the number of instructions executed — the block-cached
+        counterpart of :func:`repro.state.fastforward.fast_forward`,
+        and architecturally bit-identical to stepping.
+
+        Args:
+            warm: Optional warm-touch collector (duck-typed to
+                :class:`repro.state.WarmTouch`): block execution then
+                records code/data lines, branch outcomes, and RAS
+                activity exactly as the single-step path does.
+            on_block: Optional callback ``(count, closes_bbv_block)``
+                invoked after every committed chunk — a whole block, a
+                budget-limited block prefix, or a fault-skipped run.
+                ``closes_bbv_block`` is True when the chunk ended with
+                a control transfer or HALT; the fused SimPoint profiler
+                uses this to switch basic-block leaders exactly where
+                the per-instruction observer did.
+
+        Blocks that would overrun the budget are finished by the
+        single-step interpreter, so the budget is exact.  A
+        :class:`~repro.mpk.faults.MemoryFault` mid-block commits the
+        instructions before the faulting one, then follows ``step()``
+        semantics: handler-skipped execution resumes one past the
+        fault (a new block entry), an unhandled fault propagates.
+        """
+        if instructions <= 0:
+            return 0
+        if not self.blocks:
+            return self._step_chunk(instructions, warm, on_block)
+        state = self.state
+        cache = self.block_cache
+        blocks = cache.blocks
+        block_at = cache.block_at
+        handler = self.fault_handler
+        executed = 0
+        while executed < instructions and not state.halted:
+            pc = state.pc
+            block = blocks.get(pc)
+            if block is None:
+                block = block_at(pc)
+                if block is None:
+                    # Running off the end of the program is an implicit
+                    # halt, exactly as step() records it.
+                    state.halted = True
+                    break
+            length = block.length
+            if executed + length > instructions:
+                # Budget ends mid-block: the remainder is a strict
+                # prefix of a straight-line block, stepped exactly.
+                executed += self._step_chunk(
+                    instructions - executed, warm, on_block
+                )
+                break
+            try:
+                if warm is None:
+                    block.run(state)
+                else:
+                    block.run_warm(state, warm)
+            except MemoryFault as fault:
+                # The generated code stores the faulting PC into
+                # state.pc before every memory access.
+                committed = state.pc - pc
+                self.instructions_executed += committed
+                executed += committed
+                if handler is None or not handler(fault, state):
+                    raise
+                self.faults_handled += 1
+                self.instructions_executed += 1
+                executed += 1
+                state.pc = pc + committed + 1  # skip the faulting one
+                if on_block is not None:
+                    on_block(committed + 1, False)
+                continue
+            self.instructions_executed += length
+            executed += length
+            if block.wrpkru:
+                self.wrpkru_executed += 1
+            if on_block is not None:
+                on_block(length, block.closes_bbv)
+        return executed
+
+    def _step_chunk(
+        self,
+        instructions: int,
+        warm=None,
+        on_block: Optional[Callable[[int, bool], None]] = None,
+    ) -> int:
+        """Single-step fallback for :meth:`run_fast` (exact budgets,
+        block-mode-off emulators), feeding *warm* per instruction with
+        the same recording order as the block-cached path."""
+        state = self.state
+        program = self.program
+        executed = 0
+        chunk = 0  # instructions since the last on_block notification
+        while executed < instructions and not state.halted:
+            inst = program.fetch(state.pc)
+            if inst is None:
+                state.halted = True
+                break
+            if warm is not None:
+                warm.touch_code(inst.pc)
+                if inst.is_memory:
+                    warm.touch_data(
+                        to_u64(state.regs[inst.src1] + (inst.imm or 0))
+                    )
+                elif inst.branch_eval is not None:
+                    taken = bool(
+                        inst.branch_eval(
+                            state.regs[inst.src1], state.regs[inst.src2]
+                        )
+                    )
+                    warm.branch(
+                        inst.pc, taken, inst.imm if taken else inst.pc + 1
+                    )
+                elif inst.is_call:
+                    warm.call(inst.pc + 1)
+                elif inst.is_return:
+                    warm.ret()
+            if self.step() is None:
+                break
+            if warm is not None and inst.is_indirect:
+                warm.indirect(inst.pc, state.pc)
+            executed += 1
+            chunk += 1
+            if on_block is not None and (inst.is_control or inst.is_halt):
+                on_block(chunk, True)
+                chunk = 0
+        if on_block is not None and chunk:
+            on_block(chunk, False)
+        return executed
 
     # -- execution --------------------------------------------------------
 
@@ -254,6 +440,36 @@ class Emulator:
 # to the opcodes (so instructions can prebind them at decode time).
 _ALU_EVAL = ALU_EVAL
 _BRANCH_EVAL = BRANCH_EVAL
+
+
+def make_emulator(
+    target,
+    pkru: Optional[int] = None,
+    fault_handler: Optional[Callable[[MemoryFault, "ArchState"], bool]] = None,
+    blocks: bool = True,
+) -> Emulator:
+    """Build a functional emulator for a program or workload.
+
+    The one shared construction point behind every functional pass
+    (harness fast-forward, experiment instrumentation, trace recording,
+    the checkpoint CLI): *target* is either a bare :class:`Program` or
+    anything carrying ``.program`` / ``.initial_pkru`` (e.g. a
+    :class:`~repro.workloads.generator.GeneratedWorkload`), and *blocks*
+    selects block-cached vs single-step execution (block-cached by
+    default; ``REPRO_BLOCKS=0`` overrides globally).
+
+    An explicit *pkru* wins over the workload's ``initial_pkru``.
+    """
+    program = getattr(target, "program", target)
+    if not isinstance(program, Program):
+        raise TypeError(
+            f"cannot build an emulator from {type(target).__name__}"
+        )
+    if pkru is None:
+        pkru = getattr(target, "initial_pkru", 0)
+    return Emulator(
+        program, pkru=pkru, fault_handler=fault_handler, blocks=blocks
+    )
 
 
 def run_program(

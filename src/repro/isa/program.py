@@ -15,6 +15,12 @@ from .instruction import Instruction
 #: Default page size used when colouring regions with pKeys.
 PAGE_SIZE = 4096
 
+#: Byte address of instruction slot 0 on the fetch side.  Shared by the
+#: timing core (:attr:`repro.core.pipeline.Simulator.CODE_BASE`), the
+#: warm-touch collector, and the block translation cache, which folds
+#: per-PC instruction-cache line addresses at translation time.
+CODE_BASE = 0x0100_0000
+
 
 class ProgramError(Exception):
     """Raised for malformed programs (duplicate labels, bad targets...)."""

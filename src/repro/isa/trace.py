@@ -13,7 +13,7 @@ from array import array
 from collections import Counter
 from typing import Dict, List, Optional, Tuple
 
-from .emulator import Emulator, EmulatorLimitExceeded
+from .emulator import EmulatorLimitExceeded, make_emulator
 from .opcodes import (
     CONTROL_OPS,
     LOAD_OPS,
@@ -119,7 +119,7 @@ def record_trace(
 ) -> Trace:
     """Functionally execute *program* and record its PC stream."""
     trace = Trace(program)
-    emulator = Emulator(program, pkru=pkru)
+    emulator = make_emulator(program, pkru=pkru)
 
     def observe(pc, inst):
         trace.pcs.append(pc)

@@ -26,10 +26,11 @@ import dataclasses
 import enum
 import functools
 import hashlib
+import json
 import os
 import pickle
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from .envflag import env_flag
 
@@ -81,16 +82,31 @@ def canonicalize(value):
     raise TypeError(f"cannot canonicalize {type(value).__name__}")
 
 
+def fingerprint_files() -> List[Path]:
+    """Every source file :func:`code_fingerprint` hashes, sorted.
+
+    Exposed so tests can assert specific execution-semantics modules
+    (e.g. the block translation codegen) are covered by invalidation.
+    """
+    root = Path(__file__).resolve().parents[1]
+    return sorted(root.rglob("*.py"))
+
+
 @functools.lru_cache(maxsize=1)
 def code_fingerprint() -> str:
     """Hash of every ``repro`` source file (path + contents).
 
     Computed once per process; any edit to the simulator produces new
     cache keys, so stale results can never be served across code
-    versions."""
+    versions.  That sweep includes every module that *generates* code
+    rather than being the code — in particular the basic-block
+    translation cache (:mod:`repro.isa.blockcache`), whose emitted
+    block functions define functional-execution semantics: an edit to
+    its codegen templates invalidates the cache exactly like an edit to
+    the interpreter it mirrors."""
     root = Path(__file__).resolve().parents[1]
     digest = hashlib.sha256()
-    for path in sorted(root.rglob("*.py")):
+    for path in fingerprint_files():
         digest.update(path.relative_to(root).as_posix().encode())
         digest.update(b"\0")
         digest.update(path.read_bytes())
@@ -131,7 +147,16 @@ def cache_key(request) -> Optional[str]:
 
 
 class RunCache:
-    """Pickle-per-key store under one directory."""
+    """Pickle-per-key store under one directory.
+
+    Hit/miss counters are kept twice: per-process attributes (``hits``
+    / ``misses``) and a persistent ``counters.json`` in the store
+    directory that accumulates across processes — ``repro cache
+    stats`` reports both, so the lifetime effectiveness of the store
+    survives short-lived CLI invocations.
+    """
+
+    COUNTERS_FILE = "counters.json"
 
     def __init__(self, directory: Optional[Path] = None) -> None:
         self.directory = Path(
@@ -155,9 +180,46 @@ class RunCache:
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
             self.misses += 1
+            self._bump("misses")
             return None
         self.hits += 1
+        self._bump("hits")
         return result
+
+    # -- persistent counters ----------------------------------------------
+
+    def _counters_path(self) -> Path:
+        return self.directory / self.COUNTERS_FILE
+
+    def persistent_counters(self) -> Dict[str, int]:
+        """Lifetime hit/miss counts accumulated across processes."""
+        try:
+            data = json.loads(self._counters_path().read_text())
+            return {
+                "hits": int(data.get("hits", 0)),
+                "misses": int(data.get("misses", 0)),
+            }
+        except (OSError, ValueError):
+            return {"hits": 0, "misses": 0}
+
+    def _bump(self, field: str) -> None:
+        """Increment one persistent counter (atomic-replace write).
+
+        Concurrent writers can lose individual increments (read-modify-
+        write race); the counters are diagnostics, so that is an
+        accepted trade for not taking a lock on the lookup path.
+        """
+        counters = self.persistent_counters()
+        counters[field] += 1
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            temp = self._counters_path().with_name(
+                f".counters.{os.getpid()}.tmp"
+            )
+            temp.write_text(json.dumps(counters))
+            os.replace(temp, self._counters_path())
+        except OSError:
+            pass  # unwritable store: keep the in-process counts only
 
     def put(self, key: str, result) -> None:
         """Store *result*; atomic rename so readers never see a torn file."""
@@ -174,16 +236,20 @@ class RunCache:
     def stats(self) -> Dict[str, object]:
         """Store-wide numbers for ``repro cache stats``."""
         files = list(self.directory.glob("*.pkl"))
+        lifetime = self.persistent_counters()
         return {
             "directory": str(self.directory),
             "entries": len(files),
             "bytes": sum(path.stat().st_size for path in files),
             "hits": self.hits,
             "misses": self.misses,
+            "lifetime_hits": lifetime["hits"],
+            "lifetime_misses": lifetime["misses"],
         }
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (and the lifetime counters); returns how
+        many entries were removed."""
         removed = 0
         for path in self.directory.glob("*.pkl"):
             try:
@@ -191,6 +257,10 @@ class RunCache:
                 removed += 1
             except OSError:
                 pass
+        try:
+            self._counters_path().unlink()
+        except OSError:
+            pass
         return removed
 
 

@@ -2,6 +2,7 @@
 
 from .bbv import BbvProfile, collect_bbv
 from .kmeans import Clustering, bic_score, choose_k, kmeans
+from .profiler import FunctionalProfile, profile_program
 from .simpoint import (
     SimPoint,
     SimPointSelection,
@@ -14,6 +15,7 @@ from .simpoint import (
 __all__ = [
     "BbvProfile",
     "Clustering",
+    "FunctionalProfile",
     "SimPoint",
     "SimPointSelection",
     "bic_score",
@@ -21,6 +23,7 @@ __all__ = [
     "choose_k",
     "collect_bbv",
     "kmeans",
+    "profile_program",
     "select_simpoints",
     "simpoint_ipc",
     "weighted_ipc",

@@ -14,7 +14,6 @@ from typing import Dict, List
 
 import numpy as np
 
-from ..isa.emulator import Emulator
 from ..isa.program import Program
 
 
@@ -59,47 +58,19 @@ def collect_bbv(
     A basic block is identified by its leader PC (the target of a
     control transfer or the instruction after one); its contribution is
     weighted by the block's instruction count, as in SimPoint.
+
+    The execution is one block-cached pass of
+    :func:`repro.simpoint.profiler.profile_program` (without
+    checkpoint collection): block-granular counting rides on the
+    translation cache instead of a per-instruction observer, with
+    identical interval vectors.
     """
-    profile = BbvProfile(interval_length)
-    emulator = Emulator(program, pkru=pkru)
+    from .profiler import profile_program  # local: profiler imports us
 
-    current: Dict[int, int] = {}
-    state = {"leader": program.entry, "block_len": 0, "in_interval": 0}
-
-    def observe(pc: int, inst) -> None:
-        state["block_len"] += 1
-        state["in_interval"] += 1
-        ends_block = inst.is_control or inst.is_halt
-        if ends_block:
-            current[state["leader"]] = (
-                current.get(state["leader"], 0) + state["block_len"]
-            )
-            state["leader"] = emulator.state.pc  # next block's leader
-            state["block_len"] = 0
-        if state["in_interval"] >= profile.interval_length:
-            if state["block_len"]:
-                # Close the open block at the interval boundary.
-                current[state["leader"]] = (
-                    current.get(state["leader"], 0) + state["block_len"]
-                )
-                state["leader"] = emulator.state.pc
-                state["block_len"] = 0
-            profile.intervals.append(dict(current))
-            current.clear()
-            state["in_interval"] = 0
-
-    from ..isa.emulator import EmulatorLimitExceeded
-
-    try:
-        emulator.run(max_instructions=max_instructions, observer=observe)
-    except EmulatorLimitExceeded:
-        pass  # budget exhaustion is the normal end for long workloads
-    profile.total_instructions = emulator.instructions_executed
-
-    if state["in_interval"] > 0:
-        if state["block_len"]:
-            current[state["leader"]] = (
-                current.get(state["leader"], 0) + state["block_len"]
-            )
-        profile.intervals.append(dict(current))
-    return profile
+    return profile_program(
+        program,
+        interval_length=interval_length,
+        max_instructions=max_instructions,
+        pkru=pkru,
+        collect_checkpoints=False,
+    ).bbv

@@ -1,0 +1,150 @@
+"""Fused single-pass functional profiler: BBVs + warmth + checkpoints.
+
+``simpoint_ipc`` historically made *two* end-to-end functional passes
+over the same program: one in :func:`repro.simpoint.bbv.collect_bbv`
+(per-interval basic-block vectors) and a second in
+:func:`repro.simpoint.simpoint.checkpoint_intervals` (fast-forward with
+warm-touch collection, checkpointing each selected interval).  Both are
+pure functions of the same deterministic instruction stream, so this
+module fuses them: **one** block-cached pass emits
+
+* the :class:`~repro.simpoint.bbv.BbvProfile` (block-granular counting
+  rides on the translation cache — each dispatched block contributes
+  its static length to the current leader),
+* a :class:`~repro.state.Checkpoint` at every potential SimPoint
+  resume position (``interval_index * length - warmup`` instructions,
+  i.e. one detailed-warmup window before each interval), each carrying
+  the warm-touch summary accumulated so far.
+
+Selection then happens *after* the pass; whichever intervals the
+clusterer picks, their checkpoints already exist.  The attribution
+logic reproduces the legacy per-instruction observer exactly — leaders
+switch only at control flow and HALT, intervals close on exact
+instruction counts even mid-block, and a partial trailing interval is
+kept — so SimPoint selections are unchanged (asserted by
+``tests/simpoint/test_profiler.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..isa.emulator import Emulator, make_emulator
+from ..isa.program import Program
+from ..state import Checkpoint, WarmTouch, take_checkpoint
+from .bbv import BbvProfile
+
+
+@dataclasses.dataclass
+class FunctionalProfile:
+    """Everything one fused profiling pass produces."""
+
+    #: Per-interval basic-block vectors.
+    bbv: BbvProfile
+    #: interval index -> checkpoint taken ``warmup`` instructions before
+    #: the interval start (key present only for intervals whose
+    #: checkpoint position was reached before HALT).  Empty when the
+    #: pass ran without checkpoint collection.
+    checkpoints: Dict[int, Checkpoint]
+    #: Instructions before each interval covered by its checkpoint's
+    #: detailed-warmup window (``interval_length * warmup_fraction``).
+    warmup: int
+    #: Functional instructions executed by the pass — the whole pass,
+    #: profiling, warm-touch collection and checkpointing included.
+    instructions: int
+
+
+def profile_program(
+    program: Program,
+    interval_length: int = 10_000,
+    max_instructions: int = 1_000_000,
+    pkru: int = 0,
+    collect_checkpoints: bool = False,
+    warmup_fraction: float = 0.2,
+    emulator: Optional[Emulator] = None,
+) -> FunctionalProfile:
+    """One functional pass over *program*: BBVs, warmth, checkpoints.
+
+    Without *collect_checkpoints* this is exactly the profiling half
+    (what :func:`~repro.simpoint.bbv.collect_bbv` wraps); with it, the
+    pass also feeds a :class:`~repro.state.WarmTouch` collector and
+    snapshots the architectural state at every potential SimPoint
+    resume position, so no second fast-forward pass is ever needed.
+    """
+    if emulator is None:
+        emulator = make_emulator(program, pkru=pkru)
+    state = emulator.state
+    profile = BbvProfile(interval_length)
+    warmup = int(interval_length * warmup_fraction)
+    warm = WarmTouch() if collect_checkpoints else None
+    checkpoints: Dict[int, Checkpoint] = {}
+
+    current: Dict[int, int] = {}
+    leader = state.pc
+    open_len = 0     # instructions attributed to `leader` but not yet flushed
+    in_interval = 0  # instructions in the currently-open interval
+    executed = 0
+
+    def on_block(count: int, closes: bool) -> None:
+        # Mirrors the legacy collect_bbv observer at block granularity:
+        # attribute to the current leader; switch leaders at control
+        # flow / HALT; close intervals on exact instruction counts (the
+        # dispatch budgets below guarantee `in_interval` never
+        # overshoots the boundary).
+        nonlocal leader, open_len, in_interval
+        open_len += count
+        in_interval += count
+        if closes:
+            current[leader] = current.get(leader, 0) + open_len
+            leader = state.pc
+            open_len = 0
+        if in_interval >= interval_length:
+            if open_len:
+                current[leader] = current.get(leader, 0) + open_len
+                leader = state.pc
+                open_len = 0
+            profile.intervals.append(dict(current))
+            current.clear()
+            in_interval = 0
+
+    next_index = 0  # next interval whose checkpoint is still due
+
+    def position_of(index: int) -> int:
+        # A checkpoint sits one detailed-warmup window before its
+        # interval, clamped to program entry — the same positions the
+        # two-pass checkpoint_intervals flow used.
+        return max(0, index * interval_length - warmup)
+
+    def take_due() -> None:
+        nonlocal next_index
+        while (collect_checkpoints and not state.halted
+               and position_of(next_index) == executed):
+            checkpoints[next_index] = take_checkpoint(
+                emulator, label=f"interval {next_index}", warm=warm
+            )
+            next_index += 1
+
+    take_due()  # entry-state checkpoints (interval 0, zero-clamped ones)
+    while executed < max_instructions and not state.halted:
+        stop = min(max_instructions,
+                   executed + (interval_length - in_interval))
+        if collect_checkpoints:
+            position = position_of(next_index)
+            if executed < position <= stop:
+                stop = position
+        executed += emulator.run_fast(stop - executed, warm=warm,
+                                      on_block=on_block)
+        take_due()
+
+    if in_interval > 0:
+        if open_len:
+            current[leader] = current.get(leader, 0) + open_len
+        profile.intervals.append(dict(current))
+    profile.total_instructions = executed
+    return FunctionalProfile(
+        bbv=profile,
+        checkpoints=checkpoints,
+        warmup=warmup,
+        instructions=executed,
+    )

@@ -16,12 +16,13 @@ import numpy as np
 
 from ..core.config import CoreConfig
 from ..core.pipeline import Simulator
-from ..isa.emulator import Emulator
+from ..isa.emulator import make_emulator
 from ..isa.program import Program
 from ..perf.pool import run_longest_first
 from ..state import Checkpoint, WarmTouch, fast_forward, resume_simulator, take_checkpoint
 from .bbv import BbvProfile, collect_bbv
 from .kmeans import choose_k
+from .profiler import profile_program
 
 
 class SimPoint(NamedTuple):
@@ -98,7 +99,7 @@ def checkpoint_intervals(
         (max(0, point.interval_index * length - warmup), index)
         for index, point in enumerate(selection.points)
     )
-    emulator = Emulator(program, pkru=initial_pkru)
+    emulator = make_emulator(program, pkru=initial_pkru)
     warm = WarmTouch()
     checkpoints: List[Optional[Checkpoint]] = [None] * len(selection.points)
     executed = 0
@@ -139,15 +140,22 @@ def weighted_ipc(
     fastforward: bool = True,
     parallel: bool = False,
     max_workers: Optional[int] = None,
+    checkpoints: Optional[List[Optional[Checkpoint]]] = None,
 ) -> float:
     """Detailed-simulate each simpoint and combine IPCs by weight.
 
-    With *fastforward* (the default) the program runs functionally once,
-    checkpointing each representative (gem5 checkpoints serve this role
-    in the paper); each interval then gets a short detailed warmup of
+    With *fastforward* (the default) the intervals resume from
+    functional checkpoints (gem5 checkpoints serve this role in the
+    paper); each interval then gets a short detailed warmup of
     ``interval_length * warmup_fraction`` instructions before
-    measurement, and — because checkpoints are picklable — the intervals
-    can be measured in *parallel* worker processes.
+    measurement, and — because checkpoints are picklable — the
+    intervals can be measured in *parallel* worker processes.  Pass
+    *checkpoints* (one per selection point, in selection order; None
+    entries mean "interval unreachable") to reuse snapshots an earlier
+    pass already took — the fused profiler flow in
+    :func:`simpoint_ipc` does this, so the program is functionally
+    executed exactly once end to end; when omitted, one fast-forward
+    pass collects them here.
 
     With ``fastforward=False`` the entire prefix of every interval is
     timing-simulated (the pre-checkpoint behaviour, quadratic in
@@ -174,9 +182,15 @@ def weighted_ipc(
         return total
 
     warmup = int(length * warmup_fraction)
-    checkpoints = checkpoint_intervals(
-        program, selection, initial_pkru, warmup_fraction
-    )
+    if checkpoints is None:
+        checkpoints = checkpoint_intervals(
+            program, selection, initial_pkru, warmup_fraction
+        )
+    elif len(checkpoints) != len(selection.points):
+        raise ValueError(
+            f"{len(checkpoints)} checkpoints for "
+            f"{len(selection.points)} selection points"
+        )
     weights: List[float] = []
     jobs = []
     for point, checkpoint in zip(selection.points, checkpoints):
@@ -217,7 +231,39 @@ def simpoint_ipc(
     fastforward: bool = True,
     parallel: bool = False,
 ) -> float:
-    """End-to-end SimPoint flow: profile, select, simulate, combine."""
+    """End-to-end SimPoint flow: profile, select, simulate, combine.
+
+    With *fastforward* (the default) the functional side is **one**
+    fused pass (:func:`~repro.simpoint.profiler.profile_program`): the
+    same block-cached execution emits the BBV profile, the warm-touch
+    stream, and a checkpoint at every potential interval resume
+    position, so selection simply picks up the checkpoints it needs —
+    the legacy flow re-executed the program functionally a second time
+    in :func:`checkpoint_intervals`.  Selections and weighted IPC are
+    unchanged vs the two-pass flow (``tests/simpoint/test_profiler.py``
+    asserts both).
+    """
+    if fastforward:
+        fused = profile_program(
+            program,
+            interval_length=interval_length,
+            max_instructions=profile_instructions,
+            pkru=initial_pkru,
+            collect_checkpoints=True,
+        )
+        selection = select_simpoints(fused.bbv, top_n=top_n)
+        return weighted_ipc(
+            program,
+            selection,
+            config,
+            initial_pkru,
+            fastforward=True,
+            parallel=parallel,
+            checkpoints=[
+                fused.checkpoints.get(point.interval_index)
+                for point in selection.points
+            ],
+        )
     profile = collect_bbv(
         program,
         interval_length=interval_length,

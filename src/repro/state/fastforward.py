@@ -29,13 +29,10 @@ from typing import Optional, Tuple
 
 from ..isa.emulator import _BRANCH_EVAL, Emulator
 from ..isa.opcodes import Opcode
-from ..isa.registers import to_u64
+from ..isa.program import CODE_BASE
 
 _GHIST_MASK = (1 << 64) - 1
 
-#: Byte address of instruction slot 0 on the fetch side — must match
-#: :attr:`repro.core.pipeline.Simulator.CODE_BASE`.
-CODE_BASE = 0x0100_0000
 _LINE = 64
 
 
@@ -127,8 +124,17 @@ class WarmTouch:
         self._touch(self._pages, address & ~0xFFF, self.max_pages)
 
     def touch_code(self, pc: int) -> None:
-        self._touch(self._code_lines, (CODE_BASE + 4 * pc) & ~(_LINE - 1),
-                    self.max_code_lines)
+        self.touch_code_line((CODE_BASE + 4 * pc) & ~(_LINE - 1))
+
+    def touch_code_line(self, line: int) -> None:
+        """Record one instruction-cache line base address directly.
+
+        The block translation cache folds ``pc -> line`` at translation
+        time and collapses consecutive touches of the same line (LRU
+        state is unchanged by immediate re-touches), so its generated
+        code calls this instead of :meth:`touch_code`.
+        """
+        self._touch(self._code_lines, line, self.max_code_lines)
 
     def branch(self, pc: int, taken: bool, target: int) -> None:
         self.branches.append((pc, self.ghist, taken, target))
@@ -174,39 +180,11 @@ def fast_forward(
     Unlike :meth:`Emulator.run` this stops exactly at the budget (or at
     HALT) without raising, optionally feeding a :class:`WarmTouch`.
     Returns the number of instructions actually executed.
+
+    Execution goes through the basic-block translation cache
+    (:mod:`repro.isa.blockcache`); emulators built with
+    ``blocks=False`` — or any process with ``REPRO_BLOCKS=0`` — fall
+    back to the per-instruction interpreter with identical
+    architectural results and warm-touch recording.
     """
-    program = emulator.program
-    state = emulator.state
-    executed = 0
-    while executed < instructions and not state.halted:
-        inst = program.fetch(state.pc)
-        if inst is None:
-            break  # implicit halt; let step() record it
-        if warm is not None:
-            op = inst.opcode
-            warm.touch_code(inst.pc)
-            if op is Opcode.LD or op is Opcode.ST:
-                warm.touch_data(
-                    to_u64(state.regs[inst.src1] + (inst.imm or 0))
-                )
-            elif op in _CONDITIONAL:
-                taken = bool(
-                    _BRANCH_EVAL[op](
-                        state.read_reg(inst.src1), state.read_reg(inst.src2)
-                    )
-                )
-                warm.branch(
-                    inst.pc, taken, inst.imm if taken else inst.pc + 1
-                )
-            elif op is Opcode.CALL:
-                warm.call(inst.pc + 1)
-            elif op is Opcode.CALLR:
-                warm.call(inst.pc + 1)
-            elif op is Opcode.RET:
-                warm.ret()
-        if emulator.step() is None:
-            break
-        if warm is not None and inst.opcode in _INDIRECT:
-            warm.indirect(inst.pc, state.pc)
-        executed += 1
-    return executed
+    return emulator.run_fast(instructions, warm=warm)

@@ -147,6 +147,28 @@ def test_pipeline_matches_golden_model(policy, body):
     assert sim.specmpk.arf == golden.pkru
 
 
+def test_cosim_golden_model_single_steps_every_commit():
+    """The lockstep golden model must advance exactly one architectural
+    instruction per retired instruction — block-cached execution would
+    batch ahead over the shared-memory state, so it must be off on the
+    cosim clone even though it is the emulator's default."""
+    program = build_program(
+        [("alu", "add", 2, 3, 4), ("st", 5, 2), ("ld", 6, 2),
+         ("wrpkru", make_pkru(disabled=[14])), ("call", 1)],
+        iterations=3,
+    )
+    config = CoreConfig(cosimulate=True, check_invariants=True)
+    sim = Simulator(program, config)
+    result = sim.run(max_cycles=500_000)
+    assert result.fault is None and result.halted
+    assert sim._cosim is not None
+    assert sim._cosim.blocks is False
+    assert sim._cosim.block_cache is None
+    # One golden-model step per commit: the counters agree exactly.
+    assert sim._cosim.instructions_executed == sim.stats.instructions_retired
+    assert sim._cosim.state.halted
+
+
 @pytest.mark.parametrize("policy", list(WrpkruPolicy))
 @settings(max_examples=10, deadline=None)
 @given(body=random_body(), cut=st.integers(min_value=1, max_value=200))

@@ -1,0 +1,430 @@
+"""Differential tests: block-cached execution == single-stepping.
+
+The basic-block translation cache (:mod:`repro.isa.blockcache`) claims
+architectural bit-identity with :meth:`Emulator.step`.  This suite is
+the authority for that claim: hypothesis-generated programs — ALU
+churn, memory traffic, branches, calls through registers, WRPKRU, and
+mid-block protection faults with a skip-and-continue handler — run on
+both engines and every observable (registers, PC, PKRU, halted flag,
+memory image, instruction/fault/WRPKRU counters, warm-touch summaries)
+must match exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import EAX, Emulator, ProgramBuilder, make_emulator
+from repro.isa.blockcache import (
+    MAX_BLOCK_LENGTH,
+    BlockCache,
+    blocks_enabled,
+    shared_cache,
+)
+from repro.mpk import make_pkru
+from repro.mpk.faults import MemoryFault
+from repro.state import WarmTouch
+
+@pytest.fixture(autouse=True)
+def _blocks_on(monkeypatch):
+    """This suite compares engines explicitly via the ``blocks``
+    parameter; a REPRO_BLOCKS=0 environment must not flip the
+    block-mode side of the differential to the step engine."""
+    monkeypatch.delenv("REPRO_BLOCKS", raising=False)
+
+
+WORK_REGS = list(range(2, 10))
+
+alu_op = st.sampled_from(["add", "sub", "xor", "and_", "or_", "mul", "slt"])
+
+LOCK = make_pkru(disabled=[1])
+
+
+@st.composite
+def random_body(draw):
+    """Abstract op list: ALU, memory (sometimes protected), control."""
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("alu"), alu_op,
+                          st.sampled_from(WORK_REGS),
+                          st.sampled_from(WORK_REGS),
+                          st.sampled_from(WORK_REGS)),
+                st.tuples(st.just("li"), st.sampled_from(WORK_REGS),
+                          st.integers(min_value=-1000, max_value=1000)),
+                st.tuples(st.just("ld"), st.sampled_from(WORK_REGS),
+                          st.integers(min_value=0, max_value=63)),
+                st.tuples(st.just("st"), st.sampled_from(WORK_REGS),
+                          st.integers(min_value=0, max_value=63)),
+                # Loads/stores on the pkey-1 region: these FAULT while
+                # the lock op below has PKRU deny pkey 1, exercising
+                # mid-block fault commit + skip-and-continue.
+                st.tuples(st.just("ld_secret"), st.sampled_from(WORK_REGS),
+                          st.integers(min_value=0, max_value=63)),
+                st.tuples(st.just("st_secret"), st.sampled_from(WORK_REGS),
+                          st.integers(min_value=0, max_value=63)),
+                st.tuples(st.just("lock"), st.booleans()),
+                st.tuples(st.just("rdpkru")),
+                st.tuples(st.just("skip"),
+                          st.sampled_from(["beq", "bne", "blt", "bge"]),
+                          st.sampled_from(WORK_REGS),
+                          st.sampled_from(WORK_REGS),
+                          st.integers(min_value=1, max_value=3)),
+                st.tuples(st.just("call"), st.integers(min_value=0, max_value=2)),
+                st.tuples(st.just("callr"), st.integers(min_value=0, max_value=2)),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    iterations = draw(st.integers(min_value=1, max_value=3))
+    return ops, iterations
+
+
+def build_program(ops, iterations):
+    """Materialise the abstract op list into a terminating program."""
+    b = ProgramBuilder()
+    data = b.region("data", 4096)
+    secret = b.region("secret", 4096, pkey=1)
+    # Leaves first so their PCs are known to the callr ops below.
+    leaf_pcs = {}
+    for func in range(3):
+        leaf_pcs[func] = b.label(f"leaf{func}")
+        b.addi(2 + func, 2 + func, func + 1)
+        b.xori(9, 9, func)
+        b.ret()
+    b.label("main")
+    b.li(10, data.base)
+    b.li(12, secret.base)
+    b.li(11, iterations)
+    for reg in WORK_REGS:
+        b.li(reg, reg * 7)
+    b.label("loop")
+    pending_skips = []
+    for index, op in enumerate(ops):
+        pending_skips = _close_skips(b, pending_skips, index)
+        kind = op[0]
+        if kind == "alu":
+            _, name, dst, s1, s2 = op
+            getattr(b, name)(dst, s1, s2)
+        elif kind == "li":
+            _, dst, imm = op
+            b.li(dst, imm)
+        elif kind == "ld":
+            _, dst, slot = op
+            b.ld(dst, 10, 8 * slot)
+        elif kind == "st":
+            _, src, slot = op
+            b.st(src, 10, 8 * slot)
+        elif kind == "ld_secret":
+            _, dst, slot = op
+            b.ld(dst, 12, 8 * slot)
+        elif kind == "st_secret":
+            _, src, slot = op
+            b.st(src, 12, 8 * slot)
+        elif kind == "lock":
+            _, locked = op
+            b.li(EAX, LOCK if locked else 0)
+            b.wrpkru()
+        elif kind == "rdpkru":
+            b.rdpkru()
+        elif kind == "skip":
+            _, branch, s1, s2, distance = op
+            label = f"skip_{index}"
+            getattr(b, branch)(s1, s2, label)
+            pending_skips.append((label, index + distance))
+        elif kind == "call":
+            _, func = op
+            b.call(f"leaf{func}")
+        elif kind == "callr":
+            _, func = op
+            b.li(13, leaf_pcs[func])
+            b.callr(13)
+    _close_skips(b, pending_skips, len(ops), force=True)
+    b.addi(11, 11, -1)
+    b.bne(11, 0, "loop")
+    b.li(EAX, 0)
+    b.wrpkru()  # unlock so the trailer stores land
+    b.st(9, 10, 0)
+    b.halt()
+    return b.build()
+
+
+def _close_skips(b, pending, index, force=False):
+    remaining = []
+    for label, end in pending:
+        if force or end <= index:
+            b.label(label)
+        else:
+            remaining.append((label, end))
+    return remaining
+
+
+def _skip_handler(fault, state):
+    return True
+
+
+def run_stepwise(program, budget, handler=None, warm=None):
+    """Reference run: the single-instruction interpreter, no blocks."""
+    emulator = Emulator(program, fault_handler=handler, blocks=False)
+    emulator.run_fast(budget, warm=warm)
+    return emulator
+
+
+def run_blockwise(program, budget, handler=None, warm=None, chunks=None):
+    """Block-cached run, optionally split into uneven budget chunks."""
+    emulator = Emulator(program, fault_handler=handler, blocks=True)
+    assert emulator.blocks, "block mode should be on by default"
+    remaining = budget
+    for chunk in chunks or []:
+        chunk = min(chunk, remaining)
+        remaining -= emulator.run_fast(chunk, warm=warm)
+    emulator.run_fast(remaining, warm=warm)
+    return emulator
+
+
+def assert_identical(block, step):
+    assert block.state.regs == step.state.regs
+    assert block.state.pc == step.state.pc
+    assert block.state.pkru == step.state.pkru
+    assert block.state.halted == step.state.halted
+    assert block.state.memory.snapshot() == step.state.memory.snapshot()
+    assert block.instructions_executed == step.instructions_executed
+    assert block.wrpkru_executed == step.wrpkru_executed
+    assert block.faults_handled == step.faults_handled
+
+
+BUDGET = 5_000
+
+
+@settings(max_examples=40, deadline=None)
+@given(body=random_body())
+def test_block_execution_matches_stepping(body):
+    """Final architectural state and counters match bit-for-bit."""
+    ops, iterations = body
+    program = build_program(ops, iterations)
+    step = run_stepwise(program, BUDGET, handler=_skip_handler)
+    block = run_blockwise(program, BUDGET, handler=_skip_handler)
+    assert_identical(block, step)
+
+
+@settings(max_examples=25, deadline=None)
+@given(body=random_body(),
+       chunks=st.lists(st.integers(min_value=1, max_value=97), max_size=6))
+def test_uneven_budgets_match_stepping(body, chunks):
+    """Budgets that end mid-block are exact and bit-identical."""
+    ops, iterations = body
+    program = build_program(ops, iterations)
+    step = run_stepwise(program, BUDGET, handler=_skip_handler)
+    block = run_blockwise(program, BUDGET, handler=_skip_handler,
+                          chunks=chunks)
+    assert_identical(block, step)
+
+
+@settings(max_examples=25, deadline=None)
+@given(body=random_body())
+def test_warm_touch_stream_matches_stepping(body):
+    """WarmupSummary (lines, pages, branches, RAS, ghist) matches."""
+    ops, iterations = body
+    program = build_program(ops, iterations)
+    warm_step = WarmTouch()
+    step = run_stepwise(program, BUDGET, handler=_skip_handler,
+                        warm=warm_step)
+    warm_block = WarmTouch()
+    block = run_blockwise(program, BUDGET, handler=_skip_handler,
+                          warm=warm_block)
+    assert_identical(block, step)
+    assert warm_block.summary() == warm_step.summary()
+
+
+@settings(max_examples=20, deadline=None)
+@given(body=random_body(), budget=st.integers(min_value=1, max_value=400))
+def test_exact_budget_matches_stepping(body, budget):
+    """Stopping mid-program leaves both engines at the same boundary."""
+    ops, iterations = body
+    program = build_program(ops, iterations)
+    step = run_stepwise(program, budget, handler=_skip_handler)
+    block = run_blockwise(program, budget, handler=_skip_handler)
+    assert_identical(block, step)
+    assert block.instructions_executed <= budget
+
+
+class TestFaultSemantics:
+    def _faulting_program(self):
+        b = ProgramBuilder()
+        secret = b.region("secret", 4096, pkey=1)
+        b.label("main")
+        b.li(EAX, LOCK)
+        b.wrpkru()
+        b.li(2, secret.base)
+        b.addi(3, 0, 1)   # straight-line run around the fault...
+        b.ld(4, 2, 0)     # ...faults mid-block
+        b.addi(5, 0, 2)   # must still execute after the skip
+        b.st(3, 2, 8)     # faults again
+        b.addi(6, 0, 3)
+        b.halt()
+        return b.build()
+
+    def test_handled_fault_skips_and_continues(self):
+        program = self._faulting_program()
+        step = run_stepwise(program, BUDGET, handler=_skip_handler)
+        block = run_blockwise(program, BUDGET, handler=_skip_handler)
+        assert block.faults_handled == 2
+        assert block.state.regs[5] == 2 and block.state.regs[6] == 3
+        assert block.state.regs[4] == 0  # skipped load wrote nothing
+        assert_identical(block, step)
+
+    def test_unhandled_fault_propagates_with_identical_state(self):
+        program = self._faulting_program()
+        step = Emulator(program, blocks=False)
+        with pytest.raises(MemoryFault) as step_fault:
+            step.run_fast(BUDGET)
+        block = Emulator(program, blocks=True)
+        with pytest.raises(MemoryFault) as block_fault:
+            block.run_fast(BUDGET)
+        assert block_fault.value.address == step_fault.value.address
+        # Committed prefix (everything before the faulting load) and the
+        # faulting PC are identical.
+        assert_identical(block, step)
+
+    def test_handler_sees_faulting_pc_in_state(self):
+        program = self._faulting_program()
+        pcs = []
+
+        def handler(fault, state):
+            pcs.append(state.pc)
+            return True
+
+        run_blockwise(program, BUDGET, handler=handler)
+        step_pcs = []
+
+        def step_handler(fault, state):
+            step_pcs.append(state.pc)
+            return True
+
+        run_stepwise(program, BUDGET, handler=step_handler)
+        assert pcs == step_pcs
+
+
+class TestBlockCache:
+    def _looping_program(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(2, 100)
+        b.label("loop")
+        b.addi(3, 3, 1)
+        b.addi(2, 2, -1)
+        b.bne(2, 0, "loop")
+        b.halt()
+        return b.build()
+
+    def test_blocks_translate_once(self):
+        program = self._looping_program()
+        emulator = Emulator(program)
+        emulator.run()
+        cache = emulator.block_cache
+        assert cache.translated == len(cache.blocks)
+        translated_once = cache.translated
+        # A second emulator over the same program reuses every block.
+        again = Emulator(program)
+        assert again.block_cache is cache
+        again.run()
+        assert cache.translated == translated_once
+
+    def test_shared_cache_is_per_program(self):
+        p1 = self._looping_program()
+        p2 = self._looping_program()
+        assert shared_cache(p1) is shared_cache(p1)
+        assert shared_cache(p1) is not shared_cache(p2)
+
+    def test_block_boundaries(self):
+        """Blocks end at control flow, WRPKRU, and HALT, inclusive."""
+        b = ProgramBuilder()
+        b.label("main")
+        b.addi(2, 0, 1)
+        b.li(EAX, 0)
+        b.wrpkru()        # ends block 0 (leader 0, len 3, not bbv-closing)
+        b.addi(3, 0, 1)
+        b.jmp("tail")     # ends block 1 (leader 3, len 2, bbv-closing)
+        b.label("tail")
+        b.halt()          # block 2
+        program = b.build()
+        cache = BlockCache(program)
+        block0 = cache.block_at(0)
+        assert (block0.length, block0.wrpkru, block0.closes_bbv) == (3, True, False)
+        block1 = cache.block_at(3)
+        assert (block1.length, block1.wrpkru, block1.closes_bbv) == (2, False, True)
+        block2 = cache.block_at(5)
+        assert (block2.length, block2.closes_bbv) == (1, True)
+        assert cache.block_at(99) is None  # outside the program
+
+    def test_long_straightline_is_capped(self):
+        b = ProgramBuilder()
+        b.label("main")
+        for _ in range(MAX_BLOCK_LENGTH + 10):
+            b.addi(2, 2, 1)
+        b.halt()
+        program = b.build()
+        cache = BlockCache(program)
+        block = cache.block_at(0)
+        assert block.length == MAX_BLOCK_LENGTH
+        assert not block.closes_bbv  # cap fall-through keeps leader open
+        emulator = Emulator(program)
+        emulator._block_cache = cache
+        emulator.run()
+        assert emulator.state.regs[2] == MAX_BLOCK_LENGTH + 10
+
+
+class TestBlocksFlag:
+    def test_env_flag_disables_blocks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BLOCKS", "0")
+        assert not blocks_enabled()
+        emulator = make_emulator(self._program())
+        assert not emulator.blocks
+        assert emulator.block_cache is None
+        emulator.run()
+        assert emulator.state.regs[2] == 5
+
+    def test_env_flag_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BLOCKS", raising=False)
+        assert blocks_enabled()
+
+    def _program(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.li(2, 5)
+        b.halt()
+        return b.build()
+
+
+class TestMakeEmulator:
+    def test_program_target(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.halt()
+        program = b.build()
+        emulator = make_emulator(program, pkru=3)
+        assert emulator.program is program
+        assert emulator.state.pkru == 3
+        assert emulator.blocks
+
+    def test_workload_target_uses_initial_pkru(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.halt()
+        program = b.build()
+
+        class Workload:
+            pass
+
+        workload = Workload()
+        workload.program = program
+        workload.initial_pkru = 5
+        emulator = make_emulator(workload)
+        assert emulator.state.pkru == 5
+        # An explicit pkru wins over the workload's.
+        assert make_emulator(workload, pkru=1).state.pkru == 1
+
+    def test_rejects_non_program(self):
+        with pytest.raises(TypeError):
+            make_emulator(object())

@@ -173,6 +173,76 @@ def test_corrupt_entry_is_a_miss(tmp_path):
     assert cache.get("a" * 64) is None
 
 
+# -- persistent counters ---------------------------------------------------
+
+
+def test_counters_persist_across_cache_instances(tmp_path):
+    first = RunCache(tmp_path)
+    first.put("k" * 64, {"ipc": 1.0})
+    assert first.get("k" * 64) is not None
+    assert first.get("z" * 64) is None
+    # A fresh instance (a new process, as far as the store can tell)
+    # starts its in-process counters at zero but sees the lifetime ones.
+    second = RunCache(tmp_path)
+    assert second.hits == 0 and second.misses == 0
+    assert second.persistent_counters() == {"hits": 1, "misses": 1}
+    assert second.get("k" * 64) is not None
+    assert second.persistent_counters() == {"hits": 2, "misses": 1}
+    stats = second.stats()
+    assert stats["lifetime_hits"] == 2 and stats["lifetime_misses"] == 1
+    assert stats["hits"] == 1 and stats["misses"] == 0
+
+
+def test_counters_file_is_not_a_cache_entry(tmp_path):
+    cache = RunCache(tmp_path)
+    assert cache.get("m" * 64) is None  # writes counters.json
+    assert cache.entries() == 0
+
+
+def test_clear_resets_lifetime_counters(tmp_path):
+    cache = RunCache(tmp_path)
+    cache.put("k" * 64, {"ipc": 1.0})
+    cache.get("k" * 64)
+    cache.clear()
+    assert cache.persistent_counters() == {"hits": 0, "misses": 0}
+
+
+def test_corrupt_counters_file_is_tolerated(tmp_path):
+    cache = RunCache(tmp_path)
+    (tmp_path / RunCache.COUNTERS_FILE).write_text("not json")
+    assert cache.persistent_counters() == {"hits": 0, "misses": 0}
+    assert cache.get("c" * 64) is None  # overwrites the corrupt file
+    assert cache.persistent_counters() == {"hits": 0, "misses": 1}
+
+
+def test_cache_stats_cli_reports_lifetime(tmp_path, monkeypatch, capsys):
+    from repro.__main__ import main
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    RunCache(tmp_path).get("s" * 64)  # one lifetime miss
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "lifetime:  0 hit(s), 1 miss(es)" in out
+
+
+# -- fingerprint coverage --------------------------------------------------
+
+
+def test_fingerprint_covers_block_translation_module():
+    """The translation cache generates execution semantics, so editing
+    it must invalidate the run cache like any interpreter edit."""
+    import pathlib
+
+    root = pathlib.Path(runcache.__file__).resolve().parents[1]
+    names = {
+        path.relative_to(root).as_posix()
+        for path in runcache.fingerprint_files()
+    }
+    assert "isa/blockcache.py" in names
+    assert "isa/emulator.py" in names
+    assert "simpoint/profiler.py" in names
+
+
 # -- execute() integration -------------------------------------------------
 
 

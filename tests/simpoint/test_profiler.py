@@ -1,0 +1,236 @@
+"""Tests for the fused single-pass functional profiler.
+
+The fused flow must be invisible from the outside: identical BBV
+intervals (and therefore identical SimPoint selections), identical
+checkpoints, and a weighted IPC within 1% of the legacy two-pass flow —
+while functionally executing the program exactly once.
+"""
+
+import pytest
+
+from repro.isa import assemble, make_emulator
+from repro.simpoint import (
+    checkpoint_intervals,
+    collect_bbv,
+    profile_program,
+    select_simpoints,
+    simpoint_ipc,
+    weighted_ipc,
+)
+from repro.workloads import build_workload, profile_by_label
+
+PHASED_PROGRAM = """
+main:
+    li r2, 60
+phase_a:
+    addi r3, r3, 1
+    addi r3, r3, 2
+    addi r3, r3, 3
+    addi r2, r2, -1
+    bne r2, zero, phase_a
+    li r2, 60
+phase_b:
+    mul r4, r3, r3
+    mul r4, r4, r3
+    mul r4, r4, r4
+    addi r2, r2, -1
+    bne r2, zero, phase_b
+    halt
+"""
+
+
+@pytest.fixture(autouse=True)
+def _blocks_on(monkeypatch):
+    """The block-vs-step comparisons here pick engines explicitly;
+    neutralise an inherited REPRO_BLOCKS=0."""
+    monkeypatch.delenv("REPRO_BLOCKS", raising=False)
+
+
+def _workload():
+    return build_workload(profile_by_label("541.leela_r (SS)"))
+
+
+def _assert_checkpoint_equal(left, right):
+    """Field-wise Checkpoint comparison (MemoryImage has no __eq__)."""
+    assert left.label == right.label
+    assert left.instructions == right.instructions
+    assert left.warmup == right.warmup
+    ls, rs = left.snapshot, right.snapshot
+    assert (ls.regs, ls.pc, ls.pkru, ls.halted) == (
+        rs.regs, rs.pc, rs.pkru, rs.halted)
+    assert ls.page_generation == rs.page_generation
+    assert ls.memory.materialize() == rs.memory.materialize()
+
+
+class TestFusedBbv:
+    def test_intervals_match_step_mode(self):
+        """Block-granular attribution == per-instruction attribution."""
+        workload = _workload()
+        fused = profile_program(
+            workload.program, interval_length=1000,
+            max_instructions=20_000, pkru=workload.initial_pkru,
+        )
+        stepped = profile_program(
+            workload.program, interval_length=1000,
+            max_instructions=20_000, pkru=workload.initial_pkru,
+            emulator=make_emulator(
+                workload.program, pkru=workload.initial_pkru, blocks=False
+            ),
+        )
+        assert fused.bbv.intervals == stepped.bbv.intervals
+        assert fused.bbv.total_instructions == stepped.bbv.total_instructions
+
+    def test_checkpoint_collection_does_not_change_bbv(self):
+        program = assemble(PHASED_PROGRAM)
+        plain = profile_program(program, interval_length=50)
+        fused = profile_program(program, interval_length=50,
+                                collect_checkpoints=True)
+        assert fused.bbv.intervals == plain.bbv.intervals
+        assert fused.instructions == plain.instructions
+
+    def test_checkpoints_cover_every_reachable_interval(self):
+        program = assemble(PHASED_PROGRAM)
+        fused = profile_program(program, interval_length=50,
+                                collect_checkpoints=True)
+        warmup = fused.warmup
+        for index in range(fused.bbv.num_intervals):
+            position = max(0, index * 50 - warmup)
+            if position >= fused.instructions:
+                continue  # program halted before this resume point
+            checkpoint = fused.checkpoints[index]
+            assert checkpoint.instructions == position
+
+    def test_extreme_warmup_fraction_positions_clamp(self):
+        """warmup >= interval clamps early positions to program entry."""
+        program = assemble(PHASED_PROGRAM)
+        fused = profile_program(program, interval_length=50,
+                                collect_checkpoints=True,
+                                warmup_fraction=1.0)
+        assert fused.checkpoints[0].instructions == 0
+        assert fused.checkpoints[1].instructions == 0
+        assert fused.checkpoints[2].instructions == 50
+
+
+class TestFusedMatchesTwoPass:
+    def test_checkpoints_identical_to_checkpoint_intervals(self):
+        workload = _workload()
+        fused = profile_program(
+            workload.program, interval_length=2000,
+            max_instructions=40_000, pkru=workload.initial_pkru,
+            collect_checkpoints=True,
+        )
+        selection = select_simpoints(fused.bbv, top_n=4)
+        legacy = checkpoint_intervals(
+            workload.program, selection,
+            initial_pkru=workload.initial_pkru,
+        )
+        for point, expected in zip(selection.points, legacy):
+            _assert_checkpoint_equal(
+                fused.checkpoints[point.interval_index], expected
+            )
+
+    def test_weighted_ipc_within_one_percent(self):
+        workload = _workload()
+        fused = profile_program(
+            workload.program, interval_length=2000,
+            max_instructions=40_000, pkru=workload.initial_pkru,
+            collect_checkpoints=True,
+        )
+        selection = select_simpoints(fused.bbv, top_n=4)
+        two_pass = weighted_ipc(
+            workload.program, selection, initial_pkru=workload.initial_pkru,
+        )
+        one_pass = weighted_ipc(
+            workload.program, selection, initial_pkru=workload.initial_pkru,
+            checkpoints=[
+                fused.checkpoints.get(point.interval_index)
+                for point in selection.points
+            ],
+        )
+        assert one_pass == pytest.approx(two_pass, rel=0.01)
+
+    def test_selections_unchanged(self):
+        """collect_bbv (the wrapped profiler) drives identical selection
+        whether or not checkpoints ride along."""
+        workload = _workload()
+        via_wrapper = select_simpoints(collect_bbv(
+            workload.program, interval_length=2000,
+            max_instructions=40_000, pkru=workload.initial_pkru,
+        ), top_n=4)
+        via_fused = select_simpoints(profile_program(
+            workload.program, interval_length=2000,
+            max_instructions=40_000, pkru=workload.initial_pkru,
+            collect_checkpoints=True,
+        ).bbv, top_n=4)
+        assert via_wrapper == via_fused
+
+    def test_checkpoint_count_mismatch_rejected(self):
+        workload = _workload()
+        fused = profile_program(
+            workload.program, interval_length=2000,
+            max_instructions=40_000, pkru=workload.initial_pkru,
+            collect_checkpoints=True,
+        )
+        selection = select_simpoints(fused.bbv, top_n=4)
+        with pytest.raises(ValueError):
+            weighted_ipc(
+                workload.program, selection,
+                initial_pkru=workload.initial_pkru,
+                checkpoints=[None],
+            )
+
+
+class TestSinglePass:
+    def test_simpoint_ipc_is_one_functional_pass(self, monkeypatch):
+        """The fused flow retires each profiled instruction exactly once
+        functionally: one emulator, `profile_instructions` retires, and
+        checkpoint_intervals (the second pass) is never entered."""
+        import repro.simpoint.profiler as profiler_mod
+        import repro.simpoint.simpoint as simpoint_mod
+
+        created = []
+        real = profiler_mod.make_emulator
+
+        def tracking(*args, **kwargs):
+            emulator = real(*args, **kwargs)
+            created.append(emulator)
+            return emulator
+
+        monkeypatch.setattr(profiler_mod, "make_emulator", tracking)
+        monkeypatch.setattr(simpoint_mod, "make_emulator", tracking)
+        monkeypatch.setattr(
+            simpoint_mod, "checkpoint_intervals",
+            lambda *a, **k: pytest.fail(
+                "fused flow must not re-run the functional prefix"
+            ),
+        )
+        workload = _workload()
+        profile_instructions = 40_000
+        ipc = simpoint_ipc(
+            workload.program,
+            initial_pkru=workload.initial_pkru,
+            interval_length=2000,
+            profile_instructions=profile_instructions,
+            top_n=4,
+        )
+        assert ipc > 0
+        assert len(created) == 1, "exactly one functional emulator"
+        retired = sum(e.instructions_executed for e in created)
+        assert retired == profile_instructions
+
+    def test_two_pass_flow_retires_twice(self):
+        """Reference point for the assertion above: the legacy two-pass
+        flow (collect_bbv + checkpoint_intervals) functionally executes
+        strictly more than one profile's worth of instructions."""
+        workload = _workload()
+        profile = collect_bbv(
+            workload.program, interval_length=2000,
+            max_instructions=40_000, pkru=workload.initial_pkru,
+        )
+        selection = select_simpoints(profile, top_n=4)
+        # checkpoint_intervals' own pass, measured by its fast-forward
+        # positions:
+        positions = [
+            max(0, p.interval_index * 2000 - 400) for p in selection.points
+        ]
+        assert max(positions) > 0  # the second pass is real work
