@@ -129,6 +129,80 @@ def tracing_off_overhead_guard(results_dir):
     yield
 
 
+#: Conservative count of always-on metric bookkeeping operations per
+#: *fetched* instruction: the L1D miss-delta probe around each executed
+#: load (two attribute reads + compare), the per-fill counter bump, the
+#: wrong-path reclassification test per squashed instruction, and the
+#: lazy occupancy-histogram update per WRPKRU event.  Loads are ~1/4 of
+#: the mix at ~4 ops each, fills/squashes/WRPKRU events are small
+#: fractions of an op per instruction — six per fetched instruction
+#: over-counts all of them together severalfold.
+_METRIC_OPS_PER_INSTRUCTION = 6
+
+
+@pytest.fixture(scope="session", autouse=True)
+def metrics_off_overhead_guard(results_dir):
+    """Assert the metrics residue costs <2% of sim time with
+    ``REPRO_METRICS=0``.
+
+    Snapshot *collection* runs once per run and is skipped entirely
+    when disabled; what remains on the hot path are the provenance
+    probes (L1D miss-delta per load, fill counters, wrong-path checks,
+    lazy occupancy credit) — plain attribute arithmetic that runs
+    whether or not a snapshot is taken.  This guard times one kernel
+    run with metrics (and the run cache) off, prices an over-count of
+    those operations at the measured cost of an attribute
+    read-modify-write, and asserts the bound stays below 2% of wall
+    clock — the acceptance budget for the telemetry layer.
+    """
+    from repro.core import WrpkruPolicy
+    from repro.harness import run_workload
+
+    saved = {
+        name: os.environ.get(name) for name in ("REPRO_CACHE",
+                                                "REPRO_METRICS")
+    }
+    os.environ["REPRO_CACHE"] = "0"
+    os.environ["REPRO_METRICS"] = "0"
+    try:
+        start = time.perf_counter()
+        stats = run_workload(
+            "520.omnetpp_r (SS)", WrpkruPolicy.SPECMPK,
+            instructions=2_000, warmup=500,
+        )
+        elapsed = time.perf_counter() - start
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+    class _Probe:
+        value = 0
+    probe = _Probe()
+    loops = 200_000
+    per_op = timeit.timeit(
+        "probe.value = probe.value + 1", globals={"probe": probe},
+        number=loops,
+    ) / loops
+
+    ops = _METRIC_OPS_PER_INSTRUCTION * stats.instructions_fetched
+    overhead = ops * per_op / elapsed
+    (results_dir / "metrics_overhead.txt").write_text(
+        f"metrics-off overhead bound: {overhead:.2%} of wall clock\n"
+        f"  run: {stats.cycles} cycles, "
+        f"{stats.instructions_fetched} fetched, {elapsed:.3f}s\n"
+        f"  metric ops (over-count): {ops}\n"
+        f"  cost per attribute RMW: {per_op * 1e9:.1f} ns\n"
+    )
+    assert overhead < 0.02, (
+        f"always-on metric bookkeeping costs {overhead:.2%} of simulator "
+        f"wall-clock (budget: 2%)"
+    )
+    yield
+
+
 @pytest.fixture(scope="session")
 def save_result(results_dir):
     """Write one rendered experiment output to the results directory."""

@@ -22,7 +22,6 @@ profiles and checks it against the checked-in baseline in
 
 import json
 import math
-import os
 import pathlib
 import time
 
@@ -73,11 +72,12 @@ def _geomean(values):
 
 
 def _host_scale():
-    return float(
-        os.environ.get(
-            "REPRO_MIPS_SCALE", os.environ.get("REPRO_KIPS_SCALE", "1.0")
-        )
-    )
+    from repro.perf.envflag import env_float
+
+    mips = env_float("REPRO_MIPS_SCALE")
+    if mips is not None:
+        return mips
+    return env_float("REPRO_KIPS_SCALE", 1.0)
 
 
 def test_emulator_mips_regression_gate(results_dir):

@@ -18,7 +18,6 @@ against the checked-in baseline in ``results/BENCH_kernel.json``:
 
 import json
 import math
-import os
 import pathlib
 import time
 
@@ -72,7 +71,9 @@ def _geomean(values):
 
 
 def test_kernel_kips_regression_gate(results_dir):
-    scale = float(os.environ.get("REPRO_KIPS_SCALE", "1.0"))
+    from repro.perf.envflag import env_float
+
+    scale = env_float("REPRO_KIPS_SCALE", 1.0)
     measured = {label: _kips(label) for label in PROFILES}
     report = {
         "unit": "KIPS",

@@ -1,0 +1,90 @@
+"""Telemetry-layer benchmarks: the metrics JSONL artifact and the
+cost/purity budget of per-run snapshot collection.
+
+Writes ``results/metrics.jsonl`` — one :class:`MetricsSnapshot` per
+kernel profile, the CI benchmark artifact — and asserts the two
+properties the telemetry layer promises:
+
+* collection is cheap: one ``collect_run_metrics`` call costs <2% of
+  the simulation it summarises;
+* collection is pure: ``REPRO_METRICS`` on vs off cannot change a
+  single ``SimStats`` value.
+"""
+
+import time
+
+from repro.core.config import WrpkruPolicy
+from repro.harness.api import RunRequest, execute
+from repro.obs import read_jsonl, write_jsonl
+
+from test_bench_kernel import INSTRUCTIONS, PROFILES, WARMUP, _simulate
+
+
+def test_metrics_jsonl_artifact(results_dir):
+    """One snapshot per kernel profile, written as the CI artifact."""
+    snapshots = []
+    for label in PROFILES:
+        result = execute(RunRequest(
+            workload=label,
+            policy=WrpkruPolicy.SPECMPK,
+            instructions=INSTRUCTIONS,
+            warmup=WARMUP,
+            metrics=True,
+        ))
+        assert result.metrics is not None
+        assert (result.metrics.get("core.instructions_retired")
+                == result.stats.instructions_retired)
+        snapshots.append(result.metrics)
+    path = results_dir / "metrics.jsonl"
+    assert write_jsonl(path, snapshots) == len(PROFILES)
+    labels = [snap.meta["label"] for snap in read_jsonl(path)]
+    assert labels == PROFILES
+
+
+def test_snapshot_collection_cost_is_bounded():
+    """collect_run_metrics reads finished counters once per run; its
+    wall clock must be a rounding error next to the run itself."""
+    from repro.core.config import CoreConfig
+    from repro.core.pipeline import Simulator
+    from repro.obs.collect import collect_run_metrics
+    from repro.workloads.generator import build_workload
+    from repro.workloads.instrument import InstrumentMode
+    from repro.workloads.profiles import profile_by_label
+
+    label = PROFILES[0]
+    workload = build_workload(
+        profile_by_label(label), InstrumentMode.PROTECTED
+    )
+    sim = Simulator(
+        workload.program,
+        CoreConfig(wrpkru_policy=WrpkruPolicy.SPECMPK),
+        initial_pkru=workload.initial_pkru,
+    )
+    sim.prewarm_tlb()
+    start = time.perf_counter()
+    sim.run(
+        max_cycles=200 * (INSTRUCTIONS + WARMUP),
+        max_instructions=INSTRUCTIONS,
+        warmup_instructions=WARMUP,
+    )
+    run_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    snapshot = collect_run_metrics(sim)
+    collect_seconds = time.perf_counter() - start
+    assert snapshot.counters
+    assert collect_seconds < 0.02 * run_seconds, (
+        f"collect_run_metrics took {collect_seconds * 1e3:.2f} ms "
+        f"({collect_seconds / run_seconds:.1%} of a "
+        f"{run_seconds * 1e3:.0f} ms run; budget 2%)"
+    )
+
+
+def test_metrics_flag_cannot_change_simstats(monkeypatch):
+    """Collection is observation only: SimStats are bit-identical with
+    REPRO_METRICS on vs off at the bench budgets."""
+    label = PROFILES[0]
+    monkeypatch.setenv("REPRO_METRICS", "1")
+    on, _ = _simulate(label)
+    monkeypatch.setenv("REPRO_METRICS", "0")
+    off, _ = _simulate(label)
+    assert vars(on) == vars(off)

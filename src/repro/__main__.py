@@ -11,6 +11,8 @@ Commands:
   picklable resume point (optionally resume the timing core from it).
 * ``simpoint`` — SimPoint flow: profile BBVs, cluster, checkpoint the
   representatives, report the weighted IPC per policy.
+* ``metrics`` — telemetry snapshots: dump one run's metrics (JSON or
+  Prometheus text), diff two saved snapshots, or list the top counters.
 * ``reproduce`` — regenerate paper tables/figures into a directory.
 """
 
@@ -148,6 +150,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     simpoint_parser.add_argument("--json", action="store_true")
 
+    metrics_parser = sub.add_parser(
+        "metrics", help="dump, diff or query telemetry snapshots"
+    )
+    metrics_sub = metrics_parser.add_subparsers(
+        dest="metrics_command", required=True
+    )
+    mdump = metrics_sub.add_parser(
+        "dump", help="run one workload and emit its metrics snapshot"
+    )
+    mdump.add_argument("label", help='e.g. "520.omnetpp_r (SS)"')
+    mdump.add_argument(
+        "--policy", choices=["serialized", "nonsecure_spec", "specmpk"],
+        default="specmpk",
+    )
+    mdump.add_argument("--instructions", type=int, default=None)
+    mdump.add_argument(
+        "--format", choices=["json", "prom"], default="json",
+        help="JSON snapshot or Prometheus text exposition",
+    )
+    mdump.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write to this file instead of stdout",
+    )
+    mdiff = metrics_sub.add_parser(
+        "diff", help="compare two saved snapshots (JSON or JSONL files)"
+    )
+    mdiff.add_argument("snapshot_a", type=pathlib.Path)
+    mdiff.add_argument("snapshot_b", type=pathlib.Path)
+    mdiff.add_argument("-n", "--top", type=int, default=15,
+                       help="movers shown (by absolute change)")
+    mtop = metrics_sub.add_parser(
+        "top", help="largest counters in a saved snapshot"
+    )
+    mtop.add_argument("snapshot", type=pathlib.Path)
+    mtop.add_argument("-n", "--top", type=int, default=15)
+    mtop.add_argument("--prefix", default=None,
+                      help='dotted subsystem filter, e.g. "mpk"')
+
     cache_parser = sub.add_parser(
         "cache", help="inspect or clear the on-disk run cache"
     )
@@ -185,6 +225,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_checkpoint(args)
     if args.command == "simpoint":
         return _cmd_simpoint(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "reproduce":
@@ -205,6 +247,57 @@ def _cmd_info() -> int:
     for profile in ALL_PROFILES:
         print(f"  {profile.label:26s} ({profile.suite}, "
               f"{profile.working_set_kib} KiB working set)")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.obs import load_snapshot, prometheus_text
+
+    if args.metrics_command == "dump":
+        from repro.core import WrpkruPolicy
+        from repro.harness import RunRequest, execute
+
+        result = execute(RunRequest(
+            workload=args.label,
+            policy=WrpkruPolicy(args.policy),
+            instructions=args.instructions,
+            metrics=True,
+        ))
+        snapshot = result.metrics
+        if args.format == "prom":
+            text = prometheus_text(snapshot)
+        else:
+            text = snapshot.to_json(indent=2)
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(text + "\n")
+            print(f"metrics written to {args.out}")
+        else:
+            print(text)
+        return 0
+    if args.metrics_command == "diff":
+        after = load_snapshot(args.snapshot_a)
+        before = load_snapshot(args.snapshot_b)
+        delta = after.diff(before)
+        movers = delta.top(args.top, by_magnitude=True)
+        print(f"=== {args.snapshot_a} - {args.snapshot_b} "
+              f"(top {args.top} by |change|) ===")
+        if not movers:
+            print("  (no counter changed)")
+        for name, value in movers:
+            print(f"  {name:45s} {value:+.0f}")
+        for name in sorted(delta.gauges):
+            change = delta.gauges[name]
+            if change:
+                print(f"  {name:45s} {change:+.4f} (gauge)")
+        return 0
+    # top
+    snapshot = load_snapshot(args.snapshot)
+    rows = snapshot.top(args.top, prefix=args.prefix)
+    scope = f' under "{args.prefix}"' if args.prefix else ""
+    print(f"=== top {len(rows)} counters{scope} ===")
+    for name, value in rows:
+        print(f"  {name:45s} {value:.0f}")
     return 0
 
 

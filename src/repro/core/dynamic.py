@@ -34,7 +34,7 @@ class DynInst:
         # memory state
         "address", "mem_value", "pkey", "tlb_entry",
         "forwarding_disabled", "replay_at_head", "replay_started",
-        "replay_reason", "forwarded_from", "latency",
+        "replay_reason", "forwarded_from", "latency", "caused_fill",
         # result / exception
         "result", "fault",
         # WRPKRU state
@@ -89,6 +89,9 @@ class DynInst:
         self.replay_reason: Optional[str] = None
         self.forwarded_from: Optional["DynInst"] = None
         self.latency = 0
+        #: This load's speculative execution installed a new L1D line
+        #: (provenance bit for the wrong-path fill counters).
+        self.caused_fill = False
 
         self.result: Optional[int] = None
         self.fault: Optional[BaseException] = None

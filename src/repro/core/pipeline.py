@@ -161,6 +161,21 @@ class Simulator:
         self._fault: Optional[BaseException] = None
         self._retired_this_run = 0
 
+        # Idle fast-skip savings (telemetry only — deliberately NOT in
+        # SimStats, whose contents are asserted bit-identical with the
+        # skip on vs off).
+        self.cycles_fast_skipped = 0
+        self.fast_skip_events = 0
+
+        # Lazy SpecMPK-unit occupancy histogram.  Occupancy only
+        # changes at WRPKRU allocate/retire/squash, so instead of
+        # sampling every cycle the tracker credits ``hist[value] +=
+        # cycles`` at each change (:meth:`_note_pkru_occ`) — matching
+        # the trace layer's end-of-cycle sampling bit-exactly at a cost
+        # proportional to WRPKRU events, not cycles.
+        self._pkru_occ_hist: Dict[int, int] = {}
+        self._pkru_occ_last = 0
+
         # The golden model checks every retire from the *same* start
         # state the core was built from: a shared-memory clone, so it
         # observes the words the core commits.  Lockstep requires
@@ -299,6 +314,8 @@ class Simulator:
         if skipped <= 0:
             return 0
 
+        self.cycles_fast_skipped += skipped
+        self.fast_skip_events += 1
         stat, flag = blocked
         stats = self.stats
         if stat is not None:
@@ -342,8 +359,41 @@ class Simulator:
         """Start a fresh measurement window at the current cycle."""
         self.stats = SimStats()
         self._cycle_base = self.cycle
+        self.cycles_fast_skipped = 0
+        self.fast_skip_events = 0
+        self._pkru_occ_hist = {}
+        self._pkru_occ_last = self.cycle
         if self.trace is not None:
             self.trace.reset_accounting()
+
+    def _note_pkru_occ(self) -> None:
+        """Credit the cycles since the last SpecMPK occupancy change.
+
+        Called immediately *before* any allocate/retire/squash on the
+        SpecMPK unit: cycles ``[last, now)`` ended with the current
+        (pre-change) occupancy.  The cycle the change happens in is
+        credited later with its end-of-cycle value, which is exactly
+        how the trace collector samples.
+        """
+        cycle = self.cycle
+        elapsed = cycle - self._pkru_occ_last
+        if elapsed > 0:
+            occupancy = self.specmpk.occupancy
+            hist = self._pkru_occ_hist
+            hist[occupancy] = hist.get(occupancy, 0) + elapsed
+        self._pkru_occ_last = cycle
+
+    def specmpk_occupancy_histogram(self) -> Dict[int, int]:
+        """``{occupancy: cycles}`` of the SpecMPK unit over the current
+        measurement window; reconciles bit-exactly with a traced run's
+        ``occupancy_histograms["rob_pkru"]``.  Non-destructive — safe
+        to call mid-run or repeatedly."""
+        hist = dict(self._pkru_occ_hist)
+        pending = (self._cycle_base + self.stats.cycles) - self._pkru_occ_last
+        if pending > 0:
+            occupancy = self.specmpk.occupancy
+            hist[occupancy] = hist.get(occupancy, 0) + pending
+        return dict(sorted(hist.items()))
 
     def prewarm_tlb(self) -> int:
         """Pre-fill the TLB with every mapped page (up to capacity).
@@ -583,9 +633,11 @@ class Simulator:
             inst.pkru_dep = specmpk.current_dep()
 
         if static.is_wrpkru:
+            self.stats.wrpkru_dispatched += 1
             if policy is WrpkruPolicy.SERIALIZED:
                 self.serialize_block = inst
             else:
+                self._note_pkru_occ()
                 inst.rob_pkru_id = specmpk.allocate().uid
 
         # Register rename.
@@ -898,7 +950,16 @@ class Simulator:
                 self._complete_load(inst, store.mem_value, 1 + extra)
                 return True
 
+        # Fill provenance: an L1D miss here means this (speculatively
+        # issued) load installs a new line — the state change a
+        # Flush+Reload receiver can observe.  If the load is later
+        # squashed, _trim_younger reclassifies the fill as wrong-path.
+        l1d_stats = self.hierarchy.l1d.stats
+        misses_before = l1d_stats.misses
         latency = self.hierarchy.access(address) + extra
+        if l1d_stats.misses != misses_before:
+            inst.caused_fill = True
+            self.stats.spec_fills += 1
         value = self.memory.peek(address)
         self._complete_load(inst, value, latency)
         return True
@@ -1053,6 +1114,7 @@ class Simulator:
             )
         self._trim_younger(branch.seq, SquashCause.BRANCH_MISPREDICT)
         # Roll the PKRU window back to the branch's rename point.
+        self._note_pkru_occ()
         self.specmpk.squash_younger_than(branch.pkru_mark - 1)
         self.rename_tables.recover(self.active_list)
 
@@ -1082,6 +1144,7 @@ class Simulator:
                 + self.config.frontend_depth,
             )
         squashed = self._trim_younger(victim.seq - 1, SquashCause.MEMORY_ORDER)
+        self._note_pkru_occ()
         self.specmpk.squash_younger_than(victim.pkru_mark - 1)
         self.rename_tables.recover(self.active_list)
         # Restore the predictor to the oldest squashed control
@@ -1104,6 +1167,10 @@ class Simulator:
             victim.squashed = True
             squashed.append(victim)
             self.stats.instructions_squashed += 1
+            if victim.issued or victim.executed:
+                self.stats.instructions_wrongpath_executed += 1
+                if victim.caused_fill:
+                    self.stats.wrongpath_fills += 1
             if trace is not None:
                 trace.event(self.cycle, EventKind.SQUASH, victim,
                             info=cause_name)
@@ -1249,6 +1316,7 @@ class Simulator:
                 stats.load_latency_trace.append((inst.address, inst.latency))
         elif static.is_wrpkru:
             if inst.rob_pkru_id is not None:
+                self._note_pkru_occ()
                 self.specmpk.retire_head()
             else:
                 self.specmpk.arf = inst.wrpkru_value & 0xFFFFFFFF

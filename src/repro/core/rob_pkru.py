@@ -53,6 +53,15 @@ class SpecMpkUnit:
         self.rmt_tag: Optional[int] = None
         self.access_disable_counter = [0] * NUM_PKEYS
         self.write_disable_counter = [0] * NUM_PKEYS
+        # Lifetime telemetry (exported as the ``mpk.*`` metrics):
+        # entry lifecycle and PKRU Load/Store Check outcomes.
+        self.allocated = 0
+        self.retired = 0
+        self.squashed = 0
+        self.load_checks = 0
+        self.load_check_fails = 0
+        self.store_checks = 0
+        self.store_check_fails = 0
 
     # -- rename stage -----------------------------------------------------
 
@@ -79,6 +88,7 @@ class SpecMpkUnit:
         self._by_uid[entry.uid] = entry
         self.rmt_valid = True
         self.rmt_tag = entry.uid
+        self.allocated += 1
         return entry
 
     def lookup(self, uid: int) -> Optional[PkruEntry]:
@@ -121,6 +131,7 @@ class SpecMpkUnit:
         if self.rmt_valid and self.rmt_tag == entry.uid:
             self.rmt_valid = False
             self.rmt_tag = None
+        self.retired += 1
         return self.arf
 
     # -- squash recovery -----------------------------------------------------------
@@ -148,6 +159,7 @@ class SpecMpkUnit:
         else:
             self.rmt_valid = False
             self.rmt_tag = None
+        self.squashed += squashed
         return squashed
 
     def _decrement(self, entry: PkruEntry) -> None:
@@ -169,20 +181,26 @@ class SpecMpkUnit:
         WRPKRU-window disables access for *pkey*, or the committed PKRU
         does (scenario 2 of Fig. 7).
         """
-        if self.access_disable_counter[pkey] > 0:
-            return False
-        if access_disabled(self.arf, pkey):
+        self.load_checks += 1
+        if (
+            self.access_disable_counter[pkey] > 0
+            or access_disabled(self.arf, pkey)
+        ):
+            self.load_check_fails += 1
             return False
         return True
 
     def store_check(self, pkey: int) -> bool:
         """PKRU Store Check: True when store-to-load forwarding may stay
         enabled for a store to *pkey*."""
-        if self.access_disable_counter[pkey] > 0:
-            return False
-        if self.write_disable_counter[pkey] > 0:
-            return False
-        if access_disabled(self.arf, pkey) or write_disabled(self.arf, pkey):
+        self.store_checks += 1
+        if (
+            self.access_disable_counter[pkey] > 0
+            or self.write_disable_counter[pkey] > 0
+            or access_disabled(self.arf, pkey)
+            or write_disabled(self.arf, pkey)
+        ):
+            self.store_check_fails += 1
             return False
         return True
 

@@ -20,6 +20,7 @@ class SimStats:
         self.instructions_squashed = 0
 
         # WRPKRU accounting.
+        self.wrpkru_dispatched = 0
         self.wrpkru_retired = 0
         self.wrpkru_squashed = 0
         self.rdpkru_retired = 0
@@ -32,6 +33,15 @@ class SimStats:
         self.rename_stall_lsq_full = 0
         self.rename_stall_no_preg = 0
         self.rename_stall_empty = 0        # front end empty (redirects)
+
+        # Wrong-path visibility (the Fig. 13 transmitter): squashed
+        # instructions that had already executed, and the cache fills
+        # caused by speculatively executed loads, split by whether the
+        # load was later squashed.  A wrong-path fill is exactly the
+        # microarchitectural state change Flush+Reload observes.
+        self.instructions_wrongpath_executed = 0
+        self.spec_fills = 0
+        self.wrongpath_fills = 0
 
         # Branch prediction.
         self.branches_retired = 0

@@ -24,13 +24,16 @@ from __future__ import annotations
 
 import dataclasses
 import functools
-import os
 from typing import Dict, Optional, Union
 
 from ..core.config import CoreConfig, WrpkruPolicy
 from ..core.pipeline import Simulator
 from ..core.stats import SimStats
 from ..isa.emulator import make_emulator
+from ..obs.collect import collect_run_metrics
+from ..obs.registry import metrics_enabled
+from ..obs.snapshot import MetricsSnapshot
+from ..perf.envflag import env_float
 from ..perf.runcache import cache_enabled, cache_key, default_cache
 from ..state import WarmTouch, fast_forward
 from ..trace import (
@@ -54,7 +57,7 @@ def measurement_budget() -> int:
     ``REPRO_SCALE=5`` runs five times more instructions per point for
     higher-fidelity (slower) reproductions.
     """
-    scale = float(os.environ.get("REPRO_SCALE", "1"))
+    scale = env_float("REPRO_SCALE", 1.0)
     return max(2_000, int(DEFAULT_INSTRUCTIONS * scale))
 
 
@@ -101,6 +104,9 @@ class RunRequest:
     #: instructions never enter the pipeline — and never pollute the
     #: top-down CPI buckets of a traced run.
     fastforward: bool = False
+    #: Collect a :class:`~repro.obs.MetricsSnapshot` for this run.
+    #: None defers to the ``REPRO_METRICS`` env flag (default on).
+    metrics: Optional[bool] = None
 
     def replace(self, **overrides) -> "RunRequest":
         """A copy with *overrides* applied (workload/policy sweeps)."""
@@ -114,6 +120,9 @@ class RunRequest:
 
     def resolved_warmup(self) -> int:
         return DEFAULT_WARMUP if self.warmup is None else self.warmup
+
+    def resolved_metrics(self) -> bool:
+        return metrics_enabled() if self.metrics is None else self.metrics
 
 
 @dataclasses.dataclass(frozen=True)
@@ -145,6 +154,9 @@ class RunResult:
     stats: SimStats
     metadata: RunMetadata
     trace: Optional[TraceCollector] = None
+    #: Hierarchical telemetry snapshot (``repro.obs``); None when the
+    #: run was executed with metrics collection off.
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def ipc(self) -> float:
@@ -241,8 +253,12 @@ def execute(request: RunRequest) -> RunResult:
         warmup=warmup,
         fastforward=request.fastforward,
     )
+    snapshot = None
+    if request.resolved_metrics():
+        snapshot = collect_run_metrics(sim, meta=metadata.as_dict())
     run_result = RunResult(
-        stats=result.stats, metadata=metadata, trace=collector
+        stats=result.stats, metadata=metadata, trace=collector,
+        metrics=snapshot,
     )
     if key is not None:
         default_cache().put(key, run_result)

@@ -18,8 +18,11 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core.config import CoreConfig, WrpkruPolicy
 from ..core.stats import SimStats
+from ..obs.progress import ProgressReporter, maybe_reporter
+from ..obs.snapshot import MetricsAccumulator, MetricsSnapshot
 from ..perf.envflag import env_flag
 from ..perf.pool import run_longest_first
+from ..perf.runcache import default_cache
 from ..workloads.generator import GeneratedWorkload
 from ..workloads.instrument import InstrumentMode
 from ..workloads.profiles import ALL_PROFILES, WorkloadProfile
@@ -104,15 +107,18 @@ def run_workload(
     return execute(request).stats
 
 
-def _run_one(request: RunRequest) -> Tuple[str, WrpkruPolicy, SimStats]:
+def _run_one(request: RunRequest):
     """Module-level worker so ProcessPoolExecutor can pickle it.
 
     The task unit is the :class:`RunRequest` itself — the whole request
     (including config and trace options) crosses the process boundary,
-    not an ad-hoc tuple.
+    not an ad-hoc tuple.  Returns ``(label, policy, stats, metrics)``
+    where *metrics* is the run's
+    :class:`~repro.obs.MetricsSnapshot` (or None with metrics off).
     """
     result = execute(request)
-    return result.metadata.label, result.metadata.policy, result.stats
+    return (result.metadata.label, result.metadata.policy, result.stats,
+            result.metrics)
 
 
 #: Expected serialization overhead per policy, used only to order
@@ -135,6 +141,8 @@ def sweep_policies(
     parallel: Optional[bool] = None,
     request: Optional[RunRequest] = None,
     max_workers: Optional[int] = None,
+    progress: Optional[ProgressReporter] = None,
+    metrics: Optional[MetricsAccumulator] = None,
 ) -> Dict[str, Dict[WrpkruPolicy, SimStats]]:
     """Run every workload under every policy (the Fig. 9 grid).
 
@@ -148,6 +156,13 @@ def sweep_policies(
     When *request* is given it acts as the template for every grid
     point (mode, budgets, config and trace options are taken from it);
     *labels* and *policies* still define the grid itself.
+
+    Observability hooks: pass a *progress* reporter (or set
+    ``REPRO_PROGRESS=1`` to get a default one on stderr) for a live
+    runs-completed/ETA heartbeat, and a *metrics*
+    :class:`~repro.obs.MetricsAccumulator` to aggregate every run's
+    snapshot plus sweep-level counters (task count, run-cache hit/miss
+    deltas) across the grid.
     """
     if labels is None:
         labels = [profile.label for profile in ALL_PROFILES]
@@ -171,21 +186,47 @@ def sweep_policies(
         for label in labels
         for policy in policies
     ]
+    if progress is None:
+        progress = maybe_reporter(len(tasks), "sweep")
+    cache = default_cache()
+    hits_before, misses_before = cache.hits, cache.misses
+
+    def _record(outcome) -> None:
+        label, policy, stats, snapshot = outcome
+        results[label][policy] = stats
+        if metrics is not None:
+            metrics.add(snapshot)
+        if progress is not None:
+            progress.advance(f"{label}/{policy.value}")
+
     if parallel and len(tasks) > 1:
         weights = [
             task.resolved_instructions()
             * _POLICY_WEIGHT.get(task.policy, 1.0)
             for task in tasks
         ]
-        outcomes = run_longest_first(
-            _run_one, tasks, weights=weights, max_workers=max_workers
+        run_longest_first(
+            _run_one, tasks, weights=weights, max_workers=max_workers,
+            on_result=lambda index, outcome: _record(outcome),
         )
-        for label, policy, stats in outcomes:
-            results[label][policy] = stats
     else:
         for task in tasks:
-            label, policy, stats = _run_one(task)
-            results[label][policy] = stats
+            _record(_run_one(task))
+    if metrics is not None:
+        # Sweep-level telemetry rides in via merge() so it does not
+        # inflate the per-run ``aggregate.runs`` count.  The run-cache
+        # deltas only see hits/misses observed by *this* process (the
+        # parallel path's workers count in their own processes).
+        metrics.merge(MetricsSnapshot(
+            counters={
+                "perf.sweep.tasks": len(tasks),
+                "perf.runcache.hits": cache.hits - hits_before,
+                "perf.runcache.misses": cache.misses - misses_before,
+            },
+            gauges={"perf.sweep.parallel": 1 if parallel else 0},
+        ))
+    if progress is not None:
+        progress.finish()
     return results
 
 

@@ -13,15 +13,16 @@ from typing import List
 
 
 class CacheStats:
-    """Hit/miss/eviction counters for one cache."""
+    """Hit/miss/eviction/fill counters for one cache."""
 
-    __slots__ = ("hits", "misses", "evictions", "invalidations")
+    __slots__ = ("hits", "misses", "evictions", "invalidations", "fills")
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.fills = 0
 
     @property
     def accesses(self) -> int:
@@ -99,6 +100,7 @@ class Cache:
             cache_set.popitem(last=False)
             self.stats.evictions += 1
         cache_set[tag] = True
+        self.stats.fills += 1
 
     def invalidate(self, address: int) -> bool:
         """CLFLUSH one line; True when it was present."""

@@ -20,6 +20,10 @@ class PKeyAllocator:
     def __init__(self) -> None:
         # pKey 0 is implicitly allocated as the default.
         self._allocated = {0}
+        # Churn telemetry (exported as the ``mpk.pkey.*`` metrics): a
+        # high alloc/free rate signals key virtualisation pressure.
+        self.allocs = 0
+        self.frees = 0
 
     def alloc(self) -> int:
         """Allocate and return the lowest free pKey.
@@ -31,6 +35,7 @@ class PKeyAllocator:
         for pkey in range(NUM_PKEYS):
             if pkey not in self._allocated:
                 self._allocated.add(pkey)
+                self.allocs += 1
                 return pkey
         raise PKeyExhausted("all 16 protection keys are allocated")
 
@@ -40,6 +45,7 @@ class PKeyAllocator:
         if pkey not in self._allocated:
             raise ValueError(f"pkey {pkey} is not allocated")
         self._allocated.discard(pkey)
+        self.frees += 1
 
     def is_allocated(self, pkey: int) -> bool:
         return pkey in self._allocated

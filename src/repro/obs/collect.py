@@ -1,0 +1,126 @@
+"""Bridge from simulator state to a :class:`MetricsSnapshot`.
+
+The hot path keeps its counters as plain attributes (``SimStats``,
+``CacheStats``, ``TlbStats``, the SpecMPK unit's lifecycle counts);
+:func:`collect_run_metrics` runs **once per run**, after ``run()``
+returns, and freezes all of them into one hierarchical snapshot:
+
+* ``core.*``    — every scalar ``SimStats`` counter plus the derived
+  rates as gauges, and the SpecMPK-unit occupancy histogram
+  (``core.rob_pkru.occupancy``, reconciling bit-exactly with the trace
+  layer's ``rob_pkru`` histogram on traced runs).
+* ``mpk.*``     — WRPKRU lifecycle through the SpecMPK unit
+  (allocated/retired/squashed), PKRU Load/Store Check counts and
+  failures, architectural fault flag.
+* ``memory.*``  — per-level cache hits/misses/evictions/fills, TLB
+  behaviour, and the speculative/wrong-path fill provenance that makes
+  Flush+Reload visibility a queryable number.
+* ``perf.*``    — idle fast-skip savings for this run.
+
+Every value is copied from an existing attribute, so the snapshot
+*reconciles exactly* with the legacy counters — asserted by
+``tests/obs/test_run_metrics.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .registry import MetricsRegistry
+from .snapshot import MetricsSnapshot
+
+#: SimStats scalars re-homed outside ``core.`` because they are really
+#: memory-subsystem provenance counters.
+_STAT_ALIASES = {
+    "spec_fills": "memory.fills.speculative",
+    "wrongpath_fills": "memory.fills.wrongpath",
+}
+
+#: Derived SimStats properties exported as gauges, not counters (they
+#: are rates — adding them across shards would be meaningless).
+_DERIVED_GAUGES = ("ipc", "wrpkru_per_kilo", "rename_stall_fraction")
+
+
+def _cache_level_metrics(registry: MetricsRegistry, name: str, cache) -> None:
+    scope = registry.scope(f"memory.{name}")
+    stats = cache.stats
+    scope.counter("hits").inc(stats.hits)
+    scope.counter("misses").inc(stats.misses)
+    scope.counter("evictions").inc(stats.evictions)
+    scope.counter("invalidations").inc(stats.invalidations)
+    scope.counter("fills").inc(stats.fills)
+
+
+def collect_run_metrics(
+    sim,
+    meta: Optional[Dict[str, object]] = None,
+) -> MetricsSnapshot:
+    """Freeze one finished :class:`~repro.core.pipeline.Simulator` run.
+
+    Reads only — the simulator can keep running (e.g. between SimPoint
+    measurement windows) and a later call reflects the newer window.
+    """
+    registry = MetricsRegistry(enabled=True)
+    stats = sim.stats
+    stat_dict = stats.as_dict()
+
+    core = registry.scope("core")
+    for name, value in stat_dict.items():
+        if name in _DERIVED_GAUGES:
+            core.gauge(name).set(value)
+        elif name in _STAT_ALIASES:
+            registry.counter(_STAT_ALIASES[name]).inc(value)
+        else:
+            core.counter(name).inc(value)
+    registry.histogram("core.rob_pkru.occupancy").observe_many(
+        sim.specmpk_occupancy_histogram()
+    )
+    for stage, bins in stats.occupancy_histograms.items():
+        registry.histogram(f"core.occupancy.{stage}").observe_many(bins)
+
+    specmpk = sim.specmpk
+    mpk = registry.scope("mpk")
+    mpk.counter("wrpkru.allocated").inc(specmpk.allocated)
+    mpk.counter("wrpkru.retired").inc(specmpk.retired)
+    mpk.counter("wrpkru.squashed").inc(specmpk.squashed)
+    mpk.counter("checks.load").inc(specmpk.load_checks)
+    mpk.counter("checks.load_failed").inc(specmpk.load_check_fails)
+    mpk.counter("checks.store").inc(specmpk.store_checks)
+    mpk.counter("checks.store_failed").inc(specmpk.store_check_fails)
+    mpk.counter("faults.architectural").inc(
+        1 if getattr(sim, "_fault", None) is not None else 0
+    )
+
+    hierarchy = sim.hierarchy
+    _cache_level_metrics(registry, "l1d", hierarchy.l1d)
+    if hierarchy.l1i is not None:
+        _cache_level_metrics(registry, "l1i", hierarchy.l1i)
+    _cache_level_metrics(registry, "l2", hierarchy.l2)
+    _cache_level_metrics(registry, "l3", hierarchy.l3)
+    registry.counter("memory.prefetches").inc(hierarchy.prefetches_issued)
+    tlb_scope = registry.scope("memory.tlb")
+    tlb_stats = sim.tlb.stats
+    tlb_scope.counter("hits").inc(tlb_stats.hits)
+    tlb_scope.counter("misses").inc(tlb_stats.misses)
+    tlb_scope.counter("fills").inc(tlb_stats.fills)
+    tlb_scope.counter("deferred_fills").inc(tlb_stats.deferred_fills)
+    tlb_scope.counter("flushes").inc(tlb_stats.flushes)
+
+    perf = registry.scope("perf.fastskip")
+    perf.counter("cycles_saved").inc(sim.cycles_fast_skipped)
+    perf.counter("events").inc(sim.fast_skip_events)
+
+    return registry.snapshot(meta=meta)
+
+
+def collect_allocator_metrics(
+    allocator,
+    meta: Optional[Dict[str, object]] = None,
+) -> MetricsSnapshot:
+    """pKey churn of one :class:`~repro.mpk.pkey_allocator.PKeyAllocator`."""
+    registry = MetricsRegistry(enabled=True)
+    scope = registry.scope("mpk.pkey")
+    scope.counter("allocs").inc(allocator.allocs)
+    scope.counter("frees").inc(allocator.frees)
+    scope.gauge("in_use").set(len(allocator.allocated))
+    return registry.snapshot(meta=meta)

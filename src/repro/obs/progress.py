@@ -1,0 +1,161 @@
+"""Live progress/heartbeat reporting for sweeps and SimPoint runs.
+
+A full ``sweep_policies`` grid or a parallel SimPoint measurement used
+to run silent until the very end.  :class:`ProgressReporter` prints a
+single self-overwriting status line — runs completed, percentage,
+elapsed, ETA and the workload currently finishing — throttled so the
+heartbeat never becomes the bottleneck.
+
+Reporting is **opt-in**: ``REPRO_PROGRESS=1`` (parsed by the shared
+:func:`repro.perf.envflag.env_flag`) enables it for the built-in sweep
+entry points, or construct a reporter explicitly and pass it in.
+Output goes to *stream* (default ``sys.stderr``), so piped experiment
+stdout stays machine-readable.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+from ..perf.envflag import env_flag
+
+
+def progress_enabled() -> bool:
+    """Live sweep progress is off unless ``REPRO_PROGRESS`` enables it."""
+    return env_flag("REPRO_PROGRESS", default=False)
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds < 0:
+        return "?"
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressReporter:
+    """Throttled single-line progress + heartbeat for a batch of runs.
+
+    Thread-safe enough for its use: updates come from the driver thread
+    (future completions are observed there), never from worker
+    processes.  *clock* is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "sweep",
+        stream: Optional[TextIO] = None,
+        min_interval: float = 0.2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if total < 0:
+            raise ValueError("total must be >= 0")
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.clock = clock
+        self.completed = 0
+        self.current: Optional[str] = None
+        self._started: Optional[float] = None
+        self._last_render = float("-inf")
+        self._finished = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ProgressReporter":
+        self._started = self.clock()
+        self._render(force=True)
+        return self
+
+    def advance(self, current: Optional[str] = None, step: int = 1) -> None:
+        """One (more) run finished; *current* names it for the status line."""
+        if self._started is None:
+            self.start()
+        self.completed += step
+        if current is not None:
+            self.current = current
+        self._render()
+
+    def heartbeat(self, current: Optional[str] = None) -> None:
+        """Re-render without progress (long single task still alive)."""
+        if current is not None:
+            self.current = current
+        self._render()
+
+    def finish(self) -> None:
+        """Final render plus a newline so later output starts clean."""
+        if self._finished:
+            return
+        self._finished = True
+        self._render(force=True)
+        self.stream.write("\n")
+        self.stream.flush()
+
+    def __enter__(self) -> "ProgressReporter":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.finish()
+
+    # -- math --------------------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        if self._started is None:
+            return 0.0
+        return self.clock() - self._started
+
+    def eta_seconds(self) -> Optional[float]:
+        """Remaining-time estimate; None before the first completion."""
+        if not self.completed or self._started is None:
+            return None
+        remaining = self.total - self.completed
+        if remaining <= 0:
+            return 0.0
+        return self.elapsed / self.completed * remaining
+
+    # -- rendering ---------------------------------------------------------
+
+    def status_line(self) -> str:
+        percent = (
+            100.0 * self.completed / self.total if self.total else 100.0
+        )
+        eta = self.eta_seconds()
+        parts = [
+            f"[{self.label}] {self.completed}/{self.total}",
+            f"({percent:.0f}%)",
+            f"elapsed {_format_seconds(self.elapsed)}",
+            f"eta {_format_seconds(eta) if eta is not None else '?'}",
+        ]
+        if self.current:
+            parts.append(f"- {self.current}")
+        return " ".join(parts)
+
+    def _render(self, force: bool = False) -> None:
+        now = self.clock()
+        if not force and now - self._last_render < self.min_interval:
+            return
+        self._last_render = now
+        self.stream.write("\r\x1b[2K" + self.status_line())
+        self.stream.flush()
+
+
+def maybe_reporter(
+    total: int, label: str, stream: Optional[TextIO] = None
+) -> Optional[ProgressReporter]:
+    """A started reporter when ``REPRO_PROGRESS`` is on, else None.
+
+    The sweep entry points call this so silent batch runs stay silent
+    by default and CI logs opt in with one environment variable.
+    """
+    if not progress_enabled():
+        return None
+    return ProgressReporter(total, label=label, stream=stream).start()

@@ -1,0 +1,288 @@
+"""Hierarchical metrics registry: counters, gauges, histograms, timers.
+
+The registry is the write side of :mod:`repro.obs`.  Instruments are
+named with dotted paths (``core.wrpkru.retired``,
+``memory.l1d.misses``) so a snapshot can be filtered, diffed and
+exported by subsystem prefix.  Reading happens through
+:meth:`MetricsRegistry.snapshot`, which freezes the current values into
+an immutable :class:`~repro.obs.snapshot.MetricsSnapshot`.
+
+Cost model
+----------
+
+A *disabled* registry (``MetricsRegistry(enabled=False)``) hands out
+shared null instruments whose mutators are empty methods — callers keep
+their code shape and pay one no-op call.  Hot loops should not even pay
+that: the simulator keeps its per-event counters as plain attributes
+(``SimStats``/component stats) and the registry is only populated once
+per run, when :func:`repro.obs.collect.collect_run_metrics` snapshots
+those attributes.  ``REPRO_METRICS`` (parsed by the shared
+:func:`repro.perf.envflag.env_flag`) gates that collection globally.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..perf.envflag import env_flag
+
+
+def metrics_enabled() -> bool:
+    """Metrics collection is on unless ``REPRO_METRICS`` disables it."""
+    return env_flag("REPRO_METRICS", default=True)
+
+
+class Counter:
+    """Monotonically increasing value (events, cycles, bytes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (occupancy, ratio, wall seconds)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Exact-valued histogram: ``{observed value: occurrences}``.
+
+    The simulator's distributions are small integers (structure
+    occupancies, latencies in cycles), so bins are the observed values
+    themselves — no lossy bucketing, and two shards merge bin-wise
+    without alignment concerns.
+    """
+
+    __slots__ = ("name", "bins")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.bins: Dict[int, int] = {}
+
+    def observe(self, value: int, count: int = 1) -> None:
+        bins = self.bins
+        bins[value] = bins.get(value, 0) + count
+
+    def observe_many(self, bins: Dict[int, int]) -> None:
+        """Merge a pre-aggregated ``{value: count}`` map in bulk."""
+        for value, count in bins.items():
+            self.observe(value, count)
+
+    @property
+    def count(self) -> int:
+        return sum(self.bins.values())
+
+    @property
+    def total(self) -> int:
+        return sum(value * count for value, count in self.bins.items())
+
+
+class Timer:
+    """Wall-clock timer backed by a pair of counters.
+
+    Exports as two counters (``<name>.seconds`` scaled to microseconds
+    for integer storage, and ``<name>.count``) so merged snapshots stay
+    associative — there is no separate timer state to reconcile.
+    """
+
+    __slots__ = ("name", "_seconds", "_count", "_started")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._seconds = 0.0
+        self._count = 0
+        self._started: Optional[float] = None
+
+    def observe(self, seconds: float) -> None:
+        self._seconds += seconds
+        self._count += 1
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._started is not None:
+            self.observe(time.perf_counter() - self._started)
+            self._started = None
+
+    @property
+    def seconds(self) -> float:
+        return self._seconds
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument handed out by a disabled registry."""
+
+    __slots__ = ()
+    name = "<disabled>"
+    value = 0
+    bins: Dict[int, int] = {}
+    seconds = 0.0
+    count = 0
+    total = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value, count: int = 1) -> None:
+        pass
+
+    def observe_many(self, bins) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Create-or-get instrument store with dotted hierarchical names.
+
+    ``scope(prefix)`` returns a view that prepends ``prefix.`` to every
+    instrument name while sharing the parent's storage, so a subsystem
+    can be handed a scope without knowing where it is mounted.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    # -- instrument accessors ---------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        if not self.enabled:
+            return _NULL
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        if not self.enabled:
+            return _NULL
+        instrument = self._timers.get(name)
+        if instrument is None:
+            instrument = self._timers[name] = Timer(name)
+        return instrument
+
+    def scope(self, prefix: str) -> "MetricsScope":
+        return MetricsScope(self, prefix)
+
+    # -- bulk loading -------------------------------------------------------
+
+    def load_counters(self, values: Dict[str, int]) -> None:
+        """Install many counter values at once (snapshot replay)."""
+        for name, value in values.items():
+            self.counter(name).inc(value)
+
+    # -- reading ------------------------------------------------------------
+
+    def names(self) -> Iterable[str]:
+        yield from self._counters
+        yield from self._gauges
+        yield from self._histograms
+        for name in self._timers:
+            yield f"{name}.seconds"
+            yield f"{name}.count"
+
+    def snapshot(self, meta: Optional[Dict[str, object]] = None):
+        """Freeze the current values into a
+        :class:`~repro.obs.snapshot.MetricsSnapshot`."""
+        from .snapshot import MetricsSnapshot
+
+        counters = {name: c.value for name, c in self._counters.items()}
+        for name, timer in self._timers.items():
+            counters[f"{name}.seconds"] = timer.seconds
+            counters[f"{name}.count"] = timer.count
+        return MetricsSnapshot(
+            counters=counters,
+            gauges={name: g.value for name, g in self._gauges.items()},
+            histograms={
+                name: dict(h.bins) for name, h in self._histograms.items()
+            },
+            meta=dict(meta or {}),
+        )
+
+
+class MetricsScope:
+    """Prefix view over a registry (shared storage, namespaced names)."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        self._registry = registry
+        self._prefix = prefix.rstrip(".")
+
+    @property
+    def enabled(self) -> bool:
+        return self._registry.enabled
+
+    def _qualify(self, name: str) -> str:
+        return f"{self._prefix}.{name}" if self._prefix else name
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(self._qualify(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._registry.gauge(self._qualify(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self._registry.histogram(self._qualify(name))
+
+    def timer(self, name: str) -> Timer:
+        return self._registry.timer(self._qualify(name))
+
+    def scope(self, prefix: str) -> "MetricsScope":
+        return MetricsScope(self._registry, self._qualify(prefix))
+
+
+def split_name(name: str) -> Tuple[str, ...]:
+    """Hierarchy components of a dotted metric name."""
+    return tuple(name.split("."))

@@ -20,7 +20,7 @@ The kernel-level optimizations (dispatch precomputation in
 ``docs/performance.md`` describes the whole layer.
 """
 
-from .envflag import env_flag, env_int
+from .envflag import env_flag, env_float, env_int
 from .pool import get_pool, run_longest_first, shutdown_pool
 from .runcache import RunCache, cache_enabled, cache_key, default_cache
 
@@ -30,6 +30,7 @@ __all__ = [
     "cache_key",
     "default_cache",
     "env_flag",
+    "env_float",
     "env_int",
     "get_pool",
     "run_longest_first",

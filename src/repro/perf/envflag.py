@@ -34,3 +34,11 @@ def env_int(name: str, default: Optional[int] = None) -> Optional[int]:
     if raw is None or not raw.strip():
         return default
     return int(raw)
+
+
+def env_float(name: str, default: Optional[float] = None) -> Optional[float]:
+    """Parse a float environment variable; unset/empty → *default*."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    return float(raw)

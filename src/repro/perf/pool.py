@@ -16,7 +16,7 @@ caller:
 from __future__ import annotations
 
 import atexit
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, List, Optional, Sequence
 
 from .envflag import env_int
@@ -67,6 +67,7 @@ def run_longest_first(
     tasks: Sequence,
     weights: Optional[Sequence[float]] = None,
     max_workers: Optional[int] = None,
+    on_result: Optional[Callable] = None,
 ) -> List:
     """Run ``fn(task)`` for every task on the shared pool.
 
@@ -74,6 +75,11 @@ def run_longest_first(
     tasks (same fn, sizes known up front) this is the classic LPT
     schedule, which keeps the stragglers off the end of the run.
     Results come back in the original task order.
+
+    *on_result* is called as ``on_result(index, result)`` from the
+    submitting thread the moment each task finishes, in completion
+    order — the hook behind live sweep progress reporting
+    (:mod:`repro.obs.progress`) and streaming metrics aggregation.
     """
     tasks = list(tasks)
     if not tasks:
@@ -85,4 +91,8 @@ def run_longest_first(
             raise ValueError("weights must match tasks")
         order = sorted(order, key=weights.__getitem__, reverse=True)
     futures = {index: pool.submit(fn, tasks[index]) for index in order}
+    if on_result is not None:
+        indices = {future: index for index, future in futures.items()}
+        for future in as_completed(indices):
+            on_result(indices[future], future.result())
     return [futures[index].result() for index in range(len(tasks))]

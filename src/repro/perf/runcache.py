@@ -29,8 +29,14 @@ import hashlib
 import json
 import os
 import pickle
+import threading
 from pathlib import Path
 from typing import Dict, List, Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from .envflag import env_flag
 
@@ -127,14 +133,18 @@ def cache_key(request) -> Optional[str]:
     if request.trace.enabled:
         return None
     try:
+        # v2: cached RunResults carry a ``metrics`` snapshot, and the
+        # resolved metrics flag is part of the identity (a metrics-off
+        # result must not satisfy a metrics-on request).
         canonical = (
-            "runrequest-v1",
+            "runrequest-v2",
             canonicalize(request.workload),
             canonicalize(request.mode),
             canonicalize(request.policy),
             request.resolved_instructions(),
             request.resolved_warmup(),
             bool(request.fastforward),
+            bool(request.resolved_metrics()),
             canonicalize(request.config),
             code_fingerprint(),
         )
@@ -203,21 +213,28 @@ class RunCache:
             return {"hits": 0, "misses": 0}
 
     def _bump(self, field: str) -> None:
-        """Increment one persistent counter (atomic-replace write).
+        """Increment one persistent counter.
 
-        Concurrent writers can lose individual increments (read-modify-
-        write race); the counters are diagnostics, so that is an
-        accepted trade for not taking a lock on the lookup path.
+        The read-modify-write is serialized by an advisory
+        ``fcntl.flock`` on a sidecar lock file — one lock per increment
+        across processes *and* threads (each call opens its own file
+        description, so same-process threads also exclude each other).
+        The value itself is still written via temp-file + ``os.replace``
+        so a killed writer can never leave a torn ``counters.json``.
         """
-        counters = self.persistent_counters()
-        counters[field] += 1
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-            temp = self._counters_path().with_name(
-                f".counters.{os.getpid()}.tmp"
-            )
-            temp.write_text(json.dumps(counters))
-            os.replace(temp, self._counters_path())
+            lock_path = self._counters_path().with_suffix(".lock")
+            with open(lock_path, "w") as lock:
+                if fcntl is not None:
+                    fcntl.flock(lock, fcntl.LOCK_EX)
+                counters = self.persistent_counters()
+                counters[field] += 1
+                temp = self._counters_path().with_name(
+                    f".counters.{os.getpid()}.{threading.get_ident()}.tmp"
+                )
+                temp.write_text(json.dumps(counters))
+                os.replace(temp, self._counters_path())
         except OSError:
             pass  # unwritable store: keep the in-process counts only
 

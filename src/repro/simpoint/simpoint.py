@@ -18,6 +18,7 @@ from ..core.config import CoreConfig
 from ..core.pipeline import Simulator
 from ..isa.emulator import make_emulator
 from ..isa.program import Program
+from ..obs.progress import maybe_reporter
 from ..perf.pool import run_longest_first
 from ..state import Checkpoint, WarmTouch, fast_forward, resume_simulator, take_checkpoint
 from .bbv import BbvProfile, collect_bbv
@@ -205,18 +206,31 @@ def weighted_ipc(
     if not jobs:
         raise ValueError("no simpoint interval was reachable")
 
+    reporter = maybe_reporter(len(jobs), "simpoint")
     if parallel and len(jobs) > 1:
         # Shared pool (repro.perf.pool): reused across calls and with
         # sweep_policies, so each weighted_ipc no longer pays worker
         # spawn.  Every job warms up warmup + measures length
-        # instructions, so the LPT weight is warmup-dominated.
-        weights = [job[3] + job[4] for job in jobs]
+        # instructions, so the LPT weight is warmup-dominated.  (LPT
+        # weights order submission only — the IPC combination below
+        # still uses the SimPoint cluster weights.)
+        lpt_weights = [job[3] + job[4] for job in jobs]
+        on_result = None
+        if reporter is not None:
+            def on_result(index, ipc, _reporter=reporter):
+                _reporter.advance(f"interval {index}")
         ipcs = run_longest_first(
-            _measure_interval, jobs, weights=weights,
-            max_workers=max_workers,
+            _measure_interval, jobs, weights=lpt_weights,
+            max_workers=max_workers, on_result=on_result,
         )
     else:
-        ipcs = [_measure_interval(job) for job in jobs]
+        ipcs = []
+        for index, job in enumerate(jobs):
+            ipcs.append(_measure_interval(job))
+            if reporter is not None:
+                reporter.advance(f"interval {index}")
+    if reporter is not None:
+        reporter.finish()
     total_weight = sum(weights)
     return sum(w * ipc for w, ipc in zip(weights, ipcs)) / total_weight
 

@@ -303,3 +303,41 @@ class TestSimStatsMerge:
         assert "occupancy_histograms" not in flat
         assert set(BUCKETS).isdisjoint(flat)  # buckets live on the report
         assert "ipc" in flat
+
+    def test_merge_covers_wrongpath_and_dispatch_counters(self):
+        a, b = SimStats(), SimStats()
+        a.wrpkru_dispatched, b.wrpkru_dispatched = 5, 7
+        a.instructions_wrongpath_executed = 9
+        b.instructions_wrongpath_executed = 4
+        a.spec_fills, b.spec_fills = 11, 2
+        a.wrongpath_fills, b.wrongpath_fills = 3, 1
+        merged = a.merge(b)
+        assert merged.wrpkru_dispatched == 12
+        assert merged.instructions_wrongpath_executed == 13
+        assert merged.spec_fills == 13
+        assert merged.wrongpath_fills == 4
+
+    def test_as_dict_round_trips_every_scalar(self):
+        """Every scalar field (including the new wrong-path/provenance
+        counters) survives as_dict -> setattr reconstruction -> merge
+        against the original without drift."""
+        stats = SimStats()
+        for index, name in enumerate(vars(stats)):
+            if name in SimStats._NON_SCALAR:
+                continue
+            setattr(stats, name, index + 1)
+        flat = stats.as_dict()
+        for name in ("wrpkru_dispatched", "instructions_wrongpath_executed",
+                     "spec_fills", "wrongpath_fills"):
+            assert flat[name] == getattr(stats, name)
+        rebuilt = SimStats()
+        for name, value in flat.items():
+            if name in ("ipc", "wrpkru_per_kilo", "rename_stall_fraction"):
+                continue  # derived properties, not settable state
+            setattr(rebuilt, name, value)
+        assert rebuilt.as_dict() == stats.as_dict()
+        doubled = stats.merge(rebuilt)
+        for name, value in stats.as_dict().items():
+            if name in ("ipc", "wrpkru_per_kilo", "rename_stall_fraction"):
+                continue
+            assert doubled.as_dict()[name] == 2 * value

@@ -1,0 +1,123 @@
+"""ProgressReporter: ETA math, throttling, stream hygiene."""
+
+import io
+
+from repro.obs.progress import (
+    ProgressReporter,
+    _format_seconds,
+    maybe_reporter,
+    progress_enabled,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _reporter(total=4, **kwargs):
+    clock = FakeClock()
+    stream = io.StringIO()
+    reporter = ProgressReporter(
+        total, label="sweep", stream=stream, clock=clock, **kwargs
+    )
+    return reporter, clock, stream
+
+
+class TestEtaMath:
+    def test_eta_scales_linearly(self):
+        reporter, clock, _ = _reporter(total=4)
+        reporter.start()
+        clock.now = 10.0
+        reporter.advance("w1")
+        # 1 of 4 done in 10s -> 30s remain.
+        assert reporter.eta_seconds() == 30.0
+        clock.now = 20.0
+        reporter.advance("w2")
+        assert reporter.eta_seconds() == 20.0
+
+    def test_eta_unknown_before_first_completion(self):
+        reporter, clock, _ = _reporter()
+        reporter.start()
+        clock.now = 5.0
+        assert reporter.eta_seconds() is None
+        assert "eta ?" in reporter.status_line()
+
+    def test_status_line_contents(self):
+        reporter, clock, _ = _reporter(total=4)
+        reporter.start()
+        clock.now = 10.0
+        reporter.advance("557.xz_r (SS)/specmpk")
+        line = reporter.status_line()
+        assert "[sweep] 1/4" in line
+        assert "(25%)" in line
+        assert "elapsed 10.0s" in line
+        assert "eta 30.0s" in line
+        assert "557.xz_r (SS)/specmpk" in line
+
+
+class TestThrottling:
+    def test_renders_are_throttled(self):
+        reporter, clock, stream = _reporter(total=100, min_interval=1.0)
+        reporter.start()
+        for _ in range(50):
+            clock.now += 0.01  # 50 advances inside one interval
+            reporter.advance()
+        # Only the forced start render landed.
+        assert stream.getvalue().count("\r") == 1
+        clock.now += 2.0
+        reporter.advance()
+        assert stream.getvalue().count("\r") == 2
+
+    def test_finish_forces_render_and_newline(self):
+        reporter, clock, stream = _reporter(total=2, min_interval=100.0)
+        reporter.start()
+        reporter.advance("a")
+        reporter.advance("b")
+        reporter.finish()
+        out = stream.getvalue()
+        assert out.endswith("\n")
+        assert "2/2" in out
+
+    def test_finish_is_idempotent(self):
+        reporter, _, stream = _reporter(total=1)
+        with reporter:
+            reporter.advance()
+        reporter.finish()
+        assert stream.getvalue().count("\n") == 1
+
+    def test_heartbeat_updates_current_without_progress(self):
+        reporter, clock, _ = _reporter(total=3, min_interval=0.0)
+        reporter.start()
+        reporter.heartbeat("long task")
+        assert reporter.completed == 0
+        assert "long task" in reporter.status_line()
+
+
+class TestEnvGate:
+    def test_maybe_reporter_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+        assert progress_enabled() is False
+        assert maybe_reporter(3, "sweep") is None
+
+    def test_maybe_reporter_enabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        stream = io.StringIO()
+        reporter = maybe_reporter(3, "sweep", stream=stream)
+        assert reporter is not None
+        assert "[sweep] 0/3" in stream.getvalue()
+        reporter.finish()
+
+    def test_falsy_spelling_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "off")
+        assert maybe_reporter(3, "sweep") is None
+
+
+def test_format_seconds():
+    assert _format_seconds(5.2) == "5.2s"
+    assert _format_seconds(125) == "2m05s"
+    assert _format_seconds(3725) == "1h02m"
+    assert _format_seconds(-1) == "?"

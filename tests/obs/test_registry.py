@@ -1,0 +1,122 @@
+"""Unit tests for the metrics registry (write side of repro.obs)."""
+
+import pytest
+
+from repro.obs.registry import (
+    MetricsRegistry,
+    metrics_enabled,
+    split_name,
+)
+
+
+class TestInstruments:
+    def test_counter_create_or_get(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("core.cycles")
+        counter.inc()
+        counter.inc(41)
+        assert registry.counter("core.cycles") is counter
+        assert counter.value == 42
+
+    def test_gauge_set_overwrites(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("core.ipc")
+        gauge.set(1.5)
+        gauge.set(0.75)
+        assert registry.gauge("core.ipc").value == 0.75
+
+    def test_histogram_exact_bins(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("core.occupancy")
+        hist.observe(3)
+        hist.observe(3, count=4)
+        hist.observe(7)
+        assert hist.bins == {3: 5, 7: 1}
+        assert hist.count == 6
+        assert hist.total == 3 * 5 + 7
+
+    def test_histogram_observe_many_merges(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        hist.observe_many({0: 10, 2: 1})
+        hist.observe_many({2: 2})
+        assert hist.bins == {0: 10, 2: 3}
+
+    def test_timer_exports_as_counter_pair(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("perf.run")
+        timer.observe(0.25)
+        timer.observe(0.75)
+        snapshot = registry.snapshot()
+        assert snapshot.counters["perf.run.seconds"] == 1.0
+        assert snapshot.counters["perf.run.count"] == 2
+
+    def test_timer_context_manager_measures(self):
+        timer = MetricsRegistry().timer("t")
+        with timer:
+            pass
+        assert timer.count == 1
+        assert timer.seconds >= 0.0
+
+
+class TestDisabledRegistry:
+    def test_disabled_hands_out_shared_null(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("a")
+        assert counter is registry.histogram("b")
+        counter.inc(5)
+        registry.gauge("g").set(3.0)
+        registry.histogram("h").observe(1)
+        with registry.timer("t"):
+            pass
+        snapshot = registry.snapshot()
+        assert snapshot.counters == {}
+        assert snapshot.gauges == {}
+        assert snapshot.histograms == {}
+
+
+class TestScopes:
+    def test_scope_qualifies_and_shares_storage(self):
+        registry = MetricsRegistry()
+        mpk = registry.scope("mpk")
+        mpk.counter("faults").inc(2)
+        assert registry.counter("mpk.faults").value == 2
+
+    def test_nested_scopes(self):
+        registry = MetricsRegistry()
+        checks = registry.scope("mpk").scope("checks")
+        checks.counter("load").inc()
+        assert "mpk.checks.load" in list(registry.names())
+
+    def test_load_counters_bulk(self):
+        registry = MetricsRegistry()
+        registry.load_counters({"a.b": 3, "c": 4})
+        assert registry.counter("a.b").value == 3
+        assert registry.counter("c").value == 4
+
+
+class TestSnapshotAndMeta:
+    def test_snapshot_carries_meta(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        snapshot = registry.snapshot(meta={"label": "w", "policy": "specmpk"})
+        assert snapshot.meta == {"label": "w", "policy": "specmpk"}
+        assert snapshot.counters == {"x": 1}
+
+
+class TestEnvGate:
+    @pytest.mark.parametrize("raw,expected", [
+        ("0", False), ("false", False), ("off", False),
+        ("1", True), ("yes", True),
+    ])
+    def test_repro_metrics_flag(self, monkeypatch, raw, expected):
+        monkeypatch.setenv("REPRO_METRICS", raw)
+        assert metrics_enabled() is expected
+
+    def test_default_is_enabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_METRICS", raising=False)
+        assert metrics_enabled() is True
+
+
+def test_split_name():
+    assert split_name("memory.l1d.misses") == ("memory", "l1d", "misses")

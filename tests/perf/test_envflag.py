@@ -74,10 +74,14 @@ def test_repro_parallel_truthy_uses_pool(monkeypatch):
 
     calls = {}
 
-    def _serial(fn, tasks, weights=None, max_workers=None):
+    def _serial(fn, tasks, weights=None, max_workers=None, on_result=None):
         calls["weights"] = list(weights)
         calls["max_workers"] = max_workers
-        return [fn(task) for task in tasks]
+        results = [fn(task) for task in tasks]
+        if on_result is not None:
+            for index, result in enumerate(results):
+                on_result(index, result)
+        return results
 
     monkeypatch.setenv("REPRO_PARALLEL", "yes")
     monkeypatch.setattr(runner, "run_longest_first", _serial)

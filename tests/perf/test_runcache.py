@@ -215,6 +215,52 @@ def test_corrupt_counters_file_is_tolerated(tmp_path):
     assert cache.persistent_counters() == {"hits": 0, "misses": 1}
 
 
+def test_concurrent_bumps_lose_no_increment(tmp_path):
+    """The counters.json read-modify-write is flock-serialized: many
+    threads (standing in for concurrent sweep processes) hammering
+    ``_bump`` must account for every single increment."""
+    import threading
+
+    cache = RunCache(tmp_path)
+    n_threads, per_thread = 8, 25
+    barrier = threading.Barrier(n_threads)
+
+    def worker():
+        barrier.wait()  # maximise interleaving
+        for _ in range(per_thread):
+            cache._bump("hits")
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert cache.persistent_counters()["hits"] == n_threads * per_thread
+
+
+def test_concurrent_distinct_instances_lose_no_increment(tmp_path):
+    """Same property across separate RunCache objects (distinct file
+    descriptors, as cross-process bumps would use)."""
+    import threading
+
+    n_caches, per_cache = 6, 20
+    barrier = threading.Barrier(n_caches)
+
+    def worker():
+        cache = RunCache(tmp_path)
+        barrier.wait()
+        for _ in range(per_cache):
+            cache._bump("misses")
+
+    threads = [threading.Thread(target=worker) for _ in range(n_caches)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert (RunCache(tmp_path).persistent_counters()["misses"]
+            == n_caches * per_cache)
+
+
 def test_cache_stats_cli_reports_lifetime(tmp_path, monkeypatch, capsys):
     from repro.__main__ import main
 

@@ -119,6 +119,54 @@ class TestSimpoint:
         assert doc["points"]
 
 
+class TestMetrics:
+    def test_dump_json_to_stdout(self, capsys):
+        import json
+
+        assert main([
+            "metrics", "dump", "557.xz_r (SS)", "--policy", "specmpk",
+            "--instructions", "2000",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counters"]["core.wrpkru_retired"] > 0
+        assert "core.rob_pkru.occupancy" in doc["histograms"]
+        assert doc["meta"]["policy"] == "specmpk"
+
+    def test_dump_prometheus_to_file(self, tmp_path, capsys):
+        out = tmp_path / "run.prom"
+        assert main([
+            "metrics", "dump", "557.xz_r (SS)", "--policy", "specmpk",
+            "--instructions", "2000", "--format", "prom",
+            "--out", str(out),
+        ]) == 0
+        assert f"metrics written to {out}" in capsys.readouterr().out
+        text = out.read_text()
+        assert "# TYPE repro_core_cycles counter" in text
+        assert "repro_core_rob_pkru_occupancy_bucket" in text
+
+    def test_diff_and_top(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(["metrics", "dump", "557.xz_r (SS)",
+                     "--policy", "specmpk", "--instructions", "2000",
+                     "--out", str(a)]) == 0
+        assert main(["metrics", "dump", "557.xz_r (SS)",
+                     "--policy", "serialized", "--instructions", "2000",
+                     "--out", str(b)]) == 0
+        capsys.readouterr()
+        assert main(["metrics", "diff", str(a), str(b), "-n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "top 5 by |change|" in out
+        assert main(["metrics", "top", str(a), "-n", "3",
+                     "--prefix", "mpk"]) == 0
+        out = capsys.readouterr().out
+        assert "mpk." in out
+
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            main(["metrics"])
+
+
 class TestAttack:
     def test_v1_attack_reports_all_policies(self, capsys):
         assert main(["attack", "v1"]) == 0  # 0: leaked under NonSecure
