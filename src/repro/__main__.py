@@ -13,6 +13,10 @@ Commands:
   representatives, report the weighted IPC per policy.
 * ``metrics`` — telemetry snapshots: dump one run's metrics (JSON or
   Prometheus text), diff two saved snapshots, or list the top counters.
+* ``submit`` / ``serve`` / ``status`` — the sweep service: queue a
+  label x policy batch into an on-disk spool, drain it (resuming after
+  crashes, deduplicating against the run cache), and inspect batch
+  progress or export per-job metrics JSONL.
 * ``reproduce`` — regenerate paper tables/figures into a directory.
 """
 
@@ -197,6 +201,80 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     cache_parser.add_argument("--json", action="store_true")
 
+    submit_parser = sub.add_parser(
+        "submit", help="queue a batch of runs in the sweep spool"
+    )
+    submit_parser.add_argument(
+        "labels", nargs="*", help='workload labels, e.g. "520.omnetpp_r (SS)"'
+    )
+    submit_parser.add_argument(
+        "--all-labels", action="store_true",
+        help="sweep every known workload profile",
+    )
+    submit_parser.add_argument(
+        "--policy", choices=["serialized", "nonsecure_spec", "specmpk",
+                             "all"],
+        default="all",
+    )
+    submit_parser.add_argument(
+        "--mode", choices=["none", "protected", "protected_nop"],
+        default="protected",
+    )
+    submit_parser.add_argument("--instructions", type=int, default=None)
+    submit_parser.add_argument("--warmup", type=int, default=None)
+    submit_parser.add_argument("--fastforward", action="store_true")
+    submit_parser.add_argument(
+        "--spool", type=pathlib.Path, default=None,
+        help="spool directory (default: REPRO_SPOOL_DIR or the XDG cache)",
+    )
+    submit_parser.add_argument("--batch-id", default=None)
+    submit_parser.add_argument("--json", action="store_true")
+
+    serve_parser = sub.add_parser(
+        "serve", help="drain the sweep spool (resumes after crashes)"
+    )
+    serve_parser.add_argument(
+        "--spool", type=pathlib.Path, default=None,
+        help="spool directory (default: REPRO_SPOOL_DIR or the XDG cache)",
+    )
+    serve_parser.add_argument(
+        "--watch", action="store_true",
+        help="keep polling for new jobs instead of one drain pass",
+    )
+    serve_parser.add_argument("--poll-interval", type=float, default=1.0)
+    serve_parser.add_argument(
+        "--parallel", action="store_true", default=None,
+        help="fan jobs out over the worker pool (default: REPRO_PARALLEL)",
+    )
+    serve_parser.add_argument("--max-workers", type=int, default=None)
+    serve_parser.add_argument("--max-retries", type=int, default=1)
+    serve_parser.add_argument(
+        "--max-iterations", type=int, default=None,
+        help="stop --watch after this many drain passes",
+    )
+    serve_parser.add_argument(
+        "--metrics-out", type=pathlib.Path, default=None,
+        help="append one metrics-JSONL line per settled job",
+    )
+    serve_parser.add_argument("--json", action="store_true")
+
+    status_parser = sub.add_parser(
+        "status", help="spool / batch progress and metrics export"
+    )
+    status_parser.add_argument(
+        "batch", nargs="?", default=None,
+        help="batch id (default: whole-spool summary)",
+    )
+    status_parser.add_argument(
+        "--spool", type=pathlib.Path, default=None,
+        help="spool directory (default: REPRO_SPOOL_DIR or the XDG cache)",
+    )
+    status_parser.add_argument(
+        "--metrics-out", type=pathlib.Path, default=None,
+        help="write one metrics-JSONL line per done job in the batch",
+    )
+    status_parser.add_argument("--json", action="store_true")
+
     repro_parser = sub.add_parser(
         "reproduce", help="regenerate paper tables/figures"
     )
@@ -229,6 +307,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_metrics(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "status":
+        return _cmd_status(args)
     if args.command == "reproduce":
         return _cmd_reproduce(args)
     return 2  # pragma: no cover - argparse enforces the choices
@@ -590,6 +674,175 @@ def _cmd_simpoint(args) -> int:
     print(f"\nweighted IPC ({mode}):")
     for policy, ipc in ipcs.items():
         print(f"  {policy.value:15s}: {ipc:.4f}")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro.core import WrpkruPolicy
+    from repro.harness import RequestError, RunRequest
+    from repro.service import SweepService, default_spool_dir
+    from repro.workloads import ALL_PROFILES
+    from repro.workloads.instrument import InstrumentMode
+
+    labels = list(args.labels)
+    if args.all_labels:
+        labels = [profile.label for profile in ALL_PROFILES]
+    if not labels:
+        print("error: no workloads given (pass labels or --all-labels)",
+              file=sys.stderr)
+        return 2
+    policies = (
+        list(WrpkruPolicy)
+        if args.policy == "all"
+        else [WrpkruPolicy(args.policy)]
+    )
+    try:
+        requests = [
+            RunRequest(
+                workload=label,
+                policy=policy,
+                mode=InstrumentMode(args.mode),
+                instructions=args.instructions,
+                warmup=args.warmup,
+                fastforward=args.fastforward,
+            )
+            for label in labels
+            for policy in policies
+        ]
+    except RequestError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    spool = args.spool or default_spool_dir()
+    service = SweepService(spool)
+    handle = service.submit(requests, batch_id=args.batch_id)
+    summary = {
+        "batch": handle.batch_id,
+        "spool": str(spool),
+        "submitted": len(handle.job_ids),
+        "deduped": handle.deduped,
+        **service.spool.counts(),
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"batch {handle.batch_id}: {summary['submitted']} job(s) "
+              f"({summary['deduped']} already spooled) in {spool}")
+        print(f"  spool now: {summary['pending']} pending, "
+              f"{summary['running']} running, {summary['done']} done, "
+              f"{summary['failed']} failed")
+        print(f"  drain with: python -m repro serve --spool {spool}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.obs import jsonl_line
+    from repro.service import SweepService, default_spool_dir
+
+    spool = args.spool or default_spool_dir()
+    service = SweepService(spool, max_retries=args.max_retries)
+    settled = {}
+
+    def record(job_id, result, error):
+        settled[job_id] = (result, error)
+
+    service.serve(
+        once=not args.watch,
+        poll_interval=args.poll_interval,
+        parallel=args.parallel,
+        max_workers=args.max_workers,
+        on_result=record,
+        max_iterations=args.max_iterations,
+    )
+    if args.metrics_out is not None:
+        args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        with open(args.metrics_out, "a") as handle:
+            for job_id in sorted(settled):
+                result, _error = settled[job_id]
+                if result is not None and result.metrics is not None:
+                    handle.write(jsonl_line(result.metrics) + "\n")
+    summary = {
+        "spool": str(spool),
+        "settled": len(settled),
+        **service.counters,
+        **service.spool.counts(),
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"served {summary['settled']} job(s) from {spool}: "
+              f"{summary['executed']} executed, "
+              f"{summary['from_cache']} from cache, "
+              f"{summary['from_spool']} from spool, "
+              f"{summary['retried']} retried, {summary['failed']} failed")
+    return 1 if summary["failed"] else 0
+
+
+def _cmd_status(args) -> int:
+    import json
+
+    from repro.obs import jsonl_line
+    from repro.obs.snapshot import MetricsSnapshot
+    from repro.service import JobState, SpoolDir, default_spool_dir
+
+    spool = SpoolDir(args.spool or default_spool_dir())
+    if args.batch is None:
+        summary = {
+            "spool": str(spool.root),
+            "batches": spool.batch_ids(),
+            **spool.counts(),
+        }
+        if args.json:
+            print(json.dumps(summary, indent=2))
+        else:
+            print(f"spool {spool.root}: {summary['pending']} pending, "
+                  f"{summary['running']} running, {summary['done']} done, "
+                  f"{summary['failed']} failed")
+            for batch_id in summary["batches"]:
+                print(f"  batch {batch_id}: "
+                      f"{len(spool.batch_jobs(batch_id))} job(s)")
+        return 0
+    try:
+        job_ids = spool.batch_jobs(args.batch)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    counts = {state.value: 0 for state in JobState}
+    unknown = 0
+    for job_id in job_ids:
+        state = spool.state_of(job_id)
+        if state is None:
+            unknown += 1
+        else:
+            counts[state.value] += 1
+    if args.metrics_out is not None:
+        args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        written = 0
+        with open(args.metrics_out, "w") as handle:
+            for job_id in sorted(set(job_ids)):
+                payload = spool.result_payload(job_id)
+                if payload and payload.get("metrics"):
+                    snapshot = MetricsSnapshot.from_dict(payload["metrics"])
+                    handle.write(jsonl_line(snapshot) + "\n")
+                    written += 1
+        print(f"{written} metrics line(s) written to {args.metrics_out}",
+              file=sys.stderr)
+    summary = {
+        "batch": args.batch,
+        "spool": str(spool.root),
+        "total": len(job_ids),
+        "unknown": unknown,
+        **counts,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"batch {args.batch}: {summary['total']} job(s) — "
+              f"{summary['pending']} pending, {summary['running']} running, "
+              f"{summary['done']} done, {summary['failed']} failed")
     return 0
 
 

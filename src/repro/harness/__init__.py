@@ -9,6 +9,7 @@ The ``figN_*`` / ``tableN_*`` experiment functions return typed rows
 """
 
 from .api import (
+    RequestError,
     RunMetadata,
     RunRequest,
     RunResult,
@@ -50,6 +51,7 @@ from .reporting import (
 )
 from .runner import (
     DEFAULT_INSTRUCTIONS,
+    execute_many,
     geomean,
     measurement_budget,
     normalized_ipc,
@@ -66,6 +68,7 @@ __all__ = [
     "Fig10Row",
     "Fig11Row",
     "PaperExpectation",
+    "RequestError",
     "Row",
     "RunMetadata",
     "RunRequest",
@@ -74,6 +77,7 @@ __all__ = [
     "Table3Row",
     "TraceOptions",
     "execute",
+    "execute_many",
     "ablation_tlb_deferral",
     "comparison_general_mitigations",
     "fig3_serialization_study",

@@ -34,7 +34,8 @@ from ..obs.collect import collect_run_metrics
 from ..obs.registry import metrics_enabled
 from ..obs.snapshot import MetricsSnapshot
 from ..perf.envflag import env_float
-from ..perf.runcache import cache_enabled, cache_key, default_cache
+from ..perf.runcache import cache_enabled, default_cache
+from ..perf.runcache import cache_key as _compute_cache_key
 from ..state import WarmTouch, fast_forward
 from ..trace import (
     TopDownReport,
@@ -49,6 +50,17 @@ from ..workloads.profiles import WorkloadProfile, profile_by_label
 #: Default measurement budget (instructions); scaled by REPRO_SCALE.
 DEFAULT_INSTRUCTIONS = 12_000
 DEFAULT_WARMUP = 4_000
+
+
+class RequestError(ValueError):
+    """An invalid :class:`RunRequest` — raised at construction time.
+
+    One error type for every malformed request: unknown workload
+    labels, negative budgets, and (in the batch service) requests that
+    cannot be spooled.  Before this existed the same mistakes surfaced
+    late and inconsistently from runner internals (``KeyError`` from
+    the profile table, budget errors deep in ``Simulator.run``).
+    """
 
 
 def measurement_budget() -> int:
@@ -108,9 +120,43 @@ class RunRequest:
     #: None defers to the ``REPRO_METRICS`` env flag (default on).
     metrics: Optional[bool] = None
 
+    def __post_init__(self) -> None:
+        """Validate at construction (one :class:`RequestError` type).
+
+        A string workload must name a known profile — the empty string
+        is exempt, as the documented placeholder for sweep templates
+        whose workload is filled in per grid point via :meth:`replace`
+        (which re-runs this validation on the real label).
+        """
+        if isinstance(self.workload, str) and self.workload:
+            try:
+                profile_by_label(self.workload)
+            except KeyError:
+                raise RequestError(
+                    f"unknown workload label {self.workload!r}; see "
+                    "repro.workloads.labels() for the known profiles"
+                ) from None
+        for name in ("instructions", "warmup"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise RequestError(
+                    f"{name} budget must be >= 0, got {value!r}"
+                )
+
     def replace(self, **overrides) -> "RunRequest":
         """A copy with *overrides* applied (workload/policy sweeps)."""
         return dataclasses.replace(self, **overrides)
+
+    def cache_key(self) -> Optional[str]:
+        """The request's canonical content hash, or None if uncacheable.
+
+        This is *the* identity of a run everywhere: the on-disk run
+        cache stores results under it and the batch service names
+        spool jobs with it, so service-level deduplication and result
+        memoization can never disagree.  Traced runs and pre-built
+        workload objects have no canonical identity and return None.
+        """
+        return _compute_cache_key(self)
 
     def resolved_instructions(self) -> int:
         return (
@@ -181,7 +227,7 @@ def _build_cached(label: str, mode: InstrumentMode) -> GeneratedWorkload:
     return build_workload(profile_by_label(label), mode)
 
 
-def execute(request: RunRequest) -> RunResult:
+def execute(request: RunRequest, *, cache: Optional[bool] = None) -> RunResult:
     """Simulate one :class:`RunRequest` and return its :class:`RunResult`.
 
     Builds the synthetic workload (deterministically, so every policy
@@ -194,10 +240,12 @@ def execute(request: RunRequest) -> RunResult:
     Untraced runs of canonical workloads are memoized in the on-disk
     run cache (:mod:`repro.perf.runcache`): the simulator is
     deterministic, so an identical request under the same code version
-    returns the stored :class:`RunResult` without simulating.  Disable
-    with ``REPRO_CACHE=0``.
+    returns the stored :class:`RunResult` without simulating.  *cache*
+    overrides the ``REPRO_CACHE`` env default per call (the batch
+    service threads its ``cache=`` flag through here).
     """
-    key = cache_key(request) if cache_enabled() else None
+    use_cache = cache_enabled() if cache is None else bool(cache)
+    key = request.cache_key() if use_cache else None
     if key is not None:
         cached = default_cache().get(key)
         if cached is not None:

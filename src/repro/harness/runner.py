@@ -1,27 +1,30 @@
-"""Workload execution harness (legacy keyword surface).
+"""Workload execution harness (legacy keyword surface + batch entry).
 
-The canonical API lives in :mod:`repro.harness.api`: build a
-:class:`~repro.harness.api.RunRequest`, call
+The canonical single-run API lives in :mod:`repro.harness.api`: build
+a :class:`~repro.harness.api.RunRequest`, call
 :func:`~repro.harness.api.execute`, get a
-:class:`~repro.harness.api.RunResult`.  The helpers here keep the
-original keyword signatures working as thin wrappers — existing
-callers run unchanged, while positional use of the optional parameters
-emits a :class:`DeprecationWarning` pointing at the request API.
+:class:`~repro.harness.api.RunResult`.  The documented *batch* entry
+point is :func:`execute_many`, a thin wrapper over the sweep service's
+local mode (:func:`repro.service.execute_batch`) — every multi-run
+driver in the repo (``sweep_policies`` and the experiment functions on
+top of it) submits through that one path.
+
+``run_workload`` keeps the original keyword signature working; its
+optional parameters are keyword-only (the positional form completed
+its deprecation cycle and now raises ``TypeError`` naming the exact
+replacement call).
 """
 
 from __future__ import annotations
 
-import dataclasses
 import math
-import warnings
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from ..core.config import CoreConfig, WrpkruPolicy
 from ..core.stats import SimStats
 from ..obs.progress import ProgressReporter, maybe_reporter
 from ..obs.snapshot import MetricsAccumulator, MetricsSnapshot
 from ..perf.envflag import env_flag
-from ..perf.pool import run_longest_first
 from ..perf.runcache import default_cache
 from ..workloads.generator import GeneratedWorkload
 from ..workloads.instrument import InstrumentMode
@@ -36,7 +39,8 @@ from .api import (
     measurement_budget,
 )
 
-#: Old positional order of ``run_workload``'s optional parameters.
+#: Old positional order of ``run_workload``'s optional parameters,
+#: kept to name the exact keyword replacement in the rejection error.
 _LEGACY_POSITIONAL = ("mode", "instructions", "warmup", "config")
 
 
@@ -59,9 +63,10 @@ def run_workload(
       metadata).
     * ``run_workload(workload, policy, mode=..., instructions=...,
       warmup=..., config=...)`` — the legacy keyword surface; returns
-      the bare :class:`SimStats` as it always did.  Passing the
-      optional parameters positionally still works but emits a
-      :class:`DeprecationWarning`.
+      the bare :class:`SimStats` as it always did.  The optional
+      parameters are **keyword-only**: the positional form warned
+      through its deprecation period and is now rejected with the
+      exact replacement call.
     """
     if isinstance(workload, RunRequest):
         if policy is not None or legacy_args:
@@ -77,23 +82,14 @@ def run_workload(
                 f"run_workload() takes at most "
                 f"{2 + len(_LEGACY_POSITIONAL)} positional arguments"
             )
-        warnings.warn(
-            "passing mode/instructions/warmup/config positionally is "
-            "deprecated; use keywords or a RunRequest",
-            DeprecationWarning,
-            stacklevel=2,
+        replacement = ", ".join(
+            f"{name}={value!r}"
+            for name, value in zip(_LEGACY_POSITIONAL, legacy_args)
         )
-        provided = {"mode": mode, "instructions": instructions,
-                    "warmup": warmup, "config": config}
-        for name, value in zip(_LEGACY_POSITIONAL, legacy_args):
-            if provided[name] is not None:
-                raise TypeError(
-                    f"run_workload() got multiple values for '{name}'"
-                )
-            provided[name] = value
-        mode, instructions, warmup, config = (
-            provided["mode"], provided["instructions"],
-            provided["warmup"], provided["config"],
+        raise TypeError(
+            "run_workload() optional parameters are keyword-only (the "
+            "positional form was deprecated and has been removed); call "
+            f"run_workload({workload!r}, {policy}, {replacement}) instead"
         )
     request = RunRequest(
         workload=workload,
@@ -107,29 +103,46 @@ def run_workload(
     return execute(request).stats
 
 
-def _run_one(request: RunRequest):
-    """Module-level worker so ProcessPoolExecutor can pickle it.
+def execute_many(
+    requests: Iterable[RunRequest],
+    *,
+    max_workers: Optional[int] = None,
+    cache: bool = True,
+    parallel: Optional[bool] = None,
+    spool=None,
+    max_retries: int = 0,
+    on_result=None,
+    raise_on_error: bool = True,
+) -> List[Optional[RunResult]]:
+    """Execute a batch of requests; results in submit order.
 
-    The task unit is the :class:`RunRequest` itself — the whole request
-    (including config and trace options) crosses the process boundary,
-    not an ad-hoc tuple.  Returns ``(label, policy, stats, metrics)``
-    where *metrics* is the run's
-    :class:`~repro.obs.MetricsSnapshot` (or None with metrics off).
+    The documented batch entry point — a thin wrapper over the sweep
+    service's local mode (:func:`repro.service.execute_batch`), so
+    ad-hoc batches, ``sweep_policies`` grids and the ``repro
+    submit``/``repro serve`` CLI all share exactly one submission path:
+    requests are deduplicated against the content-addressed run cache
+    before dispatch and fan out over the shared worker pool in LPT
+    order when *parallel* (or ``REPRO_PARALLEL``) is on.
+
+    *cache* disables run-cache dedup and memoization for the batch;
+    *spool* makes the batch durable in an on-disk spool directory;
+    *on_result* is called as ``on_result(index, result, error)`` in
+    completion order; *raise_on_error* = False returns None for failed
+    requests instead of raising
+    :class:`~repro.service.batch.BatchError`.
     """
-    result = execute(request)
-    return (result.metadata.label, result.metadata.policy, result.stats,
-            result.metrics)
+    from ..service import execute_batch  # lazy: service builds on harness
 
-
-#: Expected serialization overhead per policy, used only to order
-#: parallel task submission (longest first).  SERIALIZED drains the
-#: pipeline around every WRPKRU and SPECMPK adds check/replay stalls,
-#: so those grid points take the most wall-clock per instruction.
-_POLICY_WEIGHT = {
-    WrpkruPolicy.SERIALIZED: 1.3,
-    WrpkruPolicy.SPECMPK: 1.2,
-    WrpkruPolicy.NONSECURE_SPEC: 1.0,
-}
+    handle = execute_batch(
+        list(requests),
+        spool=spool,
+        cache=cache,
+        parallel=parallel,
+        max_workers=max_workers,
+        max_retries=max_retries,
+        on_result=on_result,
+    )
+    return handle.wait(raise_on_error=raise_on_error)
 
 
 def sweep_policies(
@@ -181,37 +194,30 @@ def sweep_policies(
     results: Dict[str, Dict[WrpkruPolicy, SimStats]] = {
         label: {} for label in labels
     }
+    grid = [(label, policy) for label in labels for policy in policies]
     tasks = [
-        dataclasses.replace(template, workload=label, policy=policy)
-        for label in labels
-        for policy in policies
+        template.replace(workload=label, policy=policy)
+        for label, policy in grid
     ]
     if progress is None:
         progress = maybe_reporter(len(tasks), "sweep")
     cache = default_cache()
     hits_before, misses_before = cache.hits, cache.misses
 
-    def _record(outcome) -> None:
-        label, policy, stats, snapshot = outcome
-        results[label][policy] = stats
+    def _record(index: int, result, error) -> None:
+        if result is None:
+            return  # failures surface via BatchError after the batch
+        label, policy = grid[index]
+        results[label][policy] = result.stats
         if metrics is not None:
-            metrics.add(snapshot)
+            metrics.add(result.metrics)
         if progress is not None:
             progress.advance(f"{label}/{policy.value}")
 
-    if parallel and len(tasks) > 1:
-        weights = [
-            task.resolved_instructions()
-            * _POLICY_WEIGHT.get(task.policy, 1.0)
-            for task in tasks
-        ]
-        run_longest_first(
-            _run_one, tasks, weights=weights, max_workers=max_workers,
-            on_result=lambda index, outcome: _record(outcome),
-        )
-    else:
-        for task in tasks:
-            _record(_run_one(task))
+    execute_many(
+        tasks, parallel=parallel, max_workers=max_workers,
+        on_result=_record,
+    )
     if metrics is not None:
         # Sweep-level telemetry rides in via merge() so it does not
         # inflate the per-run ``aggregate.runs`` count.  The run-cache

@@ -196,6 +196,24 @@ class RunCache:
         self._bump("hits")
         return result
 
+    def peek(self, key: str):
+        """Like :meth:`get`, but an absent entry counts nothing.
+
+        The batch service probes the store before dispatching a claimed
+        job; on absence the subsequent ``execute`` records the miss
+        itself, so counting it here too would double every miss (one
+        hit *or* one miss per job, never both).
+        """
+        try:
+            with open(self._path(key), "rb") as handle:
+                result = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        self.hits += 1
+        self._bump("hits")
+        return result
+
     # -- persistent counters ----------------------------------------------
 
     def _counters_path(self) -> Path:

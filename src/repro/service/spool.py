@@ -1,0 +1,330 @@
+"""On-disk job spool: the durable state behind the batch service.
+
+A spool directory is the unit of deployment for the sweep service —
+``repro submit`` writes jobs into one, ``repro serve`` drains it, and
+a killed worker resumes from it without recomputing finished runs.
+Layout::
+
+    <spool>/
+      jobs/pending/<job_id>.json    submitted, not yet claimed
+      jobs/running/<job_id>.json    claimed by a worker
+      jobs/done/<job_id>.json       finished (result in results/)
+      jobs/failed/<job_id>.json     exhausted its retry budget
+      results/<job_id>.json         JSON result payload of a done job
+      batches/<batch_id>.json       manifest: ordered job-id list
+
+Every state transition is a single ``os.replace``/``os.rename`` of the
+job file between state directories, so transitions are atomic on POSIX
+and a *claim* (pending → running) can be won by exactly one worker —
+the losers get ``FileNotFoundError`` and move on.  All JSON writes go
+through temp-file + ``os.replace`` (the same discipline as the run
+cache), so a SIGKILLed writer can never leave a torn file.
+
+The **job id is the request's run-cache key**
+(:meth:`~repro.harness.api.RunRequest.cache_key`): spool entries and
+the content-addressed run cache share one canonical identity, which is
+what makes batch deduplication exact — resubmitting a request that any
+earlier batch completed lands on the same job id and the same cache
+entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import os
+import uuid
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.config import CoreConfig, WrpkruPolicy
+from ..harness.api import RequestError, RunRequest
+from ..memory.hierarchy import CacheGeometry
+from ..workloads.instrument import InstrumentMode
+
+
+def default_spool_dir() -> Path:
+    """``REPRO_SPOOL_DIR``, else ``$XDG_CACHE_HOME/repro/spool``."""
+    override = os.environ.get("REPRO_SPOOL_DIR")
+    if override:
+        return Path(override).expanduser()
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base).expanduser() if base else Path.home() / ".cache"
+    return root / "repro" / "spool"
+
+
+class JobState(enum.Enum):
+    """Lifecycle of one spooled job (one state directory each)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+# -- request (de)serialization ---------------------------------------------
+
+#: CoreConfig fields holding a :class:`CacheGeometry` named tuple.
+_GEOMETRY_FIELDS = ("l1i", "l1d", "l2", "l3")
+
+
+def _encode_config(config: Optional[CoreConfig]) -> Optional[Dict[str, object]]:
+    if config is None:
+        return None
+    doc: Dict[str, object] = {}
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        if isinstance(value, enum.Enum):
+            value = value.value
+        elif isinstance(value, CacheGeometry):
+            value = list(value)
+        doc[field.name] = value
+    return doc
+
+
+def _decode_config(doc: Optional[Dict[str, object]]) -> Optional[CoreConfig]:
+    if doc is None:
+        return None
+    kwargs = dict(doc)
+    kwargs["wrpkru_policy"] = WrpkruPolicy(kwargs["wrpkru_policy"])
+    for name in _GEOMETRY_FIELDS:
+        if kwargs.get(name) is not None:
+            kwargs[name] = CacheGeometry(*kwargs[name])
+    return CoreConfig(**kwargs)
+
+
+def encode_request(request: RunRequest) -> Dict[str, object]:
+    """A :class:`RunRequest` as a JSON-able document.
+
+    Only *spoolable* requests encode: the workload must be a known
+    label (so any worker host can rebuild it deterministically) and the
+    run must be untraced (a trace collector cannot cross the service
+    boundary).  Everything else raises :class:`RequestError` — the same
+    construction-time error type the request itself uses.
+    """
+    if not isinstance(request.workload, str) or not request.workload:
+        raise RequestError(
+            "only label-addressed workloads can be spooled; got "
+            f"{type(request.workload).__name__}"
+        )
+    if request.trace.enabled:
+        raise RequestError("traced runs cannot be spooled")
+    return {
+        "v": 1,
+        "workload": request.workload,
+        "policy": request.policy.value,
+        "mode": request.mode.value,
+        "instructions": request.instructions,
+        "warmup": request.warmup,
+        "fastforward": request.fastforward,
+        "metrics": request.metrics,
+        "config": _encode_config(request.config),
+    }
+
+
+def decode_request(doc: Dict[str, object]) -> RunRequest:
+    """Rebuild the :class:`RunRequest` a spool entry describes.
+
+    Construction re-runs the request validation, so a corrupted or
+    stale spool entry fails loudly with :class:`RequestError` instead
+    of deep inside a worker.
+    """
+    return RunRequest(
+        workload=doc["workload"],
+        policy=WrpkruPolicy(doc["policy"]),
+        mode=InstrumentMode(doc["mode"]),
+        instructions=doc.get("instructions"),
+        warmup=doc.get("warmup"),
+        config=_decode_config(doc.get("config")),
+        fastforward=bool(doc.get("fastforward", False)),
+        metrics=doc.get("metrics"),
+    )
+
+
+# -- the spool directory ----------------------------------------------------
+
+
+def _atomic_write_json(path: Path, doc: Dict[str, object]) -> None:
+    temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    temp.write_text(json.dumps(doc, sort_keys=True))
+    os.replace(temp, path)
+
+
+class SpoolDir:
+    """One spool directory: job files, result payloads, batch manifests."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def ensure(self) -> "SpoolDir":
+        for state in JobState:
+            self._state_dir(state).mkdir(parents=True, exist_ok=True)
+        (self.root / "results").mkdir(parents=True, exist_ok=True)
+        (self.root / "batches").mkdir(parents=True, exist_ok=True)
+        return self
+
+    # -- paths -------------------------------------------------------------
+
+    def _state_dir(self, state: JobState) -> Path:
+        return self.root / "jobs" / state.value
+
+    def _job_path(self, state: JobState, job_id: str) -> Path:
+        return self._state_dir(state) / f"{job_id}.json"
+
+    def _result_path(self, job_id: str) -> Path:
+        return self.root / "results" / f"{job_id}.json"
+
+    def _batch_path(self, batch_id: str) -> Path:
+        return self.root / "batches" / f"{batch_id}.json"
+
+    # -- jobs --------------------------------------------------------------
+
+    def add_job(self, request: RunRequest) -> Tuple[str, JobState, bool]:
+        """Spool one request; returns ``(job_id, state, created)``.
+
+        The job id is :meth:`RunRequest.cache_key`.  A job that already
+        exists in *any* state is not re-created (``created=False``) —
+        that is the submission-side half of batch deduplication.
+        """
+        job_id = request.cache_key()
+        if job_id is None:
+            raise RequestError(
+                "request has no canonical cache key and cannot be spooled "
+                "(traced run or pre-built workload object)"
+            )
+        doc = encode_request(request)  # validates spoolability
+        state = self.state_of(job_id)
+        if state is not None:
+            return job_id, state, False
+        self.ensure()
+        _atomic_write_json(
+            self._job_path(JobState.PENDING, job_id),
+            {"id": job_id, "request": doc, "attempts": 0, "error": None},
+        )
+        return job_id, JobState.PENDING, True
+
+    def state_of(self, job_id: str) -> Optional[JobState]:
+        for state in JobState:
+            if self._job_path(state, job_id).exists():
+                return state
+        return None
+
+    def jobs(self, state: JobState) -> List[str]:
+        """Job ids currently in *state*, sorted for determinism."""
+        directory = self._state_dir(state)
+        if not directory.is_dir():
+            return []
+        return sorted(
+            path.stem for path in directory.glob("*.json")
+            if not path.name.startswith(".")
+        )
+
+    def job_doc(self, job_id: str) -> Optional[Dict[str, object]]:
+        """The job document, from whichever state directory holds it."""
+        for state in JobState:
+            path = self._job_path(state, job_id)
+            try:
+                return json.loads(path.read_text())
+            except OSError:
+                continue
+        return None
+
+    def claim(self, job_id: str) -> Optional[Dict[str, object]]:
+        """Move pending → running and return the job document.
+
+        The rename is the claim: with several workers racing, exactly
+        one wins; everyone else gets None.
+        """
+        src = self._job_path(JobState.PENDING, job_id)
+        dst = self._job_path(JobState.RUNNING, job_id)
+        try:
+            os.replace(src, dst)
+        except FileNotFoundError:
+            return None
+        return json.loads(dst.read_text())
+
+    def complete(self, job_id: str, payload: Dict[str, object]) -> None:
+        """Persist the result payload, then move running → done.
+
+        The payload lands (atomically) *before* the state flips, so a
+        job in ``done/`` always has a readable result.
+        """
+        _atomic_write_json(self._result_path(job_id), payload)
+        os.replace(
+            self._job_path(JobState.RUNNING, job_id),
+            self._job_path(JobState.DONE, job_id),
+        )
+
+    def retry(self, job_id: str, doc: Dict[str, object]) -> None:
+        """Requeue a failed attempt: rewrite the doc, running → pending."""
+        _atomic_write_json(self._job_path(JobState.PENDING, job_id), doc)
+        try:
+            self._job_path(JobState.RUNNING, job_id).unlink()
+        except FileNotFoundError:
+            pass
+
+    def fail(self, job_id: str, doc: Dict[str, object]) -> None:
+        """Retry budget exhausted: record the error, running → failed."""
+        _atomic_write_json(self._job_path(JobState.FAILED, job_id), doc)
+        try:
+            self._job_path(JobState.RUNNING, job_id).unlink()
+        except FileNotFoundError:
+            pass
+
+    def recover(self) -> List[str]:
+        """Requeue every ``running`` job (service restart after a crash).
+
+        A job can only be in ``running`` across a restart if its worker
+        died mid-run; finished jobs already moved to ``done``/``failed``
+        atomically, so none of those is ever re-queued.
+        """
+        recovered = []
+        for job_id in self.jobs(JobState.RUNNING):
+            src = self._job_path(JobState.RUNNING, job_id)
+            dst = self._job_path(JobState.PENDING, job_id)
+            if dst.exists():  # torn retry(): pending copy already written
+                src.unlink()
+            else:
+                os.replace(src, dst)
+            recovered.append(job_id)
+        return recovered
+
+    def result_payload(self, job_id: str) -> Optional[Dict[str, object]]:
+        try:
+            return json.loads(self._result_path(job_id).read_text())
+        except (OSError, ValueError):
+            return None
+
+    def counts(self) -> Dict[str, int]:
+        return {state.value: len(self.jobs(state)) for state in JobState}
+
+    # -- batches -----------------------------------------------------------
+
+    def create_batch(
+        self, job_ids: List[str], batch_id: Optional[str] = None
+    ) -> str:
+        batch_id = batch_id or uuid.uuid4().hex[:12]
+        self.ensure()
+        _atomic_write_json(
+            self._batch_path(batch_id),
+            {"id": batch_id, "jobs": list(job_ids)},
+        )
+        return batch_id
+
+    def batch_jobs(self, batch_id: str) -> List[str]:
+        """The ordered job-id list of one batch (KeyError if unknown)."""
+        try:
+            manifest = json.loads(self._batch_path(batch_id).read_text())
+        except OSError:
+            raise KeyError(f"unknown batch {batch_id!r}") from None
+        return list(manifest["jobs"])
+
+    def batch_ids(self) -> List[str]:
+        directory = self.root / "batches"
+        if not directory.is_dir():
+            return []
+        return sorted(
+            path.stem for path in directory.glob("*.json")
+            if not path.name.startswith(".")
+        )

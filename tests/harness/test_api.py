@@ -91,9 +91,64 @@ class TestExecute:
         assert report.accounted_cycles == result.stats.cycles
 
     def test_unknown_workload_raises(self):
-        with pytest.raises(KeyError):
-            execute(RunRequest(workload="nope (SS)",
-                               policy=WrpkruPolicy.SPECMPK, **FAST))
+        from repro.harness import RequestError
+
+        with pytest.raises(RequestError, match="unknown workload label"):
+            RunRequest(workload="nope (SS)",
+                       policy=WrpkruPolicy.SPECMPK, **FAST)
+
+
+class TestRequestValidation:
+    def test_unknown_label_rejected_at_construction(self):
+        from repro.harness import RequestError
+
+        with pytest.raises(RequestError, match="nope"):
+            RunRequest(workload="nope", policy=WrpkruPolicy.SPECMPK)
+
+    def test_request_error_is_a_value_error(self):
+        from repro.harness import RequestError
+
+        assert issubclass(RequestError, ValueError)
+
+    @pytest.mark.parametrize("field", ["instructions", "warmup"])
+    def test_negative_budget_rejected(self, field):
+        from repro.harness import RequestError
+
+        with pytest.raises(RequestError, match=f"{field} budget"):
+            RunRequest(workload="557.xz_r (SS)",
+                       policy=WrpkruPolicy.SPECMPK, **{field: -1})
+
+    def test_template_replace_revalidates(self):
+        from repro.harness import RequestError
+
+        template = RunRequest(workload="", policy=WrpkruPolicy.SPECMPK)
+        assert template.replace(workload="557.xz_r (SS)").workload
+        with pytest.raises(RequestError):
+            template.replace(workload="bogus label")
+
+    def test_cache_key_is_public_and_stable(self):
+        request = RunRequest(workload="557.xz_r (SS)",
+                             policy=WrpkruPolicy.SPECMPK, **FAST)
+        key = request.cache_key()
+        assert key is not None and len(key) == 64
+        assert key == request.cache_key()
+        assert key != request.replace(
+            policy=WrpkruPolicy.SERIALIZED
+        ).cache_key()
+
+    def test_cache_key_none_for_traced_and_prebuilt(self):
+        traced = RunRequest(
+            workload="557.xz_r (SS)", policy=WrpkruPolicy.SPECMPK,
+            trace=TraceOptions(enabled=True),
+        )
+        assert traced.cache_key() is None
+
+    def test_cache_key_matches_runcache_module(self):
+        from repro.perf.runcache import cache_key
+
+        request = RunRequest(workload="557.xz_r (SS)",
+                             policy=WrpkruPolicy.SPECMPK, **FAST)
+        assert request.cache_key() == cache_key(request)
 
 
 class TestFastForward:
@@ -186,22 +241,23 @@ class TestRunWorkloadCompat:
         with pytest.raises(TypeError):
             run_workload(request, WrpkruPolicy.SPECMPK)
 
-    def test_positional_mode_warns(self):
-        with pytest.warns(DeprecationWarning, match="RunRequest"):
-            stats = run_workload(
+    def test_positional_optionals_rejected_with_replacement(self):
+        """The deprecation cycle is complete: positional optionals
+        raise and the message spells out the exact keyword call."""
+        with pytest.raises(TypeError, match="keyword-only") as excinfo:
+            run_workload(
                 "557.xz_r (SS)", WrpkruPolicy.SERIALIZED,
                 InstrumentMode.NONE, **FAST,
             )
-        assert isinstance(stats, SimStats)
+        assert "mode=" in str(excinfo.value)
+        assert "run_workload(" in str(excinfo.value)
 
-    def test_positional_and_keyword_duplicate_rejected(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError, match="multiple values"):
-                run_workload(
-                    "557.xz_r (SS)", WrpkruPolicy.SERIALIZED,
-                    InstrumentMode.NONE, mode=InstrumentMode.PROTECTED,
-                    instructions=1000,
-                )
+    def test_too_many_positionals_rejected(self):
+        with pytest.raises(TypeError, match="at most"):
+            run_workload(
+                "557.xz_r (SS)", WrpkruPolicy.SERIALIZED,
+                InstrumentMode.NONE, 1000, 100, None, "extra",
+            )
 
     def test_keyword_equals_request_result(self):
         stats = run_workload(

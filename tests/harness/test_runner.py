@@ -25,11 +25,10 @@ class TestRunWorkload:
         assert 0 < stats.ipc < 8
 
     def test_mode_none_has_no_wrpkru(self):
-        with pytest.warns(DeprecationWarning):  # positional mode argument
-            stats = run_workload(
-                "520.omnetpp_r (SS)", WrpkruPolicy.SERIALIZED,
-                InstrumentMode.NONE, instructions=3000, warmup=500,
-            )
+        stats = run_workload(
+            "520.omnetpp_r (SS)", WrpkruPolicy.SERIALIZED,
+            mode=InstrumentMode.NONE, instructions=3000, warmup=500,
+        )
         assert stats.wrpkru_retired == 0
 
 

@@ -47,15 +47,17 @@ def test_env_int(monkeypatch):
 
 def test_repro_parallel_false_runs_serially(monkeypatch):
     """``REPRO_PARALLEL=false`` must take the serial path (the old
-    parser treated it as enabled)."""
+    parser treated it as enabled).  The sweep dispatches through the
+    service scheduler, so that is where the pool call is stubbed."""
     from repro.core.config import WrpkruPolicy
     from repro.harness import runner
+    from repro.service import scheduler
 
     def _boom(*args, **kwargs):  # pragma: no cover - failure path
         raise AssertionError("parallel path taken with REPRO_PARALLEL=false")
 
     monkeypatch.setenv("REPRO_PARALLEL", "false")
-    monkeypatch.setattr(runner, "run_longest_first", _boom)
+    monkeypatch.setattr(scheduler, "run_longest_first", _boom)
     results = runner.sweep_policies(
         labels=["429.mcf (CPI)"],
         policies=[WrpkruPolicy.SERIALIZED, WrpkruPolicy.SPECMPK],
@@ -68,9 +70,11 @@ def test_repro_parallel_false_runs_serially(monkeypatch):
 
 def test_repro_parallel_truthy_uses_pool(monkeypatch):
     """A truthy REPRO_PARALLEL fans the grid out over the shared pool
-    (stubbed here so the test stays single-process)."""
+    (stubbed here so the test stays single-process).  The run cache is
+    disabled so pre-dispatch dedup cannot swallow the grid points."""
     from repro.core.config import WrpkruPolicy
     from repro.harness import runner
+    from repro.service import scheduler
 
     calls = {}
 
@@ -84,7 +88,8 @@ def test_repro_parallel_truthy_uses_pool(monkeypatch):
         return results
 
     monkeypatch.setenv("REPRO_PARALLEL", "yes")
-    monkeypatch.setattr(runner, "run_longest_first", _serial)
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    monkeypatch.setattr(scheduler, "run_longest_first", _serial)
     results = runner.sweep_policies(
         labels=["429.mcf (CPI)"],
         policies=[WrpkruPolicy.SERIALIZED, WrpkruPolicy.NONSECURE_SPEC],

@@ -1,0 +1,112 @@
+"""Crash-resume: SIGKILL a serving worker, restart on the same spool.
+
+The acceptance bar from the service redesign: completed jobs are not
+re-executed after the crash (asserted via the run cache's persistent
+hit/miss counters, which accumulate across processes), and the merged
+batch metrics are byte-identical to an uninterrupted run.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.core import WrpkruPolicy
+from repro.harness import RunRequest
+from repro.perf.runcache import RunCache
+from repro.service import JobState, SpoolDir, SweepService, execute_batch
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+REQUESTS = [
+    RunRequest(workload=label, policy=policy, instructions=400,
+               warmup=100, metrics=True)
+    for label in ("557.xz_r (SS)", "505.mcf_r (SS)")
+    for policy in (WrpkruPolicy.SERIALIZED, WrpkruPolicy.SPECMPK)
+]
+
+WORKER_SCRIPT = textwrap.dedent("""
+    import signal, sys
+    sys.path.insert(0, {src!r})
+    from repro.service import JobState, SweepService
+
+    service = SweepService({spool!r})
+    pending = service.spool.jobs(JobState.PENDING)
+    service.process([pending[0]])     # finish exactly one job...
+    service.spool.claim(pending[1])   # ...and die holding another
+    print("READY", flush=True)
+    signal.pause()
+""")
+
+
+def test_sigkilled_worker_resumes_without_recompute(tmp_path, monkeypatch):
+    cache_dir = tmp_path / "cache"
+    spool_dir = str(tmp_path / "spool")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+
+    service = SweepService(spool_dir)
+    handle = service.submit(REQUESTS)
+    assert len(handle.job_ids) == 4
+
+    # A worker process drains one job, claims a second, then is
+    # SIGKILLed — the canonical mid-batch crash.
+    script = WORKER_SCRIPT.format(src=SRC, spool=spool_dir)
+    env = dict(os.environ, REPRO_CACHE_DIR=str(cache_dir))
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True,
+    )
+    try:
+        line = proc.stdout.readline()
+        assert line.strip() == "READY", proc.stderr.read()
+    finally:
+        if proc.poll() is None:
+            os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+
+    spool = SpoolDir(spool_dir)
+    counts = spool.counts()
+    assert counts["done"] == 1
+    assert counts["running"] == 1  # the job the dead worker held
+    assert counts["pending"] == 2
+
+    # One simulation so far, recorded in the persistent counters the
+    # dead worker left behind.
+    assert RunCache(cache_dir).persistent_counters() == {
+        "hits": 0, "misses": 1,
+    }
+
+    # Restart on the same spool: recover() requeues the orphaned job,
+    # and only the three unfinished jobs are simulated.
+    resumed = SweepService(spool_dir)
+    settled = resumed.serve(once=True)
+    assert resumed.counters["executed"] == 3
+    assert spool.counts() == {
+        "pending": 0, "running": 0, "done": 4, "failed": 0,
+    }
+    assert len(settled) == 3
+
+    # Every job simulated exactly once across both processes: the
+    # completed job was never re-executed.
+    assert RunCache(cache_dir).persistent_counters() == {
+        "hits": 0, "misses": 4,
+    }
+
+    # Resubmitting the batch settles entirely from the spool (no cache
+    # traffic, no simulation) and yields the merged metrics.
+    resumed_handle = execute_batch(REQUESTS, spool=spool_dir)
+    results = resumed_handle.wait()
+    assert all(result.stats.ipc > 0 for result in results)
+    assert RunCache(cache_dir).persistent_counters() == {
+        "hits": 0, "misses": 4,
+    }
+    merged = resumed_handle.merged_metrics()
+
+    # Byte-identical to an uninterrupted run of the same batch against
+    # a fresh cache and spool (every job simulated fresh, one process).
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache2"))
+    fresh_handle = execute_batch(REQUESTS, spool=tmp_path / "spool2")
+    fresh_handle.wait()
+    assert merged.to_json() == fresh_handle.merged_metrics().to_json()

@@ -22,7 +22,9 @@ class TestRun:
         assert "IPC" in out
 
     def test_unknown_label_raises(self):
-        with pytest.raises(KeyError):
+        from repro.harness import RequestError
+
+        with pytest.raises(RequestError):
             main(["run", "nope (SS)", "--policy", "specmpk",
                   "--instructions", "1000"])
 
@@ -193,6 +195,76 @@ class TestReproduce:
         ]) == 0
         text = (tmp_path / "fig13.txt").read_text()
         assert "cached" in text
+
+
+class TestService:
+    """submit / serve / status against a spool directory."""
+
+    def _submit(self, spool, *extra):
+        return main([
+            "submit", "557.xz_r (SS)", "--policy", "specmpk",
+            "--instructions", "500", "--spool", str(spool),
+            "--batch-id", "b1", *extra,
+        ])
+
+    def test_submit_serve_status_round_trip(self, tmp_path, capsys):
+        import json
+
+        spool = tmp_path / "spool"
+        assert self._submit(spool, "--json") == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["batch"] == "b1"
+        assert doc["submitted"] == 1 and doc["pending"] == 1
+
+        assert main(["serve", "--spool", str(spool), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["settled"] == 1 and doc["done"] == 1
+
+        metrics_out = tmp_path / "batch.jsonl"
+        assert main(["status", "b1", "--spool", str(spool),
+                     "--metrics-out", str(metrics_out), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["done"] == 1 and doc["pending"] == 0
+        lines = metrics_out.read_text().splitlines()
+        assert len(lines) == 1
+        snapshot = json.loads(lines[0])
+        assert snapshot["counters"]["core.instructions_retired"] >= 500
+
+    def test_resubmission_deduplicates(self, tmp_path, capsys):
+        import json
+
+        spool = tmp_path / "spool"
+        assert self._submit(spool) == 0
+        capsys.readouterr()
+        assert main([
+            "submit", "557.xz_r (SS)", "--policy", "specmpk",
+            "--instructions", "500", "--spool", str(spool), "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["deduped"] == 1 and doc["pending"] == 1
+
+    def test_whole_spool_status(self, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        assert self._submit(spool) == 0
+        capsys.readouterr()
+        assert main(["status", "--spool", str(spool)]) == 0
+        out = capsys.readouterr().out
+        assert "1 pending" in out
+        assert "batch b1" in out
+
+    def test_submit_without_workloads_errors(self, tmp_path, capsys):
+        assert main(["submit", "--spool", str(tmp_path / "s")]) == 2
+        assert "no workloads" in capsys.readouterr().err
+
+    def test_submit_unknown_label_errors(self, tmp_path, capsys):
+        assert main(["submit", "bogus", "--spool",
+                     str(tmp_path / "s")]) == 2
+        assert "unknown workload label" in capsys.readouterr().err
+
+    def test_unknown_batch_status_errors(self, tmp_path, capsys):
+        assert main(["status", "nope", "--spool",
+                     str(tmp_path / "s")]) == 2
+        assert "unknown batch" in capsys.readouterr().err
 
 
 class TestArgs:
