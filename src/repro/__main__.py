@@ -17,6 +17,11 @@ Commands:
   label x policy batch into an on-disk spool, drain it (resuming after
   crashes, deduplicating against the run cache), and inspect batch
   progress or export per-job metrics JSONL.
+* ``bench`` — simulator throughput: ``bench kernel`` measures cycle-
+  kernel KIPS on the calibrated profiles, optionally comparing the
+  staged timing engine against the legacy single-step engine
+  (``--compare``) and gating against a checked-in baseline
+  (``--baseline``).
 * ``reproduce`` — regenerate paper tables/figures into a directory.
 """
 
@@ -275,6 +280,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     status_parser.add_argument("--json", action="store_true")
 
+    bench_parser = sub.add_parser(
+        "bench", help="simulator throughput benchmarks"
+    )
+    bench_sub = bench_parser.add_subparsers(
+        dest="bench_command", required=True
+    )
+    bkernel = bench_sub.add_parser(
+        "kernel", help="cycle-kernel KIPS (timing-core throughput)"
+    )
+    bkernel.add_argument(
+        "--compare", action="store_true",
+        help="also run the legacy single-step engine and report the "
+             "staged timing engine's speedup per label",
+    )
+    bkernel.add_argument(
+        "--labels", nargs="*", default=None,
+        help="profiles to measure (default: the four KIPS-gate profiles)",
+    )
+    bkernel.add_argument("--instructions", type=int, default=None)
+    bkernel.add_argument("--warmup", type=int, default=None)
+    bkernel.add_argument("--repeats", type=int, default=None)
+    bkernel.add_argument(
+        "--baseline", type=pathlib.Path, default=None,
+        help="BENCH_kernel.json to gate against (exit 1 on regression; "
+             "REPRO_KIPS_SCALE normalises the floors for host speed)",
+    )
+    bkernel.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write the JSON report to this file",
+    )
+    bkernel.add_argument("--json", action="store_true")
+
     repro_parser = sub.add_parser(
         "reproduce", help="regenerate paper tables/figures"
     )
@@ -313,6 +350,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "status":
         return _cmd_status(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "reproduce":
         return _cmd_reproduce(args)
     return 2  # pragma: no cover - argparse enforces the choices
@@ -844,6 +883,64 @@ def _cmd_status(args) -> int:
               f"{summary['pending']} pending, {summary['running']} running, "
               f"{summary['done']} done, {summary['failed']} failed")
     return 0
+
+
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.perf.envflag import env_float
+    from repro.perf.kernelbench import (
+        DEFAULT_INSTRUCTIONS,
+        DEFAULT_REPEATS,
+        DEFAULT_WARMUP,
+        check_against_reference,
+        run_kernel_bench,
+    )
+
+    reference = None
+    methodology = {}
+    if args.baseline is not None:
+        reference = json.loads(args.baseline.read_text())
+        methodology = reference.get("methodology", {})
+    report = run_kernel_bench(
+        labels=args.labels or None,
+        instructions=args.instructions
+        or methodology.get("instructions", DEFAULT_INSTRUCTIONS),
+        warmup=args.warmup or methodology.get("warmup", DEFAULT_WARMUP),
+        repeats=args.repeats or methodology.get("repeats", DEFAULT_REPEATS),
+        compare=args.compare,
+    )
+    failures = []
+    if reference is not None:
+        scale = env_float("REPRO_KIPS_SCALE", 1.0)
+        report["host_scale"] = scale
+        failures = check_against_reference(report, reference, scale=scale)
+        report["regressions"] = failures
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        m = report["methodology"]
+        print(f"=== cycle-kernel throughput "
+              f"({m['instructions']} + {m['warmup']} warmup instructions, "
+              f"best of {m['repeats']}) ===")
+        for label, kips in report["staged"].items():
+            line = f"  {label:26s} {kips:8.1f} KIPS"
+            if args.compare:
+                line += (f"  (single-step {report['single_step'][label]:.1f},"
+                         f" speedup {report['speedup'][label]:.2f}x)")
+            print(line)
+        print(f"  {'geomean':26s} {report['geomean']:8.1f} KIPS")
+        if args.compare:
+            print(f"  staged-engine geomean speedup: "
+                  f"{report['geomean_speedup']:.2f}x")
+        for failure in failures:
+            print(f"  REGRESSION: {failure}")
+        if args.out is not None:
+            print(f"report written to {args.out}")
+    return 1 if failures else 0
 
 
 def _cmd_reproduce(args) -> int:

@@ -25,7 +25,7 @@ class Checkpoint(NamedTuple):
     """Predictor state snapshot used for squash recovery."""
 
     ghist: int
-    ras: tuple
+    ras: list  # copy-on-write alias of the RAS storage
     ras_top: int
 
 
@@ -48,7 +48,12 @@ class BimodalTable:
 class TaggedTable:
     """One TAGE component: tagged entries with a useful bit."""
 
-    __slots__ = ("entries", "hist_len", "tags", "ctrs", "useful")
+    __slots__ = ("entries", "hist_len", "tags", "ctrs", "useful",
+                 "_hist_mask", "_idx_bits", "_idx_folds", "_tag_folds")
+
+    #: Fold-memo size cap; cleared (not evicted) when exceeded so the
+    #: memo cannot grow without bound over multi-million-cycle runs.
+    FOLD_CACHE_LIMIT = 1 << 16
 
     def __init__(self, entries: int, hist_len: int) -> None:
         self.entries = entries
@@ -56,10 +61,18 @@ class TaggedTable:
         self.tags = [0] * entries
         self.ctrs = [0] * entries  # signed [-4, 3]; >=0 means taken
         self.useful = [0] * entries
+        self._hist_mask = (1 << hist_len) - 1
+        self._idx_bits = entries.bit_length() - 1
+        # History folding memos.  Loops revisit the same few global
+        # histories constantly, and each lookup folds twice (index +
+        # tag) across four tables — memoising the pure fold function
+        # removes the inner xor loop from the front-end hot path.
+        self._idx_folds: dict = {}
+        self._tag_folds: dict = {}
 
     def _fold(self, ghist: int, bits: int) -> int:
         """Fold hist_len history bits down to *bits* via xor."""
-        hist = ghist & ((1 << self.hist_len) - 1)
+        hist = ghist & self._hist_mask
         folded = 0
         while hist:
             folded ^= hist & ((1 << bits) - 1)
@@ -67,11 +80,36 @@ class TaggedTable:
         return folded
 
     def index(self, pc: int, ghist: int) -> int:
-        bits = self.entries.bit_length() - 1
-        return (pc ^ self._fold(ghist, bits) ^ (pc >> bits)) % self.entries
+        bits = self._idx_bits
+        hist = ghist & self._hist_mask
+        folds = self._idx_folds
+        folded = folds.get(hist)
+        if folded is None:
+            folded = 0
+            h = hist
+            mask = (1 << bits) - 1
+            while h:
+                folded ^= h & mask
+                h >>= bits
+            if len(folds) >= self.FOLD_CACHE_LIMIT:
+                folds.clear()
+            folds[hist] = folded
+        return (pc ^ folded ^ (pc >> bits)) % self.entries
 
     def tag(self, pc: int, ghist: int) -> int:
-        return ((pc >> 2) ^ self._fold(ghist, 8) ^ self.hist_len) & 0xFF
+        hist = ghist & self._hist_mask
+        folds = self._tag_folds
+        folded = folds.get(hist)
+        if folded is None:
+            folded = 0
+            h = hist
+            while h:
+                folded ^= h & 0xFF
+                h >>= 8
+            if len(folds) >= self.FOLD_CACHE_LIMIT:
+                folds.clear()
+            folds[hist] = folded
+        return ((pc >> 2) ^ folded ^ self.hist_len) & 0xFF
 
 
 class TagePredictor:
@@ -79,17 +117,37 @@ class TagePredictor:
 
     HIST_LENGTHS = (8, 16, 32, 64)
 
+    #: Provider-memo size cap, cleared wholesale when exceeded.
+    PROVIDER_CACHE_LIMIT = 1 << 16
+
     def __init__(self, base_entries: int = 4096, table_entries: int = 1024) -> None:
         self.base = BimodalTable(base_entries)
         self.tables = [TaggedTable(table_entries, h) for h in self.HIST_LENGTHS]
+        # The provider search is pure in (pc, ghist) *given the table
+        # tags*, and tags change only in _allocate — so the search is
+        # memoised here and the memo invalidated on every allocation.
+        # predict() and update() see the same (pc, checkpointed-ghist)
+        # pair, making the second search a guaranteed hit.
+        self._provider_cache: dict = {}
 
     def _provider(self, pc: int, ghist: int):
         """Longest-history matching component, or None."""
+        cache = self._provider_cache
+        key = (pc, ghist)
+        try:
+            return cache[key]
+        except KeyError:
+            pass
+        found = None
         for table in reversed(self.tables):
             index = table.index(pc, ghist)
             if table.tags[index] == table.tag(pc, ghist):
-                return table, index
-        return None
+                found = (table, index)
+                break
+        if len(cache) >= self.PROVIDER_CACHE_LIMIT:
+            cache.clear()
+        cache[key] = found
+        return found
 
     def predict(self, pc: int, ghist: int) -> bool:
         found = self._provider(pc, ghist)
@@ -125,6 +183,7 @@ class TagePredictor:
                 table.tags[index] = table.tag(pc, ghist)
                 table.ctrs[index] = 0 if taken else -1
                 table.useful[index] = 0
+                self._provider_cache.clear()  # tags changed
                 return
         # Nothing allocatable: age the useful counters on that path.
         for table in self.tables[start:]:
@@ -153,14 +212,25 @@ class Btb:
 
 
 class ReturnAddressStack:
-    """Circular 32-entry RAS with full-state checkpointing."""
+    """Circular 32-entry RAS with full-state checkpointing.
+
+    Checkpoints are copy-on-write: ``snapshot`` hands out a reference
+    to the live storage (O(1) — one snapshot is taken per fetched
+    control instruction), and the next ``push`` clones the storage
+    first if any snapshot aliases it.  ``pop`` only moves ``top`` and
+    never mutates the storage, so it needs no copy.
+    """
 
     def __init__(self, entries: int = 32) -> None:
         self.entries = entries
         self.stack = [0] * entries
         self.top = 0
+        self._shared = False
 
     def push(self, address: int) -> None:
+        if self._shared:
+            self.stack = self.stack.copy()
+            self._shared = False
         self.top = (self.top + 1) % self.entries
         self.stack[self.top] = address
 
@@ -170,12 +240,16 @@ class ReturnAddressStack:
         return value
 
     def snapshot(self):
-        return tuple(self.stack), self.top
+        self._shared = True
+        return self.stack, self.top
 
     def restore(self, snapshot) -> None:
         stack, top = snapshot
-        self.stack = list(stack)
+        # The snapshot may still be aliased by other checkpoints:
+        # install it shared so the next push copies.
+        self.stack = stack
         self.top = top
+        self._shared = True
 
 
 def _sat(value: int, low: int, high: int) -> int:

@@ -16,43 +16,44 @@ Wrong-path instructions really execute here — they compute on stale
 registers, access the TLB and caches, and get squashed — which is what
 lets the Fig. 13 Flush+Reload experiment observe (or, under SpecMPK,
 fail to observe) the transient side channel.
+
+Since the staged-engine refactor this module is the *orchestration*
+layer only: the machine state lives in
+:class:`~repro.core.corestate.CoreState`, the per-stage logic in the
+free-function modules under :mod:`repro.core.stages`, the precompiled
+per-block schedules in :mod:`repro.core.schedule`, and the multi-cycle
+quiescent advance in :mod:`repro.core.fastpath`.  :class:`Simulator`
+subclasses ``CoreState`` so stage functions and user code see one flat
+namespace, and keeps the run loop, cosimulation, and invariant
+checking.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from heapq import heappop, heappush
-from operator import attrgetter
-from typing import Deque, Dict, List, Optional
+from typing import Dict, Optional
 
 from ..isa.emulator import ArchState, Emulator
-from ..isa.opcodes import Opcode
-from ..isa.program import Program
-from ..isa.registers import MASK64, NUM_REGS, to_u64
+from ..isa.program import CODE_BASE, Program
+from ..isa.registers import to_u64
 from ..memory.address_space import AddressSpace
-from ..memory.hierarchy import MemoryHierarchy
-from ..memory.tlb import Tlb
-from ..mpk.faults import MemoryFault, ProtectionFault, SegmentationFault
-from ..mpk.pkru import access_disabled
-from ..trace.collector import (
-    EventKind,
-    SquashCause,
-    StallKind,
-    TraceCollector,
-)
-from .branch_predictor import BranchPredictor
-from .config import CoreConfig, WrpkruPolicy
+from ..trace.collector import TraceCollector
+from .config import CoreConfig
+from .corestate import CoreState
 from .dynamic import DynInst
-from .register_file import PhysRegFile, RenameTables
-from .rob_pkru import SpecMpkUnit
+from .fastpath import idle_skip
 from .stats import SimResult, SimStats
+from .stages.commit import retire_stage
+from .stages.fetch import fetch_stage
+from .stages.issue import issue_stage
+from .stages.rename import rename_stage
+from .stages.writeback import writeback_stage
 
 
 class CosimMismatch(Exception):
     """The pipeline's committed state diverged from the golden emulator."""
 
 
-class Simulator:
+class Simulator(CoreState):
     """Cycle-level simulation of one program on the configured core.
 
     The machine starts from an arbitrary architectural state: by
@@ -73,109 +74,14 @@ class Simulator:
         trace: Optional[TraceCollector] = None,
         start_state: Optional[ArchState] = None,
     ) -> None:
-        self.program = program
-        #: Observability sink (:mod:`repro.trace`).  ``None`` disables
-        #: tracing; every hook below is then a single attribute test.
-        self.trace = trace
-        self.config = config or CoreConfig()
-        cfg = self.config
-
-        if start_state is None:
-            if address_space is None:
-                address_space = AddressSpace()
-                address_space.map_regions(program.regions)
-            start_state = ArchState(address_space, pkru=initial_pkru)
-            start_state.pc = program.entry
-        else:
-            if address_space is not None:
-                raise ValueError(
-                    "pass either start_state or address_space, not both"
-                )
-            address_space = start_state.memory
-        self.start_state = start_state
-        self.memory = address_space
-        self.hierarchy = MemoryHierarchy(
-            l1d=cfg.l1d,
-            l1i=cfg.l1i if cfg.model_icache else None,
-            l2=cfg.l2,
-            l3=cfg.l3,
-            dram_latency=cfg.dram_latency,
-            prefetch_next_line=cfg.prefetch_next_line,
+        super().__init__(
+            program,
+            config=config,
+            address_space=address_space,
+            initial_pkru=initial_pkru,
+            trace=trace,
+            start_state=start_state,
         )
-        self.tlb = Tlb(
-            address_space.page_table,
-            entries=cfg.tlb_entries,
-            walk_latency=cfg.tlb_walk_latency,
-        )
-
-        self.prf = PhysRegFile(cfg.phys_regs)
-        self.rename_tables = RenameTables(self.prf)
-        # Seed the start state's registers through the identity
-        # AMT/RMT mapping (r0 stays hardwired zero).
-        for lreg in range(1, NUM_REGS):
-            self.prf.values[lreg] = start_state.regs[lreg]
-        self.predictor = BranchPredictor(
-            btb_entries=cfg.btb_entries,
-            ras_entries=cfg.ras_entries,
-            kind=cfg.predictor,
-        )
-
-        # The SpecMPK unit doubles as the PKRU home for every policy;
-        # SERIALIZED simply never allocates ROB_pkru entries, and the
-        # NonSecure microarchitecture renames through an effectively
-        # unbounded buffer (the paper renames it via the main PRF).
-        policy = cfg.wrpkru_policy
-        window = cfg.rob_pkru_size if policy is WrpkruPolicy.SPECMPK else (
-            cfg.active_list_size
-        )
-        self.specmpk = SpecMpkUnit(window, initial_pkru=start_state.pkru)
-
-        # Pipeline structures.  The LQ/SQ are deques: retirement pops
-        # from the front, squash from the back — both O(1).
-        self.active_list: Deque[DynInst] = deque()
-        self.frontend: Deque[DynInst] = deque()
-        self.load_queue: Deque[DynInst] = deque()
-        self.store_queue: Deque[DynInst] = deque()
-        self.iq_count = 0
-        self.ready_heap: List = []  # (seq, DynInst)
-        self.mem_parked: List[DynInst] = []
-        #: Set when a store/lfence executes or retires, or a squash
-        #: happens — the only events that can unpark memory accesses.
-        self._mem_retry = False
-        self.events: Dict[int, List[DynInst]] = {}
-        self.inflight_lfences: List[int] = []
-
-        # Fetch state.
-        self.cycle = 0
-        self.fetch_pc = start_state.pc
-        self.fetch_resume_cycle = 0
-        self.fetch_stopped = False
-        self.next_seq = 0
-
-        # Serialization state (SERIALIZED policy).
-        self.serialize_block: Optional[DynInst] = None
-
-        self.stats = SimStats()
-        self._cycle_base = 0
-        self.halted = start_state.halted
-        self._fault: Optional[BaseException] = None
-        self._retired_this_run = 0
-
-        # Idle fast-skip savings (telemetry only — deliberately NOT in
-        # SimStats, whose contents are asserted bit-identical with the
-        # skip on vs off).
-        self.cycles_fast_skipped = 0
-        self.fast_skip_events = 0
-
-        # Lazy SpecMPK-unit occupancy histogram.  Occupancy only
-        # changes at WRPKRU allocate/retire/squash, so instead of
-        # sampling every cycle the tracker credits ``hist[value] +=
-        # cycles`` at each change (:meth:`_note_pkru_occ`) — matching
-        # the trace layer's end-of-cycle sampling bit-exactly at a cost
-        # proportional to WRPKRU events, not cycles.
-        self._pkru_occ_hist: Dict[int, int] = {}
-        self._pkru_occ_last = 0
-
         # The golden model checks every retire from the *same* start
         # state the core was built from: a shared-memory clone, so it
         # observes the words the core commits.  Lockstep requires
@@ -184,10 +90,10 @@ class Simulator:
         self._cosim = (
             Emulator(
                 program,
-                state=start_state.clone(share_memory=True),
+                state=self.start_state.clone(share_memory=True),
                 blocks=False,
             )
-            if cfg.cosimulate
+            if self.config.cosimulate
             else None
         )
 
@@ -237,123 +143,9 @@ class Simulator:
                 continue
             step()
 
-    def _idle_skip(self, max_cycles: int) -> int:
-        """Fast-forward the clock over fully idle cycles.
-
-        A cycle is idle when every stage would be a no-op: nothing can
-        retire (the Active List head is waiting on a scheduled
-        completion), nothing writes back this cycle, nothing is ready
-        to issue, rename is blocked by a cause only a future completion
-        can clear, and fetch is stalled.  Such stretches appear behind
-        long L2/DRAM misses and TLB walks; instead of stepping through
-        them one bookkeeping cycle at a time, jump the clock to the
-        next wakeup and credit the skipped cycles to exactly the
-        counters and top-down buckets per-cycle stepping would have
-        bumped — ``SimStats`` and the :mod:`repro.trace` accounting are
-        bit-identical either way (the tier-1 suite asserts this).
-
-        Returns the number of cycles skipped; 0 means "not idle, step
-        normally".
-        """
-        # Cheapest discriminators first: most cycles are busy and must
-        # bail out of this probe almost for free.
-        events = self.events
-        cycle = self.cycle
-        if cycle in events:
-            return 0  # a completion writes back this cycle
-        heap = self.ready_heap
-        while heap:
-            top = heap[0][1]
-            if top.squashed or top.issued:
-                heappop(heap)  # exactly what _issue would discard
-            else:
-                return 0  # something can issue
-        if self._mem_retry and self.mem_parked:
-            return 0  # parked memory accesses must be rescanned
-        tlb_flag = 0
-        active_list = self.active_list
-        if active_list:
-            head = active_list[0]
-            if head.completed:
-                return 0  # retirement proceeds
-            static = head.static
-            if head.replay_at_head and not head.replay_started:
-                return 0  # the head starts its non-speculative replay
-            if not head.executed and (
-                head.is_rdpkru or static.is_lfence or static.is_clflush
-            ):
-                return 0  # executes at the head this cycle
-            if (
-                (head.replay_at_head or head.replay_started)
-                and head.replay_reason == "tlb"
-            ):
-                tlb_flag = StallKind.TLB  # retire stage raises this flag
-        blocked = self._rename_blocked()
-        if blocked is None:
-            return 0  # rename makes progress
-        cfg = self.config
-        fetch_has_room = (
-            not self.fetch_stopped
-            and len(self.frontend) < 4 * cfg.fetch_width
-        )
-        if fetch_has_room and self.fetch_resume_cycle <= cycle:
-            return 0  # fetch makes progress
-
-        # Idle.  Wake at the next scheduled completion, or earlier if a
-        # time-driven stall (redirect penalty, front-end pipe depth)
-        # expires first.
-        wake = min(events) if events else max_cycles
-        if fetch_has_room and self.fetch_resume_cycle > cycle:
-            wake = min(wake, self.fetch_resume_cycle)
-        if self.frontend:
-            depth_ready = self.frontend[0].fetch_cycle + cfg.frontend_depth
-            if depth_ready > cycle:
-                wake = min(wake, depth_ready)
-        wake = min(wake, max_cycles)
-        skipped = wake - cycle
-        if skipped <= 0:
-            return 0
-
-        self.cycles_fast_skipped += skipped
-        self.fast_skip_events += 1
-        stat, flag = blocked
-        stats = self.stats
-        if stat is not None:
-            # The same rename-stall counter a per-cycle step would have
-            # bumped once per idle cycle.
-            setattr(stats, stat, getattr(stats, stat) + skipped)
-        self.cycle = wake
-        stats.cycles = wake - self._cycle_base
-        if self.trace is not None:
-            self.trace.skip_cycles(
-                cycle,
-                skipped,
-                int(flag | tlb_flag),
-                (
-                    len(self.frontend), len(active_list), self.iq_count,
-                    len(self.load_queue), len(self.store_queue),
-                    self.specmpk.occupancy,
-                ),
-            )
-        return skipped
-
-    def _rename_blocked(self):
-        """Why rename cannot proceed this cycle: (stat, flag) or None.
-
-        Mirrors the gate order of :meth:`_rename_dispatch` +
-        :meth:`_rename_gate` exactly; used only by the idle fast-skip,
-        which charges the returned counter once per skipped cycle.
-        """
-        if not self.frontend:
-            return ("rename_stall_empty", StallKind.FRONTEND_EMPTY)
-        inst = self.frontend[0]
-        if inst.fetch_cycle + self.config.frontend_depth > self.cycle:
-            return (None, StallKind.FRONTEND_EMPTY)
-        if self.serialize_block is not None:
-            return ("rename_stall_wrpkru", StallKind.WRPKRU_SERIALIZATION)
-        if len(self.active_list) >= self.config.active_list_size:
-            return ("rename_stall_al_full", StallKind.BACKEND_AL_FULL)
-        return self._rename_gate(inst.static)
+    #: Multi-cycle advance over provably idle stretches — the fast-path
+    #: layer (:func:`repro.core.fastpath.idle_skip`) bound as a method.
+    _idle_skip = idle_skip
 
     def reset_stats(self) -> None:
         """Start a fresh measurement window at the current cycle."""
@@ -365,23 +157,6 @@ class Simulator:
         self._pkru_occ_last = self.cycle
         if self.trace is not None:
             self.trace.reset_accounting()
-
-    def _note_pkru_occ(self) -> None:
-        """Credit the cycles since the last SpecMPK occupancy change.
-
-        Called immediately *before* any allocate/retire/squash on the
-        SpecMPK unit: cycles ``[last, now)`` ended with the current
-        (pre-change) occupancy.  The cycle the change happens in is
-        credited later with its end-of-cycle value, which is exactly
-        how the trace collector samples.
-        """
-        cycle = self.cycle
-        elapsed = cycle - self._pkru_occ_last
-        if elapsed > 0:
-            occupancy = self.specmpk.occupancy
-            hist = self._pkru_occ_hist
-            hist[occupancy] = hist.get(occupancy, 0) + elapsed
-        self._pkru_occ_last = cycle
 
     def specmpk_occupancy_histogram(self) -> Dict[int, int]:
         """``{occupancy: cycles}`` of the SpecMPK unit over the current
@@ -419,16 +194,16 @@ class Simulator:
         if trace is not None:
             this_cycle = self.cycle
             retired_before = self.stats.instructions_retired
-        self._retire()
+        retire_stage(self)
         if self.halted or self._fault is not None:
             self.stats.cycles = self.cycle + 1 - self._cycle_base
             if trace is not None:
                 self._trace_end_cycle(this_cycle, retired_before)
             return
-        self._writeback()
-        self._issue()
-        self._rename_dispatch()
-        self._fetch()
+        writeback_stage(self)
+        issue_stage(self)
+        rename_stage(self)
+        fetch_stage(self)
         self.cycle += 1
         self.stats.cycles = self.cycle - self._cycle_base
         if trace is not None:
@@ -449,900 +224,9 @@ class Simulator:
             self.specmpk.occupancy,
         )
 
-    # ------------------------------------------------------------------
-    # Fetch
-    # ------------------------------------------------------------------
-
     #: Byte address assigned to instruction slot 0 when the I-cache is
     #: modelled (16 instructions per 64-byte line at 4 B each).
-    CODE_BASE = 0x0100_0000
-
-    def _fetch(self) -> None:
-        cfg = self.config
-        if self.fetch_stopped or self.cycle < self.fetch_resume_cycle:
-            return
-        if len(self.frontend) >= 4 * cfg.fetch_width:
-            return  # decode buffer full
-        if cfg.model_icache:
-            # The whole fetch group pays the I-cache latency of its
-            # first line; a miss stalls fetch for the extra cycles.
-            latency = self.hierarchy.fetch_access(
-                self.CODE_BASE + 4 * self.fetch_pc
-            )
-            extra = latency - (self.hierarchy.l1i.latency
-                               if self.hierarchy.l1i else 0)
-            if extra > 0:
-                self.fetch_resume_cycle = self.cycle + extra
-                return
-        fetch = self.program.fetch
-        append = self.frontend.append
-        trace = self.trace
-        stats = self.stats
-        cycle = self.cycle
-        seq = self.next_seq
-        fetched = 0
-        while fetched < cfg.fetch_width:
-            static = fetch(self.fetch_pc)
-            if static is None:
-                # Wrong-path fetch off the program edge: bubble until a
-                # squash redirects us (correct paths end in HALT).
-                self.fetch_stopped = True
-                break
-            inst = DynInst(static, seq, cycle)
-            seq += 1
-            append(inst)
-            if trace is not None:
-                trace.event(cycle, EventKind.FETCH, inst)
-            fetched += 1
-            if static.is_halt:
-                self.fetch_stopped = True
-                break
-            if static.is_control:
-                if self._predict(inst):
-                    break  # taken control flow ends the fetch group
-            else:
-                self.fetch_pc += 1
-        self.next_seq = seq
-        stats.instructions_fetched += fetched
-
-    def _predict(self, inst: DynInst) -> bool:
-        """Predict a control instruction; return True when fetch redirects."""
-        static = inst.static
-        predictor = self.predictor
-        inst.ghist_checkpoint = predictor.checkpoint()
-        op = static.opcode
-        if op is Opcode.JMP:
-            inst.predicted_taken, inst.predicted_target = True, static.imm
-        elif op is Opcode.CALL:
-            pred = predictor.predict_call(static.pc, static.imm)
-            inst.predicted_taken, inst.predicted_target = True, pred.target
-        elif op is Opcode.CALLR:
-            pred = predictor.predict_call(static.pc, None)
-            target = pred.target if pred.target is not None else static.pc + 1
-            inst.predicted_taken, inst.predicted_target = True, target
-        elif op is Opcode.RET:
-            pred = predictor.predict_return()
-            inst.predicted_taken, inst.predicted_target = True, pred.target
-        elif op is Opcode.JR:
-            pred = predictor.predict_indirect(static.pc)
-            target = pred.target if pred.target is not None else static.pc + 1
-            inst.predicted_taken, inst.predicted_target = True, target
-        else:  # conditional branch
-            pred = predictor.predict_conditional(static.pc)
-            inst.predicted_taken = pred.taken
-            inst.predicted_target = pred.target if pred.taken else static.pc + 1
-
-        if inst.predicted_taken and inst.predicted_target != static.pc + 1:
-            self.fetch_pc = inst.predicted_target
-            return True
-        self.fetch_pc = static.pc + 1
-        return False
-
-    # ------------------------------------------------------------------
-    # Rename / dispatch
-    # ------------------------------------------------------------------
-
-    def _rename_dispatch(self) -> None:
-        cfg = self.config
-        trace = self.trace
-        frontend = self.frontend
-        active_list = self.active_list
-        cycle = self.cycle
-        depth = cfg.frontend_depth
-        al_size = cfg.active_list_size
-        rename_one = self._rename_one
-        renamed = 0
-        while renamed < cfg.rename_width:
-            if not frontend:
-                self.stats.rename_stall_empty += renamed == 0
-                if trace is not None and renamed == 0:
-                    trace.stall(StallKind.FRONTEND_EMPTY)
-                return
-            inst = frontend[0]
-            if inst.fetch_cycle + depth > cycle:
-                if trace is not None and renamed == 0:
-                    trace.stall(StallKind.FRONTEND_EMPTY)
-                return  # still in the front-end pipe
-            if self.serialize_block is not None:
-                self.stats.rename_stall_wrpkru += 1
-                if trace is not None:
-                    trace.stall(StallKind.WRPKRU_SERIALIZATION)
-                return
-            if len(active_list) >= al_size:
-                self.stats.rename_stall_al_full += 1
-                if trace is not None:
-                    trace.stall(StallKind.BACKEND_AL_FULL)
-                return
-            if not rename_one(inst):
-                return
-            if trace is not None:
-                trace.event(cycle, EventKind.DECODE, inst)
-                trace.event(cycle, EventKind.RENAME, inst)
-                trace.event(cycle, EventKind.DISPATCH, inst)
-            frontend.popleft()
-            renamed += 1
-
-    def _rename_gate(self, static) -> Optional[tuple]:
-        """Structural reason *static* cannot rename: (stat, flag) or None.
-
-        Shared by :meth:`_rename_one` (which charges the returned
-        counter once) and the idle fast-skip (which charges it once per
-        skipped cycle); the check order is the stepping order and must
-        stay that way.
-        """
-        cfg = self.config
-        if static.is_wrpkru:
-            if cfg.wrpkru_policy is WrpkruPolicy.SERIALIZED:
-                if self.active_list:
-                    # Drain: WRPKRU renames only once it is the oldest.
-                    return ("rename_stall_wrpkru",
-                            StallKind.WRPKRU_SERIALIZATION)
-            elif self.specmpk.full:
-                return ("rename_stall_rob_pkru_full", StallKind.ROB_PKRU_FULL)
-        if static.is_load and len(self.load_queue) >= cfg.load_queue_size:
-            return ("rename_stall_lsq_full", StallKind.BACKEND_LSQ_FULL)
-        if static.is_store and len(self.store_queue) >= cfg.store_queue_size:
-            return ("rename_stall_lsq_full", StallKind.BACKEND_LSQ_FULL)
-        if static.needs_iq and self.iq_count >= cfg.issue_queue_size:
-            return ("rename_stall_iq_full", StallKind.BACKEND_IQ_FULL)
-        if static.eff_dst is not None and self.rename_tables.free_count == 0:
-            return ("rename_stall_no_preg", StallKind.BACKEND_NO_PREG)
-        return None
-
-    def _rename_one(self, inst: DynInst) -> bool:
-        """Rename and dispatch one instruction; False means stall."""
-        static = inst.static
-        policy = self.config.wrpkru_policy
-        specmpk = self.specmpk
-
-        gate = self._rename_gate(static)
-        if gate is not None:
-            stat, flag = gate
-            stats = self.stats
-            setattr(stats, stat, getattr(stats, stat) + 1)
-            if self.trace is not None:
-                self.trace.stall(flag)
-            return False
-
-        ldst = static.eff_dst
-
-        # PKRU dependence: the ROB_pkru tag this consumer waits on.
-        if policy.renames_pkru and (
-            static.is_memory or static.is_wrpkru or static.is_rdpkru
-        ):
-            inst.pkru_dep = specmpk.current_dep()
-
-        if static.is_wrpkru:
-            self.stats.wrpkru_dispatched += 1
-            if policy is WrpkruPolicy.SERIALIZED:
-                self.serialize_block = inst
-            else:
-                self._note_pkru_occ()
-                inst.rob_pkru_id = specmpk.allocate().uid
-
-        # Register rename.
-        rename_tables = self.rename_tables
-        rmt = rename_tables.rmt
-        prf = self.prf
-        lsrc1 = static.eff_src1
-        if lsrc1 is not None:
-            inst.psrc1 = rmt[lsrc1]
-        lsrc2 = static.eff_src2
-        if lsrc2 is not None:
-            inst.psrc2 = rmt[lsrc2]
-        if ldst is not None:
-            # Inlined RenameTables.allocate (free list checked by the
-            # gate above).
-            inst.ldst = ldst
-            inst.pdst = pdst = rename_tables.free_list.pop()
-            rmt[ldst] = pdst
-            prf.ready[pdst] = False
-
-        inst.pkru_mark = specmpk._next_uid
-        self.active_list.append(inst)
-        if static.is_load:
-            self.load_queue.append(inst)
-        elif static.is_store:
-            self.store_queue.append(inst)
-        if static.is_lfence:
-            self.inflight_lfences.append(inst.seq)
-
-        inst.dispatched = True
-        if not static.needs_iq:
-            self._fast_complete(inst)
-            return True
-
-        # Dispatch into the issue queue with wakeup registration.
-        self.iq_count += 1
-        inst.in_iq = True
-        ready = prf.ready
-        waits = 0
-        psrc1 = inst.psrc1
-        if psrc1 is not None and not ready[psrc1]:
-            prf.add_waiter(psrc1, inst)
-            waits += 1
-        psrc2 = inst.psrc2
-        if psrc2 is not None and not ready[psrc2]:
-            prf.add_waiter(psrc2, inst)
-            waits += 1
-        if inst.pkru_dep is not None:
-            entry = specmpk.lookup(inst.pkru_dep)
-            if entry is not None and not entry.executed:
-                entry.waiters.append(inst)
-                waits += 1
-        inst.waiting_on = waits
-        if waits == 0:
-            heappush(self.ready_heap, (inst.seq, inst))
-        return True
-
-    def _fast_complete(self, inst: DynInst) -> None:
-        """NOP/HALT/JMP/CALL/LFENCE/RDPKRU shortcuts that skip the IQ."""
-        op = inst.static.opcode
-        if op is Opcode.CALL:
-            # Target is known at fetch; the only work is writing RA.
-            self._write_dest(inst, inst.pc + 1)
-            inst.executed = inst.completed = True
-        elif op in (Opcode.NOP, Opcode.HALT, Opcode.JMP):
-            inst.executed = inst.completed = True
-        # LFENCE and RDPKRU execute at the head of the Active List.
-
-    # ------------------------------------------------------------------
-    # Issue / execute
-    # ------------------------------------------------------------------
-
-    def _issue(self) -> None:
-        if not self.ready_heap and not self.mem_parked:
-            return
-        budget = self.config.issue_width
-        # Retry accesses parked on memory ordering or fences (oldest
-        # first) — but only when an unblocking event occurred.
-        if self.mem_parked and self._mem_retry:
-            still_parked = []
-            exhausted = False
-            for inst in self.mem_parked:
-                if inst.squashed:
-                    continue
-                if budget <= 0:
-                    exhausted = True
-                    still_parked.append(inst)
-                elif self._try_execute_mem(inst):
-                    budget -= 1
-                else:
-                    still_parked.append(inst)
-            self.mem_parked = still_parked
-            if not exhausted:
-                # Every candidate was examined; wait for the next
-                # unblocking event before rescanning.
-                self._mem_retry = False
-        heap = self.ready_heap
-        while budget > 0 and heap:
-            _, inst = heappop(heap)
-            if inst.squashed or inst.issued:
-                continue
-            if inst.is_memory:
-                if not self._try_execute_mem(inst):
-                    self.mem_parked.append(inst)
-                    continue
-            else:
-                self._execute_alu_or_branch(inst)
-            budget -= 1
-
-    def _try_execute_mem(self, inst: DynInst) -> bool:
-        """Route a ready load/store to execution; False parks it."""
-        if not self._older_lfences_done(inst):
-            return False
-        if inst.is_load:
-            return self._try_execute_load(inst)
-        self._execute_store(inst)
-        return True
-
-    def _older_lfences_done(self, inst: DynInst) -> bool:
-        fences = self.inflight_lfences
-        if not fences:
-            return True
-        seq = inst.seq
-        return not any(fence < seq for fence in fences)
-
-    def _mark_issued(self, inst: DynInst) -> None:
-        inst.issued = True
-        if inst.in_iq:
-            inst.in_iq = False
-            self.iq_count -= 1
-        if self.trace is not None:
-            self.trace.event(self.cycle, EventKind.ISSUE, inst)
-
-    def _schedule(self, inst: DynInst, latency: int) -> None:
-        if latency < 1:
-            latency = 1
-        when = self.cycle + latency
-        inst.complete_cycle = when
-        events = self.events
-        pending = events.get(when)
-        if pending is None:
-            events[when] = [inst]
-        else:
-            pending.append(inst)
-        if self.trace is not None:
-            self.trace.event(self.cycle, EventKind.EXECUTE, inst,
-                             info=latency)
-
-    # -- ALU / control / WRPKRU / CLFLUSH ------------------------------------
-
-    def _execute_alu_or_branch(self, inst: DynInst) -> None:
-        static = inst.static
-        self._mark_issued(inst)
-
-        alu = static.alu_eval
-        values = self.prf.values
-        if alu is not None:
-            a = values[inst.psrc1] if inst.psrc1 is not None else 0
-            b = (
-                values[inst.psrc2]
-                if inst.psrc2 is not None
-                else (static.imm or 0)
-            )
-            inst.result = alu(a, b) & MASK64
-        elif static.is_control:
-            self._resolve_branch_outcome(inst)
-        else:
-            op = static.opcode
-            if op is Opcode.LI:
-                inst.result = to_u64(static.imm)
-            elif op is Opcode.LUI:
-                inst.result = to_u64((static.imm or 0) << 16)
-            elif op is Opcode.MOV:
-                inst.result = values[inst.psrc1]
-            elif op is Opcode.WRPKRU:
-                inst.wrpkru_value = values[inst.psrc1]
-            else:  # pragma: no cover - dispatch covers every opcode
-                raise NotImplementedError(f"issue of {op}")
-
-        self._schedule(inst, static.latency)
-
-    def _resolve_branch_outcome(self, inst: DynInst) -> None:
-        static = inst.static
-        branch = static.branch_eval
-        values = self.prf.values
-        if branch is not None:
-            inst.actual_taken = taken = bool(
-                branch(values[inst.psrc1], values[inst.psrc2])
-            )
-            inst.actual_target = static.imm if taken else static.pc + 1
-        elif static.is_indirect:
-            inst.actual_taken = True
-            inst.actual_target = values[inst.psrc1]
-            if static.is_call:  # CALLR additionally writes RA
-                inst.result = inst.pc + 1
-        else:  # pragma: no cover
-            raise NotImplementedError(f"branch resolve of {static.opcode}")
-        predicted = (
-            inst.predicted_target if inst.predicted_taken else inst.pc + 1
-        )
-        actual = inst.actual_target if inst.actual_taken else inst.pc + 1
-        inst.mispredicted = predicted != actual
-
-    # -- memory ---------------------------------------------------------------
-
-    def _translate(self, inst: DynInst, address: int):
-        """TLB probe for *address*; returns (entry, latency) or a stall.
-
-        A miss under SpecMPK conservatively stalls the access until the
-        Active List head (SSV-C5); other policies pay the walk latency
-        and fill the TLB speculatively.
-        """
-        cfg = self.config
-        entry = self.tlb.lookup(address)
-        if entry is not None:
-            return entry, 0
-        walked = self.tlb.walk(address)
-        if walked is None:
-            return None, 0  # unmapped (wrong path or real segfault)
-        if cfg.wrpkru_policy is WrpkruPolicy.SPECMPK and cfg.stall_on_tlb_miss:
-            self.stats.tlb_miss_stalls += 1
-            return "stall", 0
-        self.tlb.fill(address, walked)
-        return walked, self.tlb.walk_latency
-
-    def _try_execute_load(self, inst: DynInst) -> bool:
-        """Attempt to execute a load; False parks it on memory ordering."""
-        # Memory ordering: every older store must have its address —
-        # unless memory-dependence speculation is on, in which case the
-        # load proceeds and a later conflicting store squashes it.
-        if not self.config.memory_dependence_speculation:
-            for store in self.store_queue:
-                if store.seq >= inst.seq:
-                    break
-                if not store.squashed and store.address is None:
-                    return False
-        if not self._older_lfences_done(inst):
-            return False
-
-        static = inst.static
-        address = (self.prf.values[inst.psrc1] + (static.imm or 0)) & MASK64
-        inst.address = address
-        self._mark_issued(inst)
-        policy = self.config.wrpkru_policy
-
-        if address % 8 != 0:
-            self._complete_load(inst, 0, 1, fault=_alignment(address, "read"))
-            return True
-
-        entry, extra = self._translate(inst, address)
-        if entry is None:
-            self._complete_load(
-                inst, 0, 1, fault=SegmentationFault(address, "read")
-            )
-            return True
-        if entry == "stall":
-            self._stall_to_head(inst, reason="tlb")
-            return True
-        inst.pkey = entry.pkey
-        inst.tlb_entry = entry
-
-        if not entry.readable:
-            self._complete_load(
-                inst, 0, 1, fault=ProtectionFault(address, "read", entry.pkey,
-                                                  "page not readable")
-            )
-            return True
-
-        if (
-            self.config.load_security == "dom"
-            and not self.hierarchy.is_cached(address)
-        ):
-            # Delay-on-miss [43]: any speculatively issued load that
-            # would change cache state waits until it is non-squashable.
-            self.stats.loads_stalled_by_check += 1
-            self._stall_to_head(inst)
-            return True
-
-        if policy is WrpkruPolicy.SPECMPK:
-            if not self.specmpk.load_check(entry.pkey):
-                # PKRU Load Check failed: stall until non-squashable.
-                self.stats.loads_stalled_by_check += 1
-                self._stall_to_head(inst)
-                return True
-        else:
-            check_pkru = (
-                self.specmpk.arf
-                if policy is WrpkruPolicy.SERIALIZED
-                else self.specmpk.speculative_value(inst.pkru_dep)
-            )
-            if access_disabled(check_pkru, entry.pkey):
-                self._complete_load(
-                    inst, 0, 1,
-                    fault=ProtectionFault(address, "read", entry.pkey,
-                                          "PKRU access-disable"),
-                )
-                return True
-
-        # Store-to-load forwarding: youngest older store with a match.
-        for store in reversed(self.store_queue):
-            if store.seq >= inst.seq or store.squashed:
-                continue
-            if store.address == address:
-                if store.forwarding_disabled:
-                    # SpecMPK: forwarding blocked; execute at the head.
-                    self._stall_to_head(inst)
-                    return True
-                self.stats.load_forwardings += 1
-                inst.forwarded_from = store
-                self._complete_load(inst, store.mem_value, 1 + extra)
-                return True
-
-        # Fill provenance: an L1D miss here means this (speculatively
-        # issued) load installs a new line — the state change a
-        # Flush+Reload receiver can observe.  If the load is later
-        # squashed, _trim_younger reclassifies the fill as wrong-path.
-        l1d_stats = self.hierarchy.l1d.stats
-        misses_before = l1d_stats.misses
-        latency = self.hierarchy.access(address) + extra
-        if l1d_stats.misses != misses_before:
-            inst.caused_fill = True
-            self.stats.spec_fills += 1
-        value = self.memory.peek(address)
-        self._complete_load(inst, value, latency)
-        return True
-
-    def _complete_load(self, inst, value, latency, fault=None) -> None:
-        inst.mem_value = value
-        inst.result = value
-        inst.latency = latency
-        inst.fault = fault
-        self._schedule(inst, latency)
-
-    def _stall_to_head(self, inst: DynInst, reason: str = "check") -> None:
-        """Mark a memory access for non-speculative replay at retirement.
-
-        *reason* records why (``"tlb"`` for a TLB miss under SpecMPK,
-        ``"check"`` for a failed PKRU check or delay-on-miss) so the
-        top-down report can attribute the resulting head-of-AL stall
-        cycles to the right bucket.
-        """
-        inst.replay_at_head = True
-        inst.replay_reason = reason
-        if self.config.defer_tlb_update:
-            self.tlb.note_deferred_fill()
-            self.stats.tlb_fills_deferred += 1
-
-    def _execute_store(self, inst: DynInst) -> None:
-        static = inst.static
-        self._mark_issued(inst)
-        values = self.prf.values
-        inst.address = (values[inst.psrc1] + (static.imm or 0)) & MASK64
-        inst.mem_value = values[inst.psrc2]
-        policy = self.config.wrpkru_policy
-
-        extra = 0
-        if inst.address % 8 == 0:
-            entry, extra = self._translate(inst, inst.address)
-            if entry == "stall":
-                # TLB-missing store: pKey unknown, so conservatively
-                # disable forwarding; protection re-evaluated at head.
-                inst.forwarding_disabled = True
-                inst.replay_at_head = True
-                inst.replay_reason = "tlb"
-                entry = None
-                extra = 0
-            if entry is not None:
-                inst.pkey = entry.pkey
-                inst.tlb_entry = entry
-                if policy is WrpkruPolicy.SPECMPK and not self.specmpk.store_check(
-                    entry.pkey
-                ):
-                    # PKRU Store Check failed: no store-to-load
-                    # forwarding from this entry (SSV-C2).
-                    inst.forwarding_disabled = True
-                    self.stats.stores_forwarding_disabled += 1
-        if self.config.memory_dependence_speculation:
-            self._detect_memory_order_violation(inst)
-        # The store's address is now known: parked loads may proceed.
-        self._mem_retry = True
-        # Architectural permission/alignment outcomes resolve at retire.
-        self._schedule(inst, 1 + extra)
-
-    def _detect_memory_order_violation(self, store: DynInst) -> None:
-        """A store just learned its address: any younger load that
-        already executed against the same address read a stale value."""
-        for load in self.load_queue:
-            if load.seq < store.seq or load.squashed:
-                continue
-            if (
-                load.issued
-                and not load.replay_at_head
-                and load.address == store.address
-                and load.forwarded_from is not store
-            ):
-                self._squash_memory_order(load)
-                return
-
-    # ------------------------------------------------------------------
-    # Writeback / branch resolution
-    # ------------------------------------------------------------------
-
-    def _writeback(self) -> None:
-        pending = self.events.pop(self.cycle, None)
-        if not pending:
-            return
-        pending.sort(key=_by_seq)
-        mispredicts: List[DynInst] = []
-        for inst in pending:
-            if inst.squashed:
-                continue
-            self._finish(inst)
-            if inst.mispredicted:
-                mispredicts.append(inst)
-        for branch in mispredicts:
-            if not branch.squashed:
-                self._squash_after(branch)
-
-    def _finish(self, inst: DynInst) -> None:
-        static = inst.static
-        inst.executed = True
-        inst.completed = True
-        if self.trace is not None:
-            self.trace.event(self.cycle, EventKind.WRITEBACK, inst)
-        if inst.is_store:
-            self._mem_retry = True
-        if static.is_wrpkru and inst.rob_pkru_id is not None:
-            entry = self.specmpk.lookup(inst.rob_pkru_id)
-            waiters = self.specmpk.execute(entry, inst.wrpkru_value)
-            self._wake(waiters)
-        if static.is_control:
-            self._train_predictor(inst)
-        if inst.pdst is not None and inst.result is not None:
-            self._write_dest(inst, inst.result)
-        if inst.replay_at_head:
-            inst.completed = False  # must re-execute at the head
-
-    def _write_dest(self, inst: DynInst, value: int) -> None:
-        waiters = self.prf.write(inst.pdst, to_u64(value))
-        self._wake(waiters)
-
-    def _wake(self, waiters) -> None:
-        heap = self.ready_heap
-        for waiter in waiters:
-            if waiter.squashed or waiter.issued:
-                continue
-            waiter.waiting_on -= 1
-            if waiter.waiting_on == 0 and waiter.dispatched:
-                heappush(heap, (waiter.seq, waiter))
-
-    def _train_predictor(self, inst: DynInst) -> None:
-        static = inst.static
-        if static.is_conditional_branch:
-            self.predictor.train_conditional(
-                static.pc, inst.ghist_checkpoint.ghist,
-                inst.actual_taken, inst.actual_target,
-            )
-        elif static.is_indirect:
-            self.predictor.train_indirect(static.pc, inst.actual_target)
-
-    # ------------------------------------------------------------------
-    # Squash
-    # ------------------------------------------------------------------
-
-    def _squash_after(self, branch: DynInst) -> None:
-        """Squash everything younger than *branch* and redirect fetch."""
-        self.stats.squashes += 1
-        self.stats.branch_mispredicts += 1
-        if self.trace is not None:
-            self.trace.note_squash(
-                self.cycle, SquashCause.BRANCH_MISPREDICT,
-                recovery=self.config.redirect_penalty
-                + self.config.frontend_depth,
-            )
-        self._trim_younger(branch.seq, SquashCause.BRANCH_MISPREDICT)
-        # Roll the PKRU window back to the branch's rename point.
-        self._note_pkru_occ()
-        self.specmpk.squash_younger_than(branch.pkru_mark - 1)
-        self.rename_tables.recover(self.active_list)
-
-        # Repair predictor state, then re-apply the branch's outcome.
-        self.predictor.restore(branch.ghist_checkpoint)
-        static = branch.static
-        if static.is_conditional_branch:
-            self.predictor._speculate_history(branch.actual_taken)
-        elif static.is_call:  # CALLR (direct calls never mispredict)
-            self.predictor.ras.push(branch.pc + 1)
-        elif static.is_return:
-            self.predictor.ras.pop()
-
-        self._redirect_fetch(
-            branch.actual_target if branch.actual_taken else branch.pc + 1
-        )
-
-    def _squash_memory_order(self, victim: DynInst) -> None:
-        """Memory-order violation: squash from the mis-speculated load
-        (inclusive) and refetch it."""
-        self.stats.squashes += 1
-        self.stats.memory_order_squashes += 1
-        if self.trace is not None:
-            self.trace.note_squash(
-                self.cycle, SquashCause.MEMORY_ORDER,
-                recovery=self.config.redirect_penalty
-                + self.config.frontend_depth,
-            )
-        squashed = self._trim_younger(victim.seq - 1, SquashCause.MEMORY_ORDER)
-        self._note_pkru_occ()
-        self.specmpk.squash_younger_than(victim.pkru_mark - 1)
-        self.rename_tables.recover(self.active_list)
-        # Restore the predictor to the oldest squashed control
-        # instruction's checkpoint (it will refetch and re-predict).
-        for inst in squashed:
-            if inst.ghist_checkpoint is not None:
-                self.predictor.restore(inst.ghist_checkpoint)
-                break
-        self._redirect_fetch(victim.pc)
-
-    def _trim_younger(self, boundary_seq: int,
-                      cause: Optional[SquashCause] = None):
-        """Squash every AL entry with seq > *boundary_seq*; returns the
-        squashed instructions oldest-first."""
-        squashed = []
-        trace = self.trace
-        cause_name = cause.value if cause is not None else None
-        while self.active_list and self.active_list[-1].seq > boundary_seq:
-            victim = self.active_list.pop()
-            victim.squashed = True
-            squashed.append(victim)
-            self.stats.instructions_squashed += 1
-            if victim.issued or victim.executed:
-                self.stats.instructions_wrongpath_executed += 1
-                if victim.caused_fill:
-                    self.stats.wrongpath_fills += 1
-            if trace is not None:
-                trace.event(self.cycle, EventKind.SQUASH, victim,
-                            info=cause_name)
-            if victim.in_iq:
-                victim.in_iq = False
-                self.iq_count -= 1
-            if victim.is_load and self.load_queue and self.load_queue[-1] is victim:
-                self.load_queue.pop()
-            if victim.is_store and self.store_queue and self.store_queue[-1] is victim:
-                self.store_queue.pop()
-            if victim.static.is_lfence:
-                self.inflight_lfences.remove(victim.seq)
-            if victim.is_wrpkru:
-                self.stats.wrpkru_squashed += 1
-                if self.serialize_block is victim:  # pragma: no cover
-                    self.serialize_block = None
-        squashed.reverse()
-        return squashed
-
-    def _redirect_fetch(self, target: int) -> None:
-        self._mem_retry = True
-        self.frontend.clear()
-        self.fetch_pc = target
-        self.fetch_stopped = False
-        self.fetch_resume_cycle = self.cycle + self.config.redirect_penalty
-        self.mem_parked = [inst for inst in self.mem_parked if not inst.squashed]
-
-    # ------------------------------------------------------------------
-    # Retire
-    # ------------------------------------------------------------------
-
-    def _retire(self) -> None:
-        active_list = self.active_list
-        trace = self.trace
-        commit_width = self.config.commit_width
-        retired = 0
-        while retired < commit_width and active_list:
-            inst = active_list[0]
-            if not inst.completed:
-                if (
-                    trace is not None
-                    and (inst.replay_at_head or inst.replay_started)
-                    and inst.replay_reason == "tlb"
-                ):
-                    # Head blocked on a deferred TLB fill / walk.
-                    trace.stall(StallKind.TLB)
-                if inst.replay_at_head and not inst.replay_started:
-                    self._start_replay(inst)
-                elif inst.is_rdpkru and not inst.executed:
-                    inst.result = self.specmpk.arf
-                    self._write_dest(inst, inst.result)
-                    self._mark_issued(inst)
-                    inst.executed = inst.completed = True
-                    self.stats.rdpkru_retired += 1
-                    continue  # retire it this same cycle
-                elif inst.static.is_lfence and not inst.executed:
-                    self._mark_issued(inst)
-                    inst.executed = inst.completed = True
-                    self.inflight_lfences.remove(inst.seq)
-                    self._mem_retry = True
-                    continue
-                elif inst.static.is_clflush and not inst.executed:
-                    # CLFLUSH executes non-speculatively at the head: it
-                    # is ordered after older stores to the same line (as
-                    # on x86) and cannot pollute caches on wrong paths.
-                    base = self.prf.read(inst.psrc1)
-                    inst.address = to_u64(base + (inst.static.imm or 0))
-                    self.hierarchy.clflush(inst.address)
-                    self._mark_issued(inst)
-                    inst.executed = inst.completed = True
-                    continue
-                break
-            if inst.fault is not None:
-                self._commit_fault(inst)
-                return
-            if not self._commit(inst):
-                return
-            retired += 1
-
-    def _start_replay(self, inst: DynInst) -> None:
-        """Non-speculative re-execution of a stalled access at the head."""
-        inst.replay_started = True
-        self.stats.loads_replayed_at_head += 1
-        address = inst.address
-        entry = self.tlb.lookup(address)
-        extra = 0
-        if entry is None:
-            entry = self.tlb.walk(address)
-            if entry is None:
-                inst.fault = SegmentationFault(
-                    address, "read" if inst.is_load else "write"
-                )
-                inst.completed = True
-                return
-            extra = self.tlb.walk_latency
-            self.tlb.fill(address, entry)  # non-speculative TLB update
-        inst.pkey = entry.pkey
-        inst.tlb_entry = entry
-
-        if inst.is_load:
-            arf = self.specmpk.arf
-            if not entry.readable or access_disabled(arf, entry.pkey):
-                # Precise non-speculative access control (SSIX-A).
-                inst.fault = ProtectionFault(
-                    address, "read", entry.pkey, "PKRU access-disable"
-                )
-                inst.completed = True
-                return
-            # Any conflicting older store has retired by now (the load
-            # is at the head), so memory holds the architectural value.
-            latency = self.hierarchy.access(address) + extra
-            value = self.memory.peek(address)
-            inst.replay_at_head = False
-            self._complete_load(inst, value, latency)
-        else:
-            # Store protection is re-evaluated architecturally at commit.
-            inst.replay_at_head = False
-            inst.completed = True
-
-    def _commit_fault(self, inst: DynInst) -> None:
-        self._fault = inst.fault
-        self.halted = False
-
-    def _commit(self, inst: DynInst) -> bool:
-        """Apply architectural effects; False when retirement must stop."""
-        static = inst.static
-        stats = self.stats
-        if static.is_store:
-            try:
-                self.memory.store(inst.address, inst.mem_value, self.specmpk.arf)
-            except MemoryFault as fault:
-                inst.fault = fault
-                self._commit_fault(inst)
-                return False
-            self.hierarchy.access(inst.address)
-            if inst.tlb_entry is not None and not self.tlb.contains(inst.address):
-                self.tlb.fill(inst.address, inst.tlb_entry)
-            stats.stores_retired += 1
-            self._mem_retry = True
-        elif static.is_load:
-            stats.loads_retired += 1
-            if self.config.record_load_latencies:
-                stats.load_latency_trace.append((inst.address, inst.latency))
-        elif static.is_wrpkru:
-            if inst.rob_pkru_id is not None:
-                self._note_pkru_occ()
-                self.specmpk.retire_head()
-            else:
-                self.specmpk.arf = inst.wrpkru_value & 0xFFFFFFFF
-                self.serialize_block = None
-            stats.wrpkru_retired += 1
-        elif static.is_control:
-            stats.branches_retired += 1
-
-        if inst.pdst is not None:
-            self.rename_tables.commit(inst.ldst, inst.pdst)
-
-        if self.trace is not None:
-            self.trace.event(self.cycle, EventKind.RETIRE, inst)
-        self.active_list.popleft()
-        if static.is_load:
-            self.load_queue.popleft()
-        elif static.is_store:
-            self.store_queue.popleft()
-
-        stats.instructions_retired += 1
-        if self._cosim is not None:
-            self._check_cosim(inst)
-        if static.is_halt:
-            self.halted = True
-            return False
-        return True
+    CODE_BASE = CODE_BASE
 
     # ------------------------------------------------------------------
     # Validation
@@ -1389,13 +273,3 @@ class Simulator:
         assert self.iq_count >= 0
         seqs = [inst.seq for inst in self.active_list]
         assert seqs == sorted(seqs), "Active List out of order"
-
-
-#: Writeback orders same-cycle completions oldest-first.
-_by_seq = attrgetter("seq")
-
-
-def _alignment(address: int, access: str):
-    from ..mpk.faults import AlignmentFault
-
-    return AlignmentFault(address, access)

@@ -1,0 +1,25 @@
+"""Pipeline stages of the staged timing engine.
+
+Each module implements one stage of the out-of-order core as free
+functions over a shared :class:`~repro.core.corestate.CoreState`:
+
+* :mod:`.fetch` — instruction fetch and branch prediction, driven by
+  the precompiled block schedules when the static schedule layer is on.
+* :mod:`.rename` — rename/dispatch, the structural-hazard gate, and
+  the no-issue shortcuts.
+* :mod:`.issue` — wakeup/select scheduling and ALU/branch execution.
+* :mod:`.memory` — address translation, the PKRU load/store checks,
+  store-to-load forwarding, and memory-order speculation.
+* :mod:`.writeback` — completion, wakeup plumbing, and predictor
+  training.
+* :mod:`.squash` — misprediction and memory-order recovery.
+* :mod:`.commit` — in-order retirement, non-speculative replay at the
+  head, and architectural commit.
+
+The split exists so each stage can be independently fast-pathed (the
+fast-path layer in :mod:`repro.core.fastpath` bypasses whole stages for
+provably quiescent cycles) without entangling the others.  Import
+layering is strictly acyclic:
+``squash < writeback < memory < issue/commit``; fetch and rename are
+leaves.
+"""

@@ -1,0 +1,192 @@
+"""Commit: in-order retirement and architectural state update.
+
+The retire stage drains the Active List head up to the commit width:
+completed instructions commit their architectural effects (stores write
+memory with the *architectural* PKRU, WRPKRU retires its ROB_pkru
+entry, rename mappings are committed); incomplete heads may instead
+start their non-speculative replay (SpecMPK's stalled loads/stores,
+SSV-C5) or execute the at-the-head-only operations (RDPKRU, LFENCE,
+CLFLUSH).  Faults become architectural only here — precise exceptions.
+"""
+
+from __future__ import annotations
+
+from ...isa.registers import to_u64
+from ...mpk.faults import MemoryFault, ProtectionFault, SegmentationFault
+from ...mpk.pkru import access_disabled
+from ...trace.collector import EventKind, StallKind
+from ..corestate import CoreState, note_pkru_occ
+from ..dynamic import DynInst
+from .memory import complete_load
+from .writeback import mark_issued, write_dest
+
+_RETIRE = EventKind.RETIRE
+_TLB_STALL = StallKind.TLB
+
+
+def retire_stage(core: CoreState) -> None:
+    active_list = core.active_list
+    trace = core.trace
+    stats = core.stats
+    cycle = core.cycle
+    commit_width = core.config.commit_width
+    # Safe to hoist: recovery (which rebinds free_list) never runs
+    # inside retirement.
+    rename_tables = core.rename_tables
+    amt = rename_tables.amt
+    free_list = rename_tables.free_list
+    retired = 0
+    while retired < commit_width and active_list:
+        inst = active_list[0]
+        if not inst.completed:
+            if (
+                trace is not None
+                and (inst.replay_at_head or inst.replay_started)
+                and inst.replay_reason == "tlb"
+            ):
+                # Head blocked on a deferred TLB fill / walk.
+                trace.stall(_TLB_STALL)
+            if inst.replay_at_head and not inst.replay_started:
+                start_replay(core, inst)
+            elif inst.is_rdpkru and not inst.executed:
+                inst.result = core.specmpk.arf
+                write_dest(core, inst, inst.result)
+                mark_issued(core, inst)
+                inst.executed = inst.completed = True
+                core.stats.rdpkru_retired += 1
+                continue  # retire it this same cycle
+            elif inst.static.is_lfence and not inst.executed:
+                mark_issued(core, inst)
+                inst.executed = inst.completed = True
+                core.inflight_lfences.remove(inst.seq)
+                core._mem_retry = True
+                continue
+            elif inst.static.is_clflush and not inst.executed:
+                # CLFLUSH executes non-speculatively at the head: it
+                # is ordered after older stores to the same line (as
+                # on x86) and cannot pollute caches on wrong paths.
+                base = core.prf.read(inst.psrc1)
+                inst.address = to_u64(base + (inst.static.imm or 0))
+                core.hierarchy.clflush(inst.address)
+                mark_issued(core, inst)
+                inst.executed = inst.completed = True
+                continue
+            break
+        if inst.fault is not None:
+            commit_fault(core, inst)
+            return
+
+        # Inlined commit: apply architectural effects (this block runs
+        # once per retired instruction; ``return`` when retirement must
+        # stop).
+        static = inst.static
+        if static.is_store:
+            try:
+                core.memory.store(
+                    inst.address, inst.mem_value, core.specmpk.arf
+                )
+            except MemoryFault as fault:
+                inst.fault = fault
+                commit_fault(core, inst)
+                return
+            core.hierarchy.access(inst.address)
+            if inst.tlb_entry is not None and not core.tlb.contains(
+                inst.address
+            ):
+                core.tlb.fill(inst.address, inst.tlb_entry)
+            stats.stores_retired += 1
+            # Retired: memory now holds the value; drop the
+            # forwarding index entry.
+            fwd = core._fwd_stores
+            peers = fwd[inst.address]
+            if len(peers) == 1:
+                del fwd[inst.address]
+            else:
+                peers.remove(inst)
+            core._mem_retry = True
+        elif static.is_load:
+            stats.loads_retired += 1
+            if core.config.record_load_latencies:
+                stats.load_latency_trace.append(
+                    (inst.address, inst.latency)
+                )
+        elif static.is_wrpkru:
+            if inst.rob_pkru_id is not None:
+                note_pkru_occ(core)
+                core.specmpk.retire_head()
+            else:
+                core.specmpk.arf = inst.wrpkru_value & 0xFFFFFFFF
+                core.serialize_block = None
+            stats.wrpkru_retired += 1
+        elif static.is_control:
+            stats.branches_retired += 1
+
+        pdst = inst.pdst
+        if pdst is not None:
+            # Inlined RenameTables.commit.
+            ldst = inst.ldst
+            free_list.append(amt[ldst])
+            amt[ldst] = pdst
+
+        if trace is not None:
+            trace.event(cycle, _RETIRE, inst)
+        active_list.popleft()
+        if static.is_load:
+            core.load_queue.popleft()
+        elif static.is_store:
+            core.store_queue.popleft()
+
+        stats.instructions_retired += 1
+        if core._cosim is not None:
+            core._check_cosim(inst)
+        if static.is_halt:
+            core.halted = True
+            return
+        retired += 1
+
+
+def start_replay(core: CoreState, inst: DynInst) -> None:
+    """Non-speculative re-execution of a stalled access at the head."""
+    inst.replay_started = True
+    core.stats.loads_replayed_at_head += 1
+    address = inst.address
+    tlb = core.tlb
+    entry = tlb.lookup(address)
+    extra = 0
+    if entry is None:
+        entry = tlb.walk(address)
+        if entry is None:
+            inst.fault = SegmentationFault(
+                address, "read" if inst.is_load else "write"
+            )
+            inst.completed = True
+            return
+        extra = tlb.walk_latency
+        tlb.fill(address, entry)  # non-speculative TLB update
+    inst.pkey = entry.pkey
+    inst.tlb_entry = entry
+
+    if inst.is_load:
+        arf = core.specmpk.arf
+        if not entry.readable or access_disabled(arf, entry.pkey):
+            # Precise non-speculative access control (SSIX-A).
+            inst.fault = ProtectionFault(
+                address, "read", entry.pkey, "PKRU access-disable"
+            )
+            inst.completed = True
+            return
+        # Any conflicting older store has retired by now (the load
+        # is at the head), so memory holds the architectural value.
+        latency = core.hierarchy.access(address) + extra
+        value = core.memory.peek(address)
+        inst.replay_at_head = False
+        complete_load(core, inst, value, latency)
+    else:
+        # Store protection is re-evaluated architecturally at commit.
+        inst.replay_at_head = False
+        inst.completed = True
+
+
+def commit_fault(core: CoreState, inst: DynInst) -> None:
+    core._fault = inst.fault
+    core.halted = False

@@ -1,0 +1,161 @@
+"""Issue/execute: wakeup-select scheduling and ALU/branch execution.
+
+Pops ready instructions oldest-first off the ready heap (up to the
+issue width), retries memory accesses parked on ordering or fences when
+an unblocking event occurred, and executes ALU/control/WRPKRU
+operations against the physical register file.  The ALU/branch path is
+fused into the select loop (with mark-issued and the completion-
+calendar insert inlined): it runs once per executed non-memory dynamic
+instruction, wrong paths included.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop
+
+from ...isa.opcodes import Opcode
+from ...isa.registers import MASK64, to_u64
+from ...trace.collector import EventKind
+from ..corestate import CoreState
+from ..dynamic import DynInst
+from .memory import execute_store, try_execute_load
+
+_ISSUE_EVENT = EventKind.ISSUE
+_EXECUTE_EVENT = EventKind.EXECUTE
+_LI = Opcode.LI
+_LUI = Opcode.LUI
+_MOV = Opcode.MOV
+_WRPKRU = Opcode.WRPKRU
+
+
+def issue_stage(core: CoreState) -> None:
+    heap = core.ready_heap
+    if not heap and not core.mem_parked:
+        return
+    budget = core.config.issue_width
+    fences = core.inflight_lfences
+    unknown = core._unknown_stores
+    memdep = core._memdep_spec
+    # Retry accesses parked on memory ordering or fences (oldest
+    # first) — but only when an unblocking event occurred.  The
+    # try_execute_mem gates are inlined (fences and the unknown-store
+    # list mutate in place, so the aliases stay fresh as parked stores
+    # execute mid-loop).
+    if core.mem_parked and core._mem_retry:
+        still_parked = []
+        exhausted = False
+        for inst in core.mem_parked:
+            if inst.squashed:
+                continue
+            if budget <= 0:
+                exhausted = True
+                still_parked.append(inst)
+            elif fences and fences[0] < inst.seq:
+                still_parked.append(inst)
+            elif inst.is_load:
+                if (not memdep) and unknown and unknown[0] < inst.seq:
+                    still_parked.append(inst)
+                elif try_execute_load(core, inst):
+                    budget -= 1
+                else:
+                    still_parked.append(inst)
+            else:
+                execute_store(core, inst)
+                budget -= 1
+        core.mem_parked = still_parked
+        if not exhausted:
+            # Every candidate was examined; wait for the next
+            # unblocking event before rescanning.
+            core._mem_retry = False
+    values = core.prf.values
+    trace = core.trace
+    cycle = core.cycle
+    events = core.events
+    while budget > 0 and heap:
+        _, inst = heappop(heap)
+        if inst.squashed or inst.issued:
+            continue
+        if inst.is_memory:
+            # Inlined try_execute_mem (the LFENCE gate + the
+            # conservative ordering gate + load/store dispatch) — one
+            # to two calls saved per issued memory access.
+            if fences and fences[0] < inst.seq:
+                core.mem_parked.append(inst)
+                continue
+            if inst.is_load:
+                if (not memdep) and unknown and unknown[0] < inst.seq:
+                    core.mem_parked.append(inst)
+                    continue
+                if not try_execute_load(core, inst):
+                    core.mem_parked.append(inst)
+                    continue
+            else:
+                execute_store(core, inst)
+        else:
+            # Inlined execute-ALU-or-branch (mark_issued + the
+            # completion insert included).
+            static = inst.static
+            inst.issued = True
+            if inst.in_iq:
+                inst.in_iq = False
+                core.iq_count -= 1
+            alu = static.alu_eval
+            if alu is not None:
+                a = values[inst.psrc1] if inst.psrc1 is not None else 0
+                b = (
+                    values[inst.psrc2]
+                    if inst.psrc2 is not None
+                    else (static.imm or 0)
+                )
+                inst.result = alu(a, b) & MASK64
+            elif static.is_control:
+                resolve_branch_outcome(core, inst)
+            else:
+                op = static.opcode
+                if op is _LI:
+                    inst.result = to_u64(static.imm)
+                elif op is _LUI:
+                    inst.result = to_u64((static.imm or 0) << 16)
+                elif op is _MOV:
+                    inst.result = values[inst.psrc1]
+                elif op is _WRPKRU:
+                    inst.wrpkru_value = values[inst.psrc1]
+                else:  # pragma: no cover - dispatch covers every opcode
+                    raise NotImplementedError(f"issue of {op}")
+            latency = static.latency
+            if latency < 1:
+                latency = 1
+            when = cycle + latency
+            inst.complete_cycle = when
+            pending = events.get(when)
+            if pending is None:
+                events[when] = [inst]
+            else:
+                pending.append(inst)
+            if trace is not None:
+                trace.event(cycle, _ISSUE_EVENT, inst)
+                trace.event(cycle, _EXECUTE_EVENT, inst, info=latency)
+        budget -= 1
+
+
+def resolve_branch_outcome(core: CoreState, inst: DynInst) -> None:
+    static = inst.static
+    branch = static.branch_eval
+    values = core.prf.values
+    if branch is not None:
+        inst.actual_taken = taken = bool(
+            branch(values[inst.psrc1], values[inst.psrc2])
+        )
+        inst.actual_target = static.imm if taken else static.pc + 1
+    elif static.is_indirect:
+        inst.actual_taken = True
+        inst.actual_target = values[inst.psrc1]
+        if static.is_call:  # CALLR additionally writes RA
+            inst.result = inst.pc + 1
+    else:  # pragma: no cover
+        raise NotImplementedError(f"branch resolve of {static.opcode}")
+    predicted = (
+        inst.predicted_target if inst.predicted_taken else inst.pc + 1
+    )
+    actual = inst.actual_target if inst.actual_taken else inst.pc + 1
+    inst.mispredicted = predicted != actual

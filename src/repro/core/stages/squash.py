@@ -1,0 +1,137 @@
+"""Squash and recovery: misprediction and memory-order violations.
+
+Squashes are initiated from two stages — writeback (a resolved branch
+turned out mispredicted) and memory (a store discovered a younger load
+read stale data) — and both funnel through :func:`trim_younger`, which
+walks the Active List tail, and :func:`redirect_fetch`, which restarts
+the front end.  Wrong-path fill provenance (``wrongpath_fills``) is
+reclassified here: a squashed load that installed a cache line is the
+transient state change the Flush+Reload experiment observes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...trace.collector import EventKind, SquashCause
+from ..corestate import CoreState, note_pkru_occ
+from ..dynamic import DynInst
+
+_SQUASH_EVENT = EventKind.SQUASH
+
+
+def squash_after(core: CoreState, branch: DynInst) -> None:
+    """Squash everything younger than *branch* and redirect fetch."""
+    core.stats.squashes += 1
+    core.stats.branch_mispredicts += 1
+    if core.trace is not None:
+        core.trace.note_squash(
+            core.cycle, SquashCause.BRANCH_MISPREDICT,
+            recovery=core.config.redirect_penalty
+            + core.config.frontend_depth,
+        )
+    trim_younger(core, branch.seq, SquashCause.BRANCH_MISPREDICT)
+    # Roll the PKRU window back to the branch's rename point.
+    note_pkru_occ(core)
+    core.specmpk.squash_younger_than(branch.pkru_mark - 1)
+    core.rename_tables.recover(core.active_list)
+
+    # Repair predictor state, then re-apply the branch's outcome.
+    predictor = core.predictor
+    predictor.restore(branch.ghist_checkpoint)
+    static = branch.static
+    if static.is_conditional_branch:
+        predictor._speculate_history(branch.actual_taken)
+    elif static.is_call:  # CALLR (direct calls never mispredict)
+        predictor.ras.push(branch.pc + 1)
+    elif static.is_return:
+        predictor.ras.pop()
+
+    redirect_fetch(
+        core,
+        branch.actual_target if branch.actual_taken else branch.pc + 1,
+    )
+
+
+def squash_memory_order(core: CoreState, victim: DynInst) -> None:
+    """Memory-order violation: squash from the mis-speculated load
+    (inclusive) and refetch it."""
+    core.stats.squashes += 1
+    core.stats.memory_order_squashes += 1
+    if core.trace is not None:
+        core.trace.note_squash(
+            core.cycle, SquashCause.MEMORY_ORDER,
+            recovery=core.config.redirect_penalty
+            + core.config.frontend_depth,
+        )
+    squashed = trim_younger(core, victim.seq - 1, SquashCause.MEMORY_ORDER)
+    note_pkru_occ(core)
+    core.specmpk.squash_younger_than(victim.pkru_mark - 1)
+    core.rename_tables.recover(core.active_list)
+    # Restore the predictor to the oldest squashed control
+    # instruction's checkpoint (it will refetch and re-predict).
+    for inst in squashed:
+        if inst.ghist_checkpoint is not None:
+            core.predictor.restore(inst.ghist_checkpoint)
+            break
+    redirect_fetch(core, victim.pc)
+
+
+def trim_younger(core: CoreState, boundary_seq: int,
+                 cause: Optional[SquashCause] = None):
+    """Squash every AL entry with seq > *boundary_seq*; returns the
+    squashed instructions oldest-first."""
+    squashed = []
+    trace = core.trace
+    stats = core.stats
+    active_list = core.active_list
+    load_queue = core.load_queue
+    store_queue = core.store_queue
+    cause_name = cause.value if cause is not None else None
+    while active_list and active_list[-1].seq > boundary_seq:
+        victim = active_list.pop()
+        victim.squashed = True
+        squashed.append(victim)
+        stats.instructions_squashed += 1
+        if victim.issued or victim.executed:
+            stats.instructions_wrongpath_executed += 1
+            if victim.caused_fill:
+                stats.wrongpath_fills += 1
+        if trace is not None:
+            trace.event(core.cycle, _SQUASH_EVENT, victim, info=cause_name)
+        if victim.in_iq:
+            victim.in_iq = False
+            core.iq_count -= 1
+        if victim.is_load and load_queue and load_queue[-1] is victim:
+            load_queue.pop()
+        if victim.is_store:
+            if store_queue and store_queue[-1] is victim:
+                store_queue.pop()
+            if victim.address is None:
+                # Never executed: still in the unknown-address list.
+                core._unknown_stores.remove(victim.seq)
+            else:
+                # Executed: indexed for forwarding; drop it.
+                fwd = core._fwd_stores
+                peers = fwd[victim.address]
+                if len(peers) == 1:
+                    del fwd[victim.address]
+                else:
+                    peers.remove(victim)
+        if victim.static.is_lfence:
+            core.inflight_lfences.remove(victim.seq)
+        if victim.is_wrpkru:
+            stats.wrpkru_squashed += 1
+            if core.serialize_block is victim:  # pragma: no cover
+                core.serialize_block = None
+    squashed.reverse()
+    return squashed
+
+
+def redirect_fetch(core: CoreState, target: int) -> None:
+    core._mem_retry = True
+    core.frontend.clear()
+    core.fetch_pc = target
+    core.fetch_stopped = False
+    core.fetch_resume_cycle = core.cycle + core.config.redirect_penalty
+    core.mem_parked = [inst for inst in core.mem_parked if not inst.squashed]

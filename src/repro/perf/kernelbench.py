@@ -1,0 +1,164 @@
+"""Cycle-kernel throughput measurement (``repro bench kernel``).
+
+One shared implementation of the KIPS methodology (thousand simulated
+instructions per wall-clock second, best-of-N repeats at the bench
+budgets) used by both the CLI subcommand and the CI regression gate in
+``benchmarks/test_bench_kernel.py``.  The ``compare`` mode runs every
+profile twice — once on the staged timing engine (precompiled per-block
+schedules, the default) and once on the legacy single-step engine — and
+reports the per-label and geomean speedup, which is how the staged
+engine's win is measured on the current host rather than trusted from a
+checked-in number.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+#: The four calibrated profiles of the KIPS gate (see
+#: ``benchmarks/results/BENCH_kernel.json``).
+DEFAULT_LABELS = (
+    "505.mcf_r (SS)",
+    "429.mcf (CPI)",
+    "520.omnetpp_r (SS)",
+    "548.exchange2_r (SS)",
+)
+DEFAULT_INSTRUCTIONS = 12_000
+DEFAULT_WARMUP = 4_000
+DEFAULT_REPEATS = 3
+
+
+def timed_run(label: str, instructions: int, warmup: int,
+              staged: bool = True):
+    """One kernel run; returns ``(stats, elapsed_seconds)``.
+
+    *staged* selects the timing engine: the precompiled per-block
+    schedule front end (default) or, when False, the legacy
+    single-step front end the schedules replaced.
+    """
+    from ..core.config import CoreConfig, WrpkruPolicy
+    from ..core.pipeline import Simulator
+    from ..workloads.generator import build_workload
+    from ..workloads.instrument import InstrumentMode
+    from ..workloads.profiles import profile_by_label
+
+    workload = build_workload(
+        profile_by_label(label), InstrumentMode.PROTECTED
+    )
+    config = CoreConfig(wrpkru_policy=WrpkruPolicy.SPECMPK)
+    sim = Simulator(
+        workload.program, config, initial_pkru=workload.initial_pkru
+    )
+    if not staged:
+        sim.schedule = None
+    sim.prewarm_tlb()
+    start = time.perf_counter()
+    result = sim.run(
+        max_cycles=200 * (instructions + warmup),
+        max_instructions=instructions,
+        warmup_instructions=warmup,
+    )
+    elapsed = time.perf_counter() - start
+    if result.fault is not None:  # pragma: no cover - calibrated profiles
+        raise RuntimeError(f"{label} faulted during the bench: {result.fault}")
+    return result.stats, elapsed
+
+
+def measure_kips(label: str, instructions: int = DEFAULT_INSTRUCTIONS,
+                 warmup: int = DEFAULT_WARMUP,
+                 repeats: int = DEFAULT_REPEATS,
+                 staged: bool = True) -> float:
+    """Best-of-*repeats* KIPS for one profile."""
+    best = min(
+        timed_run(label, instructions, warmup, staged=staged)[1]
+        for _ in range(repeats)
+    )
+    return (instructions + warmup) / best / 1_000.0
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = list(values)
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_kernel_bench(
+    labels: Optional[Sequence[str]] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    warmup: int = DEFAULT_WARMUP,
+    repeats: int = DEFAULT_REPEATS,
+    compare: bool = False,
+) -> Dict:
+    """Measure KIPS for every label; optionally both engines.
+
+    Returns a JSON-ready report.  With *compare*, the ``single_step``
+    section holds the legacy engine's numbers and ``speedup`` the
+    staged engine's advantage per label and as a geomean.
+    """
+    labels = list(labels or DEFAULT_LABELS)
+    # Discard one run so process warm-up (imports, allocator) does not
+    # systematically penalise whichever engine is measured first — the
+    # comparison below is only meaningful from a warm process.
+    timed_run(labels[0], min(instructions, 2_000), min(warmup, 500))
+    report: Dict = {
+        "unit": "KIPS",
+        "methodology": {
+            "policy": "specmpk",
+            "mode": "protected",
+            "instructions": instructions,
+            "warmup": warmup,
+            "repeats": repeats,
+            "aggregation": "best-of-repeats",
+        },
+        "staged": {},
+    }
+    for label in labels:
+        report["staged"][label] = round(
+            measure_kips(label, instructions, warmup, repeats), 2
+        )
+    report["geomean"] = round(geomean(report["staged"].values()), 2)
+    if compare:
+        report["single_step"] = {
+            label: round(
+                measure_kips(label, instructions, warmup, repeats,
+                             staged=False), 2
+            )
+            for label in labels
+        }
+        report["speedup"] = {
+            label: round(
+                report["staged"][label] / report["single_step"][label], 2
+            )
+            for label in labels
+        }
+        report["geomean_speedup"] = round(
+            geomean(report["speedup"].values()), 2
+        )
+    return report
+
+
+def check_against_reference(report: Dict, reference: Dict,
+                            scale: float = 1.0) -> List[str]:
+    """Regression check against a ``BENCH_kernel.json`` document.
+
+    Returns human-readable failure strings — empty means the measured
+    numbers clear every floor.  The floor per label is the checked-in
+    optimized KIPS, scaled for host speed, minus the checked-in
+    tolerance; labels absent from the measurement are skipped so a
+    subset bench (``--labels``) still gates what it measured.
+    """
+    tolerance = reference.get("regression_tolerance", 0.2)
+    failures = []
+    for label, checked_in in reference["optimized_kips"].items():
+        measured = report["staged"].get(label)
+        if measured is None:
+            continue
+        floor = checked_in * scale * (1 - tolerance)
+        if measured < floor:
+            failures.append(
+                f"{label}: {measured:.1f} KIPS < floor {floor:.1f} "
+                f"(reference {checked_in:.1f} x scale {scale} "
+                f"x (1 - {tolerance:.0%}))"
+            )
+    return failures

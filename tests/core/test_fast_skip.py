@@ -129,3 +129,95 @@ def test_check_invariants_disables_fast_skip():
     sim.step_cycle = _counting_step
     sim.run(max_cycles=100_000, max_instructions=500)
     assert stepped == sim.cycle  # every cycle stepped, none skipped
+
+
+def _counted_run(sim):
+    """Run *sim* at the bench budgets, counting Python-level steps."""
+    stepped = 0
+    original = sim.step_cycle
+
+    def _counting_step():
+        nonlocal stepped
+        stepped += 1
+        original()
+
+    sim.step_cycle = _counting_step
+    result = sim.run(
+        max_cycles=200 * (INSTRUCTIONS + WARMUP),
+        max_instructions=INSTRUCTIONS,
+        warmup_instructions=WARMUP,
+    )
+    return result, stepped
+
+
+def test_skip_telemetry_accounts_for_every_cycle():
+    """The fast-path layer's own telemetry must reconcile with the
+    clock: stepped cycles plus skipped cycles is the final cycle
+    count, and each skip event covers at least one cycle."""
+    workload = build_workload(
+        profile_by_label("429.mcf (CPI)"), InstrumentMode.PROTECTED
+    )
+    config = CoreConfig(
+        wrpkru_policy=WrpkruPolicy.SPECMPK, idle_fast_skip=True
+    )
+    sim = Simulator(
+        workload.program, config, initial_pkru=workload.initial_pkru
+    )
+    sim.prewarm_tlb()
+    result, stepped = _counted_run(sim)
+    assert result.fault is None
+    assert sim.fast_skip_events > 0
+    assert sim.cycles_fast_skipped >= sim.fast_skip_events
+    # reset_stats at the warmup boundary zeroes the telemetry, so the
+    # invariant holds over the measurement window only: every cycle of
+    # the window was either stepped or credited to a skip event.
+    window_cycles = sim.cycle - sim._cycle_base
+    assert window_cycles == result.stats.cycles
+    assert sim.cycles_fast_skipped < window_cycles
+    assert stepped + sim.cycles_fast_skipped >= window_cycles
+
+
+def test_skip_telemetry_stays_out_of_simstats():
+    """The skip counters are telemetry, not statistics: SimStats is
+    asserted bit-identical with the fast path on or off, so the
+    savings counters must never leak into it."""
+    workload = build_workload(
+        profile_by_label("429.mcf (CPI)"), InstrumentMode.PROTECTED
+    )
+    sim = Simulator(
+        workload.program,
+        CoreConfig(idle_fast_skip=True),
+        initial_pkru=workload.initial_pkru,
+    )
+    sim.run(max_cycles=10_000, max_instructions=200)
+    for field in ("cycles_fast_skipped", "fast_skip_events"):
+        assert not hasattr(sim.stats, field)
+        assert hasattr(sim, field)
+
+
+@pytest.mark.parametrize("policy", list(WrpkruPolicy))
+def test_legacy_engine_shares_fast_path(policy):
+    """Both timing engines go through the same fast-path layer
+    (repro.core.fastpath.idle_skip): with the staged schedule pinned
+    off, the skip still engages and is still a pure optimization."""
+
+    def _legacy(fast_skip):
+        workload = build_workload(
+            profile_by_label("429.mcf (CPI)"), InstrumentMode.PROTECTED
+        )
+        config = CoreConfig(wrpkru_policy=policy, idle_fast_skip=fast_skip)
+        sim = Simulator(
+            workload.program, config, initial_pkru=workload.initial_pkru
+        )
+        sim.schedule = None  # the legacy single-step front end
+        sim.prewarm_tlb()
+        result, stepped = _counted_run(sim)
+        assert result.fault is None
+        return result.stats, sim, stepped
+
+    on_stats, on_sim, on_stepped = _legacy(True)
+    off_stats, off_sim, _ = _legacy(False)
+    assert _observable(on_stats, None) == _observable(off_stats, None)
+    assert on_sim.fast_skip_events > 0
+    assert on_stepped < on_sim.cycle
+    assert off_sim.fast_skip_events == 0

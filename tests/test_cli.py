@@ -305,3 +305,64 @@ class TestCompile:
                      "--policy", "all"]) == 0
         out = capsys.readouterr().out
         assert out.count("main() = 9") == 3
+
+
+class TestBench:
+    """The ``bench kernel`` subcommand (staged-engine throughput)."""
+
+    ARGS = ["bench", "kernel", "--labels", "548.exchange2_r (SS)",
+            "--instructions", "800", "--warmup", "200", "--repeats", "1"]
+
+    def test_kernel_bench_reports_kips(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "548.exchange2_r (SS)" in out
+        assert "KIPS" in out
+        assert "geomean" in out
+
+    def test_compare_runs_both_engines(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "compare.json"
+        assert main(self.ARGS + ["--compare", "--json",
+                                 "--out", str(out_file)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report == json.loads(out_file.read_text())
+        label = "548.exchange2_r (SS)"
+        assert report["staged"][label] > 0
+        assert report["single_step"][label] > 0
+        assert report["speedup"][label] == pytest.approx(
+            report["staged"][label] / report["single_step"][label],
+            rel=0.02,
+        )
+        assert report["geomean_speedup"] > 0
+
+    def _baseline(self, tmp_path, floor):
+        import json
+
+        path = tmp_path / "BENCH_kernel.json"
+        path.write_text(json.dumps({
+            "optimized_kips": {"548.exchange2_r (SS)": floor},
+            "regression_tolerance": 0.2,
+        }))
+        return path
+
+    def test_baseline_gate_passes_above_floor(self, tmp_path, capsys):
+        baseline = self._baseline(tmp_path, floor=0.001)
+        assert main(self.ARGS + ["--baseline", str(baseline)]) == 0
+        assert "REGRESSION" not in capsys.readouterr().out
+
+    def test_baseline_gate_fails_below_floor(self, tmp_path, capsys,
+                                             monkeypatch):
+        monkeypatch.delenv("REPRO_KIPS_SCALE", raising=False)
+        baseline = self._baseline(tmp_path, floor=1e9)
+        assert main(self.ARGS + ["--baseline", str(baseline)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_kips_scale_normalises_the_floor(self, tmp_path, capsys,
+                                             monkeypatch):
+        """A slow host exports REPRO_KIPS_SCALE < 1: the same reference
+        floor that fails at scale 1.0 passes once normalised."""
+        baseline = self._baseline(tmp_path, floor=1e9)
+        monkeypatch.setenv("REPRO_KIPS_SCALE", "1e-12")
+        assert main(self.ARGS + ["--baseline", str(baseline)]) == 0
