@@ -311,6 +311,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the JSON report to this file",
     )
     bkernel.add_argument("--json", action="store_true")
+    bkernel.add_argument(
+        "--profile", action="store_true",
+        help="add a cProfile breakdown per pipeline stage to the "
+             "report (separate instrumented runs; does not affect the "
+             "KIPS numbers)",
+    )
 
     repro_parser = sub.add_parser(
         "reproduce", help="regenerate paper tables/figures"
@@ -894,6 +900,7 @@ def _cmd_bench(args) -> int:
         DEFAULT_REPEATS,
         DEFAULT_WARMUP,
         check_against_reference,
+        profile_kernel_bench,
         run_kernel_bench,
     )
 
@@ -910,6 +917,13 @@ def _cmd_bench(args) -> int:
         repeats=args.repeats or methodology.get("repeats", DEFAULT_REPEATS),
         compare=args.compare,
     )
+    if args.profile:
+        report["profile"] = profile_kernel_bench(
+            labels=args.labels or None,
+            instructions=args.instructions
+            or methodology.get("instructions", DEFAULT_INSTRUCTIONS),
+            warmup=args.warmup or methodology.get("warmup", DEFAULT_WARMUP),
+        )
     failures = []
     if reference is not None:
         scale = env_float("REPRO_KIPS_SCALE", 1.0)
@@ -936,6 +950,11 @@ def _cmd_bench(args) -> int:
         if args.compare:
             print(f"  staged-engine geomean speedup: "
                   f"{report['geomean_speedup']:.2f}x")
+        if args.profile:
+            print("  --- stage breakdown (cProfile self time) ---")
+            for stage, entry in report["profile"]["stages"].items():
+                print(f"  {stage:26s} {entry['seconds']:8.3f} s "
+                      f"({entry['percent']:.1f}%)")
         for failure in failures:
             print(f"  REGRESSION: {failure}")
         if args.out is not None:

@@ -32,12 +32,13 @@ def measure_reload_latencies(sim: Simulator, attack: AttackProgram) -> List[int]
     """Reload phase: probe latency of every probe-array slot.
 
     Uses the non-mutating probe so earlier measurements do not perturb
-    later ones (the simulated attacker would use rdtsc-timed loads).
+    later ones (the simulated attacker would use rdtsc-timed loads);
+    non-mutation is also what makes the batched sweep legal — element
+    order provably cannot matter.
     """
-    return [
-        sim.hierarchy.probe_latency(attack.probe_address(value))
-        for value in range(attack.num_values)
-    ]
+    return sim.hierarchy.probe_latency_many(
+        [attack.probe_address(value) for value in range(attack.num_values)]
+    )
 
 
 def run_attack(

@@ -24,8 +24,8 @@ from ..isa.emulator import ArchState
 from ..isa.program import Program
 from ..isa.registers import NUM_REGS
 from ..memory.address_space import AddressSpace
+from ..memory.backend import make_tlb
 from ..memory.hierarchy import MemoryHierarchy
-from ..memory.tlb import Tlb
 from ..trace.collector import TraceCollector
 from .branch_predictor import BranchPredictor
 from .config import CoreConfig, WrpkruPolicy
@@ -92,10 +92,11 @@ class CoreState:
             dram_latency=cfg.dram_latency,
             prefetch_next_line=cfg.prefetch_next_line,
         )
-        self.tlb = Tlb(
+        self.tlb = make_tlb(
             address_space.page_table,
             entries=cfg.tlb_entries,
             walk_latency=cfg.tlb_walk_latency,
+            backend=self.hierarchy.backend,
         )
 
         self.prf = PhysRegFile(cfg.phys_regs)
@@ -186,6 +187,15 @@ class CoreState:
         # fast path on vs off).
         self.cycles_fast_skipped = 0
         self.fast_skip_events = 0
+        # Macro-step savings (same telemetry-only contract): cycles
+        # advanced inside the fused linear-stretch loop, and how many
+        # times the loop engaged.
+        self.cycles_macro_stepped = 0
+        self.macro_step_events = 0
+        # Macro engagement-probe memo: linearity verdict for the last
+        # probed fetch PC (see :func:`repro.core.fastpath.macro_advance`).
+        self._macro_probe_pc = -1
+        self._macro_probe_linear = False
 
         # Lazy SpecMPK-unit occupancy histogram.  Occupancy only
         # changes at WRPKRU allocate/retire/squash, so instead of

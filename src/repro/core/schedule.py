@@ -49,8 +49,13 @@ from typing import Dict, Optional
 
 from ..isa.blockcache import MAX_BLOCK_LENGTH
 from ..isa.instruction import Instruction
-from ..isa.program import Program
+from ..isa.opcodes import Opcode
+from ..isa.program import CODE_BASE, Program
 from ..perf.envflag import env_flag
+
+#: Terminators compatible with macro-stepping: unconditional direct
+#: control flow whose target is known at fetch (never mispredicts).
+_LINEAR_TERMS = (Opcode.JMP, Opcode.CALL)
 
 
 def timing_blocks_enabled() -> bool:
@@ -78,10 +83,20 @@ class TimingBlock:
         length: Total instructions covered, terminator included.
         has_wrpkru: Block contains a WRPKRU (quiescence probe input).
         has_memory: Block contains a load or store.
+        is_linear: Block qualifies for steady-state macro-stepping: no
+            WRPKRU, no LFENCE/RDPKRU/CLFLUSH (at-head serializing
+            executions), and the terminator — if any — is unconditional
+            *direct* control flow (JMP/CALL), so fetch never has a
+            misprediction to recover from inside the block.
+            Conditional, indirect, and return terminators disqualify.
+        code_span: Prebound ``(first, last)`` byte addresses of the
+            block's instruction stream (blocks are PC-contiguous), used
+            for batched I-cache presence checks where event order
+            provably cannot matter (prewarm planning).
     """
 
     __slots__ = ("leader", "plains", "term", "term_is_halt", "length",
-                 "has_wrpkru", "has_memory")
+                 "has_wrpkru", "has_memory", "is_linear", "code_span")
 
     def __init__(self, leader: int, plains: tuple,
                  term: Optional[Instruction], term_is_halt: bool) -> None:
@@ -93,6 +108,18 @@ class TimingBlock:
         insts = plains if term is None else plains + (term,)
         self.has_wrpkru = any(inst.is_wrpkru for inst in insts)
         self.has_memory = any(inst.is_memory for inst in insts)
+        special = self.has_wrpkru or any(
+            inst.is_lfence or inst.is_rdpkru or inst.is_clflush
+            for inst in insts
+        )
+        self.is_linear = not special and (
+            term is None
+            or (not term_is_halt and term.opcode in _LINEAR_TERMS)
+        )
+        self.code_span = (
+            CODE_BASE + 4 * insts[0].pc,
+            CODE_BASE + 4 * insts[-1].pc,
+        )
 
 
 class TimingSchedule:

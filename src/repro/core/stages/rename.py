@@ -35,7 +35,15 @@ _CALL = Opcode.CALL
 _NO_ISSUE = (Opcode.NOP, Opcode.HALT, Opcode.JMP)
 
 
-def rename_stage(core: CoreState) -> None:
+def rename_stage(core: CoreState, renamed: int = 0) -> None:
+    """Rename this cycle's dispatch group, starting *renamed* slots in.
+
+    *renamed* is nonzero only when the macro-step fast path
+    (:func:`~repro.core.fastpath.rename_linear`) hands the rest of a
+    cycle over after meeting a disqualifying instruction mid-group; the
+    stall accounting below already keys on ``renamed == 0`` so the
+    handoff is exact.
+    """
     frontend = core.frontend
     trace = core.trace
     stats = core.stats
@@ -44,14 +52,14 @@ def rename_stage(core: CoreState) -> None:
     depth = cfg.frontend_depth
     # Zero-work bailouts before the (large) preamble: nothing buffered,
     # or the oldest buffered instruction is still in the front-end pipe.
-    # Mirrors the loop's first-iteration checks exactly (renamed == 0).
+    # Mirrors the loop's first-iteration checks exactly.
     if not frontend:
-        stats.rename_stall_empty += 1
-        if trace is not None:
+        stats.rename_stall_empty += renamed == 0
+        if trace is not None and renamed == 0:
             trace.stall(StallKind.FRONTEND_EMPTY)
         return
     if frontend[0].fetch_cycle + depth > cycle:
-        if trace is not None:
+        if trace is not None and renamed == 0:
             trace.stall(StallKind.FRONTEND_EMPTY)
         return
     width = cfg.rename_width
@@ -74,7 +82,10 @@ def rename_stage(core: CoreState) -> None:
     al_append = active_list.append
     pop_frontend = frontend.popleft
     next_uid = specmpk._next_uid
-    renamed = 0
+    # RMT_pkru tag as a loop local: it only changes when a WRPKRU
+    # allocates, which this loop itself does — the refresh below keeps
+    # it equal to specmpk.current_dep() without a call per consumer.
+    cur_dep = specmpk.rmt_tag if specmpk.rmt_valid else None
     while renamed < width:
         if not frontend:
             stats.rename_stall_empty += renamed == 0
@@ -134,7 +145,7 @@ def rename_stage(core: CoreState) -> None:
         if renames_pkru and (
             static.is_memory or static.is_wrpkru or static.is_rdpkru
         ):
-            inst.pkru_dep = pkru_dep = specmpk.current_dep()
+            inst.pkru_dep = pkru_dep = cur_dep
 
         if static.is_wrpkru:
             stats.wrpkru_dispatched += 1
@@ -142,7 +153,7 @@ def rename_stage(core: CoreState) -> None:
                 core.serialize_block = inst
             else:
                 note_pkru_occ(core)
-                inst.rob_pkru_id = specmpk.allocate().uid
+                inst.rob_pkru_id = cur_dep = specmpk.allocate().uid
                 next_uid = specmpk._next_uid
 
         # Register rename (inlined RenameTables.allocate; free list

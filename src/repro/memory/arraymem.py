@@ -1,0 +1,315 @@
+"""Array-backed cache and TLB models (the ``REPRO_ARRAY_MEM`` backend).
+
+The dict backend (:mod:`repro.memory.cache`, :mod:`repro.memory.tlb`)
+keeps one ``OrderedDict`` per cache set and one global ``OrderedDict``
+for the TLB; recency is encoded in dict *order* and every touch is a
+``move_to_end``.  The array backend stores the same state in flat
+arrays instead:
+
+* ``lines``  — line/VPN number per way slot, ``-1`` when invalid (the
+  tag *and* the set index in one integer, since
+  ``line = tag * num_sets + set``);
+* ``stamps`` — last-touch timestamp per way slot, drawn from one
+  strictly monotonic counter.
+
+Replacement is *exactly* LRU-by-last-touch in both backends: the dict
+evicts its front entry, the arrays evict the slot with the minimal
+stamp.  Because stamps are unique and assigned at the same touch
+points (lookup hit, fill refresh, install), the victim choice — and
+therefore every downstream hit/miss/eviction/fill counter and the
+Flush+Reload-visible cache state — is bit-identical.  The differential
+suite in ``tests/memory/test_array_backend.py`` asserts this over
+random address streams, aliasing tags, and capacity/conflict patterns.
+
+Two access grains:
+
+* the **scalar kernel** (``lookup``/``fill``/``invalidate``) is
+  integer-coded over flat Python lists plus a line-number -> slot
+  index, so a probe is one hash lookup and one list store.  The
+  scalar path deliberately does NOT touch numpy: per-element numpy
+  operations pay ~1 microsecond of ufunc dispatch on the tiny
+  per-set slices this model sees, an order of magnitude more than
+  the C-level list/dict operations they would replace (measured in
+  ``docs/performance.md`` section 7);
+* the **batch kernel** (``contains_many``) probes a whole address
+  stream in one vectorized pass over a numpy view of the tag array,
+  materialized lazily and re-synced only after scalar mutations.  It
+  is non-mutating, so it is only legal where event order provably
+  cannot matter — presence probes (the Flush+Reload receiver's timer
+  sweep, ``MemoryHierarchy.probe_latency_many``) and prewarm planning
+  — and that is the only batching the hierarchy does.
+
+``REPRO_ARRAY_MEM=0`` (see :mod:`repro.memory.backend`) selects the
+dict backend everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .page_table import PAGE_SHIFT, PageTable
+from .stats import AccessStats
+from .tlb import TlbEntry
+
+
+class ArrayCache:
+    """Set-associative LRU cache over flat tag/stamp arrays.
+
+    Drop-in replacement for :class:`repro.memory.cache.Cache`: same
+    constructor, same operations, same :class:`AccessStats` counters,
+    and provably the same eviction order (see module docstring).
+    """
+
+    def __init__(
+        self, name: str, size: int, assoc: int, line_size: int = 64,
+        latency: int = 1,
+    ) -> None:
+        if size % (assoc * line_size) != 0:
+            raise ValueError(f"{name}: size not divisible by assoc*line_size")
+        if line_size & (line_size - 1):
+            raise ValueError(f"{name}: line size must be a power of two")
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.line_size = line_size
+        self.latency = latency
+        self.num_sets = size // (assoc * line_size)
+        self._line_shift = line_size.bit_length() - 1
+        slots = self.num_sets * assoc
+        #: Line number per way slot (-1 = invalid).  Authoritative tag
+        #: state for replacement and the batch kernel's lazy mirror.
+        self._lines: List[int] = [-1] * slots
+        #: Last-touch stamp per way slot (strictly monotonic clock).
+        self._stamps: List[int] = [0] * slots
+        self._clock = 1
+        #: Scalar-kernel index: line number -> flat slot.
+        self._slot_of: dict = {}
+        #: Valid ways per set (free-way search without a full row scan).
+        self._set_fill: List[int] = [0] * self.num_sets
+        #: Lazily-synced numpy view of ``_lines`` for the batch kernel.
+        self._np_lines: Optional[np.ndarray] = None
+        self.stats = AccessStats()
+
+    # -- address helpers ----------------------------------------------------
+
+    def line_of(self, address: int) -> int:
+        return address >> self._line_shift
+
+    # -- scalar kernel -------------------------------------------------------
+
+    def lookup(self, address: int) -> bool:
+        """Probe for *address*; refresh LRU on hit.  Counts statistics."""
+        slot = self._slot_of.get(address >> self._line_shift)
+        if slot is not None:
+            self._stamps[slot] = self._clock
+            self._clock += 1
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def contains(self, address: int) -> bool:
+        """Non-mutating, non-counting presence check (for assertions)."""
+        return (address >> self._line_shift) in self._slot_of
+
+    def fill(self, address: int) -> None:
+        """Install the line holding *address*, evicting LRU if needed."""
+        line = address >> self._line_shift
+        slot_of = self._slot_of
+        slot = slot_of.get(line)
+        if slot is not None:
+            self._stamps[slot] = self._clock
+            self._clock += 1
+            return
+        lines = self._lines
+        index = line % self.num_sets
+        base = index * self.assoc
+        if self._set_fill[index] >= self.assoc:
+            # Set full: evict the way with the oldest touch stamp —
+            # the front of the dict backend's OrderedDict.
+            stamps = self._stamps
+            slot = base
+            best = stamps[base]
+            for way in range(base + 1, base + self.assoc):
+                if stamps[way] < best:
+                    best = stamps[way]
+                    slot = way
+            del slot_of[lines[slot]]
+            self.stats.evictions += 1
+        else:
+            slot = lines.index(-1, base, base + self.assoc)
+            self._set_fill[index] += 1
+        lines[slot] = line
+        self._stamps[slot] = self._clock
+        self._clock += 1
+        slot_of[line] = slot
+        self._np_lines = None
+        self.stats.fills += 1
+
+    def invalidate(self, address: int) -> bool:
+        """CLFLUSH one line; True when it was present."""
+        line = address >> self._line_shift
+        slot = self._slot_of.pop(line, None)
+        if slot is None:
+            return False
+        self._lines[slot] = -1
+        self._set_fill[line % self.num_sets] -= 1
+        self._np_lines = None
+        self.stats.invalidations += 1
+        return True
+
+    def flush_all(self) -> None:
+        self._lines = [-1] * (self.num_sets * self.assoc)
+        self._slot_of.clear()
+        self._set_fill = [0] * self.num_sets
+        self._np_lines = None
+
+    def occupancy(self) -> int:
+        return len(self._slot_of)
+
+    # -- batch kernel --------------------------------------------------------
+
+    @property
+    def lines(self) -> np.ndarray:
+        """Flat int64 tag array (-1 = invalid), synced with the scalar
+        state on demand."""
+        if self._np_lines is None:
+            self._np_lines = np.asarray(self._lines, dtype=np.int64)
+        return self._np_lines
+
+    def contains_many(self, addresses: Sequence[int]) -> np.ndarray:
+        """Vectorized non-mutating presence probe of an address stream.
+
+        Returns a boolean array aligned with *addresses*.  Counts
+        nothing and refreshes nothing — exactly ``contains`` per
+        element, legal wherever event order provably cannot matter.
+        """
+        addrs = np.asarray(addresses, dtype=np.int64)
+        lines = addrs >> self._line_shift
+        rows = self.lines.reshape(self.num_sets, self.assoc)
+        return (rows[lines % self.num_sets] == lines[:, None]).any(axis=1)
+
+
+class ArrayTlb:
+    """Fully-associative LRU TLB over flat VPN/stamp arrays.
+
+    Drop-in replacement for :class:`repro.memory.tlb.Tlb`: same
+    generation-watching flush semantics, same deferred-fill hook, and
+    the same LRU order (stamps vs the dict backend's OrderedDict; see
+    the module docstring for the parity argument).
+    """
+
+    def __init__(self, page_table: PageTable, entries: int = 64,
+                 walk_latency: int = 30) -> None:
+        self.page_table = page_table
+        self.capacity = entries
+        self.walk_latency = walk_latency
+        #: VPN per slot (-1 = invalid) and last-touch stamps.
+        self._vpns: List[int] = [-1] * entries
+        self._stamps: List[int] = [0] * entries
+        self._clock = 1
+        self._entries: List[Optional[TlbEntry]] = [None] * entries
+        self._slot_of: dict = {}
+        #: Slots ever filled; single-entry invalidation does not exist
+        #: on this structure (only full flushes), so valid slots are
+        #: always the prefix [0, fill).
+        self._fill = 0
+        self._np_vpns: Optional[np.ndarray] = None
+        self._generation = page_table.generation
+        self.stats = AccessStats()
+
+    def _check_generation(self) -> None:
+        if self._generation != self.page_table.generation:
+            self._reset()
+            self._generation = self.page_table.generation
+            self.stats.flushes += 1
+
+    def _reset(self) -> None:
+        self._vpns = [-1] * self.capacity
+        self._entries = [None] * self.capacity
+        self._slot_of.clear()
+        self._fill = 0
+        self._np_vpns = None
+
+    def lookup(self, address: int) -> Optional[TlbEntry]:
+        """Probe the TLB; None on miss.  Does NOT walk the page table."""
+        self._check_generation()
+        slot = self._slot_of.get(address >> PAGE_SHIFT)
+        if slot is not None:
+            self._stamps[slot] = self._clock
+            self._clock += 1
+            self.stats.hits += 1
+            return self._entries[slot]
+        self.stats.misses += 1
+        return None
+
+    def walk(self, address: int) -> Optional[TlbEntry]:
+        """Page-table walk (no TLB state change).  None when unmapped."""
+        pte = self.page_table.try_lookup(address)
+        if pte is None:
+            return None
+        return TlbEntry(pte.frame, pte.readable, pte.writable, pte.pkey)
+
+    def fill(self, address: int, entry: TlbEntry) -> None:
+        """Install a translation (the microarchitectural state update
+        SpecMPK defers until the PKRU check succeeds)."""
+        self._check_generation()
+        vpn = address >> PAGE_SHIFT
+        slot = self._slot_of.get(vpn)
+        if slot is not None:
+            self._stamps[slot] = self._clock
+            self._clock += 1
+            return
+        if self._fill >= self.capacity:
+            # Evict the oldest touch stamp — the dict backend's
+            # popitem(last=False).
+            stamps = self._stamps
+            slot = 0
+            best = stamps[0]
+            for way in range(1, self.capacity):
+                if stamps[way] < best:
+                    best = stamps[way]
+                    slot = way
+            del self._slot_of[self._vpns[slot]]
+        else:
+            slot = self._fill
+            self._fill += 1
+        self._vpns[slot] = vpn
+        self._stamps[slot] = self._clock
+        self._clock += 1
+        self._entries[slot] = entry
+        self._slot_of[vpn] = slot
+        self._np_vpns = None
+        self.stats.fills += 1
+
+    def note_deferred_fill(self) -> None:
+        self.stats.deferred_fills += 1
+
+    def contains(self, address: int) -> bool:
+        """Non-mutating presence probe (the attack's measurement aid)."""
+        self._check_generation()
+        return (address >> PAGE_SHIFT) in self._slot_of
+
+    def flush(self) -> None:
+        self._reset()
+        self.stats.flushes += 1
+
+    def occupancy(self) -> int:
+        self._check_generation()
+        return len(self._slot_of)
+
+    @property
+    def vpns(self) -> np.ndarray:
+        """Flat int64 VPN array (-1 = invalid), synced on demand."""
+        if self._np_vpns is None:
+            self._np_vpns = np.asarray(self._vpns, dtype=np.int64)
+        return self._np_vpns
+
+    def contains_many(self, addresses: Sequence[int]) -> np.ndarray:
+        """Vectorized non-mutating presence probe (batch kernel)."""
+        self._check_generation()
+        addrs = np.asarray(addresses, dtype=np.int64)
+        vpns = addrs >> PAGE_SHIFT
+        return np.isin(vpns, self.vpns[: self._fill])

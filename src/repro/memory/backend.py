@@ -1,0 +1,64 @@
+"""Memory-backend selection: dict structures vs numpy array structures.
+
+The simulator ships two bit-identical implementations of every
+memory-system structure:
+
+* ``dict``  — the original :class:`~repro.memory.cache.Cache` /
+  :class:`~repro.memory.tlb.Tlb` built on ``OrderedDict`` recency
+  order; and
+* ``array`` — :class:`~repro.memory.arraymem.ArrayCache` /
+  :class:`~repro.memory.arraymem.ArrayTlb` built on flat numpy
+  tag/stamp arrays with integer-coded scalar kernels and vectorized
+  batch probes.
+
+``REPRO_ARRAY_MEM`` (default on) picks the backend; the factories here
+are the single construction point so :class:`MemoryHierarchy` and
+:class:`CoreState` never branch on it themselves.  Both backends share
+:class:`~repro.memory.stats.AccessStats`, and the differential suite
+asserts the state machines are indistinguishable, so flipping the flag
+changes wall-clock only — never a counter, an eviction, or a
+Flush+Reload observation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..perf.envflag import env_flag
+from .cache import Cache
+from .page_table import PageTable
+from .tlb import Tlb
+
+
+def array_mem_enabled() -> bool:
+    """True when the numpy array backend is selected (the default)."""
+    return env_flag("REPRO_ARRAY_MEM", default=True)
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Normalise an explicit backend name or consult the env flag."""
+    if backend is None:
+        return "array" if array_mem_enabled() else "dict"
+    if backend not in ("array", "dict"):
+        raise ValueError(f"unknown memory backend: {backend!r}")
+    return backend
+
+
+def make_cache(name: str, size: int, assoc: int, line_size: int = 64,
+               latency: int = 1, backend: Optional[str] = None):
+    """Construct one cache level on the selected backend."""
+    if resolve_backend(backend) == "array":
+        from .arraymem import ArrayCache
+
+        return ArrayCache(name, size, assoc, line_size, latency)
+    return Cache(name, size, assoc, line_size, latency)
+
+
+def make_tlb(page_table: PageTable, entries: int = 64,
+             walk_latency: int = 30, backend: Optional[str] = None):
+    """Construct a TLB on the selected backend."""
+    if resolve_backend(backend) == "array":
+        from .arraymem import ArrayTlb
+
+        return ArrayTlb(page_table, entries, walk_latency)
+    return Tlb(page_table, entries, walk_latency)

@@ -11,26 +11,11 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import List
 
+from .stats import AccessStats
 
-class CacheStats:
-    """Hit/miss/eviction/fill counters for one cache."""
-
-    __slots__ = ("hits", "misses", "evictions", "invalidations", "fills")
-
-    def __init__(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
-        self.fills = 0
-
-    @property
-    def accesses(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def miss_rate(self) -> float:
-        return self.misses / self.accesses if self.accesses else 0.0
+#: Cache counters are the shared memory-system stats type; the alias
+#: keeps the historical name importable.
+CacheStats = AccessStats
 
 
 class Cache:

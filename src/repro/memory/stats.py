@@ -1,0 +1,64 @@
+"""Shared access-statistics type for every memory-system structure.
+
+``Cache`` and ``Tlb`` used to carry separate counter classes repeating
+the same ``accesses``/hit-rate arithmetic; the array backends would
+have added two more.  One :class:`AccessStats` now serves every
+structure and every backend, so the differential suite
+(``tests/memory/test_array_backend.py``) compares a single type and
+the obs layer reads one shape.
+
+Fields a structure never touches simply stay zero (a cache never
+defers a fill; a TLB never evicts a single entry outside a flush).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class AccessStats:
+    """Hit/miss/fill/eviction counters shared by caches and TLBs.
+
+    The same instance shape is used by the dict and the array backends;
+    the bit-identity contract between them is asserted over
+    :meth:`as_dict`.
+    """
+
+    __slots__ = (
+        "hits",
+        "misses",
+        "evictions",
+        "invalidations",
+        "fills",
+        "deferred_fills",
+        "flushes",
+    )
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.fills = 0
+        self.deferred_fills = 0
+        self.flushes = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Every counter, by name — the differential-test observable."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"AccessStats({inner})"

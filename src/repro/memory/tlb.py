@@ -12,6 +12,7 @@ from collections import OrderedDict
 from typing import NamedTuple, Optional
 
 from .page_table import PAGE_SHIFT, PageTable
+from .stats import AccessStats
 
 
 class TlbEntry(NamedTuple):
@@ -23,19 +24,9 @@ class TlbEntry(NamedTuple):
     pkey: int
 
 
-class TlbStats:
-    __slots__ = ("hits", "misses", "fills", "deferred_fills", "flushes")
-
-    def __init__(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.fills = 0
-        self.deferred_fills = 0
-        self.flushes = 0
-
-    @property
-    def accesses(self) -> int:
-        return self.hits + self.misses
+#: TLB counters are the shared memory-system stats type; the alias
+#: keeps the historical name importable.
+TlbStats = AccessStats
 
 
 class Tlb:

@@ -138,6 +138,113 @@ def run_kernel_bench(
     return report
 
 
+#: Pipeline-stage attribution for the ``--profile`` breakdown: the
+#: first matching path fragment classifies a profiled function.  Order
+#: matters — fastpath before the stage modules it calls into.
+_STAGE_PATTERNS = (
+    ("fastpath", "core/fastpath.py"),
+    ("fetch", "stages/fetch.py"),
+    ("rename", "stages/rename.py"),
+    ("issue", "stages/issue.py"),
+    ("mem-access", "stages/memory.py"),
+    ("writeback", "stages/writeback.py"),
+    ("retire", "stages/commit.py"),
+    ("squash", "stages/squash.py"),
+    ("memory+tlb", "repro/memory/"),
+    ("emulate", "repro/isa/"),
+    ("schedule", "core/schedule.py"),
+    ("predictor", "core/branch_predictor.py"),
+    ("specmpk", "core/rob_pkru.py"),
+    ("pipeline", "core/pipeline.py"),
+    ("trace", "repro/trace/"),
+)
+
+
+def _stage_of(filename: str) -> str:
+    normalized = filename.replace("\\", "/")
+    for stage, fragment in _STAGE_PATTERNS:
+        if fragment in normalized:
+            return stage
+    return "other"
+
+
+def profile_kernel_bench(
+    labels: Optional[Sequence[str]] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    warmup: int = DEFAULT_WARMUP,
+    top: int = 12,
+) -> Dict:
+    """One cProfile'd kernel run per label, attributed to stages.
+
+    Returns a JSON-ready section: per-label and aggregate self-time
+    (``tottime``) per pipeline stage plus the hottest individual
+    functions.  The profiled runs are *not* the timing measurements —
+    cProfile's tracing overhead (roughly 2x) would poison any KIPS
+    number — so this section reports percentages, not throughput.
+    """
+    import cProfile
+    import pstats
+
+    labels = list(labels or DEFAULT_LABELS)
+    # Unprofiled warm-up so one-time costs (lazy imports, bytecode
+    # compilation, schedule precompilation) stay out of the breakdown.
+    timed_run(labels[0], min(instructions, 2_000), min(warmup, 500))
+    section: Dict = {"unit": "seconds (cProfile tottime)", "labels": {}}
+    aggregate: Dict[str, float] = {}
+    functions: Dict[str, Dict[str, float]] = {}
+    for label in labels:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        timed_run(label, instructions, warmup)
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        stages: Dict[str, float] = {}
+        total = 0.0
+        for (filename, _line, name), entry in stats.stats.items():
+            tottime = entry[2]
+            total += tottime
+            stage = _stage_of(filename)
+            stages[stage] = stages.get(stage, 0.0) + tottime
+            key = f"{stage}:{name}"
+            record = functions.setdefault(
+                key, {"tottime": 0.0, "calls": 0}
+            )
+            record["tottime"] += tottime
+            record["calls"] += entry[0]
+        section["labels"][label] = {
+            "total_seconds": round(total, 4),
+            "stages": {
+                stage: round(seconds, 4)
+                for stage, seconds in sorted(
+                    stages.items(), key=lambda item: -item[1]
+                )
+            },
+        }
+        for stage, seconds in stages.items():
+            aggregate[stage] = aggregate.get(stage, 0.0) + seconds
+    grand_total = sum(aggregate.values()) or 1.0
+    section["stages"] = {
+        stage: {
+            "seconds": round(seconds, 4),
+            "percent": round(100.0 * seconds / grand_total, 1),
+        }
+        for stage, seconds in sorted(
+            aggregate.items(), key=lambda item: -item[1]
+        )
+    }
+    section["top_functions"] = [
+        {
+            "function": key,
+            "seconds": round(record["tottime"], 4),
+            "calls": int(record["calls"]),
+        }
+        for key, record in sorted(
+            functions.items(), key=lambda item: -item[1]["tottime"]
+        )[:top]
+    ]
+    return section
+
+
 def check_against_reference(report: Dict, reference: Dict,
                             scale: float = 1.0) -> List[str]:
     """Regression check against a ``BENCH_kernel.json`` document.

@@ -1,0 +1,231 @@
+"""Differential suite: array backend vs dict backend, bit for bit.
+
+The ``REPRO_ARRAY_MEM`` contract is that the numpy-array cache/TLB and
+the OrderedDict cache/TLB are the *same state machine* — every lookup
+result, every counter in :class:`AccessStats`, every eviction victim,
+and the presence set visible to Flush+Reload must match after any
+operation sequence.  These tests drive both backends in lockstep with
+hypothesis-generated streams (aliasing tags, capacity/conflict
+pressure, flush/invalidate interleavings) and compare the full
+observable after every single operation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import PAGE_SIZE, AccessStats, PageTable, make_cache, make_tlb
+from repro.memory.arraymem import ArrayCache, ArrayTlb
+from repro.memory.cache import Cache
+from repro.memory.tlb import Tlb
+
+# Small geometry so short streams reach capacity/conflict behaviour:
+# 1 KiB, 2-way, 64 B lines -> 8 sets, 16 lines total.
+GEOM = dict(size=1024, assoc=2, line_size=64, latency=3)
+
+# Address pool spanning 4 aliasing tag groups over the 8 sets (lines
+# 0..31 -> each set sees 4 distinct tags for 2 ways) plus sub-line
+# offsets so tag extraction is exercised too.
+ADDRESSES = st.integers(min_value=0, max_value=32 * 64 - 1)
+
+CACHE_OPS = st.one_of(
+    st.tuples(st.just("lookup"), ADDRESSES),
+    st.tuples(st.just("fill"), ADDRESSES),
+    st.tuples(st.just("contains"), ADDRESSES),
+    st.tuples(st.just("invalidate"), ADDRESSES),
+    st.tuples(st.just("flush_all"), st.just(0)),
+)
+
+
+def observe_cache(cache, pool):
+    """Everything the rest of the simulator can see of a cache."""
+    return {
+        "stats": cache.stats.as_dict(),
+        "occupancy": cache.occupancy(),
+        "present": [a for a in pool if cache.contains(a)],
+    }
+
+
+def apply_cache_op(cache, op, addr):
+    if op == "flush_all":
+        cache.flush_all()
+        return None
+    return getattr(cache, op)(addr)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(CACHE_OPS, min_size=1, max_size=120))
+def test_cache_backends_lockstep(ops):
+    """Same stream -> same results, stats, and presence set each step.
+
+    The per-step presence comparison pins the *eviction order*: the
+    first divergent victim would change which line survives.
+    """
+    dict_cache = Cache("d", **GEOM)
+    array_cache = ArrayCache("a", **GEOM)
+    pool = [line * 64 for line in range(32)]
+    for op, addr in ops:
+        got_d = apply_cache_op(dict_cache, op, addr)
+        got_a = apply_cache_op(array_cache, op, addr)
+        assert got_d == got_a, (op, hex(addr))
+        assert observe_cache(dict_cache, pool) == observe_cache(array_cache, pool)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(ADDRESSES, min_size=1, max_size=200))
+def test_cache_eviction_sequence_identical(stream):
+    """Pure fill pressure: the exact sequence of evicted lines matches.
+
+    After each fill the set of present lines is compared, so the Nth
+    eviction victim on one backend must be the Nth on the other.
+    """
+    dict_cache = Cache("d", **GEOM)
+    array_cache = ArrayCache("a", **GEOM)
+    lines = [line * 64 for line in range(32)]
+    for addr in stream:
+        dict_cache.fill(addr)
+        array_cache.fill(addr)
+        present_d = [a for a in lines if dict_cache.contains(a)]
+        present_a = [a for a in lines if array_cache.contains(a)]
+        assert present_d == present_a
+    assert dict_cache.stats.as_dict() == array_cache.stats.as_dict()
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(CACHE_OPS, min_size=1, max_size=80),
+    st.lists(ADDRESSES, min_size=1, max_size=32),
+)
+def test_contains_many_matches_scalar(ops, probes):
+    """The vectorized batch probe equals per-address ``contains`` and
+    mutates neither state nor counters."""
+    cache = ArrayCache("a", **GEOM)
+    for op, addr in ops:
+        apply_cache_op(cache, op, addr)
+    before = cache.stats.as_dict()
+    got = list(cache.contains_many(probes))
+    assert got == [cache.contains(a) for a in probes]
+    assert cache.stats.as_dict() == before
+
+
+# -- TLB ---------------------------------------------------------------------
+
+PAGES = 12
+TLB_ADDRESSES = st.integers(min_value=0x10000, max_value=0x10000 + PAGES * PAGE_SIZE - 1)
+
+TLB_OPS = st.one_of(
+    st.tuples(st.just("lookup"), TLB_ADDRESSES),
+    st.tuples(st.just("fill"), TLB_ADDRESSES),
+    st.tuples(st.just("contains"), TLB_ADDRESSES),
+    st.tuples(st.just("flush"), st.just(0)),
+    st.tuples(st.just("mprotect"), TLB_ADDRESSES),
+    st.tuples(st.just("deferred"), st.just(0)),
+)
+
+
+def make_pair(entries):
+    pt = PageTable()
+    pt.map_range(0x10000, PAGES * PAGE_SIZE, pkey=3)
+    return pt, Tlb(pt, entries=entries, walk_latency=20), ArrayTlb(
+        pt, entries=entries, walk_latency=20
+    )
+
+
+def observe_tlb(tlb, pages):
+    return {
+        "stats": tlb.stats.as_dict(),
+        "occupancy": tlb.occupancy(),
+        "present": [a for a in pages if tlb.contains(a)],
+    }
+
+
+def apply_tlb_op(pt, tlb, op, addr):
+    if op == "lookup":
+        return tlb.lookup(addr)
+    if op == "fill":
+        entry = tlb.walk(addr)
+        if entry is not None:
+            tlb.fill(addr, entry)
+        return entry
+    if op == "contains":
+        return tlb.contains(addr)
+    if op == "flush":
+        tlb.flush()
+    elif op == "deferred":
+        tlb.note_deferred_fill()
+    return None
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(TLB_OPS, min_size=1, max_size=120), st.integers(2, 6))
+def test_tlb_backends_lockstep(ops, entries):
+    """Same stream (including shootdowns) -> identical TLB observables.
+
+    ``mprotect`` ops bump the page-table generation *between* the two
+    backends' next access, exercising the generation-watch path on both.
+    """
+    pt, dict_tlb, array_tlb = make_pair(entries)
+    pages = [0x10000 + p * PAGE_SIZE for p in range(PAGES)]
+    for op, addr in ops:
+        if op == "mprotect":
+            pt.mprotect(addr & ~(PAGE_SIZE - 1), PAGE_SIZE,
+                        readable=True, writable=True)
+            continue
+        got_d = apply_tlb_op(pt, dict_tlb, op, addr)
+        got_a = apply_tlb_op(pt, array_tlb, op, addr)
+        assert got_d == got_a, (op, hex(addr))
+        assert observe_tlb(dict_tlb, pages) == observe_tlb(array_tlb, pages)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(TLB_ADDRESSES, min_size=1, max_size=120), st.integers(2, 5))
+def test_tlb_eviction_sequence_identical(stream, entries):
+    """Capacity-pressure fills: eviction victims match step for step."""
+    pt, dict_tlb, array_tlb = make_pair(entries)
+    pages = [0x10000 + p * PAGE_SIZE for p in range(PAGES)]
+    for addr in stream:
+        entry = dict_tlb.walk(addr)
+        dict_tlb.fill(addr, entry)
+        array_tlb.fill(addr, entry)
+        assert [a for a in pages if dict_tlb.contains(a)] == [
+            a for a in pages if array_tlb.contains(a)
+        ]
+    assert dict_tlb.stats.as_dict() == array_tlb.stats.as_dict()
+
+
+def test_tlb_contains_many_matches_scalar():
+    pt, _, array_tlb = make_pair(entries=4)
+    for page in range(6):
+        addr = 0x10000 + page * PAGE_SIZE
+        array_tlb.fill(addr, array_tlb.walk(addr))
+    probes = [0x10000 + p * PAGE_SIZE + 8 for p in range(PAGES)]
+    assert list(array_tlb.contains_many(probes)) == [
+        array_tlb.contains(a) for a in probes
+    ]
+
+
+# -- factory / flag plumbing -------------------------------------------------
+
+
+def test_factories_respect_env_flag(monkeypatch):
+    monkeypatch.setenv("REPRO_ARRAY_MEM", "0")
+    assert isinstance(make_cache("c", 1024, 2), Cache)
+    pt = PageTable()
+    assert isinstance(make_tlb(pt), Tlb)
+    monkeypatch.setenv("REPRO_ARRAY_MEM", "1")
+    assert isinstance(make_cache("c", 1024, 2), ArrayCache)
+    assert isinstance(make_tlb(pt), ArrayTlb)
+
+
+def test_explicit_backend_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_ARRAY_MEM", "0")
+    assert isinstance(make_cache("c", 1024, 2, backend="array"), ArrayCache)
+    monkeypatch.delenv("REPRO_ARRAY_MEM", raising=False)
+    assert isinstance(make_cache("c", 1024, 2, backend="dict"), Cache)
+
+
+def test_both_backends_share_stats_type():
+    assert isinstance(ArrayCache("a", 1024, 2).stats, AccessStats)
+    assert isinstance(Cache("d", 1024, 2).stats, AccessStats)
+    pt = PageTable()
+    assert isinstance(ArrayTlb(pt).stats, AccessStats)
+    assert isinstance(Tlb(pt).stats, AccessStats)
