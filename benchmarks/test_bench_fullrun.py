@@ -1,0 +1,64 @@
+"""Time-sharded full-run gate (``repro bench fullrun`` as a test).
+
+Times one monolithic detailed run against the same run split into K=4
+checkpoint shards over the worker pool and gates the result against
+``results/BENCH_fullrun.json``:
+
+* the report is written to ``results/fullrun_speedup.json`` (the CI
+  artifact);
+* the **accuracy** bounds are unconditional: the folded architectural
+  counters must equal the requested budget exactly, and the sharded
+  IPC must stay within the checked-in error bound of the monolithic
+  run;
+* the **speedup floor** (3x at 4 shards, minus the 20% tolerance,
+  scaled by ``REPRO_FULLRUN_SCALE``) is enforced only when the host
+  actually grants 4 concurrent workers — on a 1-core container the
+  honest measurement is the sharding *overhead* and gating it against
+  a parallel-host floor would be theater.
+"""
+
+import json
+import pathlib
+
+from repro.perf.fullrunbench import (
+    check_against_reference,
+    effective_workers,
+    run_fullrun_bench,
+)
+
+BASELINE_PATH = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_fullrun.json"
+)
+BASELINE = json.loads(BASELINE_PATH.read_text())
+METHOD = BASELINE["methodology"]
+
+
+def test_fullrun_sharding_gate(results_dir):
+    from repro.perf.envflag import env_float
+
+    scale = env_float("REPRO_FULLRUN_SCALE", 1.0)
+    report = run_fullrun_bench(
+        labels=[METHOD["label"]],
+        instructions=METHOD["instructions"],
+        warmup=METHOD["warmup"],
+        shards=METHOD["shards"],
+        shard_warmup=METHOD["shard_warmup"],
+        repeats=METHOD["repeats"],
+    )
+    report["reference"] = {
+        "speedup_floor": BASELINE["speedup_floor"],
+        "min_effective_workers": BASELINE["min_effective_workers"],
+        "max_ipc_error_percent": BASELINE["max_ipc_error_percent"],
+        "host_scale": scale,
+        "speedup_gated":
+            effective_workers(METHOD["shards"])
+            >= BASELINE["min_effective_workers"],
+    }
+    (results_dir / "fullrun_speedup.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    failures = check_against_reference(report, BASELINE, scale=scale)
+    assert not failures, (
+        "time-sharded full run regressed vs results/BENCH_fullrun.json: "
+        + "; ".join(failures)
+    )

@@ -229,10 +229,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     submit_parser.add_argument("--warmup", type=int, default=None)
     submit_parser.add_argument("--fastforward", action="store_true")
     submit_parser.add_argument(
+        "--time-shards", type=int, default=None,
+        help="split each detailed run into this many checkpoint-sharded "
+             "windows over the worker pool (default: REPRO_TIME_SHARDS)",
+    )
+    submit_parser.add_argument(
+        "--shard-warmup", type=int, default=None,
+        help="stats-excluded detailed warmup replayed before each shard "
+             "window (default: the timeshard module default)",
+    )
+    submit_parser.add_argument(
         "--spool", type=pathlib.Path, default=None,
         help="spool directory (default: REPRO_SPOOL_DIR or the XDG cache)",
     )
     submit_parser.add_argument("--batch-id", default=None)
+    submit_parser.add_argument(
+        "--watch", action="store_true",
+        help="poll the spool until the batch settles, showing per-job "
+             "state and intra-run shard progress (drain it with a "
+             "concurrent `repro serve`)",
+    )
+    submit_parser.add_argument(
+        "--poll-interval", type=float, default=1.0,
+        help="seconds between --watch polls",
+    )
     submit_parser.add_argument("--json", action="store_true")
 
     serve_parser = sub.add_parser(
@@ -317,6 +337,33 @@ def main(argv: Optional[List[str]] = None) -> int:
              "report (separate instrumented runs; does not affect the "
              "KIPS numbers)",
     )
+    bfullrun = bench_sub.add_parser(
+        "fullrun", help="time-sharded full-run speedup and accuracy"
+    )
+    bfullrun.add_argument(
+        "--labels", nargs="*", default=None,
+        help="profiles to measure (default: the fullrun-gate profile)",
+    )
+    bfullrun.add_argument("--instructions", type=int, default=None)
+    bfullrun.add_argument("--warmup", type=int, default=None)
+    bfullrun.add_argument(
+        "--shards", type=int, default=None,
+        help="time shards per run (default: the baseline's 4)",
+    )
+    bfullrun.add_argument("--shard-warmup", type=int, default=None)
+    bfullrun.add_argument("--repeats", type=int, default=None)
+    bfullrun.add_argument(
+        "--baseline", type=pathlib.Path, default=None,
+        help="BENCH_fullrun.json to gate against (exit 1 on regression; "
+             "accuracy bounds always apply, the speedup floor only on "
+             "hosts with enough cores; REPRO_FULLRUN_SCALE normalises "
+             "the floor for host speed)",
+    )
+    bfullrun.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write the JSON report to this file",
+    )
+    bfullrun.add_argument("--json", action="store_true")
 
     repro_parser = sub.add_parser(
         "reproduce", help="regenerate paper tables/figures"
@@ -329,6 +376,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     repro_parser.add_argument(
         "--out", type=pathlib.Path, default=pathlib.Path("results"),
+    )
+    repro_parser.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="time-shard every detailed run into K checkpointed "
+             "intervals over the worker pool (default: "
+             "REPRO_TIME_SHARDS, else 1 — the exact monolithic path)",
     )
 
     args = parser.parse_args(argv)
@@ -752,6 +805,8 @@ def _cmd_submit(args) -> int:
                 instructions=args.instructions,
                 warmup=args.warmup,
                 fastforward=args.fastforward,
+                time_shards=args.time_shards,
+                shard_warmup=args.shard_warmup,
             )
             for label in labels
             for policy in policies
@@ -778,7 +833,63 @@ def _cmd_submit(args) -> int:
               f"{summary['running']} running, {summary['done']} done, "
               f"{summary['failed']} failed")
         print(f"  drain with: python -m repro serve --spool {spool}")
+    if args.watch:
+        return _watch_batch(
+            service.spool, handle.job_ids, args.poll_interval
+        )
     return 0
+
+
+def _watch_batch(spool, job_ids, poll_interval: float) -> int:
+    """Poll the spool until every job settles; render live progress.
+
+    A sharded job sits in ``running/`` for its whole detailed window,
+    so besides per-job completion the status line surfaces the
+    ``shards_done/shards_total`` counters the scheduler stamps onto the
+    running job document (:meth:`SpoolDir.note_shards`) — intra-run
+    progress for runs that take minutes.  Ctrl-C stops watching only;
+    the batch stays spooled.
+    """
+    import time
+
+    from repro.obs.progress import ProgressReporter
+    from repro.service import JobState
+
+    pending = list(dict.fromkeys(job_ids))  # de-duplicated, ordered
+    reporter = ProgressReporter(len(pending), label="batch").start()
+    failed = 0
+    try:
+        while pending:
+            note = None
+            for job_id in list(pending):
+                state = spool.state_of(job_id)
+                if state in (JobState.DONE, JobState.FAILED):
+                    pending.remove(job_id)
+                    if state is JobState.FAILED:
+                        failed += 1
+                    reporter.advance(
+                        job_id[:12]
+                        + (" FAILED" if state is JobState.FAILED else "")
+                    )
+                elif state is JobState.RUNNING and note is None:
+                    doc = spool.job_doc(job_id) or {}
+                    total = doc.get("shards_total")
+                    note = (
+                        f"{job_id[:12]} shard "
+                        f"{doc.get('shards_done', 0)}/{total}"
+                        if total
+                        else job_id[:12]
+                    )
+            if not pending:
+                break
+            if note is not None:
+                reporter.heartbeat(note)
+            time.sleep(poll_interval)
+    except KeyboardInterrupt:
+        reporter.heartbeat("interrupted; batch left spooled")
+    finally:
+        reporter.finish()
+    return 1 if failed else 0
 
 
 def _cmd_serve(args) -> int:
@@ -892,6 +1003,8 @@ def _cmd_status(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.bench_command == "fullrun":
+        return _cmd_bench_fullrun(args)
     import json
 
     from repro.perf.envflag import env_float
@@ -962,6 +1075,71 @@ def _cmd_bench(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench_fullrun(args) -> int:
+    import json
+
+    from repro.perf.envflag import env_float
+    from repro.perf.fullrunbench import (
+        DEFAULT_INSTRUCTIONS,
+        DEFAULT_REPEATS,
+        DEFAULT_SHARDS,
+        DEFAULT_WARMUP,
+        check_against_reference,
+        run_fullrun_bench,
+    )
+
+    reference = None
+    methodology = {}
+    if args.baseline is not None:
+        reference = json.loads(args.baseline.read_text())
+        methodology = reference.get("methodology", {})
+    report = run_fullrun_bench(
+        labels=args.labels
+        or ([methodology["label"]] if "label" in methodology else None),
+        instructions=args.instructions
+        or methodology.get("instructions", DEFAULT_INSTRUCTIONS),
+        warmup=args.warmup or methodology.get("warmup", DEFAULT_WARMUP),
+        shards=args.shards or methodology.get("shards", DEFAULT_SHARDS),
+        shard_warmup=(
+            args.shard_warmup
+            if args.shard_warmup is not None
+            else methodology.get("shard_warmup")
+        ),
+        repeats=args.repeats or methodology.get("repeats", DEFAULT_REPEATS),
+    )
+    failures = []
+    if reference is not None:
+        scale = env_float("REPRO_FULLRUN_SCALE", 1.0)
+        report["host_scale"] = scale
+        failures = check_against_reference(report, reference, scale=scale)
+        report["regressions"] = failures
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        m = report["methodology"]
+        host = report["host"]
+        print(f"=== time-sharded full run ({m['instructions']} + "
+              f"{m['warmup']} warmup instructions, {m['shards']} shards, "
+              f"best of {m['repeats']}; {host['effective_workers']} "
+              f"effective worker(s) on {host['cpu_count']} core(s)) ===")
+        for label, entry in report["labels"].items():
+            print(f"  {label:26s} mono {entry['mono_seconds']:7.3f}s  "
+                  f"sharded {entry['sharded_seconds']:7.3f}s  "
+                  f"speedup {entry['speedup']:5.2f}x  "
+                  f"ipc err {entry['ipc_error_percent']:.4f}%  "
+                  f"retired "
+                  f"{'exact' if entry['retired_exact'] else 'INEXACT'}")
+        print(f"  {'geomean speedup':26s} {report['geomean_speedup']:5.2f}x")
+        for failure in failures:
+            print(f"  REGRESSION: {failure}")
+        if args.out is not None:
+            print(f"report written to {args.out}")
+    return 1 if failures else 0
+
+
 def _cmd_reproduce(args) -> int:
     from repro.harness import (
         fig3_serialization_study,
@@ -1014,22 +1192,23 @@ def _cmd_reproduce(args) -> int:
             data["nonsecure_latencies"], title="NonSecure:")
             + "\n" + render_latency_series(
                 data["specmpk_latencies"], title="SpecMPK:"))
+    shards = args.shards
     if selected("fig3"):
-        rows = fig3_serialization_study()
+        rows = fig3_serialization_study(time_shards=shards)
         save("fig3", render_table(rows, title="Fig. 3"))
     if selected("fig4"):
-        rows = fig4_overhead_breakdown()
+        rows = fig4_overhead_breakdown(time_shards=shards)
         save("fig4", render_table(rows, title="Fig. 4"))
     if selected("fig9"):
-        rows = fig9_normalized_ipc()
+        rows = fig9_normalized_ipc(time_shards=shards)
         save("fig9", render_table(rows, title="Fig. 9"))
     if selected("fig10"):
-        rows = fig10_wrpkru_frequency()
+        rows = fig10_wrpkru_frequency(time_shards=shards)
         save("fig10", render_bars(
             [(r["workload"], r["wrpkru_per_kilo"]) for r in rows],
             title="Fig. 10"))
     if selected("fig11"):
-        rows = fig11_rob_pkru_sensitivity()
+        rows = fig11_rob_pkru_sensitivity(time_shards=shards)
         save("fig11", render_table(rows, title="Fig. 11"))
     if selected("mprotect"):
         rows = motivation_mprotect_vs_mpk()

@@ -181,6 +181,14 @@ class CoreState:
         self.halted = start_state.halted
         self._fault: Optional[BaseException] = None
         self._retired_this_run = 0
+        # Exact retire budget for the current measurement window, or
+        # None for the classic semantics (the final cycle retires its
+        # full commit group, overshooting the budget by up to
+        # ``commit_width - 1``).  Time-sharded runs set this so shard
+        # windows tile the committed stream with no double counting
+        # (:mod:`repro.perf.timeshard`); ordinary runs never do, which
+        # keeps their results byte-identical.
+        self.retire_limit: Optional[int] = None
 
         # Fast-path savings (telemetry only — deliberately NOT in
         # SimStats, whose contents are asserted bit-identical with the

@@ -128,6 +128,40 @@ class Simulator(CoreState):
             )
         return SimResult(self.stats, self.halted, self._fault)
 
+    def run_window(
+        self,
+        max_cycles: int,
+        instructions: int,
+        warmup_instructions: int = 0,
+    ) -> SimResult:
+        """Like :meth:`run`, but the budgets are *exact*.
+
+        The classic :meth:`run` lets the final cycle retire its whole
+        commit group, overshooting both budgets by up to
+        ``commit_width - 1`` — harmless for a standalone measurement,
+        fatal for time sharding, where shard windows must tile the
+        committed stream without double-counting boundary instructions.
+        This variant caps retirement (via ``retire_limit``, honoured by
+        the retire stage and both fast paths) so the warmup ends and the
+        measurement stops on exact instruction boundaries: the stats
+        window covers precisely *instructions* committed instructions
+        (fewer only if HALT or a fault ends the program first).
+        """
+        try:
+            if warmup_instructions:
+                self.retire_limit = warmup_instructions
+                self._run_until(max_cycles, warmup_instructions)
+                self.reset_stats()
+            self.retire_limit = instructions
+            self._run_until(max_cycles, instructions)
+        finally:
+            self.retire_limit = None
+        if self.trace is not None:
+            self.stats.occupancy_histograms = (
+                self.trace.occupancy_histograms()
+            )
+        return SimResult(self.stats, self.halted, self._fault)
+
     def _run_until(self, max_cycles: int, budget: Optional[int]) -> None:
         stats = self.stats
         step = self.step_cycle

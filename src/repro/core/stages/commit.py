@@ -30,6 +30,14 @@ def retire_stage(core: CoreState) -> None:
     stats = core.stats
     cycle = core.cycle
     commit_width = core.config.commit_width
+    if core.retire_limit is not None:
+        # Exact-budget window (time sharding): never retire past the
+        # limit, so the measurement stops on an instruction boundary.
+        commit_width = min(
+            commit_width, core.retire_limit - stats.instructions_retired
+        )
+        if commit_width <= 0:
+            return
     # Safe to hoist: recovery (which rebinds free_list) never runs
     # inside retirement.
     rename_tables = core.rename_tables

@@ -33,7 +33,7 @@ from ..isa.emulator import make_emulator
 from ..obs.collect import collect_run_metrics
 from ..obs.registry import metrics_enabled
 from ..obs.snapshot import MetricsSnapshot
-from ..perf.envflag import env_float
+from ..perf.envflag import env_float, env_int
 from ..perf.runcache import cache_enabled, default_cache
 from ..perf.runcache import cache_key as _compute_cache_key
 from ..state import WarmTouch, fast_forward
@@ -119,6 +119,19 @@ class RunRequest:
     #: Collect a :class:`~repro.obs.MetricsSnapshot` for this run.
     #: None defers to the ``REPRO_METRICS`` env flag (default on).
     metrics: Optional[bool] = None
+    #: Split the measured window into K time shards simulated in
+    #: parallel (:mod:`repro.perf.timeshard`).  ``K=1`` is the exact
+    #: monolithic path, byte-identical to ``time_shards=None``; ``K>1``
+    #: trades a documented microarchitectural error bound for
+    #: near-linear wall-clock speedup (architectural counters still
+    #: merge exactly).  None defers to ``REPRO_TIME_SHARDS`` (default
+    #: 1, so every figure-generating path stays on exact mode).
+    time_shards: Optional[int] = None
+    #: Detailed-warmup instructions simulated (stats-excluded) before
+    #: each shard's measurement window; None defers to
+    #: ``REPRO_SHARD_WARMUP`` (default
+    #: :data:`repro.perf.timeshard.DEFAULT_SHARD_WARMUP`).
+    shard_warmup: Optional[int] = None
 
     def __post_init__(self) -> None:
         """Validate at construction (one :class:`RequestError` type).
@@ -136,12 +149,25 @@ class RunRequest:
                     f"unknown workload label {self.workload!r}; see "
                     "repro.workloads.labels() for the known profiles"
                 ) from None
-        for name in ("instructions", "warmup"):
+        for name in ("instructions", "warmup", "shard_warmup"):
             value = getattr(self, name)
             if value is not None and value < 0:
                 raise RequestError(
                     f"{name} budget must be >= 0, got {value!r}"
                 )
+        if self.time_shards is not None and self.time_shards < 1:
+            raise RequestError(
+                f"time_shards must be >= 1, got {self.time_shards!r}"
+            )
+        if (
+            self.time_shards is not None and self.time_shards > 1
+            and self.trace.enabled
+        ):
+            raise RequestError(
+                "traced runs cannot be time-sharded: a TraceCollector "
+                "records one contiguous pipeline history and per-shard "
+                "rings cannot be merged"
+            )
 
     def replace(self, **overrides) -> "RunRequest":
         """A copy with *overrides* applied (workload/policy sweeps)."""
@@ -169,6 +195,36 @@ class RunRequest:
 
     def resolved_metrics(self) -> bool:
         return metrics_enabled() if self.metrics is None else self.metrics
+
+    def resolved_config(self) -> CoreConfig:
+        """The :class:`CoreConfig` the run executes under: the explicit
+        config with :attr:`policy` applied, else Table III defaults."""
+        config = self.config
+        if config is None:
+            return CoreConfig(wrpkru_policy=self.policy)
+        if config.wrpkru_policy is not self.policy:
+            return config.replace(wrpkru_policy=self.policy)
+        return config
+
+    def resolved_time_shards(self) -> int:
+        """Effective shard count K (>= 1).
+
+        Traced runs always resolve to 1 — a ``REPRO_TIME_SHARDS``
+        environment default must not break tracing, which cannot shard
+        (explicitly requesting both is a :class:`RequestError`).
+        """
+        if self.trace.enabled:
+            return 1
+        if self.time_shards is not None:
+            return self.time_shards
+        return max(1, env_int("REPRO_TIME_SHARDS", 1))
+
+    def resolved_shard_warmup(self) -> int:
+        if self.shard_warmup is not None:
+            return self.shard_warmup
+        from ..perf.timeshard import default_shard_warmup
+
+        return default_shard_warmup()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -227,6 +283,16 @@ def _build_cached(label: str, mode: InstrumentMode) -> GeneratedWorkload:
     return build_workload(profile_by_label(label), mode)
 
 
+def resolve_workload(request: RunRequest) -> GeneratedWorkload:
+    """The built workload a request runs (label/profile/object forms)."""
+    workload = request.workload
+    if isinstance(workload, str):
+        return _build_cached(workload, request.mode)
+    if isinstance(workload, WorkloadProfile):
+        return build_workload(workload, request.mode)
+    return workload
+
+
 def execute(request: RunRequest, *, cache: Optional[bool] = None) -> RunResult:
     """Simulate one :class:`RunRequest` and return its :class:`RunResult`.
 
@@ -250,18 +316,20 @@ def execute(request: RunRequest, *, cache: Optional[bool] = None) -> RunResult:
         cached = default_cache().get(key)
         if cached is not None:
             return cached
-    workload = request.workload
-    if isinstance(workload, str):
-        workload = _build_cached(workload, request.mode)
-    elif isinstance(workload, WorkloadProfile):
-        workload = build_workload(workload, request.mode)
+    if request.resolved_time_shards() > 1:
+        # Time-sharded run: checkpoint pass + pool dispatch + fold.
+        # K=1 never takes this branch, so the monolithic path below
+        # stays byte-identical to the unsharded code.
+        from ..perf.timeshard import execute_sharded
+
+        run_result = execute_sharded(request)
+        if key is not None:
+            default_cache().put(key, run_result)
+        return run_result
+    workload = resolve_workload(request)
     instructions = request.resolved_instructions()
     warmup = request.resolved_warmup()
-    config = request.config
-    if config is None:
-        config = CoreConfig(wrpkru_policy=request.policy)
-    elif config.wrpkru_policy is not request.policy:
-        config = config.replace(wrpkru_policy=request.policy)
+    config = request.resolved_config()
 
     collector = request.trace.make_collector()
     if request.fastforward and warmup:

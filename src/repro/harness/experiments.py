@@ -164,6 +164,7 @@ FIG11_WORKLOADS = [
 def fig3_serialization_study(
     labels: Optional[Iterable[str]] = None,
     instructions: Optional[int] = None,
+    time_shards: Optional[int] = None,
 ) -> List[Fig3Row]:
     """Speedup from speculative WRPKRU execution and the fraction of
     cycles the rename stage stalls for WRPKRU serialization."""
@@ -171,6 +172,7 @@ def fig3_serialization_study(
         labels,
         policies=(WrpkruPolicy.SERIALIZED, WrpkruPolicy.NONSECURE_SPEC),
         instructions=instructions,
+        time_shards=time_shards,
     )
     rows = []
     for label, by_policy in results.items():
@@ -234,6 +236,7 @@ def _useful_fraction(label: str, mode: InstrumentMode,
 def fig4_overhead_breakdown(
     labels: Optional[Iterable[str]] = None,
     instructions: Optional[int] = None,
+    time_shards: Optional[int] = None,
 ) -> List[Fig4Row]:
     """Split total protection overhead into compiler-transformation and
     WRPKRU-serialization parts via the paper's NOP-substitution trick.
@@ -250,7 +253,7 @@ def fig4_overhead_breakdown(
         for mode in InstrumentMode:
             stats = run_workload(
                 label, WrpkruPolicy.SERIALIZED, mode=mode,
-                instructions=instructions,
+                instructions=instructions, time_shards=time_shards,
             )
             useful = _useful_fraction(label, mode)
             costs[mode] = stats.cycles / (
@@ -291,9 +294,12 @@ def fig4_overhead_breakdown(
 def fig9_normalized_ipc(
     labels: Optional[Iterable[str]] = None,
     instructions: Optional[int] = None,
+    time_shards: Optional[int] = None,
 ) -> List[Fig9Row]:
     """Normalized IPC over the serialized-WRPKRU microarchitecture."""
-    results = sweep_policies(labels, instructions=instructions)
+    results = sweep_policies(
+        labels, instructions=instructions, time_shards=time_shards
+    )
     norm = normalized_ipc(results)
     rows = []
     for label, by_policy in norm.items():
@@ -329,10 +335,11 @@ def fig9_normalized_ipc(
 def fig10_wrpkru_frequency(
     labels: Optional[Iterable[str]] = None,
     instructions: Optional[int] = None,
+    time_shards: Optional[int] = None,
 ) -> List[Fig10Row]:
     results = sweep_policies(
         labels, policies=(WrpkruPolicy.NONSECURE_SPEC,),
-        instructions=instructions,
+        instructions=instructions, time_shards=time_shards,
     )
     return [
         Fig10Row(
@@ -353,6 +360,7 @@ def fig11_rob_pkru_sensitivity(
     rob_sizes: Iterable[int] = (2, 4, 8),
     labels: Optional[Iterable[str]] = None,
     instructions: Optional[int] = None,
+    time_shards: Optional[int] = None,
 ) -> List[Fig11Row]:
     """Normalized IPC of SpecMPK with 2/4/8-entry ROB_pkru (the paper's
     1/96, 1/48, 1/24 Active List ratios) plus the NonSecure bound."""
@@ -361,7 +369,8 @@ def fig11_rob_pkru_sensitivity(
     rows = []
     for label in labels:
         serialized = run_workload(
-            label, WrpkruPolicy.SERIALIZED, instructions=instructions
+            label, WrpkruPolicy.SERIALIZED, instructions=instructions,
+            time_shards=time_shards,
         )
         by_size = []
         for size in rob_sizes:
@@ -370,14 +379,15 @@ def fig11_rob_pkru_sensitivity(
             )
             stats = run_workload(
                 label, WrpkruPolicy.SPECMPK, instructions=instructions,
-                config=config,
+                config=config, time_shards=time_shards,
             )
             ratio = f"1/{config.active_list_size // size}"
             by_size.append(
                 (f"specmpk_{size} ({ratio})", stats.ipc / serialized.ipc)
             )
         nonsecure = run_workload(
-            label, WrpkruPolicy.NONSECURE_SPEC, instructions=instructions
+            label, WrpkruPolicy.NONSECURE_SPEC, instructions=instructions,
+            time_shards=time_shards,
         )
         rows.append(
             Fig11Row(
@@ -501,6 +511,7 @@ def section8_hardware_overhead(
 def ablation_tlb_deferral(
     labels: Optional[Iterable[str]] = None,
     instructions: Optional[int] = None,
+    time_shards: Optional[int] = None,
 ) -> List[Dict]:
     """Cost of conservatively stalling TLB-missing accesses (SSV-C5)."""
     if labels is None:
@@ -512,12 +523,14 @@ def ablation_tlb_deferral(
             config=CoreConfig(
                 wrpkru_policy=WrpkruPolicy.SPECMPK, stall_on_tlb_miss=True
             ),
+            time_shards=time_shards,
         )
         relaxed = run_workload(
             label, WrpkruPolicy.SPECMPK, instructions=instructions,
             config=CoreConfig(
                 wrpkru_policy=WrpkruPolicy.SPECMPK, stall_on_tlb_miss=False
             ),
+            time_shards=time_shards,
         )
         rows.append(
             {

@@ -53,6 +53,7 @@ def run_workload(
     warmup: Optional[int] = None,
     config: Optional[CoreConfig] = None,
     trace: Optional[TraceOptions] = None,
+    time_shards: Optional[int] = None,
 ) -> Union[SimStats, RunResult]:
     """Simulate one workload under one policy.
 
@@ -99,6 +100,7 @@ def run_workload(
         warmup=warmup,
         config=config,
         trace=trace if trace is not None else TraceOptions(),
+        time_shards=time_shards,
     )
     return execute(request).stats
 
@@ -156,6 +158,7 @@ def sweep_policies(
     max_workers: Optional[int] = None,
     progress: Optional[ProgressReporter] = None,
     metrics: Optional[MetricsAccumulator] = None,
+    time_shards: Optional[int] = None,
 ) -> Dict[str, Dict[WrpkruPolicy, SimStats]]:
     """Run every workload under every policy (the Fig. 9 grid).
 
@@ -169,6 +172,13 @@ def sweep_policies(
     When *request* is given it acts as the template for every grid
     point (mode, budgets, config and trace options are taken from it);
     *labels* and *policies* still define the grid itself.
+
+    *time_shards* splits every grid point into that many checkpointed
+    intervals dispatched over the same pool
+    (:mod:`repro.perf.timeshard`); the default ``None`` defers to the
+    template request and ultimately ``REPRO_TIME_SHARDS`` (default 1,
+    the exact monolithic path), so figure outputs are unchanged unless
+    sharding is asked for.
 
     Observability hooks: pass a *progress* reporter (or set
     ``REPRO_PROGRESS=1`` to get a default one on stderr) for a live
@@ -191,6 +201,8 @@ def sweep_policies(
         )
     else:
         template = request
+    if time_shards is not None:
+        template = template.replace(time_shards=time_shards)
     results: Dict[str, Dict[WrpkruPolicy, SimStats]] = {
         label: {} for label in labels
     }

@@ -11,18 +11,83 @@ caller:
 * :func:`run_longest_first` — submit a batch ordered longest-first (so
   the slowest tasks start immediately and the tail of the schedule is
   short) and return results in the original order.
+* :func:`prewarm_pool` — queue best-effort per-worker warmup tasks that
+  build a workload and pre-translate its block cache and
+  :class:`~repro.core.schedule.TimingSchedule`, so shard dispatch does
+  not pay first-touch translation inside the measured window.
+
+Workers start through :func:`_pool_initializer`, which imports the hot
+modules once per process — the simulator, scheduler, block translator
+and harness — so the first real task does not pay module import latency
+on top of its own work.
 """
 
 from __future__ import annotations
 
 import atexit
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from typing import Callable, List, Optional, Sequence
 
 from .envflag import env_int
 
 _pool: Optional[ProcessPoolExecutor] = None
 _pool_workers: Optional[int] = None
+
+
+def _pool_initializer() -> None:
+    """Run in every worker at spawn: import the hot modules up front.
+
+    Imports only — no workload is known yet at pool creation, and the
+    initializer must never fail (a raising initializer breaks the whole
+    executor).  Per-workload translation happens in
+    :func:`_prewarm_task`.
+    """
+    import repro.core.pipeline  # noqa: F401
+    import repro.core.schedule  # noqa: F401
+    import repro.harness.api  # noqa: F401
+    import repro.isa.blockcache  # noqa: F401
+    import repro.obs.collect  # noqa: F401
+
+
+def _prewarm_task(task) -> bool:
+    """Worker-side warmup: build one workload and translate it.
+
+    After this runs in a worker, the process holds the built
+    :class:`~repro.workloads.generator.GeneratedWorkload`, its pristine
+    base memory image, the program's shared
+    :class:`~repro.isa.blockcache.BlockCache` entry points and its
+    :class:`~repro.core.schedule.TimingSchedule` — everything a shard
+    measurement touches on its first instruction.
+    """
+    label, mode_value = task
+    from ..core.schedule import shared_schedule
+    from ..isa.blockcache import shared_cache
+    from .timeshard import _rebuild_cached
+
+    workload, _base = _rebuild_cached(label, mode_value)
+    shared_cache(workload.program)
+    shared_schedule(workload.program)
+    return True
+
+
+def prewarm_pool(
+    label: str, mode_value: str, max_workers: Optional[int] = None,
+) -> List[Future]:
+    """Queue one warmup task per pool worker (best effort, non-blocking).
+
+    ``ProcessPoolExecutor`` offers no per-worker targeting, so this
+    submits as many tasks as there are workers: an idle pool warms every
+    process; a busy pool warms whichever workers pick the tasks up.  The
+    futures are returned for callers that want to wait, but the normal
+    pattern is fire-and-forget — the warmup tasks sit ahead of the real
+    batch in the queue, so each worker warms itself before its first
+    shard.
+    """
+    pool = get_pool(max_workers)
+    return [
+        pool.submit(_prewarm_task, (label, mode_value))
+        for _ in range(_pool_workers or 1)
+    ]
 
 
 def resolve_workers(max_workers: Optional[int] = None) -> Optional[int]:
@@ -44,7 +109,9 @@ def get_pool(max_workers: Optional[int] = None) -> ProcessPoolExecutor:
     if _pool is None or (workers is not None and workers != _pool_workers):
         if _pool is not None:
             _pool.shutdown(wait=True)
-        _pool = ProcessPoolExecutor(max_workers=workers)
+        _pool = ProcessPoolExecutor(
+            max_workers=workers, initializer=_pool_initializer
+        )
         # Record the actual size so a repeated explicit request matches.
         _pool_workers = _pool._max_workers
     return _pool

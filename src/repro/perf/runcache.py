@@ -7,9 +7,10 @@ points run after run.  The run cache memoizes
 
 * **Key** — SHA-256 over the canonicalized request (workload identity,
   instrument mode, policy, resolved instruction/warmup budgets,
-  fast-forward flag, the full :class:`~repro.core.config.CoreConfig`)
-  plus a *code-version fingerprint* hashing every ``repro`` source
-  file, so any simulator change invalidates the whole cache.
+  fast-forward flag, time-shard count, the full
+  :class:`~repro.core.config.CoreConfig`) plus a *code-version
+  fingerprint* hashing every ``repro`` source file, so any simulator
+  change invalidates the whole cache.
 * **Value** — the pickled :class:`~repro.harness.api.RunResult`
   (stats + metadata; only untraced runs are cached, so no collector
   rides along).
@@ -133,11 +134,16 @@ def cache_key(request) -> Optional[str]:
     if request.trace.enabled:
         return None
     try:
-        # v2: cached RunResults carry a ``metrics`` snapshot, and the
-        # resolved metrics flag is part of the identity (a metrics-off
-        # result must not satisfy a metrics-on request).
+        # v3: the resolved time-shard count K is part of the identity —
+        # sharded results carry a bounded microarchitectural error, so
+        # a K=4 result must never satisfy an exact K=1 request (or a
+        # K=8 one: boundary effects differ per K).  The per-shard
+        # warmup length matters only when sharding is active, so K=1
+        # pins it to 0 and a plain request hashes identically whatever
+        # REPRO_SHARD_WARMUP says.
+        shards = request.resolved_time_shards()
         canonical = (
-            "runrequest-v2",
+            "runrequest-v3",
             canonicalize(request.workload),
             canonicalize(request.mode),
             canonicalize(request.policy),
@@ -146,6 +152,8 @@ def cache_key(request) -> Optional[str]:
             bool(request.fastforward),
             bool(request.resolved_metrics()),
             canonicalize(request.config),
+            shards,
+            request.resolved_shard_warmup() if shards > 1 else 0,
             code_fingerprint(),
         )
     except TypeError:

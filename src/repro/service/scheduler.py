@@ -34,6 +34,7 @@ from ..obs.snapshot import MetricsSnapshot
 from ..perf.envflag import env_flag
 from ..perf.pool import run_longest_first
 from ..perf.runcache import cache_enabled, default_cache
+from ..perf.timeshard import fold_outcomes, prepare_request, shard_weight
 from ..workloads.instrument import InstrumentMode
 from .batch import BatchHandle
 from .spool import JobState, SpoolDir, decode_request
@@ -70,6 +71,25 @@ def _worker(job: Tuple[RunRequest, bool]):
         # default; only an explicit service-level cache=False forces off.
         return ("ok", execute(request, cache=None if cache else False))
     except Exception as error:  # noqa: BLE001 - the job boundary
+        return ("err", f"{type(error).__name__}: {error}")
+
+
+def _dispatch(task: Tuple):
+    """One schedulable unit: a whole run or a single time shard.
+
+    The scheduler mixes both in one LPT submission — ``("run",
+    request, cache)`` simulates a complete request, ``("shard",
+    shard_job)`` measures one window of a time-sharded request
+    (:mod:`repro.perf.timeshard`) — so a batch of short whole runs and
+    a few long sharded ones packs the pool with no idle tails.
+    """
+    if task[0] == "run":
+        return _worker((task[1], task[2]))
+    from ..perf.timeshard import measure_shard
+
+    try:
+        return ("ok", measure_shard(task[1]))
+    except Exception as error:  # noqa: BLE001 - the shard boundary
         return ("err", f"{type(error).__name__}: {error}")
 
 
@@ -279,8 +299,8 @@ class SweepService:
             if not claimed:
                 break
 
-            def finish(slot: int, outcome) -> None:
-                job_id, doc, request = claimed[slot]
+            def settle_claim(claim_index: int, outcome) -> None:
+                job_id, doc, request = claimed[claim_index]
                 status, value = outcome
                 if status == "ok":
                     self.counters["executed"] += 1
@@ -300,16 +320,102 @@ class SweepService:
                     self.counters["retried"] += 1
                     self.spool.retry(job_id, doc)
 
-            jobs = [(request, self.cache) for _, _, request in claimed]
-            if parallel and len(jobs) > 1:
-                weights = [lpt_weight(request) for request, _ in jobs]
+            # One mixed dispatch list: whole runs and the individual
+            # time shards of sharded requests are peer tasks in a
+            # single LPT submission, so long sharded jobs interleave
+            # with short whole runs instead of serializing behind them.
+            tasks: List[Tuple] = []
+            weights: List[float] = []
+            slots: List[Tuple[int, Optional[int]]] = []
+            shard_ctx: Dict[int, Dict[str, object]] = {}
+            for claim_index, (job_id, doc, request) in enumerate(claimed):
+                if request.resolved_time_shards() > 1:
+                    try:
+                        shard_jobs, metadata, shards = (
+                            prepare_request(request)
+                        )
+                    except Exception as error:  # noqa: BLE001
+                        settle_claim(claim_index, (
+                            "err", f"{type(error).__name__}: {error}"
+                        ))
+                        continue
+                    if not shard_jobs:
+                        settle_claim(claim_index, (
+                            "err", "no shard window is reachable"
+                        ))
+                        continue
+                    shard_ctx[claim_index] = {
+                        "metadata": metadata, "shards": shards,
+                        "outcomes": [], "error": None,
+                        "pending": len(shard_jobs), "total": len(shard_jobs),
+                    }
+                    policy_weight = _POLICY_WEIGHT.get(request.policy, 1.0)
+                    for shard_job in shard_jobs:
+                        tasks.append(("shard", shard_job))
+                        weights.append(
+                            shard_weight(shard_job) * policy_weight
+                        )
+                        slots.append((claim_index, shard_job.window.index))
+                else:
+                    tasks.append(("run", request, self.cache))
+                    weights.append(lpt_weight(request))
+                    slots.append((claim_index, None))
+
+            def finish(slot: int, outcome) -> None:
+                claim_index, shard_index = slots[slot]
+                if shard_index is None:
+                    settle_claim(claim_index, outcome)
+                    return
+                job_id, _doc, request = claimed[claim_index]
+                ctx = shard_ctx[claim_index]
+                status, value = outcome
+                if status == "ok":
+                    ctx["outcomes"].append(value)
+                elif ctx["error"] is None:
+                    # First shard error wins; the job retries whole (a
+                    # shard has no durable identity of its own).
+                    ctx["error"] = f"shard {shard_index}: {value}"
+                ctx["pending"] -= 1
+                done = ctx["total"] - ctx["pending"]
+                self.spool.note_shards(job_id, done, ctx["total"])
+                if progress is not None:
+                    progress.heartbeat(
+                        f"{job_id[:12]} shard {done}/{ctx['total']}"
+                    )
+                if ctx["pending"]:
+                    return
+                if ctx["error"] is not None:
+                    settle_claim(claim_index, ("err", ctx["error"]))
+                    return
+                try:
+                    stats, metrics = fold_outcomes(
+                        ctx["outcomes"], ctx["shards"]
+                    )
+                    result = RunResult(
+                        stats=stats, metadata=ctx["metadata"],
+                        metrics=metrics,
+                    )
+                except Exception as error:  # noqa: BLE001
+                    settle_claim(claim_index, (
+                        "err", f"{type(error).__name__}: {error}"
+                    ))
+                    return
+                # Memoize like execute() would have, so resubmission
+                # and cross-batch dedup see the folded result.
+                if self.cache and cache_enabled():
+                    key = request.cache_key()
+                    if key is not None:
+                        default_cache().put(key, result)
+                settle_claim(claim_index, ("ok", result))
+
+            if parallel and len(tasks) > 1:
                 run_longest_first(
-                    _worker, jobs, weights=weights, max_workers=max_workers,
-                    on_result=finish,
+                    _dispatch, tasks, weights=weights,
+                    max_workers=max_workers, on_result=finish,
                 )
             else:
-                for slot, job in enumerate(jobs):
-                    finish(slot, _worker(job))
+                for slot, task in enumerate(tasks):
+                    finish(slot, _dispatch(task))
         return results
 
     def serve(

@@ -111,7 +111,7 @@ def encode_request(request: RunRequest) -> Dict[str, object]:
     if request.trace.enabled:
         raise RequestError("traced runs cannot be spooled")
     return {
-        "v": 1,
+        "v": 2,
         "workload": request.workload,
         "policy": request.policy.value,
         "mode": request.mode.value,
@@ -120,6 +120,8 @@ def encode_request(request: RunRequest) -> Dict[str, object]:
         "fastforward": request.fastforward,
         "metrics": request.metrics,
         "config": _encode_config(request.config),
+        "time_shards": request.time_shards,
+        "shard_warmup": request.shard_warmup,
     }
 
 
@@ -139,6 +141,9 @@ def decode_request(doc: Dict[str, object]) -> RunRequest:
         config=_decode_config(doc.get("config")),
         fastforward=bool(doc.get("fastforward", False)),
         metrics=doc.get("metrics"),
+        # Absent in v1 documents: both default to None (inherit env).
+        time_shards=doc.get("time_shards"),
+        shard_warmup=doc.get("shard_warmup"),
     )
 
 
@@ -255,6 +260,25 @@ class SpoolDir:
             self._job_path(JobState.RUNNING, job_id),
             self._job_path(JobState.DONE, job_id),
         )
+
+    def note_shards(self, job_id: str, done: int, total: int) -> None:
+        """Record intra-run shard progress on a running job (best effort).
+
+        Time-sharded jobs settle only once every shard folds, which can
+        be minutes into a long run; this stamps ``shards_done`` /
+        ``shards_total`` onto the running job document so pollers
+        (``repro submit --watch``, ``BatchHandle.job_status``) can show
+        progress inside a single job.  Racing against the job settling
+        (running → done) is harmless, so lost updates are ignored.
+        """
+        path = self._job_path(JobState.RUNNING, job_id)
+        try:
+            doc = json.loads(path.read_text())
+            doc["shards_done"] = done
+            doc["shards_total"] = total
+            _atomic_write_json(path, doc)
+        except (OSError, ValueError):
+            pass
 
     def retry(self, job_id: str, doc: Dict[str, object]) -> None:
         """Requeue a failed attempt: rewrite the doc, running → pending."""

@@ -20,6 +20,10 @@ from .archstate import ArchSnapshot, StateMismatch, materialize
 from .checkpoint import (
     Checkpoint,
     CheckpointError,
+    DetachedBase,
+    attach_base,
+    detach_base,
+    pristine_image,
     resume_emulator,
     resume_simulator,
     take_checkpoint,
@@ -31,11 +35,15 @@ __all__ = [
     "ArchState",
     "Checkpoint",
     "CheckpointError",
+    "DetachedBase",
     "StateMismatch",
     "WarmTouch",
     "WarmupSummary",
+    "attach_base",
+    "detach_base",
     "fast_forward",
     "materialize",
+    "pristine_image",
     "resume_emulator",
     "resume_simulator",
     "take_checkpoint",

@@ -7,22 +7,57 @@ instruction position it was taken at.  Checkpoints are picklable — the
 parallel SimPoint path ships them to worker processes, and the
 ``repro checkpoint`` CLI writes them to disk — and are resumed on the
 detailed core via :func:`resume_simulator`.
+
+For shard shipping (:mod:`repro.perf.timeshard`) a checkpoint can be
+*detached* from its base memory image: the root of the CoW chain — the
+pristine, program-defined contents every checkpoint along one execution
+shares — is replaced by a :class:`DetachedBase` marker, so the pickle
+carries only the pages dirtied since program entry.  The receiving
+worker rebuilds the identical base deterministically from the program's
+data regions (:func:`pristine_image`) and splices it back in with
+:func:`attach_base`.  Materializing a still-detached chain fails loudly
+rather than silently dropping the base pages.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import pickle
-from typing import Optional
+from typing import List, Optional
 
 from ..isa.emulator import Emulator
 from ..isa.program import Program
+from ..memory.address_space import AddressSpace, MemoryImage
 from .archstate import ArchSnapshot, materialize
 from .fastforward import WarmTouch, WarmupSummary
 
 
 class CheckpointError(Exception):
     """A checkpoint could not be created or resumed."""
+
+
+class DetachedBase:
+    """Placeholder root of a detached CoW chain (picklable, tiny).
+
+    Looks enough like a :class:`~repro.memory.physical.MemoryImage` to
+    sit at the end of a chain, but any attempt to read its pages (i.e.
+    to materialize a checkpoint that was never re-attached) raises
+    :class:`CheckpointError` instead of quietly returning memory with
+    the program's initial data missing.
+    """
+
+    __slots__ = ()
+    parent = None
+
+    @property
+    def pages(self):
+        raise CheckpointError(
+            "checkpoint memory is detached from its base image; call "
+            "attach_base() with the program's pristine image first"
+        )
+
+    def __reduce__(self):
+        return (DetachedBase, ())
 
 
 @dataclasses.dataclass
@@ -63,6 +98,64 @@ def take_checkpoint(
         snapshot=emulator.state.snapshot(),
         warmup=warm.summary() if warm is not None else None,
     )
+
+
+def pristine_image(regions) -> MemoryImage:
+    """The program's initial memory contents as a root image.
+
+    Deterministic: mapping the same data regions always produces the
+    same pages, so a worker process can rebuild — rather than receive —
+    the base image every shard checkpoint of one run shares.
+    """
+    space = AddressSpace()
+    space.map_regions(regions)
+    return space.snapshot_image()
+
+
+def _rewrite_chain(image: MemoryImage, old_root, new_root) -> MemoryImage:
+    """Copy the chain nodes above *old_root*, splicing in *new_root*.
+
+    The originals are shared between checkpoints and must never be
+    mutated; chains are one node per checkpoint taken, so the copy is
+    cheap.  Matching is by identity for real images and by type for the
+    :class:`DetachedBase` marker (a pickle round-trip creates a new
+    marker instance).
+    """
+    path: List[MemoryImage] = []
+    node = image
+    while node is not None:
+        if node is old_root or (
+            isinstance(old_root, type) and isinstance(node, old_root)
+        ):
+            rebuilt = new_root
+            for original in reversed(path):
+                rebuilt = MemoryImage(rebuilt, original.pages)
+            return rebuilt
+        path.append(node)
+        node = node.parent
+    raise CheckpointError(
+        "checkpoint memory chain does not contain the expected base image"
+    )
+
+
+def detach_base(checkpoint: Checkpoint, base: MemoryImage) -> Checkpoint:
+    """A copy of *checkpoint* whose memory chain stops at a marker.
+
+    *base* must be the chain's root (or any shared ancestor): every
+    node above it is copied, the base itself is replaced by a
+    :class:`DetachedBase` sentinel.  The result pickles to the dirty
+    pages only — the shard-shipping representation.
+    """
+    memory = _rewrite_chain(checkpoint.snapshot.memory, base, DetachedBase())
+    snapshot = dataclasses.replace(checkpoint.snapshot, memory=memory)
+    return dataclasses.replace(checkpoint, snapshot=snapshot)
+
+
+def attach_base(checkpoint: Checkpoint, base: MemoryImage) -> Checkpoint:
+    """Reverse of :func:`detach_base`: splice a real base image back in."""
+    memory = _rewrite_chain(checkpoint.snapshot.memory, DetachedBase, base)
+    snapshot = dataclasses.replace(checkpoint.snapshot, memory=memory)
+    return dataclasses.replace(checkpoint, snapshot=snapshot)
 
 
 def resume_emulator(program: Program, checkpoint: Checkpoint) -> Emulator:

@@ -1,0 +1,142 @@
+"""Property tests for :meth:`SimStats.merge` (the time-shard fold).
+
+The merge audit behind time sharding: fold correctness depends on
+``merge`` covering *every* field, staying associative (the fold order
+is an implementation detail), and failing loudly — not silently
+dropping data — if a future structured field is added without a merge
+rule.  ``merge`` iterates ``vars(self)``, so scalar fields added later
+are summed automatically; structured fields must be registered in
+``_NON_SCALAR`` with an explicit rule, and these tests pin both halves
+of that contract.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import SimStats
+
+SCALAR_FIELDS = tuple(
+    name
+    for name in vars(SimStats())
+    if name not in SimStats._NON_SCALAR
+)
+
+
+@st.composite
+def sim_stats(draw):
+    stats = SimStats()
+    for name in SCALAR_FIELDS:
+        setattr(stats, name, draw(st.integers(0, 10_000)))
+    stats.load_latency_trace = draw(
+        st.lists(
+            st.tuples(st.integers(0, 1 << 20), st.integers(1, 300)),
+            max_size=5,
+        )
+    )
+    stats.occupancy_histograms = draw(
+        st.dictionaries(
+            st.sampled_from(["rob", "iq", "rob_pkru"]),
+            st.dictionaries(
+                st.integers(0, 8), st.integers(1, 100), max_size=4
+            ),
+            max_size=3,
+        )
+    )
+    return stats
+
+
+def as_comparable(stats: SimStats) -> dict:
+    return vars(stats)
+
+
+def test_field_registry_is_complete():
+    """Every field of a fresh SimStats is either a scalar counter or
+    explicitly registered as non-scalar — an unregistered structured
+    field would corrupt the fold (``list + list`` concatenates
+    silently; this is the canary that forces the audit)."""
+    for name, value in vars(SimStats()).items():
+        if name in SimStats._NON_SCALAR:
+            assert isinstance(value, (list, dict)), name
+        else:
+            assert isinstance(value, (int, float)), (
+                f"SimStats.{name} is {type(value).__name__}: structured "
+                "fields must be added to SimStats._NON_SCALAR with an "
+                "explicit merge rule"
+            )
+    for name in SimStats._NON_SCALAR:
+        assert hasattr(SimStats(), name)
+
+
+@given(a=sim_stats(), b=sim_stats())
+@settings(max_examples=100, deadline=None)
+def test_merge_covers_every_field(a, b):
+    merged = a.merge(b)
+    assert set(vars(merged)) == set(vars(a))
+    for name in SCALAR_FIELDS:
+        assert getattr(merged, name) == getattr(a, name) + getattr(b, name)
+    assert merged.load_latency_trace == (
+        a.load_latency_trace + b.load_latency_trace
+    )
+    for stage in set(a.occupancy_histograms) | set(b.occupancy_histograms):
+        bins_a = a.occupancy_histograms.get(stage, {})
+        bins_b = b.occupancy_histograms.get(stage, {})
+        assert merged.occupancy_histograms[stage] == {
+            occ: bins_a.get(occ, 0) + bins_b.get(occ, 0)
+            for occ in set(bins_a) | set(bins_b)
+        }
+
+
+@given(a=sim_stats(), b=sim_stats(), c=sim_stats())
+@settings(max_examples=50, deadline=None)
+def test_merge_is_associative(a, b, c):
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    assert as_comparable(left) == as_comparable(right)
+
+
+@given(a=sim_stats())
+@settings(max_examples=50, deadline=None)
+def test_empty_stats_is_the_identity(a):
+    assert as_comparable(a.merge(SimStats())) == as_comparable(a)
+    assert as_comparable(SimStats().merge(a)) == as_comparable(a)
+
+
+@given(a=sim_stats(), b=sim_stats())
+@settings(max_examples=50, deadline=None)
+def test_merge_does_not_mutate_inputs(a, b):
+    before_a, before_b = dict(vars(a)), dict(vars(b))
+    trace_a = list(a.load_latency_trace)
+    hist_a = {k: dict(v) for k, v in a.occupancy_histograms.items()}
+    a.merge(b)
+    assert vars(a) == before_a and vars(b) == before_b
+    assert a.load_latency_trace == trace_a
+    assert a.occupancy_histograms == hist_a
+
+
+def test_future_scalar_fields_merge_automatically():
+    """``merge`` iterates ``vars``: a counter added to ``__init__``
+    later is summed with no change to ``merge`` itself."""
+    a, b = SimStats(), SimStats()
+    a.future_counter = 3
+    b.future_counter = 4
+    assert a.merge(b).future_counter == 7
+
+
+def test_future_structured_field_fails_loudly():
+    """A dict field added without a ``_NON_SCALAR`` entry must raise,
+    not merge nonsensically — the loud-failure half of the contract."""
+    a, b = SimStats(), SimStats()
+    a.future_map = {"x": 1}
+    b.future_map = {"x": 2}
+    with pytest.raises(TypeError):
+        a.merge(b)
+
+
+def test_derived_rates_recompute_from_merged_counters():
+    a, b = SimStats(), SimStats()
+    a.cycles, a.instructions_retired, a.wrpkru_retired = 100, 200, 2
+    b.cycles, b.instructions_retired, b.wrpkru_retired = 300, 100, 4
+    merged = a.merge(b)
+    assert merged.ipc == pytest.approx(300 / 400)
+    assert merged.wrpkru_per_kilo == pytest.approx(1000 * 6 / 300)

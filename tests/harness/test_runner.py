@@ -53,6 +53,43 @@ class TestSweep:
         norm = normalized_ipc(results)
         assert norm["520.omnetpp_r (SS)"][WrpkruPolicy.SPECMPK] > 1.15
 
+    def test_sweep_threads_time_shards(self, monkeypatch):
+        """``time_shards`` reaches every grid point: sharded runs hit
+        the exact instruction budget (the monolithic path overshoots
+        by up to commit width) and IPC stays within the 1% bound."""
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        label = "557.xz_r (SS)"
+        sharded = sweep_policies(
+            labels=[label], policies=(WrpkruPolicy.SERIALIZED,),
+            instructions=4000, time_shards=2,
+        )[label][WrpkruPolicy.SERIALIZED]
+        mono = sweep_policies(
+            labels=[label], policies=(WrpkruPolicy.SERIALIZED,),
+            instructions=4000,
+        )[label][WrpkruPolicy.SERIALIZED]
+        assert sharded.instructions_retired == 4000
+        assert mono.instructions_retired >= 4000
+        assert sharded.ipc == pytest.approx(mono.ipc, rel=0.01)
+
+    def test_run_workload_accepts_time_shards(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        stats = run_workload(
+            "557.xz_r (SS)", WrpkruPolicy.SERIALIZED,
+            instructions=4000, time_shards=2,
+        )
+        assert stats.instructions_retired == 4000
+
+    def test_experiments_thread_time_shards(self, monkeypatch):
+        """The long-running figure drivers forward ``time_shards``."""
+        from repro.harness import fig10_wrpkru_frequency
+
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        rows = fig10_wrpkru_frequency(
+            labels=["557.xz_r (SS)"], instructions=2000, time_shards=2,
+        )
+        assert rows[0].workload == "557.xz_r (SS)"
+        assert rows[0].wrpkru_per_kilo > 0
+
 
 class TestHelpers:
     def test_geomean(self):

@@ -51,6 +51,38 @@ def test_shutdown_resets():
     assert pool.get_pool(1) is not first
 
 
+def test_pool_initializer_is_safe():
+    """The initializer must never raise (a raising initializer breaks
+    the whole executor); it is imports only and callable anywhere."""
+    pool._pool_initializer()
+
+
+def test_prewarm_task_builds_and_translates():
+    """In-process check of the worker-side warmup body: after it runs,
+    the (label, mode) workload memo and the program's shared block
+    cache and timing schedule all exist in this process."""
+    from repro.core.schedule import shared_schedule
+    from repro.isa.blockcache import shared_cache
+    from repro.perf.timeshard import _rebuild_cached
+
+    assert pool._prewarm_task(("557.xz_r (SS)", "protected")) is True
+    workload, base = _rebuild_cached("557.xz_r (SS)", "protected")
+    assert base is not None
+    # Memoized singletons: the prewarm already built these, so asking
+    # again must return the same objects, not re-translate.
+    assert shared_cache(workload.program) is shared_cache(workload.program)
+    assert shared_schedule(workload.program) is shared_schedule(
+        workload.program
+    )
+
+
+def test_prewarm_pool_submits_one_task_per_worker():
+    pool.get_pool(2)
+    futures = pool.prewarm_pool("557.xz_r (SS)", "protected")
+    assert len(futures) == 2
+    assert all(future.result(timeout=120) is True for future in futures)
+
+
 def test_resolve_workers(monkeypatch):
     monkeypatch.delenv("REPRO_WORKERS", raising=False)
     assert pool.resolve_workers() is None

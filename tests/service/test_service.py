@@ -204,6 +204,80 @@ class TestSweepService:
         assert serialized > specmpk > nonsecure
 
 
+class TestShardedJobs:
+    """Time-sharded requests through the batch scheduler."""
+
+    def test_sharded_job_settles_with_exact_fold(self, monkeypatch,
+                                                 tmp_path):
+        monkeypatch.setenv("REPRO_PARALLEL", "0")  # inline shard dispatch
+        request = RunRequest(
+            workload="557.xz_r (SS)", policy=WrpkruPolicy.SPECMPK,
+            time_shards=3, shard_warmup=200, **FAST,
+        )
+        service = SweepService(tmp_path / "spool")
+        handle = service.submit([request])
+        [result] = handle.wait()
+        # Exact-budget windows tile the measured stream exactly.
+        assert result.stats.instructions_retired == FAST["instructions"]
+        assert result.metrics.meta["time_shards"] == 3
+        # Shard progress stamped on the job doc survives settling.
+        doc = service.spool.job_doc(handle.job_ids[0])
+        assert doc["shards_done"] == doc["shards_total"] == 3
+        assert service.spool.counts()["done"] == 1
+
+    def test_mixed_batch_interleaves_whole_and_sharded(self, monkeypatch,
+                                                       tmp_path):
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        whole = RunRequest(workload="557.xz_r (SS)",
+                           policy=WrpkruPolicy.SPECMPK, **FAST)
+        sharded = whole.replace(time_shards=2, shard_warmup=100)
+        service = SweepService(tmp_path / "spool")
+        results = service.submit([whole, sharded]).wait()
+        assert len(results) == 2
+        assert results[0].stats.ipc > 0
+        assert results[1].stats.instructions_retired == FAST["instructions"]
+        # Same workload/policy/budgets, different K: distinct jobs.
+        assert whole.cache_key() != sharded.cache_key()
+
+    def test_sharded_round_trips_the_spool_encoding(self, tmp_path):
+        from repro.service.spool import decode_request, encode_request
+
+        request = RunRequest(
+            workload="557.xz_r (SS)", policy=WrpkruPolicy.SPECMPK,
+            time_shards=5, shard_warmup=1_500, **FAST,
+        )
+        doc = encode_request(request)
+        assert doc["time_shards"] == 5 and doc["shard_warmup"] == 1_500
+        assert decode_request(doc) == request
+
+    def test_shard_failure_retries_the_whole_job(self, monkeypatch,
+                                                 tmp_path):
+        from repro.perf import timeshard
+
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        # The job must actually dispatch shards: a run-cache hit (from
+        # an identical request in another test) would bypass the pool.
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        real_measure = timeshard.measure_shard
+        attempts = {"n": 0}
+
+        def flaky_measure(job):
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise RuntimeError("transient shard failure")
+            return real_measure(job)
+
+        monkeypatch.setattr(timeshard, "measure_shard", flaky_measure)
+        request = RunRequest(
+            workload="557.xz_r (SS)", policy=WrpkruPolicy.SPECMPK,
+            time_shards=2, shard_warmup=100, **FAST,
+        )
+        service = SweepService(tmp_path / "spool", max_retries=1)
+        [result] = service.submit([request]).wait()
+        assert result.stats.instructions_retired == FAST["instructions"]
+        assert service.counters["retried"] == 1
+
+
 class TestResultPayload:
     def test_round_trip_is_scalar_complete(self):
         request = RunRequest(workload="557.xz_r (SS)",

@@ -1,0 +1,129 @@
+"""Shard-shipping checkpoint representation (detach/attach + size).
+
+Time sharding pickles one :class:`Checkpoint` per shard into the
+worker pool, so the wire size is a real cost: these tests pin the
+contract that a *detached* checkpoint carries only the pages dirtied
+since program entry — the shared pristine base image is rebuilt
+worker-side from the program's regions, never shipped — plus a size
+regression guard on the whole pickled shard checkpoint.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.isa.emulator import make_emulator
+from repro.state import (
+    CheckpointError,
+    DetachedBase,
+    WarmTouch,
+    attach_base,
+    detach_base,
+    pristine_image,
+    resume_simulator,
+    take_checkpoint,
+)
+from repro.workloads.generator import build_workload
+from repro.workloads.instrument import InstrumentMode
+from repro.workloads.profiles import profile_by_label
+
+LABEL = "505.mcf_r (SS)"
+POSITION = 4_000
+
+#: Regression cap on one pickled, detached shard checkpoint at the
+#: standard functional position (measured ~10 KiB: dirty pages + the
+#: warm-touch summary + registers).  A change that starts shipping the
+#: base image, whole page tables, or per-page copies trips this long
+#: before it hurts.
+MAX_DETACHED_PICKLE_BYTES = 64 * 1024
+
+
+@pytest.fixture(scope="module")
+def parts():
+    workload = build_workload(
+        profile_by_label(LABEL), InstrumentMode.PROTECTED
+    )
+    emulator = make_emulator(workload)
+    base = emulator.state.memory.snapshot_image()
+    warm = WarmTouch()
+    emulator.run_fast(POSITION, warm=warm)
+    checkpoint = take_checkpoint(emulator, label="shard 0", warm=warm)
+    return workload, base, checkpoint
+
+
+def test_detached_pickle_is_strictly_smaller(parts):
+    _, base, checkpoint = parts
+    attached = len(pickle.dumps(checkpoint))
+    detached = len(pickle.dumps(detach_base(checkpoint, base)))
+    assert detached < attached
+    # The saving is the base chain itself (marker overhead aside).
+    assert attached - detached >= 0.5 * len(pickle.dumps(base))
+    assert detached <= MAX_DETACHED_PICKLE_BYTES
+
+
+def test_detach_replaces_the_chain_root_with_a_marker(parts):
+    _, base, checkpoint = parts
+    node = detach_base(checkpoint, base).snapshot.memory
+    while node.parent is not None:
+        node = node.parent
+    assert isinstance(node, DetachedBase)
+    # The original checkpoint's chain is untouched (shared nodes are
+    # copied, never mutated).
+    original_root = checkpoint.snapshot.memory
+    while original_root.parent is not None:
+        original_root = original_root.parent
+    assert original_root is base
+
+
+def test_detached_checkpoint_fails_loudly_without_its_base(parts):
+    workload, base, checkpoint = parts
+    detached = detach_base(checkpoint, base)
+    with pytest.raises(CheckpointError):
+        resume_simulator(workload.program, detached)
+
+
+def test_detach_requires_the_actual_base(parts):
+    workload, _, checkpoint = parts
+    foreign = pristine_image(workload.program.regions)  # equal, not same
+    with pytest.raises(CheckpointError):
+        detach_base(checkpoint, foreign)
+
+
+def test_pickle_round_trip_reattaches_and_resumes_identically(parts):
+    workload, base, checkpoint = parts
+    shipped = pickle.loads(pickle.dumps(detach_base(checkpoint, base)))
+    # Worker side: rebuild the base deterministically and splice it in.
+    rebuilt = attach_base(
+        shipped, pristine_image(workload.program.regions)
+    )
+    want = resume_simulator(workload.program, checkpoint).run(
+        max_cycles=200 * 2_000, max_instructions=1_000
+    )
+    got = resume_simulator(workload.program, rebuilt).run(
+        max_cycles=200 * 2_000, max_instructions=1_000
+    )
+    assert want.fault is None and got.fault is None
+    assert vars(got.stats) == vars(want.stats)
+
+
+def test_detached_size_tracks_dirty_pages_not_the_program(parts):
+    """Ship cost grows with execution-dirtied state, not with the
+    program's data footprint: the same profile scaled to an 8x working
+    set detaches to (about) the same number of bytes."""
+    _, base, checkpoint = parts
+    small = len(pickle.dumps(detach_base(checkpoint, base)))
+
+    profile = profile_by_label(LABEL)
+    big_profile = dataclasses.replace(
+        profile, working_set_kib=profile.working_set_kib * 8
+    )
+    workload = build_workload(big_profile, InstrumentMode.PROTECTED)
+    emulator = make_emulator(workload)
+    big_base = emulator.state.memory.snapshot_image()
+    warm = WarmTouch()
+    emulator.run_fast(POSITION, warm=warm)
+    big = len(pickle.dumps(detach_base(
+        take_checkpoint(emulator, label="shard 0", warm=warm), big_base
+    )))
+    assert big <= small * 1.5
