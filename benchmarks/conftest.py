@@ -16,6 +16,14 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def _write_result(path: pathlib.Path, text: str) -> None:
+    """One rendered artifact, via the shared atomic writer (lazy import:
+    the suite runs with ``PYTHONPATH=src``, resolved at call time)."""
+    from repro.report import atomic_write_text
+
+    atomic_write_text(path, text)
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -114,7 +122,8 @@ def tracing_off_overhead_guard(results_dir):
     guards = (_GUARDS_PER_INSTRUCTION * stats.instructions_fetched
               + _GUARDS_PER_CYCLE * stepped)
     overhead = guards * per_guard / elapsed
-    (results_dir / "observability_overhead.txt").write_text(
+    _write_result(
+        results_dir / "observability_overhead.txt",
         f"tracing-off overhead bound: {overhead:.2%} of wall clock\n"
         f"  run: {stats.cycles} cycles ({stepped} stepped, rest "
         f"idle-skipped), {stats.instructions_fetched} fetched, "
@@ -189,7 +198,8 @@ def metrics_off_overhead_guard(results_dir):
 
     ops = _METRIC_OPS_PER_INSTRUCTION * stats.instructions_fetched
     overhead = ops * per_op / elapsed
-    (results_dir / "metrics_overhead.txt").write_text(
+    _write_result(
+        results_dir / "metrics_overhead.txt",
         f"metrics-off overhead bound: {overhead:.2%} of wall clock\n"
         f"  run: {stats.cycles} cycles, "
         f"{stats.instructions_fetched} fetched, {elapsed:.3f}s\n"
@@ -208,7 +218,7 @@ def save_result(results_dir):
     """Write one rendered experiment output to the results directory."""
 
     def _save(name: str, text: str) -> None:
-        (results_dir / f"{name}.txt").write_text(text + "\n")
+        _write_result(results_dir / f"{name}.txt", text + "\n")
         print(f"\n{text}\n")
 
     return _save

@@ -23,6 +23,12 @@ Commands:
   (``--compare``) and gating against a checked-in baseline
   (``--baseline``).
 * ``reproduce`` — regenerate paper tables/figures into a directory.
+* ``report`` — the results-observability pipeline: ``report all``
+  regenerates every final artifact with seed-varied repeats and
+  bootstrap confidence intervals, writing the provenance ledger
+  (``manifest.json``/``manifest.md`` + ``metrics.jsonl``); ``report
+  diff`` verifies a regenerated manifest against the checked-in
+  baseline with per-metric tolerances (the CI smoke tier).
 """
 
 from __future__ import annotations
@@ -384,6 +390,49 @@ def main(argv: Optional[List[str]] = None) -> int:
              "REPRO_TIME_SHARDS, else 1 — the exact monolithic path)",
     )
 
+    report_parser = sub.add_parser(
+        "report",
+        help="provenance ledger: regenerate artifacts with bootstrap "
+             "CIs, or diff against the checked-in baseline",
+    )
+    report_parser.add_argument(
+        "action", nargs="?", choices=["all", "diff"], default="all",
+        help="all: regenerate + write the ledger; diff: verify a "
+             "written manifest against a baseline manifest",
+    )
+    report_parser.add_argument(
+        "--only", default=None,
+        help="comma-separated artifact subset, e.g. fig9,fig10,table3",
+    )
+    report_parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="seed-varied repeats per figure (CIs; default 3)",
+    )
+    report_parser.add_argument(
+        "--instructions", type=int, default=None,
+        help="instruction budget per point (default: the harness "
+             "measurement budget)",
+    )
+    report_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="bootstrap base seed (same seed -> identical CI bounds)",
+    )
+    report_parser.add_argument(
+        "--out", type=pathlib.Path,
+        default=pathlib.Path("results/final"),
+        help="ledger directory (default: results/final)",
+    )
+    report_parser.add_argument(
+        "--baseline", type=pathlib.Path, default=None,
+        help="baseline manifest for `diff` (default: "
+             "<out>/baseline.json)",
+    )
+    report_parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="after `all`, also copy the manifest to the baseline path",
+    )
+    report_parser.add_argument("--json", action="store_true")
+
     args = parser.parse_args(argv)
     if args.command == "info":
         return _cmd_info()
@@ -413,6 +462,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "reproduce":
         return _cmd_reproduce(args)
+    if args.command == "report":
+        return _cmd_report(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -968,12 +1019,20 @@ def _cmd_status(args) -> int:
         return 2
     counts = {state.value: 0 for state in JobState}
     unknown = 0
+    jobs = []
     for job_id in job_ids:
         state = spool.state_of(job_id)
         if state is None:
             unknown += 1
         else:
             counts[state.value] += 1
+        doc = spool.job_doc(job_id) or {}
+        jobs.append({
+            "job": job_id,
+            "state": state.value if state is not None else None,
+            "shards_done": doc.get("shards_done"),
+            "shards_total": doc.get("shards_total"),
+        })
     if args.metrics_out is not None:
         args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
         written = 0
@@ -992,6 +1051,7 @@ def _cmd_status(args) -> int:
         "total": len(job_ids),
         "unknown": unknown,
         **counts,
+        "jobs": jobs,
     }
     if args.json:
         print(json.dumps(summary, indent=2))
@@ -999,6 +1059,17 @@ def _cmd_status(args) -> int:
         print(f"batch {args.batch}: {summary['total']} job(s) — "
               f"{summary['pending']} pending, {summary['running']} running, "
               f"{summary['done']} done, {summary['failed']} failed")
+        # Per-job table; sharded jobs surface the intra-run progress
+        # the scheduler stamps onto the running job doc, so a long
+        # detailed run is visible from `repro status` — not only from
+        # `submit --watch`.
+        for job in jobs:
+            shards = (
+                f"  shard {job['shards_done']}/{job['shards_total']}"
+                if job["shards_total"] else ""
+            )
+            print(f"  {job['job'][:16]}  "
+                  f"{job['state'] or 'unknown':8s}{shards}")
     return 0
 
 
@@ -1044,8 +1115,9 @@ def _cmd_bench(args) -> int:
         failures = check_against_reference(report, reference, scale=scale)
         report["regressions"] = failures
     if args.out is not None:
-        args.out.parent.mkdir(parents=True, exist_ok=True)
-        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        from repro.report import atomic_write_text
+
+        atomic_write_text(args.out, json.dumps(report, indent=2) + "\n")
     if args.json:
         print(json.dumps(report, indent=2))
     else:
@@ -1114,8 +1186,9 @@ def _cmd_bench_fullrun(args) -> int:
         failures = check_against_reference(report, reference, scale=scale)
         report["regressions"] = failures
     if args.out is not None:
-        args.out.parent.mkdir(parents=True, exist_ok=True)
-        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        from repro.report import atomic_write_text
+
+        atomic_write_text(args.out, json.dumps(report, indent=2) + "\n")
     if args.json:
         print(json.dumps(report, indent=2))
     else:
@@ -1158,6 +1231,8 @@ def _cmd_reproduce(args) -> int:
         table3_configuration,
     )
 
+    from repro.report import atomic_write_text
+
     out: pathlib.Path = args.out
     out.mkdir(parents=True, exist_ok=True)
     wanted = (
@@ -1169,7 +1244,7 @@ def _cmd_reproduce(args) -> int:
         return wanted is None or name in wanted
 
     def save(name: str, text: str) -> None:
-        (out / f"{name}.txt").write_text(text + "\n")
+        atomic_write_text(out / f"{name}.txt", text + "\n")
         print(f"[{name}] written to {out / (name + '.txt')}")
 
     if selected("table1"):
@@ -1213,6 +1288,90 @@ def _cmd_reproduce(args) -> int:
     if selected("mprotect"):
         rows = motivation_mprotect_vs_mpk()
         save("mprotect", render_table(rows, title="mprotect vs MPK"))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import json
+    import shutil
+
+    from repro.report import diff_manifests
+    from repro.report.pipeline import (
+        ReportConfig,
+        generate_report,
+        load_or_fail,
+    )
+
+    only = (
+        None if args.only is None
+        else {name for name in args.only.split(",") if name}
+    )
+    baseline_path = args.baseline or (args.out / "baseline.json")
+    if args.action == "diff":
+        try:
+            baseline = load_or_fail(baseline_path)
+            current = load_or_fail(args.out / "manifest.json")
+        except FileNotFoundError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if (baseline.instructions != current.instructions
+                or baseline.repeats != current.repeats):
+            print(
+                "error: manifest was generated at different budgets "
+                f"(baseline: instructions={baseline.instructions} "
+                f"repeats={baseline.repeats}; current: "
+                f"instructions={current.instructions} "
+                f"repeats={current.repeats}) — values are not "
+                "comparable; regenerate with matching --instructions/"
+                "--repeats", file=sys.stderr,
+            )
+            return 2
+        report = diff_manifests(baseline, current, only=only)
+        if args.json:
+            print(json.dumps({
+                "baseline": str(baseline_path),
+                "manifest": str(args.out / "manifest.json"),
+                "checks": len(report.items),
+                "failures": [item.describe() for item in report.failures],
+                "ok": report.ok,
+            }, indent=2))
+        else:
+            print(report.render())
+        return 0 if report.ok else 1
+    config = ReportConfig(
+        out=args.out,
+        repeats=args.repeats,
+        instructions=args.instructions,
+        seed=args.seed,
+        only=only,
+    )
+    try:
+        manifest, counters = generate_report(
+            config, echo=None if args.json else print
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(args.out / "manifest.json", baseline_path)
+    if args.json:
+        print(json.dumps({
+            "out": str(args.out),
+            **counters,
+            # After the counters spread: the artifact-name list wins
+            # over the bare "artifacts" count (which is just its len).
+            "artifacts": sorted(manifest.artifacts),
+            "baseline_written": bool(args.write_baseline),
+        }, indent=2))
+    else:
+        print(f"ledger written to {args.out} "
+              f"({counters['artifacts']} artifact(s), "
+              f"{counters['snapshots']} telemetry snapshot(s); "
+              f"run cache: {counters['cache_hits']} hit(s), "
+              f"{counters['cache_misses']} miss(es))")
+        if args.write_baseline:
+            print(f"baseline written to {baseline_path}")
     return 0
 
 

@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import dataclasses
 import functools
-from typing import Dict, Optional, Union
+import time
+from typing import Callable, Dict, List, Optional, Union
 
 from ..core.config import CoreConfig, WrpkruPolicy
 from ..core.pipeline import Simulator
@@ -36,6 +37,7 @@ from ..obs.snapshot import MetricsSnapshot
 from ..perf.envflag import env_float, env_int
 from ..perf.runcache import cache_enabled, default_cache
 from ..perf.runcache import cache_key as _compute_cache_key
+from ..report.provenance import ProvenanceRecord, make_record
 from ..state import WarmTouch, fast_forward
 from ..trace import (
     TopDownReport,
@@ -259,6 +261,12 @@ class RunResult:
     #: Hierarchical telemetry snapshot (``repro.obs``); None when the
     #: run was executed with metrics collection off.
     metrics: Optional[MetricsSnapshot] = None
+    #: Where this result came from (:mod:`repro.report.provenance`):
+    #: cache key, code fingerprint, resolved ``REPRO_*`` knobs, host
+    #: info and wall time, stamped by :func:`execute`.  A memoized
+    #: return carries the *original* execution's record with only the
+    #: ``from_cache`` flag flipped.
+    provenance: Optional[ProvenanceRecord] = None
 
     @property
     def ipc(self) -> float:
@@ -269,6 +277,39 @@ class RunResult:
         if self.trace is None:
             return None
         return topdown_from_collector(self.trace, self.stats)
+
+
+#: ``hook(cache_key, result)`` — fired by :func:`execute` for every
+#: result it returns (fresh, sharded or memoized) and by the batch
+#: scheduler for results that settle without reaching ``execute`` in
+#: this process (pre-dispatch cache dedup, spool resume, parallel
+#: workers).  The report pipeline's RunRecorder subscribes here to map
+#: artifacts to the runs behind them; hooks must be cheap and must not
+#: raise.
+RunObserver = Callable[[Optional[str], "RunResult"], None]
+
+_RUN_OBSERVERS: List[RunObserver] = []
+
+
+def add_run_observer(hook: RunObserver) -> None:
+    """Subscribe *hook* to every run outcome observed in this process."""
+    _RUN_OBSERVERS.append(hook)
+
+
+def remove_run_observer(hook: RunObserver) -> None:
+    """Unsubscribe a hook added with :func:`add_run_observer`."""
+    _RUN_OBSERVERS.remove(hook)
+
+
+def notify_run_observers(key: Optional[str], result: "RunResult") -> None:
+    """Fan one run outcome out to the registered observers.
+
+    Public so the batch scheduler can notify for results that settle
+    without an in-process ``execute`` call; observers deduplicate by
+    cache key, so a result reported from both paths is recorded once.
+    """
+    for hook in list(_RUN_OBSERVERS):
+        hook(key, result)
 
 
 @functools.lru_cache(maxsize=64)
@@ -310,11 +351,31 @@ def execute(request: RunRequest, *, cache: Optional[bool] = None) -> RunResult:
     overrides the ``REPRO_CACHE`` env default per call (the batch
     service threads its ``cache=`` flag through here).
     """
+    started = time.perf_counter()
     use_cache = cache_enabled() if cache is None else bool(cache)
     key = request.cache_key() if use_cache else None
     if key is not None:
         cached = default_cache().get(key)
         if cached is not None:
+            # Flip only the from_cache flag: the stored record keeps
+            # the original execution's host/knobs/wall time.  A copy,
+            # so the pickled store entry itself is never mutated.
+            if cached.provenance is not None:
+                cached = dataclasses.replace(
+                    cached,
+                    provenance=dataclasses.replace(
+                        cached.provenance, from_cache=True
+                    ),
+                )
+            else:  # entry predates provenance stamping
+                cached = dataclasses.replace(
+                    cached,
+                    provenance=make_record(
+                        key, time.perf_counter() - started,
+                        snapshot=cached.metrics, from_cache=True,
+                    ),
+                )
+            notify_run_observers(key, cached)
             return cached
     if request.resolved_time_shards() > 1:
         # Time-sharded run: checkpoint pass + pool dispatch + fold.
@@ -323,8 +384,13 @@ def execute(request: RunRequest, *, cache: Optional[bool] = None) -> RunResult:
         from ..perf.timeshard import execute_sharded
 
         run_result = execute_sharded(request)
+        run_result.provenance = make_record(
+            key, time.perf_counter() - started,
+            snapshot=run_result.metrics,
+        )
         if key is not None:
             default_cache().put(key, run_result)
+        notify_run_observers(key, run_result)
         return run_result
     workload = resolve_workload(request)
     instructions = request.resolved_instructions()
@@ -375,7 +441,11 @@ def execute(request: RunRequest, *, cache: Optional[bool] = None) -> RunResult:
     run_result = RunResult(
         stats=result.stats, metadata=metadata, trace=collector,
         metrics=snapshot,
+        provenance=make_record(
+            key, time.perf_counter() - started, snapshot=snapshot,
+        ),
     )
     if key is not None:
         default_cache().put(key, run_result)
+    notify_run_observers(key, run_result)
     return run_result

@@ -20,7 +20,7 @@ from ..analysis.isolation_taxonomy import table_i, verify_probes
 from ..attacks import build_spectre_v1_poc, run_attack
 from ..core.config import CoreConfig, WrpkruPolicy, table_iii_config
 from ..workloads.instrument import InstrumentMode
-from ..workloads.profiles import ALL_PROFILES
+from ..workloads.profiles import ALL_PROFILES, label_of
 from .runner import (
     geomean,
     normalized_ipc,
@@ -180,7 +180,7 @@ def fig3_serialization_study(
         speculative = by_policy[WrpkruPolicy.NONSECURE_SPEC]
         rows.append(
             Fig3Row(
-                workload=label,
+                workload=label_of(label),
                 speedup=speculative.ipc / serialized.ipc - 1.0,
                 rename_stall_fraction=serialized.rename_stall_fraction,
             )
@@ -264,7 +264,7 @@ def fig4_overhead_breakdown(
         protected = costs[InstrumentMode.PROTECTED]
         rows.append(
             Fig4Row(
-                workload=label,
+                workload=label_of(label),
                 compiler_overhead=nop / base - 1.0,
                 serialization_overhead=protected / nop - 1.0,
                 total_overhead=protected / base - 1.0,
@@ -305,7 +305,7 @@ def fig9_normalized_ipc(
     for label, by_policy in norm.items():
         rows.append(
             Fig9Row(
-                workload=label,
+                workload=label_of(label),
                 nonsecure_specmpk=by_policy[WrpkruPolicy.NONSECURE_SPEC],
                 specmpk=by_policy[WrpkruPolicy.SPECMPK],
                 wrpkru_per_kilo=results[label][
@@ -343,7 +343,7 @@ def fig10_wrpkru_frequency(
     )
     return [
         Fig10Row(
-            workload=label,
+            workload=label_of(label),
             wrpkru_per_kilo=by_policy[
                 WrpkruPolicy.NONSECURE_SPEC
             ].wrpkru_per_kilo,
@@ -391,7 +391,7 @@ def fig11_rob_pkru_sensitivity(
         )
         rows.append(
             Fig11Row(
-                workload=label,
+                workload=label_of(label),
                 specmpk_by_size=tuple(by_size),
                 nonsecure=nonsecure.ipc / serialized.ipc,
             )
@@ -534,7 +534,7 @@ def ablation_tlb_deferral(
         )
         rows.append(
             {
-                "workload": label,
+                "workload": label_of(label),
                 "strict_ipc": strict.ipc,
                 "relaxed_ipc": relaxed.ipc,
                 "tlb_stalls": strict.tlb_miss_stalls,
@@ -698,7 +698,7 @@ def comparison_general_mitigations(
         )
         rows.append(
             {
-                "workload": label,
+                "workload": label_of(label),
                 "specmpk": specmpk.ipc / serialized.ipc,
                 "delay_on_miss": dom.ipc / serialized.ipc,
             }
@@ -732,7 +732,7 @@ def motivation_mprotect_vs_mpk(
         estimate = estimate_mprotect_cost(stats)
         rows.append(
             {
-                "workload": label,
+                "workload": label_of(label),
                 "switches": estimate.switches,
                 "mpk_cycles": estimate.mpk_cycles,
                 "mprotect_cycles": estimate.mprotect_cycles,

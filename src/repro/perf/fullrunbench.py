@@ -45,6 +45,13 @@ def effective_workers(shards: int) -> int:
     return max(1, min(shards, os.cpu_count() or 1))
 
 
+def _host_info() -> Dict:
+    """Shared host-metadata snapshot (lazy: report builds on perf)."""
+    from ..report.provenance import host_info
+
+    return host_info()
+
+
 def timed_execute(request):
     """One uncached :func:`~repro.harness.api.execute`; ``(result, s)``."""
     from ..harness.api import execute
@@ -94,7 +101,11 @@ def run_fullrun_bench(
             "aggregation": "best-of-repeats",
             "cache": "bypassed",
         },
+        # Full host metadata plus the gate-relevant derived numbers:
+        # the conditional speedup floor keys off effective_workers, so
+        # the artifact alone shows whether the floor applied.
         "host": {
+            **_host_info(),
             "cpu_count": os.cpu_count() or 1,
             "effective_workers": effective_workers(shards),
         },

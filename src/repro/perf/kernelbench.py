@@ -101,6 +101,8 @@ def run_kernel_bench(
     # systematically penalise whichever engine is measured first — the
     # comparison below is only meaningful from a warm process.
     timed_run(labels[0], min(instructions, 2_000), min(warmup, 500))
+    from ..report.provenance import host_info
+
     report: Dict = {
         "unit": "KIPS",
         "methodology": {
@@ -111,6 +113,9 @@ def run_kernel_bench(
             "repeats": repeats,
             "aggregation": "best-of-repeats",
         },
+        # KIPS floors are host-speed-relative (REPRO_KIPS_SCALE), so
+        # the artifact records which host produced the numbers.
+        "host": host_info(),
         "staged": {},
     }
     for label in labels:

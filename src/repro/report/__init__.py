@@ -1,0 +1,98 @@
+"""Results observability: provenance ledger, bootstrap CIs, baseline diff.
+
+``repro.report`` is the layer that makes the *scientific output*
+auditable the way PRs 1 and 5 made the simulator observable:
+
+* :mod:`~repro.report.provenance` — a :class:`ProvenanceRecord` stamped
+  on every :class:`~repro.harness.api.RunResult` by ``execute()``;
+* :mod:`~repro.report.ledger` — the :class:`Manifest` mapping each
+  ``figN_*``/``tableN_*``/``ablation_*`` artifact to the exact
+  run-cache keys, code fingerprint and knobs behind it;
+* :mod:`~repro.report.bootstrap` — seeded percentile-bootstrap 95%
+  confidence intervals over seed-varied repeats;
+* :mod:`~repro.report.diff` — per-metric-tolerance comparison against
+  the checked-in baseline (the CI smoke tier);
+* :mod:`~repro.report.pipeline` — the ``repro report`` driver that
+  regenerates every artifact through ``execute_batch`` and writes
+  ``results/final/`` (imported lazily: the pipeline builds on the
+  harness, and the harness imports this package for provenance).
+"""
+
+from .bootstrap import (
+    DEFAULT_CONFIDENCE,
+    DEFAULT_RESAMPLES,
+    BootstrapCI,
+    bootstrap_ci,
+    derive_seed,
+    geomean,
+    summarize_series,
+)
+from .diff import DiffItem, DiffReport, diff_manifests, within_tolerance
+from .ledger import (
+    MANIFEST_VERSION,
+    ArtifactEntry,
+    Manifest,
+    MetricStat,
+    RunRef,
+    render_manifest_md,
+)
+from .provenance import (
+    ProvenanceRecord,
+    host_info,
+    make_record,
+    repro_knobs,
+)
+from .writer import atomic_write_text
+
+#: Pipeline names resolved lazily via __getattr__ — the pipeline
+#: imports the harness, which imports this package for provenance, so
+#: a module-level import here would be circular.
+_PIPELINE_NAMES = (
+    "ARTIFACTS",
+    "ArtifactSpec",
+    "ReportConfig",
+    "RunRecorder",
+    "artifact_names",
+    "generate_report",
+)
+
+__all__ = [
+    "ARTIFACTS",
+    "ArtifactEntry",
+    "ArtifactSpec",
+    "BootstrapCI",
+    "DEFAULT_CONFIDENCE",
+    "DEFAULT_RESAMPLES",
+    "DiffItem",
+    "DiffReport",
+    "MANIFEST_VERSION",
+    "Manifest",
+    "MetricStat",
+    "ProvenanceRecord",
+    "ReportConfig",
+    "RunRecorder",
+    "RunRef",
+    "artifact_names",
+    "atomic_write_text",
+    "bootstrap_ci",
+    "derive_seed",
+    "diff_manifests",
+    "generate_report",
+    "geomean",
+    "host_info",
+    "make_record",
+    "render_manifest_md",
+    "repro_knobs",
+    "summarize_series",
+    "within_tolerance",
+]
+
+
+def __getattr__(name: str):
+    if name in _PIPELINE_NAMES:
+        from . import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -1,0 +1,164 @@
+"""Baseline verification: ``repro report diff``.
+
+Compares a freshly regenerated :class:`~repro.report.ledger.Manifest`
+against the checked-in baseline, metric by metric, using the
+*baseline's* per-metric tolerances (so loosening a tolerance is a
+reviewed baseline change, not something a drifting run can do to
+itself).  Static artifacts — tables, hardware-overhead summaries —
+carry no metric series and are compared by content SHA-256 instead.
+
+The simulator is deterministic, so at pinned budgets a clean diff
+means bit-identical science; a non-zero tolerance exists for metrics
+that legitimately move under seed variation when the baseline was
+recorded with different repeat seeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional
+
+from .ledger import Manifest
+
+
+@dataclasses.dataclass(frozen=True)
+class DiffItem:
+    """One compared value: where it came from and whether it passed."""
+
+    artifact: str
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    tolerance: float
+    ok: bool
+    note: str = ""
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        if self.note:
+            return f"[{status}] {self.artifact}/{self.metric}: {self.note}"
+        delta = relative_delta(self.baseline, self.current)
+        return (
+            f"[{status}] {self.artifact}/{self.metric}: "
+            f"baseline={self.baseline:.6g} current={self.current:.6g} "
+            f"delta={delta:.3%} tol={self.tolerance:g}"
+        )
+
+
+@dataclasses.dataclass
+class DiffReport:
+    """All comparisons from one ``repro report diff`` invocation."""
+
+    items: List[DiffItem] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(item.ok for item in self.items)
+
+    @property
+    def failures(self) -> List[DiffItem]:
+        return [item for item in self.items if not item.ok]
+
+    def render(self) -> str:
+        lines = []
+        for item in self.items:
+            if not item.ok:
+                lines.append(item.describe())
+        checked = len(self.items)
+        failed = len(self.failures)
+        verdict = "clean" if failed == 0 else f"{failed} FAILED"
+        lines.append(f"report diff: {checked} checks, {verdict}")
+        return "\n".join(lines)
+
+
+def relative_delta(baseline: Optional[float],
+                   current: Optional[float]) -> float:
+    """|current - baseline| scaled by |baseline| (absolute near zero)."""
+    if baseline is None or current is None:
+        return float("inf")
+    magnitude = abs(baseline)
+    if magnitude < 1e-12:
+        return abs(current - baseline)
+    return abs(current - baseline) / magnitude
+
+
+def within_tolerance(baseline: float, current: float,
+                     tolerance: float) -> bool:
+    if tolerance <= 0.0:
+        return baseline == current
+    return relative_delta(baseline, current) <= tolerance
+
+
+def diff_manifests(
+    baseline: Manifest,
+    current: Manifest,
+    only: Optional[Iterable[str]] = None,
+) -> DiffReport:
+    """Compare *current* against *baseline*, one item per checked value.
+
+    *only* restricts the comparison to the named artifacts (the CI
+    smoke tier regenerates a subset); otherwise every baseline artifact
+    must be present in *current*.  Artifacts that exist only in
+    *current* are recorded as informational passes — adding a figure is
+    not a regression, removing one is.
+    """
+    report = DiffReport()
+    names = set(only) if only is not None else set(baseline.artifacts)
+    for name in sorted(names):
+        base_entry = baseline.artifacts.get(name)
+        cur_entry = current.artifacts.get(name)
+        if base_entry is None:
+            report.items.append(DiffItem(
+                artifact=name, metric="-", baseline=None, current=None,
+                tolerance=0.0, ok=False,
+                note="artifact not present in baseline manifest",
+            ))
+            continue
+        if cur_entry is None:
+            report.items.append(DiffItem(
+                artifact=name, metric="-", baseline=None, current=None,
+                tolerance=0.0, ok=False,
+                note="artifact missing from regenerated manifest",
+            ))
+            continue
+        if not base_entry.metrics:
+            # Static artifact: the rendered bytes are the contract.
+            same = base_entry.content_sha256 == cur_entry.content_sha256
+            report.items.append(DiffItem(
+                artifact=name, metric="content_sha256",
+                baseline=None, current=None, tolerance=0.0, ok=same,
+                note="" if same else (
+                    f"content hash changed: {base_entry.content_sha256} "
+                    f"-> {cur_entry.content_sha256}"
+                ),
+            ))
+            continue
+        for metric_name in sorted(base_entry.metrics):
+            base_stat = base_entry.metrics[metric_name]
+            cur_stat = cur_entry.metrics.get(metric_name)
+            if cur_stat is None:
+                report.items.append(DiffItem(
+                    artifact=name, metric=metric_name,
+                    baseline=base_stat.ci.mean, current=None,
+                    tolerance=base_stat.tolerance, ok=False,
+                    note="metric missing from regenerated manifest",
+                ))
+                continue
+            ok = within_tolerance(
+                base_stat.ci.mean, cur_stat.ci.mean, base_stat.tolerance
+            )
+            report.items.append(DiffItem(
+                artifact=name, metric=metric_name,
+                baseline=base_stat.ci.mean, current=cur_stat.ci.mean,
+                tolerance=base_stat.tolerance, ok=ok,
+            ))
+    new_names = sorted(set(current.artifacts) - set(baseline.artifacts))
+    for name in new_names:
+        if only is not None and name not in names:
+            continue
+        report.items.append(DiffItem(
+            artifact=name, metric="-", baseline=None, current=None,
+            tolerance=0.0, ok=True,
+            note="new artifact (absent from baseline)",
+        ))
+    return report

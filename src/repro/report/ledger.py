@@ -1,0 +1,283 @@
+"""The provenance ledger: artifacts mapped to the runs behind them.
+
+A :class:`Manifest` is the machine-readable record ``repro report``
+writes alongside the regenerated ``results/final/`` artifacts.  For
+every ``figN_*``/``tableN_*``/``ablation_*`` artifact it holds:
+
+* a :class:`RunRef` per underlying simulation — the run-cache key,
+  workload label, policy, whether the result was memoized, and its
+  wall time — so "which runs produced figure 9" resolves to concrete
+  content-addressed cache entries;
+* a :class:`MetricStat` per reported number — the bootstrap
+  point/lo/hi plus the per-metric diff tolerance;
+* the artifact file's SHA-256, so the rendered text can be matched to
+  the ledger entry byte-for-byte.
+
+The manifest header pins the code fingerprint, resolved ``REPRO_*``
+knobs, host info and report seed shared by every entry.  ``to_json`` /
+``from_json`` round-trip exactly (property-tested in
+``tests/report/test_ledger.py``); :func:`render_manifest_md` renders
+the human-readable ``results/final/manifest.md`` view.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+from .bootstrap import BootstrapCI
+
+#: Manifest schema version; bump on incompatible layout changes.
+MANIFEST_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class RunRef:
+    """One simulation behind an artifact, by content-addressed identity."""
+
+    cache_key: Optional[str]
+    label: str
+    policy: str
+    mode: str
+    repeat: int = 0
+    from_cache: bool = False
+    wall_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "cache_key": self.cache_key,
+            "label": self.label,
+            "policy": self.policy,
+            "mode": self.mode,
+            "repeat": self.repeat,
+            "from_cache": self.from_cache,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunRef":
+        return cls(
+            cache_key=data.get("cache_key"),
+            label=str(data.get("label", "")),
+            policy=str(data.get("policy", "")),
+            mode=str(data.get("mode", "")),
+            repeat=int(data.get("repeat", 0)),
+            from_cache=bool(data.get("from_cache", False)),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricStat:
+    """One reported number with its interval and diff tolerance."""
+
+    name: str
+    ci: BootstrapCI
+    #: Relative tolerance used by ``repro report diff`` (0.0 = exact).
+    tolerance: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "ci": self.ci.as_dict(),
+            "tolerance": self.tolerance,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "MetricStat":
+        return cls(
+            name=str(data["name"]),
+            ci=BootstrapCI.from_dict(data["ci"]),
+            tolerance=float(data.get("tolerance", 0.0)),
+        )
+
+
+@dataclasses.dataclass
+class ArtifactEntry:
+    """Ledger entry for one regenerated results artifact."""
+
+    name: str                         # e.g. "fig9"
+    path: str                         # artifact file, relative to out dir
+    kind: str                         # "figure" | "table" | "static"
+    content_sha256: str
+    repeats: int = 1
+    metrics: Dict[str, MetricStat] = dataclasses.field(default_factory=dict)
+    runs: List[RunRef] = dataclasses.field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "kind": self.kind,
+            "content_sha256": self.content_sha256,
+            "repeats": self.repeats,
+            "metrics": {
+                name: stat.as_dict()
+                for name, stat in sorted(self.metrics.items())
+            },
+            "runs": [ref.as_dict() for ref in self.runs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ArtifactEntry":
+        return cls(
+            name=str(data["name"]),
+            path=str(data["path"]),
+            kind=str(data.get("kind", "figure")),
+            content_sha256=str(data.get("content_sha256", "")),
+            repeats=int(data.get("repeats", 1)),
+            metrics={
+                name: MetricStat.from_dict(stat)
+                for name, stat in data.get("metrics", {}).items()
+            },
+            runs=[RunRef.from_dict(ref) for ref in data.get("runs", [])],
+        )
+
+
+@dataclasses.dataclass
+class Manifest:
+    """Everything ``repro report`` produced, in one auditable document."""
+
+    code_fingerprint: str
+    seed: int
+    repeats: int
+    instructions: Optional[int]
+    knobs: Dict[str, str] = dataclasses.field(default_factory=dict)
+    host: Dict[str, object] = dataclasses.field(default_factory=dict)
+    artifacts: Dict[str, ArtifactEntry] = dataclasses.field(
+        default_factory=dict
+    )
+    generated: str = ""
+    version: int = MANIFEST_VERSION
+
+    def add(self, entry: ArtifactEntry) -> None:
+        self.artifacts[entry.name] = entry
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "generated": self.generated,
+            "code_fingerprint": self.code_fingerprint,
+            "seed": self.seed,
+            "repeats": self.repeats,
+            "instructions": self.instructions,
+            "knobs": dict(self.knobs),
+            "host": dict(self.host),
+            "artifacts": {
+                name: entry.as_dict()
+                for name, entry in sorted(self.artifacts.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Manifest":
+        return cls(
+            code_fingerprint=str(data.get("code_fingerprint", "")),
+            seed=int(data.get("seed", 0)),
+            repeats=int(data.get("repeats", 1)),
+            instructions=(
+                None if data.get("instructions") is None
+                else int(data["instructions"])
+            ),
+            knobs=dict(data.get("knobs", {})),
+            host=dict(data.get("host", {})),
+            artifacts={
+                name: ArtifactEntry.from_dict(entry)
+                for name, entry in data.get("artifacts", {}).items()
+            },
+            generated=str(data.get("generated", "")),
+            version=int(data.get("version", MANIFEST_VERSION)),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Manifest":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        from .writer import atomic_write_text
+
+        return atomic_write_text(path, self.to_json())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Manifest":
+        return cls.from_json(Path(path).read_text())
+
+
+def _format_ci(stat: MetricStat) -> str:
+    ci = stat.ci
+    if ci.lo == ci.hi:
+        return f"{ci.mean:.4f}"
+    return f"{ci.mean:.4f} [{ci.lo:.4f}, {ci.hi:.4f}]"
+
+
+def render_manifest_md(manifest: Manifest) -> str:
+    """The human-readable ``results/final/manifest.md`` view."""
+    lines = [
+        "# Results ledger",
+        "",
+        "Every artifact below maps to the exact runs, code version and",
+        "knobs that produced it.  Regenerate with `repro report all`;",
+        "verify with `repro report diff`.",
+        "",
+        f"- **generated**: {manifest.generated or 'n/a'}",
+        f"- **code fingerprint**: `{manifest.code_fingerprint}`",
+        f"- **report seed**: {manifest.seed}",
+        f"- **repeats**: {manifest.repeats}",
+        f"- **instructions/point**: "
+        f"{manifest.instructions if manifest.instructions else 'default'}",
+        f"- **host**: {manifest.host.get('cpu_model', 'unknown')} "
+        f"({manifest.host.get('cpu_count', '?')} cores), "
+        f"Python {manifest.host.get('python', '?')}",
+    ]
+    if manifest.knobs:
+        knobs = ", ".join(
+            f"`{name}={value}`"
+            for name, value in sorted(manifest.knobs.items())
+        )
+        lines.append(f"- **knobs**: {knobs}")
+    else:
+        lines.append("- **knobs**: all defaults")
+    lines.append("")
+    for name in sorted(manifest.artifacts):
+        entry = manifest.artifacts[name]
+        lines.append(f"## {entry.name}")
+        lines.append("")
+        lines.append(f"- file: `{entry.path}`")
+        lines.append(f"- sha256: `{entry.content_sha256}`")
+        lines.append(f"- kind: {entry.kind}, repeats: {entry.repeats}")
+        fresh = sum(1 for ref in entry.runs if not ref.from_cache)
+        lines.append(
+            f"- runs: {len(entry.runs)} "
+            f"({fresh} simulated, {len(entry.runs) - fresh} memoized)"
+        )
+        if entry.metrics:
+            lines.append("")
+            lines.append(
+                "| metric | value [95% CI] | statistic | tolerance |"
+            )
+            lines.append("|---|---|---|---|")
+            for metric_name in sorted(entry.metrics):
+                stat = entry.metrics[metric_name]
+                lines.append(
+                    f"| {metric_name} | {_format_ci(stat)} "
+                    f"| {stat.ci.statistic} | {stat.tolerance:g} |"
+                )
+        if entry.runs:
+            lines.append("")
+            lines.append("<details><summary>run-cache keys</summary>")
+            lines.append("")
+            for ref in entry.runs:
+                key = ref.cache_key or "(uncacheable)"
+                lines.append(
+                    f"- `{key}` — {ref.label} / {ref.policy} / "
+                    f"{ref.mode} (repeat {ref.repeat})"
+                )
+            lines.append("")
+            lines.append("</details>")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Run provenance: what produced a result, stamped where it happened.
+
+A :class:`ProvenanceRecord` is attached to every
+:class:`~repro.harness.api.RunResult` by
+:func:`~repro.harness.api.execute` — the one place every simulation
+funnels through — so any result that reaches a figure, a manifest or a
+spool payload can answer "which request, which code version, which
+knobs, which host, how long".  The record is deliberately *outside*
+the cache key: two hosts producing the same deterministic result share
+one cache entry while each stamping its own provenance at execution
+time.
+
+:func:`host_info` is the shared host-metadata snapshot (CPU model,
+core count, Python version, timestamp) also embedded in the
+``BENCH_kernel.json``/``BENCH_fullrun.json``-style bench reports, so
+host-conditional gates (e.g. the fullrun speedup floor requiring
+``min(shards, cpus) >= 4``) are auditable from the artifact alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import os
+import platform
+import sys
+from typing import Dict, Mapping, Optional
+
+
+def cpu_model() -> str:
+    """Best-effort CPU model string (``/proc/cpuinfo``, else platform)."""
+    try:
+        with open("/proc/cpuinfo") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def host_info() -> Dict[str, object]:
+    """Host metadata for bench reports and provenance records."""
+    return {
+        "cpu_model": cpu_model(),
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(timespec="seconds"),
+    }
+
+
+def repro_knobs() -> Dict[str, str]:
+    """The resolved ``REPRO_*`` environment knobs, sorted by name.
+
+    Only explicitly-set variables appear — an empty dict means "all
+    defaults", which is itself reproducibility-relevant information.
+    """
+    return {
+        name: value
+        for name, value in sorted(os.environ.items())
+        if name.startswith("REPRO_")
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class ProvenanceRecord:
+    """Where one :class:`~repro.harness.api.RunResult` came from.
+
+    ``cache_key`` is the run's canonical identity (None for uncacheable
+    requests — traced runs, pre-built workload objects);
+    ``code_fingerprint`` pins the simulator version;  ``knobs`` holds
+    the ``REPRO_*`` environment as resolved at execution time;
+    ``wall_seconds`` is the simulate-or-lookup wall time observed by
+    ``execute()``;  ``from_cache`` distinguishes a memoized return from
+    a fresh simulation (the stored record keeps the *original*
+    execution's host/knobs/wall time — only the flag flips);
+    ``metrics_digest`` points at the run's telemetry snapshot (SHA-256
+    over its canonical JSON), letting a manifest or JSONL archive be
+    matched to the exact snapshot this result carried.
+    """
+
+    cache_key: Optional[str]
+    code_fingerprint: str
+    knobs: Mapping[str, str]
+    host: Mapping[str, object]
+    wall_seconds: float
+    from_cache: bool = False
+    metrics_digest: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "cache_key": self.cache_key,
+            "code_fingerprint": self.code_fingerprint,
+            "knobs": dict(self.knobs),
+            "host": dict(self.host),
+            "wall_seconds": self.wall_seconds,
+            "from_cache": self.from_cache,
+            "metrics_digest": self.metrics_digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ProvenanceRecord":
+        return cls(
+            cache_key=data.get("cache_key"),
+            code_fingerprint=data["code_fingerprint"],
+            knobs=dict(data.get("knobs", {})),
+            host=dict(data.get("host", {})),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            from_cache=bool(data.get("from_cache", False)),
+            metrics_digest=data.get("metrics_digest"),
+        )
+
+
+def metrics_digest(snapshot) -> Optional[str]:
+    """SHA-256 over a snapshot's canonical JSON (None for no snapshot)."""
+    import hashlib
+
+    if snapshot is None:
+        return None
+    return hashlib.sha256(snapshot.to_json().encode()).hexdigest()[:20]
+
+
+def make_record(
+    cache_key: Optional[str],
+    wall_seconds: float,
+    snapshot=None,
+    from_cache: bool = False,
+) -> ProvenanceRecord:
+    """Stamp a record for the run that just finished (or was memoized)."""
+    from ..perf.runcache import code_fingerprint
+
+    return ProvenanceRecord(
+        cache_key=cache_key,
+        code_fingerprint=code_fingerprint(),
+        knobs=repro_knobs(),
+        host=host_info(),
+        wall_seconds=round(wall_seconds, 6),
+        from_cache=from_cache,
+        metrics_digest=metrics_digest(snapshot),
+    )

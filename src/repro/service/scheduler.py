@@ -28,7 +28,13 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core.config import WrpkruPolicy
 from ..core.stats import SimStats
-from ..harness.api import RunMetadata, RunRequest, RunResult, execute
+from ..harness.api import (
+    RunMetadata,
+    RunRequest,
+    RunResult,
+    execute,
+    notify_run_observers,
+)
 from ..obs.progress import ProgressReporter
 from ..obs.snapshot import MetricsSnapshot
 from ..perf.envflag import env_flag
@@ -251,6 +257,14 @@ class SweepService:
         def settle(job_id: str, result: Optional[RunResult],
                    error: Optional[str]) -> None:
             results[job_id] = result
+            if result is not None:
+                # Report observers see every settled outcome, including
+                # the paths that never call execute() in this process
+                # (pre-dispatch cache dedup, spool resume, parallel
+                # workers).  The job id is the run-cache key, and
+                # observers dedupe on it, so results that *did* flow
+                # through an in-process execute() are not double-counted.
+                notify_run_observers(job_id, result)
             if on_result is not None:
                 on_result(job_id, result, error)
             if progress is not None:

@@ -42,6 +42,7 @@ from ..core.config import CoreConfig, WrpkruPolicy
 from ..harness.api import RequestError, RunRequest
 from ..memory.hierarchy import CacheGeometry
 from ..workloads.instrument import InstrumentMode
+from ..workloads.profiles import WorkloadProfile
 
 
 def default_spool_dir() -> Path:
@@ -98,21 +99,28 @@ def encode_request(request: RunRequest) -> Dict[str, object]:
     """A :class:`RunRequest` as a JSON-able document.
 
     Only *spoolable* requests encode: the workload must be a known
-    label (so any worker host can rebuild it deterministically) and the
-    run must be untraced (a trace collector cannot cross the service
-    boundary).  Everything else raises :class:`RequestError` — the same
-    construction-time error type the request itself uses.
+    label or a :class:`WorkloadProfile` (either rebuilds
+    deterministically on any worker host — a profile is just the
+    generator's knobs, e.g. a seed-varied repeat from ``repro
+    report``) and the run must be untraced (a trace collector cannot
+    cross the service boundary).  Everything else — notably a
+    pre-built :class:`~repro.workloads.generator.Workload` object —
+    raises :class:`RequestError`, the same construction-time error
+    type the request itself uses.
     """
-    if not isinstance(request.workload, str) or not request.workload:
+    workload: object = request.workload
+    if isinstance(workload, WorkloadProfile):
+        workload = {"profile": dataclasses.asdict(workload)}
+    elif not isinstance(workload, str) or not workload:
         raise RequestError(
-            "only label-addressed workloads can be spooled; got "
-            f"{type(request.workload).__name__}"
+            "only label-addressed or profile-addressed workloads can be "
+            f"spooled; got {type(request.workload).__name__}"
         )
     if request.trace.enabled:
         raise RequestError("traced runs cannot be spooled")
     return {
         "v": 2,
-        "workload": request.workload,
+        "workload": workload,
         "policy": request.policy.value,
         "mode": request.mode.value,
         "instructions": request.instructions,
@@ -132,8 +140,11 @@ def decode_request(doc: Dict[str, object]) -> RunRequest:
     stale spool entry fails loudly with :class:`RequestError` instead
     of deep inside a worker.
     """
+    workload = doc["workload"]
+    if isinstance(workload, dict):
+        workload = WorkloadProfile(**workload["profile"])
     return RunRequest(
-        workload=doc["workload"],
+        workload=workload,
         policy=WrpkruPolicy(doc["policy"]),
         mode=InstrumentMode(doc["mode"]),
         instructions=doc.get("instructions"),

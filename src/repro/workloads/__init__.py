@@ -8,8 +8,10 @@ from .profiles import (
     CPI_PROFILES,
     SS_PROFILES,
     WorkloadProfile,
+    label_of,
     labels,
     profile_by_label,
+    seed_variant,
 )
 from .shadow_stack import SHADOW_STACK_PKEY, ShadowStackPass
 
@@ -26,6 +28,8 @@ __all__ = [
     "WorkloadProfile",
     "build_workload",
     "emit_wrpkru",
+    "label_of",
     "labels",
     "profile_by_label",
+    "seed_variant",
 ]

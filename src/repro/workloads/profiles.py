@@ -17,7 +17,7 @@ DESIGN.md documents this substitution.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict, List, Union
 
 
 @dataclasses.dataclass(frozen=True)
@@ -108,9 +108,53 @@ ALL_PROFILES: List[WorkloadProfile] = SS_PROFILES + CPI_PROFILES
 _BY_LABEL: Dict[str, WorkloadProfile] = {p.label: p for p in ALL_PROFILES}
 
 
-def profile_by_label(label: str) -> WorkloadProfile:
-    """Look up e.g. ``"520.omnetpp_r (SS)"``."""
+def profile_by_label(
+    label: Union[str, WorkloadProfile],
+) -> WorkloadProfile:
+    """Look up e.g. ``"520.omnetpp_r (SS)"``.
+
+    A :class:`WorkloadProfile` passes through unchanged, so code that
+    resolves "a workload identifier" (the experiment functions, the
+    Fig. 4 useful-fraction probe) accepts seed-varied profile objects
+    — whose label still names the *base* profile — as transparently as
+    the canonical label strings.
+    """
+    if isinstance(label, WorkloadProfile):
+        return label
     return _BY_LABEL[label]
+
+
+def label_of(workload: Union[str, WorkloadProfile]) -> str:
+    """The Fig.-style label string of a label-or-profile identifier."""
+    if isinstance(workload, WorkloadProfile):
+        return workload.label
+    return workload
+
+
+#: Seed stride between repeat variants — far larger than any base seed,
+#: so variants of different profiles can never collide.
+SEED_VARIANT_STRIDE = 100_000
+
+
+def seed_variant(
+    workload: Union[str, WorkloadProfile], offset: int
+) -> Union[str, WorkloadProfile]:
+    """The *offset*-th seed-varied copy of a workload identifier.
+
+    Offset 0 returns the identifier unchanged — in particular a label
+    *string* stays a string, so repeat 0 of ``repro report`` produces
+    byte-identical run-cache keys to ``repro reproduce`` and the two
+    share cache entries.  Offsets > 0 return a profile whose generator
+    seed is shifted by ``offset * SEED_VARIANT_STRIDE``: a different
+    (but behaviourally equivalent) synthetic program, with a distinct
+    cache key of its own, under the same label.
+    """
+    if offset == 0:
+        return workload
+    profile = profile_by_label(workload)
+    return dataclasses.replace(
+        profile, seed=profile.seed + SEED_VARIANT_STRIDE * offset
+    )
 
 
 def labels() -> List[str]:

@@ -1,0 +1,128 @@
+"""Property tests for the manifest ledger (repro.report.ledger)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.report import (
+    ArtifactEntry,
+    BootstrapCI,
+    Manifest,
+    MetricStat,
+    RunRef,
+    render_manifest_md,
+)
+
+_names = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Ll", "Lu", "Nd"),
+        whitelist_characters="._-[]() ",
+    ),
+    min_size=1, max_size=24,
+)
+_floats = st.floats(
+    allow_nan=False, allow_infinity=False, width=32,
+    min_value=-1e6, max_value=1e6,
+)
+
+
+@st.composite
+def bootstrap_cis(draw):
+    values = tuple(draw(st.lists(_floats, min_size=1, max_size=5)))
+    lo, mid, hi = sorted(draw(st.tuples(_floats, _floats, _floats)))
+    return BootstrapCI(
+        mean=mid, lo=lo, hi=hi, values=values,
+        statistic=draw(st.sampled_from(["mean", "geomean"])),
+        confidence=0.95,
+    )
+
+
+@st.composite
+def run_refs(draw):
+    return RunRef(
+        cache_key=draw(st.one_of(st.none(), st.text(
+            alphabet="0123456789abcdef", min_size=8, max_size=16,
+        ))),
+        label=draw(_names),
+        policy=draw(st.sampled_from(["specmpk", "serialized", "baseline"])),
+        mode=draw(st.sampled_from(["protected", "none"])),
+        repeat=draw(st.integers(min_value=0, max_value=9)),
+        from_cache=draw(st.booleans()),
+        wall_seconds=draw(st.floats(
+            min_value=0.0, max_value=1e4, allow_nan=False, width=32,
+        )),
+    )
+
+
+@st.composite
+def artifact_entries(draw):
+    metric_names = draw(st.lists(_names, max_size=4, unique=True))
+    return ArtifactEntry(
+        name=draw(_names),
+        path=draw(_names),
+        kind=draw(st.sampled_from(["figure", "static"])),
+        content_sha256=draw(st.text(
+            alphabet="0123456789abcdef", min_size=8, max_size=16,
+        )),
+        repeats=draw(st.integers(min_value=1, max_value=9)),
+        metrics={
+            name: MetricStat(
+                name, draw(bootstrap_cis()),
+                tolerance=draw(st.floats(
+                    min_value=0.0, max_value=1.0,
+                    allow_nan=False, width=32,
+                )),
+            )
+            for name in metric_names
+        },
+        runs=draw(st.lists(run_refs(), max_size=4)),
+    )
+
+
+@st.composite
+def manifests(draw):
+    entries = draw(st.lists(artifact_entries(), max_size=3))
+    manifest = Manifest(
+        code_fingerprint=draw(st.text(
+            alphabet="0123456789abcdef", min_size=8, max_size=20,
+        )),
+        seed=draw(st.integers(min_value=0, max_value=2**31)),
+        repeats=draw(st.integers(min_value=1, max_value=9)),
+        instructions=draw(st.one_of(
+            st.none(), st.integers(min_value=1, max_value=10**7),
+        )),
+        knobs=draw(st.dictionaries(_names, _names, max_size=3)),
+        host={"cpu_model": "test", "cpu_count": 4, "python": "3.x"},
+        generated="2026-01-01T00:00:00+00:00",
+    )
+    # Entries land keyed by name; duplicates collapse (last wins) the
+    # same way Manifest.add would.
+    for entry in entries:
+        manifest.add(entry)
+    return manifest
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(manifests())
+    def test_json_round_trip_is_exact(self, manifest):
+        clone = Manifest.from_json(manifest.to_json())
+        assert clone == manifest
+        # And stable: a second round trip produces identical bytes.
+        assert clone.to_json() == manifest.to_json()
+
+    @settings(max_examples=20, deadline=None)
+    @given(manifests())
+    def test_save_load_round_trip(self, tmp_path_factory, manifest):
+        path = tmp_path_factory.mktemp("ledger") / "manifest.json"
+        manifest.save(path)
+        assert Manifest.load(path) == manifest
+
+    @settings(max_examples=20, deadline=None)
+    @given(manifests())
+    def test_render_never_crashes_and_names_artifacts(self, manifest):
+        text = render_manifest_md(manifest)
+        assert "# Results ledger" in text
+        assert manifest.code_fingerprint in text
+        for entry in manifest.artifacts.values():
+            assert entry.path in text
+            assert entry.content_sha256 in text

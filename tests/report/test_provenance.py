@@ -1,0 +1,92 @@
+"""Provenance stamping end-to-end (repro.report.provenance + harness)."""
+
+import dataclasses
+
+from repro.core import WrpkruPolicy
+from repro.harness import RunRequest
+from repro.harness.api import (
+    add_run_observer,
+    execute,
+    remove_run_observer,
+)
+from repro.perf.runcache import code_fingerprint
+from repro.report import ProvenanceRecord, host_info, repro_knobs
+
+# A budget no other test uses, so the first execute() in this module is
+# a genuine cache miss even within the shared hermetic test cache.
+REQ = RunRequest(
+    workload="557.xz_r (SS)", policy=WrpkruPolicy.SPECMPK,
+    instructions=640, warmup=160,
+)
+
+
+class TestHostInfo:
+    def test_host_info_shape(self):
+        info = host_info()
+        assert info["cpu_count"] >= 1
+        assert info["python"].count(".") >= 1
+        assert "T" in info["timestamp"]  # ISO 8601
+        assert isinstance(info["cpu_model"], str)
+
+    def test_repro_knobs_only_repro_vars(self):
+        knobs = repro_knobs()
+        assert all(name.startswith("REPRO_") for name in knobs)
+        # The hermetic test cache redirect must be on the record.
+        assert "REPRO_CACHE_DIR" in knobs
+
+    def test_record_dict_round_trip(self):
+        record = ProvenanceRecord(
+            cache_key="abc", code_fingerprint="def",
+            knobs={"REPRO_SCALE": "1"}, host={"cpu_count": 2},
+            wall_seconds=1.5, from_cache=True, metrics_digest="012",
+        )
+        assert ProvenanceRecord.from_dict(record.as_dict()) == record
+
+
+class TestExecuteStamping:
+    def test_fresh_run_is_stamped(self):
+        result = execute(REQ)
+        record = result.provenance
+        assert record is not None
+        assert record.cache_key == REQ.cache_key()
+        assert record.code_fingerprint == code_fingerprint()
+        assert record.from_cache is False
+        assert record.wall_seconds > 0.0
+        assert record.host["cpu_count"] >= 1
+
+    def test_cache_hit_flips_from_cache_only(self):
+        first = execute(REQ)
+        again = execute(REQ)
+        record = again.provenance
+        assert record.from_cache is True
+        # Identity and originating host survive the hit; only the
+        # from_cache flag differs from the stored record.
+        assert record.cache_key == first.provenance.cache_key
+        assert record.host == first.provenance.host
+        assert dataclasses.replace(record, from_cache=False) == \
+            dataclasses.replace(first.provenance, from_cache=False)
+
+    def test_uncached_run_is_still_stamped(self):
+        result = execute(REQ, cache=False)
+        assert result.provenance is not None
+        assert result.provenance.from_cache is False
+
+
+class TestRunObservers:
+    def test_observer_sees_key_and_result(self):
+        seen = []
+        observer = lambda key, result: seen.append((key, result))
+        add_run_observer(observer)
+        try:
+            result = execute(REQ)
+        finally:
+            remove_run_observer(observer)
+        assert (REQ.cache_key(), result) in seen
+
+    def test_removed_observer_is_silent(self):
+        seen = []
+        observer = lambda key, result: seen.append(key)
+        add_run_observer(observer)
+        remove_run_observer(observer)
+        execute(REQ)
+        assert seen == []

@@ -46,6 +46,19 @@ class TestRequestRoundTrip:
         clone = decode_request(encode_request(request))
         assert clone == request
 
+    def test_profile_workload_round_trips(self):
+        # Seed-varied repeats from `repro report` spool as profile
+        # documents and rebuild to the same canonical cache key.
+        from repro.workloads import seed_variant
+
+        request = REQ.replace(workload=seed_variant("557.xz_r (SS)", 2))
+        clone = decode_request(json.loads(json.dumps(
+            encode_request(request)
+        )))
+        assert clone == request
+        assert clone.cache_key() == request.cache_key()
+        assert clone.cache_key() != REQ.cache_key()
+
     def test_traced_request_rejected(self):
         with pytest.raises(RequestError, match="traced"):
             encode_request(REQ.replace(trace=TraceOptions(enabled=True)))

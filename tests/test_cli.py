@@ -473,3 +473,104 @@ class TestBenchFullrun:
         baseline = self._baseline(tmp_path, floor=1e9)
         monkeypatch.setenv("REPRO_KIPS_SCALE", "1e-12")
         assert main(self.ARGS + ["--baseline", str(baseline)]) == 0
+
+
+class TestReport:
+    """The provenance-ledger pipeline via the CLI (static subset)."""
+
+    def _generate(self, out, *extra):
+        return main([
+            "report", "all", "--only", "hw,table3", "--repeats", "1",
+            "--out", str(out), *extra,
+        ])
+
+    def test_report_writes_ledger_and_baseline(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "final"
+        assert self._generate(out, "--write-baseline", "--json") == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["artifacts"] == ["hw", "table3"]
+        assert doc["baseline_written"] is True
+        for name in ("manifest.json", "manifest.md", "baseline.json",
+                     "hw_overhead.txt", "table3_configuration.txt"):
+            assert (out / name).exists()
+
+    def test_diff_clean_against_fresh_baseline(self, tmp_path, capsys):
+        out = tmp_path / "final"
+        assert self._generate(out, "--write-baseline") == 0
+        capsys.readouterr()
+        assert main(["report", "diff", "--out", str(out)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_diff_detects_content_change(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "final"
+        assert self._generate(out, "--write-baseline") == 0
+        baseline = out / "baseline.json"
+        doc = json.loads(baseline.read_text())
+        doc["artifacts"]["hw"]["content_sha256"] = "0" * 64
+        baseline.write_text(json.dumps(doc))
+        capsys.readouterr()
+        assert main(["report", "diff", "--out", str(out)]) == 1
+        assert "content hash changed" in capsys.readouterr().out
+
+    def test_diff_rejects_budget_mismatch(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "final"
+        assert self._generate(out, "--write-baseline") == 0
+        baseline = out / "baseline.json"
+        doc = json.loads(baseline.read_text())
+        doc["repeats"] = 99
+        baseline.write_text(json.dumps(doc))
+        assert main(["report", "diff", "--out", str(out)]) == 2
+        assert "different budgets" in capsys.readouterr().err
+
+    def test_diff_without_manifest_errors(self, tmp_path, capsys):
+        assert main(["report", "diff", "--out",
+                     str(tmp_path / "nope")]) == 2
+        assert "repro report all" in capsys.readouterr().err
+
+    def test_unknown_artifact_errors(self, tmp_path, capsys):
+        assert main(["report", "all", "--only", "fig99",
+                     "--out", str(tmp_path)]) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+
+class TestStatusShards:
+    """`repro status <batch>` surfaces intra-job shard progress."""
+
+    def _spool_with_progress(self, tmp_path):
+        from repro.core import WrpkruPolicy
+        from repro.harness import RunRequest
+        from repro.service import SpoolDir
+
+        spool = SpoolDir(tmp_path / "spool")
+        job_id, _, _ = spool.add_job(RunRequest(
+            workload="557.xz_r (SS)", policy=WrpkruPolicy.SPECMPK,
+            instructions=500, warmup=100, time_shards=4,
+        ))
+        spool.create_batch([job_id], batch_id="b1")
+        spool.claim(job_id)
+        spool.note_shards(job_id, 2, 4)
+        return spool
+
+    def test_json_view_carries_shard_counts(self, tmp_path, capsys):
+        import json
+
+        spool = self._spool_with_progress(tmp_path)
+        assert main(["status", "b1", "--spool", str(spool.root),
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        (job,) = doc["jobs"]
+        assert job["state"] == "running"
+        assert job["shards_done"] == 2 and job["shards_total"] == 4
+
+    def test_text_view_renders_shard_column(self, tmp_path, capsys):
+        spool = self._spool_with_progress(tmp_path)
+        assert main(["status", "b1", "--spool", str(spool.root)]) == 0
+        out = capsys.readouterr().out
+        assert "shard 2/4" in out
+        assert "running" in out
